@@ -1,0 +1,237 @@
+package rrbus_test
+
+// Benchmark harness: one benchmark per figure/table of the paper's
+// evaluation (§5) plus the design-choice ablations from DESIGN.md §4.
+// Each benchmark regenerates its artifact from the simulator and prints
+// the resulting rows/series once (first run), so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. Absolute cycle counts depend on this
+// simulator, but the shapes — who wins, the saw-tooth period, where the
+// crossovers fall — match the paper (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rrbus/internal/figures"
+	"rrbus/internal/sim"
+)
+
+// printOnce emits a figure's rendering exactly once per process, keeping
+// repeated benchmark iterations quiet.
+var printedFigs sync.Map
+
+func printOnce(key, text string) {
+	if _, loaded := printedFigs.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n%s\n", text)
+	}
+}
+
+// BenchmarkFig3GammaMatrix regenerates the Fig. 3 γ(δ) matrix on the toy
+// platform (ubd = 6), simulator vs Eq. 2.
+func BenchmarkFig3GammaMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Fig3(13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig3", "== Fig 3: γ(δ) on toy platform (ubd=6) ==\n"+figures.RenderGammaRows(rows))
+	}
+}
+
+// BenchmarkFig2Scenario regenerates the Fig. 2 example: δ = 9 → γ = 3.
+func BenchmarkFig2Scenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gamma, tl, err := figures.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gamma != 3 {
+			b.Fatalf("γ = %d, want 3", gamma)
+		}
+		printOnce("fig2", fmt.Sprintf("== Fig 2: δ=9 suffers γ=%d ==\n%s", gamma, tl))
+	}
+}
+
+// BenchmarkFig4Sawtooth regenerates the Fig. 4 saw-tooth on the reference
+// platform across three full periods.
+func BenchmarkFig4Sawtooth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Fig4(2 * sim.NGMPRef().UBD())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig4", "== Fig 4: saw-tooth γ(δ), ref (ubd=27) ==\n"+figures.RenderGammaRows(rows))
+	}
+}
+
+// BenchmarkFig5Timelines regenerates the Fig. 5 nop-insertion timelines.
+func BenchmarkFig5Timelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scen, err := figures.Fig5([]int{1, 2, 5, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out string
+		for _, s := range scen {
+			out += fmt.Sprintf("-- k=%d (δ=%d) → γ=%d --\n%s", s.K, s.Delta, s.Gamma, s.Timeline)
+		}
+		printOnce("fig5", "== Fig 5: nop insertion on toy platform ==\n"+out)
+	}
+}
+
+// BenchmarkFig6aContenders regenerates the Fig. 6(a) ready-contender
+// histograms: EEMBC-like workloads vs 4×rsk.
+func BenchmarkFig6aContenders(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig6a(sim.NGMPRef(), 8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig6a", "== Fig 6a: ready contenders at scua requests ==\n"+res.Render())
+	}
+}
+
+// BenchmarkFig6bGammaHist regenerates the Fig. 6(b) contention-delay
+// histograms on ref and var (ubdm 26 / 23 vs actual 27).
+func BenchmarkFig6bGammaHist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig6b(sim.NGMPRef(), sim.NGMPVar())
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := ""
+		for _, r := range res {
+			out += r.Render()
+		}
+		printOnce("fig6b", "== Fig 6b: per-request γ histograms ==\n"+out)
+	}
+}
+
+// BenchmarkFig7aLoadSweep regenerates the Fig. 7(a) load sweep on both
+// architectures (peaks 27/54 ref, 24/51 var; period 27).
+func BenchmarkFig7aLoadSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig7a(56, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig7a", "== Fig 7a: rsk-nop(load) slowdown sweep ==\n"+res.Render())
+	}
+}
+
+// BenchmarkFig7bStoreSweep regenerates the Fig. 7(b) store sweep: one
+// descending tooth, then zero.
+func BenchmarkFig7bStoreSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig7b(sim.NGMPRef(), 45, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig7b", "== Fig 7b: rsk-nop(store) slowdown sweep ==\n"+res.Render())
+	}
+}
+
+// BenchmarkTableUBDSummary regenerates the headline summary: methodology
+// vs naive vs Eq. 1 on ref and var.
+func BenchmarkTableUBDSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Summary(sim.NGMPRef(), sim.NGMPVar())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Err != "" {
+				b.Fatalf("%s: %s", r.Arch, r.Err)
+			}
+		}
+		printOnce("table", "== Summary: derived vs naive vs actual ==\n"+figures.RenderSummary(rows))
+	}
+}
+
+// BenchmarkAblationArbiters reruns the derivation under TDMA, fixed
+// priority and lottery arbitration (E9a): the Eq. 3 mapping is RR-specific.
+func BenchmarkAblationArbiters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.AblationArbiters(sim.NGMPRef())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("abl-arb", "== Ablation E9a: arbitration policies ==\n"+figures.RenderArbiters(rows))
+	}
+}
+
+// BenchmarkAblationDeltaNop sweeps nop latencies 1..3 (E9b): δnop > 1
+// aliases the period reading; the model fit resolves it.
+func BenchmarkAblationDeltaNop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.AblationDeltaNop(sim.NGMPRef(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("abl-dnop", "== Ablation E9b: δnop sampling ==\n"+figures.RenderDeltaNop(rows))
+	}
+}
+
+// BenchmarkAblationScaling derives ubd across platform geometries (E9c):
+// the methodology recovers Eq. 1 for every Nc ≥ 3 and lbus.
+func BenchmarkAblationScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.AblationScaling(sim.NGMPRef(), []int{3, 4, 6, 8}, []int{3, 6, 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Err == "" && r.DerivedUBDm != r.ActualUBD {
+				b.Fatalf("nc=%d lbus=%d: derived %d, actual %d", r.Cores, r.LBus, r.DerivedUBDm, r.ActualUBD)
+			}
+		}
+		printOnce("abl-scaling", "== Ablation E9c: Eq. 1 recovery across geometries ==\n"+figures.RenderScaling(rows))
+	}
+}
+
+// BenchmarkMemContention runs the E11 extension: L2-miss kernels against
+// each other, measuring whether DRAM-level contention stays within the
+// bus-only pad (it does on the reference platform; a slow-DRAM variant
+// under-covers — see EXPERIMENTS.md E11).
+func BenchmarkMemContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ref, err := figures.MemContention(sim.NGMPRef())
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow := sim.NGMPRef()
+		slow.Name = "ngmp-slowdram"
+		slow.Mem.TRCD *= 6
+		slow.Mem.TCL *= 6
+		slow.Mem.TRP *= 6
+		slow.Mem.TBurst *= 6
+		sl, err := figures.MemContention(slow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("e11", "== E11: memory-controller contention ==\n"+ref.Render()+"\n"+sl.Render())
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (cycles/sec)
+// on the saturated 4×rsk workload — the cost model behind every other
+// benchmark here.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := sim.NGMPRef()
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		m, err := figures.Fig6b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += m[0].Hist.Total()
+	}
+	if cycles == 0 {
+		b.Fatal("no requests simulated")
+	}
+}

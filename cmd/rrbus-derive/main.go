@@ -1,0 +1,135 @@
+// Command rrbus-derive runs the paper's full measurement-based methodology
+// on a simulated platform and reports the derived upper-bound delay with
+// its confidence assessment, next to the naive det/nr baseline and Eq. 1
+// ground truth.
+//
+// Usage:
+//
+//	rrbus-derive -arch ref
+//	rrbus-derive -arch var -type store -kmax 80
+//	rrbus-derive -cores 6 -l2hit 12 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rrbus/internal/core"
+	"rrbus/internal/isa"
+	"rrbus/internal/sim"
+)
+
+type report struct {
+	Arch       string                    `json:"arch"`
+	Type       string                    `json:"type"`
+	ActualUBD  int                       `json:"actual_ubd"`
+	UBDm       int                       `json:"ubdm"`
+	PeriodK    int                       `json:"period_k"`
+	DeltaNop   float64                   `json:"delta_nop"`
+	Methods    map[core.PeriodMethod]int `json:"methods"`
+	Confidence float64                   `json:"confidence"`
+	Notes      []string                  `json:"notes,omitempty"`
+	NaiveUBDm  int                       `json:"naive_ubdm"`
+	Slowdowns  []float64                 `json:"slowdowns,omitempty"`
+	Err        string                    `json:"error,omitempty"`
+}
+
+func main() {
+	arch := flag.String("arch", "ref", "platform: ref, var, or custom (with -cores/-transfer/-l2hit)")
+	typ := flag.String("type", "load", "bus access type of the kernels: load or store")
+	cores := flag.Int("cores", 0, "override core count (custom platform)")
+	transfer := flag.Int("transfer", 0, "override bus transfer latency")
+	l2hit := flag.Int("l2hit", 0, "override L2 hit latency")
+	kmin := flag.Int("kmin", 1, "sweep start")
+	kmax := flag.Int("kmax", 40, "initial sweep end (auto-extends)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
+	series := flag.Bool("series", false, "include the slowdown series in the output")
+	flag.Parse()
+
+	var cfg sim.Config
+	switch *arch {
+	case "ref":
+		cfg = sim.NGMPRef()
+	case "var":
+		cfg = sim.NGMPVar()
+	default:
+		fmt.Fprintf(os.Stderr, "rrbus-derive: unknown arch %q (ref|var)\n", *arch)
+		os.Exit(2)
+	}
+	if *cores > 0 || *transfer > 0 || *l2hit > 0 {
+		nc, tr, l2 := cfg.Cores, cfg.BusTransferLat, cfg.L2HitLat
+		if *cores > 0 {
+			nc = *cores
+		}
+		if *transfer > 0 {
+			tr = *transfer
+		}
+		if *l2hit > 0 {
+			l2 = *l2hit
+		}
+		cfg = sim.Scaled(cfg, nc, tr, l2)
+	}
+
+	t := isa.OpLoad
+	if *typ == "store" {
+		t = isa.OpStore
+	} else if *typ != "load" {
+		fmt.Fprintf(os.Stderr, "rrbus-derive: unknown type %q (load|store)\n", *typ)
+		os.Exit(2)
+	}
+
+	r, err := core.NewSimRunner(cfg)
+	fail(err)
+
+	rep := report{Arch: cfg.Name, Type: *typ, ActualUBD: cfg.UBD()}
+	res, derr := core.Derive(r, core.Options{Type: t, KMin: *kmin, KMax: *kmax, AutoExtend: true})
+	if derr != nil {
+		rep.Err = derr.Error()
+	}
+	if res != nil {
+		rep.UBDm = res.UBDm
+		rep.PeriodK = res.PeriodK
+		rep.DeltaNop = res.DeltaNop
+		rep.Methods = res.Methods
+		rep.Confidence = res.Confidence.Score()
+		rep.Notes = res.Confidence.Notes
+		if *series {
+			rep.Slowdowns = res.Slowdowns
+		}
+	}
+	nv, err := core.NaiveUBDM(r, t)
+	fail(err)
+	rep.NaiveUBDm = nv.UBDm
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fail(enc.Encode(rep))
+		if rep.Err != "" {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("platform            %s (%d cores, lbus=%d)\n", rep.Arch, cfg.Cores, cfg.BusLatency())
+	fmt.Printf("access type         %s\n", rep.Type)
+	fmt.Printf("actual ubd (Eq.1)   %d cycles\n", rep.ActualUBD)
+	if rep.Err != "" {
+		fmt.Printf("derivation FAILED: %s\n", rep.Err)
+	} else if res != nil {
+		fmt.Print(res.Report())
+	}
+	fmt.Printf("naive ubdm          %d cycles (det/nr — underestimates by the injection time)\n", rep.NaiveUBDm)
+	if rep.Err != "" {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-derive:", err)
+		os.Exit(1)
+	}
+}

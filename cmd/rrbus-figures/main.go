@@ -1,0 +1,131 @@
+// Command rrbus-figures regenerates the paper's figures from the simulator
+// and prints them as terminal tables/plots.
+//
+// Usage:
+//
+//	rrbus-figures -fig all
+//	rrbus-figures -fig 7a -kmax 60 -iters 2000
+//	rrbus-figures -fig 6a -count 8 -seed 1
+//
+// Figures: 2, 3, 4, 5, 6a, 6b, 7a, 7b, table, abl-arb, abl-dnop,
+// abl-scaling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rrbus/internal/figures"
+	"rrbus/internal/sim"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (2,3,4,5,6a,6b,7a,7b,table,abl-arb,abl-dnop,abl-scaling,all)")
+	kmax := flag.Int("kmax", 60, "nop sweep upper bound for fig 7a/7b")
+	iters := flag.Uint64("iters", 100, "measured iterations per run for fig 7a/7b")
+	count := flag.Int("count", 8, "number of random workloads for fig 6a")
+	seed := flag.Uint64("seed", 1, "workload generator seed")
+	flag.Parse()
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+	did := false
+
+	if run("2") {
+		did = true
+		gamma, tl, err := figures.Fig2()
+		fail(err)
+		fmt.Printf("== Fig 2: request with δ=9 on toy platform (ubd=6) suffers γ=%d ==\n%s\n", gamma, tl)
+	}
+	if run("3") {
+		did = true
+		rows, err := figures.Fig3(13)
+		fail(err)
+		fmt.Printf("== Fig 3: γ(δ) matrix on toy platform (ubd=6) ==\n%s\n", figures.RenderGammaRows(rows))
+	}
+	if run("4") {
+		did = true
+		rows, err := figures.Fig4(3 * sim.NGMPRef().UBD())
+		fail(err)
+		fmt.Printf("== Fig 4: saw-tooth γ(δ) on reference platform (ubd=27) ==\n%s\n", figures.RenderGammaRows(rows))
+	}
+	if run("5") {
+		did = true
+		scen, err := figures.Fig5([]int{1, 2, 5, 6})
+		fail(err)
+		fmt.Println("== Fig 5: nop insertion timelines on toy platform ==")
+		for _, s := range scen {
+			fmt.Printf("-- k=%d (δ=%d) → γ=%d --\n%s", s.K, s.Delta, s.Gamma, s.Timeline)
+		}
+		fmt.Println()
+	}
+	if run("6a") {
+		did = true
+		res, err := figures.Fig6a(sim.NGMPRef(), *count, *seed)
+		fail(err)
+		names := make([]string, 0, len(res.Workloads))
+		for _, w := range res.Workloads {
+			names = append(names, strings.Join(w.Names, "+"))
+		}
+		fmt.Printf("== Fig 6a: ready contenders at scua requests (%d workloads) ==\n%s\nworkloads: %s\n\n",
+			*count, res.Render(), strings.Join(names, ", "))
+	}
+	if run("6b") {
+		did = true
+		res, err := figures.Fig6b(sim.NGMPRef(), sim.NGMPVar())
+		fail(err)
+		fmt.Println("== Fig 6b: contention-delay histograms of rsk vs 3 rsk ==")
+		for _, r := range res {
+			fmt.Println(r.Render())
+		}
+	}
+	if run("7a") {
+		did = true
+		res, err := figures.Fig7a(*kmax, *iters)
+		fail(err)
+		fmt.Printf("== Fig 7a: rsk-nop(load) slowdown sweep (ref & var) ==\n%s\n", res.Render())
+	}
+	if run("7b") {
+		did = true
+		res, err := figures.Fig7b(sim.NGMPRef(), *kmax, *iters)
+		fail(err)
+		fmt.Printf("== Fig 7b: rsk-nop(store) slowdown sweep (ref) ==\n%s\n", res.Render())
+	}
+	if run("table") {
+		did = true
+		rows, err := figures.Summary(sim.NGMPRef(), sim.NGMPVar())
+		fail(err)
+		fmt.Printf("== Headline summary: derived vs naive vs actual ==\n%s\n", figures.RenderSummary(rows))
+	}
+	if run("abl-arb") {
+		did = true
+		rows, err := figures.AblationArbiters(sim.NGMPRef())
+		fail(err)
+		fmt.Printf("== Ablation: arbitration policies ==\n%s\n", figures.RenderArbiters(rows))
+	}
+	if run("abl-dnop") {
+		did = true
+		rows, err := figures.AblationDeltaNop(sim.NGMPRef(), 3)
+		fail(err)
+		fmt.Printf("== Ablation: δnop > 1 sampling ==\n%s\n", figures.RenderDeltaNop(rows))
+	}
+	if run("abl-scaling") {
+		did = true
+		rows, err := figures.AblationScaling(sim.NGMPRef(), []int{2, 4, 6, 8}, []int{3, 6, 12})
+		fail(err)
+		fmt.Printf("== Ablation: Eq. 1 recovery across geometries ==\n%s\n", figures.RenderScaling(rows))
+	}
+	if !did {
+		fmt.Fprintf(os.Stderr, "rrbus-figures: unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-figures:", err)
+		os.Exit(1)
+	}
+}

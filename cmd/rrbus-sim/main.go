@@ -1,0 +1,136 @@
+// Command rrbus-sim runs one workload on a simulated platform and dumps
+// the measurement: execution time, request counts, utilization and the
+// NGMP-style PMC snapshot. Tasks are named EEMBC-like profiles or kernel
+// specs.
+//
+// Usage:
+//
+//	rrbus-sim -scua canrdr -contenders matrix,tblook,pntrch
+//	rrbus-sim -arch var -scua rsk:load -contenders rsk:load,rsk:load,rsk:load -gammas
+//	rrbus-sim -scua rsknop:store:12 -contenders rsk:store,rsk:store,rsk:store
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rrbus/internal/isa"
+	"rrbus/internal/kernel"
+	"rrbus/internal/sim"
+	"rrbus/internal/stats"
+	"rrbus/internal/workload"
+)
+
+func main() {
+	arch := flag.String("arch", "ref", "platform: ref or var")
+	scuaSpec := flag.String("scua", "rsk:load", "measured task: profile name, rsk:<load|store>, rsknop:<load|store>:<k>, nop, or l2miss:<load|store>")
+	contSpec := flag.String("contenders", "", "comma-separated contender tasks (same syntax)")
+	warmup := flag.Uint64("warmup", 2, "warmup iterations")
+	iters := flag.Uint64("iters", 10, "measured iterations")
+	seed := flag.Uint64("seed", 1, "profile generator seed")
+	gammas := flag.Bool("gammas", false, "print the per-request contention histogram")
+	flag.Parse()
+
+	var cfg sim.Config
+	switch *arch {
+	case "ref":
+		cfg = sim.NGMPRef()
+	case "var":
+		cfg = sim.NGMPVar()
+	default:
+		fmt.Fprintf(os.Stderr, "rrbus-sim: unknown arch %q\n", *arch)
+		os.Exit(2)
+	}
+
+	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+	scua, err := buildTask(b, *scuaSpec, 0, *seed)
+	fail(err)
+	var cont []*isa.Program
+	if *contSpec != "" {
+		for i, spec := range strings.Split(*contSpec, ",") {
+			p, err := buildTask(b, strings.TrimSpace(spec), i+1, *seed)
+			fail(err)
+			cont = append(cont, p)
+		}
+	}
+
+	m, err := sim.Run(cfg, sim.Workload{Scua: scua, Contenders: cont},
+		sim.RunOpts{WarmupIters: *warmup, MeasureIters: *iters, CollectGammas: *gammas})
+	fail(err)
+
+	fmt.Printf("platform       %s (%d cores, lbus=%d, ubd=%d)\n", cfg.Name, cfg.Cores, cfg.BusLatency(), cfg.UBD())
+	fmt.Printf("scua           %s (%d measured iterations)\n", scua.Name, m.Iters)
+	fmt.Printf("cycles         %d\n", m.Cycles)
+	fmt.Printf("bus requests   %d (max γ %d, mean γ %.2f)\n", m.Requests, m.MaxGamma, m.AvgGamma)
+	fmt.Printf("bus util       %.1f%% total", m.Utilization*100)
+	for p, u := range m.PerCoreUtilization {
+		if p < cfg.Cores {
+			fmt.Printf("  c%d=%.1f%%", p, u*100)
+		} else {
+			fmt.Printf("  mem=%.1f%%", u*100)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("DL1 hit rate   %.1f%% (%d accesses)\n", m.DL1.HitRate()*100, m.DL1.Accesses())
+	fmt.Printf("L2 accesses    %d (hit rate %.1f%%)\n", m.L2.Accesses(), m.L2.HitRate()*100)
+	fmt.Printf("DRAM           %d reads, %d writes\n", m.Mem.Reads, m.Mem.Writes)
+	fmt.Println("\nPMC snapshot (scua core):")
+	fmt.Print(m.PMC.String())
+	if *gammas {
+		fmt.Println("\ncontention-delay histogram (scua requests):")
+		fmt.Print(stats.FromMap(m.GammaHist).String())
+	}
+}
+
+// buildTask parses a task spec into a program for the given core.
+func buildTask(b kernel.Builder, spec string, corenum int, seed uint64) (*isa.Program, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "rsk", "rsknop", "l2miss":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("spec %q needs an access type (e.g. %s:load)", spec, parts[0])
+		}
+		var t isa.Op
+		switch parts[1] {
+		case "load":
+			t = isa.OpLoad
+		case "store":
+			t = isa.OpStore
+		default:
+			return nil, fmt.Errorf("spec %q: unknown access type %q", spec, parts[1])
+		}
+		switch parts[0] {
+		case "rsk":
+			return b.RSK(corenum, t)
+		case "l2miss":
+			return b.L2MissKernel(corenum, t)
+		default:
+			if len(parts) < 3 {
+				return nil, fmt.Errorf("spec %q needs a nop count (rsknop:%s:<k>)", spec, parts[1])
+			}
+			k, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("spec %q: bad nop count: %w", spec, err)
+			}
+			return b.RSKNop(corenum, t, k)
+		}
+	case "nop":
+		return b.NopKernel(corenum, 4000)
+	default:
+		p, ok := workload.ByName(parts[0])
+		if !ok {
+			return nil, fmt.Errorf("unknown task %q (profile, rsk:<t>, rsknop:<t>:<k>, l2miss:<t>, nop)", spec)
+		}
+		return p.Build(corenum, seed)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+// Synchrony: visualize the synchrony effect that defeats naive
+// measurement-based bounds (§3 of the paper).
+//
+// Under full load a round-robin bus locks into a fixed schedule; each
+// request of the observed core then suffers a single contention delay
+// γ(δ) that depends only on its injection time δ — not the worst case ubd.
+// This example traces a small platform (ubd = 6) and prints the bus
+// timeline and the measured γ for increasing δ, reproducing the paper's
+// Figs. 2, 3 and 5.
+//
+// Run with:
+//
+//	go run ./examples/synchrony
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rrbus"
+)
+
+func main() {
+	// Toy platform: 4 cores, lbus = 2 → ubd = 6 (the paper's Fig. 3).
+	cfg := rrbus.ScaledConfig(rrbus.ReferenceNGMP(), 4, 1, 1)
+
+	fmt.Println("γ(δ) under the synchrony effect (simulated vs Eq. 2):")
+	fmt.Println("delta  gamma(sim)  gamma(eq2)")
+	for delta := 1; delta <= 13; delta++ {
+		g, err := measureGamma(cfg, delta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d  %10d  %10d\n", delta, g, rrbus.AnalyticGamma(delta, cfg.UBD()))
+	}
+
+	// Timeline for one scenario: δ = 9 → γ = 3 (the paper's Fig. 2).
+	fmt.Println("\nbus timeline for δ=9 (ports 0..3 = cores, port 4 = memory):")
+	tl, gamma, err := timeline(cfg, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tl)
+	fmt.Printf("observed γ = %d (ubd is %d — the naive expectation fails)\n", gamma, cfg.UBD())
+}
+
+// measureGamma runs rsk-nop(load, δ-1) against three rsk and returns the
+// dominant per-request contention delay.
+func measureGamma(cfg rrbus.Config, delta int) (int, error) {
+	b := rrbus.NewKernelBuilder(cfg)
+	scua, err := b.RSKNop(0, rrbus.OpLoad, delta-cfg.DL1.Latency)
+	if err != nil {
+		return 0, err
+	}
+	var cont []*rrbus.Program
+	for c := 1; c < cfg.Cores; c++ {
+		p, err := b.RSK(c, rrbus.OpLoad)
+		if err != nil {
+			return 0, err
+		}
+		cont = append(cont, p)
+	}
+	m, err := rrbus.Run(cfg, rrbus.Workload{Scua: scua, Contenders: cont},
+		rrbus.RunOpts{WarmupIters: 3, MeasureIters: 10, CollectGammas: true})
+	if err != nil {
+		return 0, err
+	}
+	best, bestN := 0, uint64(0)
+	for g, n := range m.GammaHist {
+		if n > bestN {
+			best, bestN = g, n
+		}
+	}
+	return best, nil
+}
+
+// timeline builds a system by hand, attaches a trace recorder, and renders
+// the steady-state schedule around one scua request.
+func timeline(cfg rrbus.Config, delta int) (string, int, error) {
+	b := rrbus.NewKernelBuilder(cfg)
+	progs := make([]*rrbus.Program, 0, cfg.Cores)
+	iters := make([]uint64, 0, cfg.Cores)
+	scua, err := b.RSKNop(0, rrbus.OpLoad, delta-cfg.DL1.Latency)
+	if err != nil {
+		return "", 0, err
+	}
+	progs = append(progs, scua)
+	iters = append(iters, 20)
+	for c := 1; c < cfg.Cores; c++ {
+		p, err := b.RSK(c, rrbus.OpLoad)
+		if err != nil {
+			return "", 0, err
+		}
+		progs = append(progs, p)
+		iters = append(iters, 0)
+	}
+	sys, err := rrbus.NewSystem(cfg, progs, iters)
+	if err != nil {
+		return "", 0, err
+	}
+	rec := &rrbus.TraceRecorder{Cap: 4096}
+	rec.Attach(sys.Bus())
+	sys.RunUntil(func() bool { return sys.Core(0).Done() }, 1<<22)
+
+	evs := rec.PortEvents(0)
+	if len(evs) < 8 {
+		return "", 0, fmt.Errorf("too few traced events: %d", len(evs))
+	}
+	e := evs[len(evs)-4]
+	from := uint64(0)
+	if e.Ready >= 4 {
+		from = e.Ready - 4
+	}
+	return rrbus.RenderTimeline(rec.Events(), cfg.Cores+1, from, e.Grant+uint64(e.Occupancy)+2), int(e.Gamma), nil
+}

@@ -1,0 +1,108 @@
+// Package analytic provides the paper's closed-form contention models,
+// used both to cross-validate the cycle-accurate simulator (they must agree
+// exactly under synchrony conditions) and to overlay predictions on the
+// regenerated figures.
+package analytic
+
+import "fmt"
+
+// UBD is Eq. 1: the upper-bound delay of one request on a round-robin bus
+// with nc requesters and a maximum per-transaction latency of lbus cycles:
+// the request has lowest priority and waits for nc-1 full transactions.
+func UBD(nc, lbus int) int {
+	if nc < 1 || lbus < 0 {
+		panic(fmt.Sprintf("analytic: invalid UBD parameters nc=%d lbus=%d", nc, lbus))
+	}
+	return (nc - 1) * lbus
+}
+
+// Gamma is Eq. 2: the contention delay suffered by a request under the
+// synchrony effect, as a function of its injection time delta (cycles since
+// the previous request of the same core completed):
+//
+//	γ(δ) = ubd                         if δ = 0
+//	γ(δ) = (ubd - (δ mod ubd)) mod ubd otherwise
+func Gamma(delta, ubd int) int {
+	if ubd <= 0 {
+		panic(fmt.Sprintf("analytic: non-positive ubd %d", ubd))
+	}
+	if delta < 0 {
+		panic(fmt.Sprintf("analytic: negative injection time %d", delta))
+	}
+	if delta == 0 {
+		return ubd
+	}
+	return (ubd - delta%ubd) % ubd
+}
+
+// Sawtooth returns the predicted per-request contention series for
+// rsk-nop sweeps: element i is γ(delta0 + (kmin+i)*deltaNop) for
+// k = kmin..kmax (Fig. 4). delta0 is the kernel's base injection time δrsk.
+func Sawtooth(delta0, deltaNop, ubd, kmin, kmax int) []int {
+	if kmax < kmin {
+		panic(fmt.Sprintf("analytic: empty sweep %d..%d", kmin, kmax))
+	}
+	out := make([]int, 0, kmax-kmin+1)
+	for k := kmin; k <= kmax; k++ {
+		out = append(out, Gamma(delta0+k*deltaNop, ubd))
+	}
+	return out
+}
+
+// SawtoothPeriodK returns the period, in k steps, of the rsk-nop saw-tooth
+// when nops of deltaNop cycles sample it: the smallest P > 0 with
+// P*deltaNop ≡ 0 (mod ubd). For δnop = 1 this is exactly ubd — the paper's
+// headline property. For δnop > 1 the sampled series aliases and the naive
+// "period × δnop" overestimates by deltaNop/gcd(deltaNop, ubd); the
+// methodology's model-fit stage resolves this.
+func SawtoothPeriodK(deltaNop, ubd int) int {
+	if deltaNop <= 0 || ubd <= 0 {
+		panic(fmt.Sprintf("analytic: invalid period parameters δnop=%d ubd=%d", deltaNop, ubd))
+	}
+	return ubd / gcd(deltaNop, ubd)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// SlowdownPerIteration predicts the execution-time increase of one rsk-nop
+// body iteration under full contention: nInner requests at the inner
+// injection time and one boundary request whose injection time additionally
+// includes the loop-control overhead.
+func SlowdownPerIteration(nInner int, innerDelta, boundaryDelta, ubd int) int {
+	if nInner < 0 {
+		panic(fmt.Sprintf("analytic: negative request count %d", nInner))
+	}
+	return nInner*Gamma(innerDelta, ubd) + Gamma(boundaryDelta, ubd)
+}
+
+// StoreSlowdownPerStore predicts the per-store slowdown of the store
+// rsk-nop experiment (Fig. 7(b)). Under contention a saturated store buffer
+// retires one entry per full round (roundLen = Nc*lbus); in isolation it
+// retires one per own transaction (isolLen = lbus). The pipeline only pays
+// for the part of those intervals not hidden by its own production period
+// prodPeriod = store cost + k*δnop:
+//
+//	slowdown = max(0, roundLen - max(prodPeriod, isolLen))
+//
+// which is the paper's "difference between the latency of a new empty slot
+// and δ": a single descending tooth that reaches exactly zero once the
+// production period exceeds the contended drain interval, after which the
+// store buffer hides all contention.
+func StoreSlowdownPerStore(prodPeriod, roundLen, isolLen int) int {
+	if prodPeriod < 1 || roundLen < 1 || isolLen < 1 {
+		panic(fmt.Sprintf("analytic: invalid store model p=%d round=%d isol=%d", prodPeriod, roundLen, isolLen))
+	}
+	hidden := prodPeriod
+	if hidden < isolLen {
+		hidden = isolLen
+	}
+	if roundLen <= hidden {
+		return 0
+	}
+	return roundLen - hidden
+}

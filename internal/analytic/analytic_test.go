@@ -1,0 +1,221 @@
+package analytic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUBDEq1(t *testing.T) {
+	// The paper's §5.2 headline: 4 cores, lbus = 9 → ubd = 27.
+	if got := UBD(4, 9); got != 27 {
+		t.Errorf("UBD(4,9) = %d, want 27", got)
+	}
+	// The toy platform of Fig. 3: 4 cores, lbus = 2 → ubd = 6.
+	if got := UBD(4, 2); got != 6 {
+		t.Errorf("UBD(4,2) = %d, want 6", got)
+	}
+	if got := UBD(1, 9); got != 0 {
+		t.Errorf("single requester has no contention: %d", got)
+	}
+}
+
+func TestUBDPanics(t *testing.T) {
+	mustPanic(t, func() { UBD(0, 5) })
+	mustPanic(t, func() { UBD(2, -1) })
+}
+
+func TestGammaFig3Matrix(t *testing.T) {
+	// The exact matrix from Fig. 3 (ubd = 6): δ = 0..7 → γ.
+	want := []int{6, 5, 4, 3, 2, 1, 0, 5}
+	for delta, w := range want {
+		if got := Gamma(delta, 6); got != w {
+			t.Errorf("γ(%d) = %d, want %d", delta, got, w)
+		}
+	}
+}
+
+func TestGammaPaperExamples(t *testing.T) {
+	// Fig. 2: δ = 9, ubd = 6 → γ = 3.
+	if got := Gamma(9, 6); got != 3 {
+		t.Errorf("Fig. 2 example: γ(9) = %d, want 3", got)
+	}
+	// §5.2: δrsk = 1 on ref → γ = 26; δrsk = 4 on var → γ = 23.
+	if got := Gamma(1, 27); got != 26 {
+		t.Errorf("ref: γ(1) = %d, want 26", got)
+	}
+	if got := Gamma(4, 27); got != 23 {
+		t.Errorf("var: γ(4) = %d, want 23", got)
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	mustPanic(t, func() { Gamma(1, 0) })
+	mustPanic(t, func() { Gamma(-1, 6) })
+}
+
+// TestPropGammaPeriodicity: γ(δ) = γ(δ + ubd) for all δ ≥ 1 — the
+// saw-tooth period that the whole methodology reads.
+func TestPropGammaPeriodicity(t *testing.T) {
+	f := func(deltaRaw, ubdRaw uint8) bool {
+		ubd := 1 + int(ubdRaw)%64
+		delta := 1 + int(deltaRaw)%128
+		return Gamma(delta, ubd) == Gamma(delta+ubd, ubd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropGammaBounds: 0 ≤ γ(δ) ≤ ubd, with γ = ubd only at δ = 0.
+func TestPropGammaBounds(t *testing.T) {
+	f := func(deltaRaw, ubdRaw uint8) bool {
+		ubd := 1 + int(ubdRaw)%64
+		delta := int(deltaRaw)
+		g := Gamma(delta, ubd)
+		if g < 0 || g > ubd {
+			return false
+		}
+		if delta > 0 && g == ubd {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropGammaDecreasesWithinPeriod: within one period (1 ≤ δ ≤ ubd),
+// γ decreases by exactly 1 per extra injection cycle.
+func TestPropGammaDecreasesWithinPeriod(t *testing.T) {
+	f := func(ubdRaw uint8) bool {
+		ubd := 2 + int(ubdRaw)%64
+		for delta := 1; delta < ubd; delta++ {
+			if Gamma(delta, ubd)-Gamma(delta+1, ubd) != 1 {
+				return false
+			}
+		}
+		return Gamma(ubd, ubd) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSawtooth(t *testing.T) {
+	s := Sawtooth(1, 1, 6, 0, 11)
+	want := []int{5, 4, 3, 2, 1, 0, 5, 4, 3, 2, 1, 0}
+	if len(s) != len(want) {
+		t.Fatalf("length %d", len(s))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("s[%d] = %d, want %d", i, s[i], want[i])
+		}
+	}
+	mustPanic(t, func() { Sawtooth(0, 1, 6, 3, 2) })
+}
+
+func TestSawtoothPeriodK(t *testing.T) {
+	// δnop = 1: period equals ubd — the paper's central property.
+	if got := SawtoothPeriodK(1, 27); got != 27 {
+		t.Errorf("period(δnop=1) = %d", got)
+	}
+	// δnop = 2 with odd ubd: the sampled series only repeats after ubd
+	// steps, so period*δnop = 2*ubd — the aliasing the model fit must
+	// resolve.
+	if got := SawtoothPeriodK(2, 27); got != 27 {
+		t.Errorf("period(δnop=2,ubd=27) = %d", got)
+	}
+	// δnop = 3 divides 27: period = 9, and 9*3 = 27 reads correctly.
+	if got := SawtoothPeriodK(3, 27); got != 9 {
+		t.Errorf("period(δnop=3,ubd=27) = %d", got)
+	}
+	mustPanic(t, func() { SawtoothPeriodK(0, 27) })
+}
+
+// TestPropSawtoothPeriodMinimal: the returned period is the smallest P > 0
+// with P*δnop ≡ 0 (mod ubd).
+func TestPropSawtoothPeriodMinimal(t *testing.T) {
+	f := func(dnRaw, ubdRaw uint8) bool {
+		dn := 1 + int(dnRaw)%8
+		ubd := 1 + int(ubdRaw)%64
+		p := SawtoothPeriodK(dn, ubd)
+		if p <= 0 || p*dn%ubd != 0 {
+			return false
+		}
+		for q := 1; q < p; q++ {
+			if q*dn%ubd == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlowdownPerIteration(t *testing.T) {
+	// 49 inner requests at γ(1)=26 plus one boundary at γ(2)=25 on the
+	// reference platform: the structure behind the Fig. 7(a) amplitudes.
+	if got := SlowdownPerIteration(49, 1, 2, 27); got != 49*26+25 {
+		t.Errorf("slowdown = %d", got)
+	}
+	mustPanic(t, func() { SlowdownPerIteration(-1, 1, 1, 6) })
+}
+
+func TestStoreSlowdownPerStore(t *testing.T) {
+	// Reference platform: round = 36, isolation drain = 9.
+	// Saturated regime (production faster than the isolation drain):
+	// constant ubd = 27.
+	for p := 1; p <= 9; p++ {
+		if got := StoreSlowdownPerStore(p, 36, 9); got != 27 {
+			t.Errorf("p=%d: %d, want 27", p, got)
+		}
+	}
+	// Descending tooth.
+	if got := StoreSlowdownPerStore(20, 36, 9); got != 16 {
+		t.Errorf("p=20: %d, want 16", got)
+	}
+	// Hidden completely.
+	if got := StoreSlowdownPerStore(36, 36, 9); got != 0 {
+		t.Errorf("p=36: %d, want 0", got)
+	}
+	if got := StoreSlowdownPerStore(100, 36, 9); got != 0 {
+		t.Errorf("p=100: %d, want 0", got)
+	}
+	mustPanic(t, func() { StoreSlowdownPerStore(0, 36, 9) })
+}
+
+// TestPropStoreSlowdownMonotone: the store slowdown never increases with
+// the production period — one tooth, no second period (the paper's
+// Fig. 7(b) claim).
+func TestPropStoreSlowdownMonotone(t *testing.T) {
+	f := func(roundRaw, isolRaw uint8) bool {
+		round := 2 + int(roundRaw)%64
+		isol := 1 + int(isolRaw)%round
+		prev := StoreSlowdownPerStore(1, round, isol)
+		for p := 2; p < 2*round; p++ {
+			cur := StoreSlowdownPerStore(p, round, isol)
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return StoreSlowdownPerStore(2*round, round, isol) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

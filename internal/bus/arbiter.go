@@ -1,0 +1,240 @@
+// Package bus models the shared on-chip bus that connects the private L1
+// caches of each core to the shared L2 and the memory controller, together
+// with its arbitration policies.
+//
+// The model is cycle accurate in the sense that matters for the paper: a
+// request that becomes ready in cycle T is eligible for arbitration in T; a
+// transaction granted at T occupies the bus for [T, T+occupancy); and after
+// a grant to requester i the round-robin priority order becomes
+// i+1 > i+2 > ... > i. Under saturation this produces exactly the synchrony
+// effect and the contention function γ(δ) of Eq. 2 in the paper.
+package bus
+
+import "fmt"
+
+// Arbiter decides which pending requester is granted the bus when it is
+// free. Implementations must be deterministic.
+type Arbiter interface {
+	// Name identifies the policy ("rr", "tdma", ...).
+	Name() string
+	// Pick selects a requester among those with pending[i] == true, or
+	// reports ok == false to leave the bus idle this cycle (e.g. TDMA
+	// outside the owner's slot). cycle is the current simulation cycle.
+	Pick(cycle uint64, pending []bool) (port int, ok bool)
+	// Granted informs the arbiter that port was granted at cycle, so it
+	// can update its state (e.g. rotate round-robin priorities).
+	Granted(port int, cycle uint64)
+	// Reset restores the arbiter's initial state.
+	Reset()
+}
+
+// RoundRobin is the paper's arbitration policy. The port returned by the
+// last grant becomes the lowest-priority requester; priorities then ascend
+// cyclically from its successor. Round-robin is work conserving: any pending
+// request is granted when all higher-priority requesters are idle.
+type RoundRobin struct {
+	n    int
+	head int // current highest-priority port
+}
+
+// NewRoundRobin builds a round-robin arbiter over n ports. Initial priority
+// order is 0 > 1 > ... > n-1; as the paper notes, the initial assignment is
+// irrelevant once the synchrony effect locks the schedule.
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 {
+		panic(fmt.Sprintf("bus: round-robin needs at least one port, got %d", n))
+	}
+	return &RoundRobin{n: n}
+}
+
+// Name implements Arbiter.
+func (r *RoundRobin) Name() string { return "rr" }
+
+// Pick implements Arbiter: the first pending port in priority order wins.
+func (r *RoundRobin) Pick(_ uint64, pending []bool) (int, bool) {
+	for i := 0; i < r.n; i++ {
+		p := r.head + i
+		if p >= r.n {
+			p -= r.n
+		}
+		if pending[p] {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Granted implements Arbiter: the granted port becomes lowest priority.
+func (r *RoundRobin) Granted(port int, _ uint64) {
+	r.head = port + 1
+	if r.head >= r.n {
+		r.head = 0
+	}
+}
+
+// Reset implements Arbiter.
+func (r *RoundRobin) Reset() { r.head = 0 }
+
+// Head returns the current highest-priority port (exported for tests and
+// trace rendering).
+func (r *RoundRobin) Head() int { return r.head }
+
+// FixedPriority always grants the highest-priority pending port. It is not
+// time composable (low-priority requesters can starve); it exists as a
+// comparison point for the ablation benchmarks.
+type FixedPriority struct {
+	n     int
+	order []int
+}
+
+// NewFixedPriority builds a fixed-priority arbiter over n ports; port 0 has
+// the highest priority, port n-1 the lowest.
+func NewFixedPriority(n int) *FixedPriority {
+	if n <= 0 {
+		panic(fmt.Sprintf("bus: fixed-priority needs at least one port, got %d", n))
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return &FixedPriority{n: n, order: order}
+}
+
+// NewFixedPriorityOrder builds a fixed-priority arbiter with an explicit
+// priority order (order[0] is highest). The simulator places the memory
+// controller's response port first: starving split-transaction responses
+// behind saturating cores would deadlock the requesters waiting on them,
+// which real buses avoid the same way.
+func NewFixedPriorityOrder(order []int) *FixedPriority {
+	if len(order) == 0 {
+		panic("bus: fixed-priority needs a non-empty order")
+	}
+	seen := make(map[int]bool, len(order))
+	for _, p := range order {
+		if p < 0 || p >= len(order) || seen[p] {
+			panic(fmt.Sprintf("bus: fixed-priority order %v is not a permutation", order))
+		}
+		seen[p] = true
+	}
+	return &FixedPriority{n: len(order), order: append([]int(nil), order...)}
+}
+
+// Name implements Arbiter.
+func (f *FixedPriority) Name() string { return "fp" }
+
+// Pick implements Arbiter.
+func (f *FixedPriority) Pick(_ uint64, pending []bool) (int, bool) {
+	for _, p := range f.order {
+		if pending[p] {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Granted implements Arbiter.
+func (f *FixedPriority) Granted(int, uint64) {}
+
+// Reset implements Arbiter.
+func (f *FixedPriority) Reset() {}
+
+// TDMA grants the bus in fixed time slots of SlotLen cycles rotating over
+// the ports; a request is granted only at the start of its owner slot. TDMA
+// is not work conserving: unused slots stay idle. It is included to show
+// that the rsk-nop saw-tooth period equals the TDMA frame (n*SlotLen), not
+// (Nc-1)*lbus, so the paper's Eq. 3 mapping is specific to round-robin.
+type TDMA struct {
+	n       int
+	slotLen uint64
+}
+
+// NewTDMA builds a TDMA arbiter over n ports with slotLen-cycle slots.
+// slotLen should be at least the longest bus transaction, otherwise grants
+// can overrun into the next slot (the bus does not preempt).
+func NewTDMA(n int, slotLen int) *TDMA {
+	if n <= 0 || slotLen <= 0 {
+		panic(fmt.Sprintf("bus: invalid TDMA geometry n=%d slot=%d", n, slotLen))
+	}
+	return &TDMA{n: n, slotLen: uint64(slotLen)}
+}
+
+// Name implements Arbiter.
+func (t *TDMA) Name() string { return "tdma" }
+
+// Pick implements Arbiter: grants only at the owner's slot boundary.
+func (t *TDMA) Pick(cycle uint64, pending []bool) (int, bool) {
+	if cycle%t.slotLen != 0 {
+		return 0, false
+	}
+	owner := int(cycle / t.slotLen % uint64(t.n))
+	if pending[owner] {
+		return owner, true
+	}
+	return 0, false
+}
+
+// Granted implements Arbiter.
+func (t *TDMA) Granted(int, uint64) {}
+
+// Reset implements Arbiter.
+func (t *TDMA) Reset() {}
+
+// Frame returns the TDMA frame length in cycles (n * slot).
+func (t *TDMA) Frame() uint64 { return t.slotLen * uint64(t.n) }
+
+// Lottery grants a pseudo-randomly chosen pending port. The sequence is a
+// deterministic xorshift64*, so runs remain reproducible. Included as a
+// non-time-composable comparison policy: its per-request delays have no
+// fixed upper bound pattern for the methodology to find.
+type Lottery struct {
+	n     int
+	seed  uint64
+	state uint64
+}
+
+// NewLottery builds a lottery arbiter over n ports with the given seed
+// (zero selects a fixed default).
+func NewLottery(n int, seed uint64) *Lottery {
+	if n <= 0 {
+		panic(fmt.Sprintf("bus: lottery needs at least one port, got %d", n))
+	}
+	if seed == 0 {
+		seed = 0x243F6A8885A308D3
+	}
+	return &Lottery{n: n, seed: seed, state: seed}
+}
+
+// Name implements Arbiter.
+func (l *Lottery) Name() string { return "lottery" }
+
+// Pick implements Arbiter.
+func (l *Lottery) Pick(_ uint64, pending []bool) (int, bool) {
+	cnt := 0
+	for _, p := range pending {
+		if p {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0, false
+	}
+	l.state ^= l.state << 13
+	l.state ^= l.state >> 7
+	l.state ^= l.state << 17
+	k := int(l.state % uint64(cnt))
+	for p := 0; p < l.n; p++ {
+		if pending[p] {
+			if k == 0 {
+				return p, true
+			}
+			k--
+		}
+	}
+	return 0, false
+}
+
+// Granted implements Arbiter.
+func (l *Lottery) Granted(int, uint64) {}
+
+// Reset implements Arbiter.
+func (l *Lottery) Reset() { l.state = l.seed }

@@ -1,0 +1,192 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobinRotation(t *testing.T) {
+	rr := NewRoundRobin(4)
+	all := []bool{true, true, true, true}
+	// Initial order 0 > 1 > 2 > 3.
+	p, ok := rr.Pick(0, all)
+	if !ok || p != 0 {
+		t.Fatalf("first pick = %d, want 0", p)
+	}
+	rr.Granted(0, 0)
+	// Now 1 > 2 > 3 > 0.
+	if p, _ := rr.Pick(1, all); p != 1 {
+		t.Fatalf("after grant 0: pick = %d, want 1", p)
+	}
+	rr.Granted(1, 1)
+	if rr.Head() != 2 {
+		t.Fatalf("head = %d, want 2", rr.Head())
+	}
+	// Lowest priority requester is the last granted.
+	only := []bool{false, true, false, false}
+	if p, _ := rr.Pick(2, only); p != 1 {
+		t.Fatalf("work conserving pick = %d, want 1", p)
+	}
+}
+
+func TestRoundRobinWorkConserving(t *testing.T) {
+	rr := NewRoundRobin(4)
+	rr.Granted(2, 0) // head = 3
+	// Only the lowest-priority port (2) pending: still granted.
+	if p, ok := rr.Pick(0, []bool{false, false, true, false}); !ok || p != 2 {
+		t.Fatalf("pick = %d,%v, want 2,true", p, ok)
+	}
+	if _, ok := rr.Pick(0, []bool{false, false, false, false}); ok {
+		t.Fatal("no pending must yield no grant")
+	}
+}
+
+func TestRoundRobinWrap(t *testing.T) {
+	rr := NewRoundRobin(3)
+	rr.Granted(2, 0)
+	if rr.Head() != 0 {
+		t.Fatalf("granting last port must wrap head to 0, got %d", rr.Head())
+	}
+	rr.Reset()
+	if rr.Head() != 0 {
+		t.Fatal("reset must restore head 0")
+	}
+}
+
+func TestRoundRobinPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRoundRobin(0)
+}
+
+// TestPropRoundRobinBoundedWait: the defining property behind Eq. 1 — a
+// continuously pending request is granted within n grants (every other port
+// is served at most once before it).
+func TestPropRoundRobinBoundedWait(t *testing.T) {
+	f := func(seed uint32, target uint8) bool {
+		n := 4
+		tgt := int(target) % n
+		rr := NewRoundRobin(n)
+		rng := seed | 1
+		// Random initial rotation.
+		rr.Granted(int(rng)%n, 0)
+		grants := 0
+		for {
+			pending := make([]bool, n)
+			pending[tgt] = true
+			// Adversarial other requesters.
+			rng ^= rng << 13
+			rng ^= rng >> 17
+			rng ^= rng << 5
+			for p := 0; p < n; p++ {
+				if p != tgt && rng>>(uint(p))&1 == 1 {
+					pending[p] = true
+				}
+			}
+			p, ok := rr.Pick(uint64(grants), pending)
+			if !ok {
+				return false
+			}
+			rr.Granted(p, uint64(grants))
+			grants++
+			if p == tgt {
+				return grants <= n
+			}
+			if grants > n {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedPriority(t *testing.T) {
+	fp := NewFixedPriority(4)
+	if fp.Name() != "fp" {
+		t.Error("name")
+	}
+	if p, ok := fp.Pick(0, []bool{false, true, true, false}); !ok || p != 1 {
+		t.Fatalf("pick = %d, want 1", p)
+	}
+	fp.Granted(1, 0)
+	// Priority never rotates.
+	if p, _ := fp.Pick(1, []bool{false, true, true, false}); p != 1 {
+		t.Fatal("fixed priority must not rotate")
+	}
+	if _, ok := fp.Pick(0, make([]bool, 4)); ok {
+		t.Fatal("no pending must yield no grant")
+	}
+}
+
+func TestTDMASlotting(t *testing.T) {
+	td := NewTDMA(4, 9)
+	if td.Frame() != 36 {
+		t.Fatalf("frame = %d, want 36", td.Frame())
+	}
+	all := []bool{true, true, true, true}
+	// Slot starts: cycle 0 → port 0, cycle 9 → port 1, ...
+	if p, ok := td.Pick(0, all); !ok || p != 0 {
+		t.Fatalf("cycle 0 pick = %d,%v", p, ok)
+	}
+	if p, ok := td.Pick(9, all); !ok || p != 1 {
+		t.Fatalf("cycle 9 pick = %d,%v", p, ok)
+	}
+	if p, ok := td.Pick(27, all); !ok || p != 3 {
+		t.Fatalf("cycle 27 pick = %d,%v", p, ok)
+	}
+	if p, ok := td.Pick(36, all); !ok || p != 0 {
+		t.Fatalf("cycle 36 pick = %d,%v (frame wrap)", p, ok)
+	}
+	// Mid-slot: no grant even with pending requests.
+	if _, ok := td.Pick(5, all); ok {
+		t.Fatal("TDMA must not grant mid-slot")
+	}
+	// Owner idle: slot is wasted (not work conserving).
+	if _, ok := td.Pick(9, []bool{true, false, true, true}); ok {
+		t.Fatal("TDMA must waste an unused slot")
+	}
+}
+
+func TestLotteryDeterministicAndValid(t *testing.T) {
+	l1 := NewLottery(4, 7)
+	l2 := NewLottery(4, 7)
+	pending := []bool{true, false, true, true}
+	for i := 0; i < 100; i++ {
+		p1, ok1 := l1.Pick(uint64(i), pending)
+		p2, ok2 := l2.Pick(uint64(i), pending)
+		if !ok1 || !ok2 || p1 != p2 {
+			t.Fatal("same-seed lotteries must agree")
+		}
+		if !pending[p1] {
+			t.Fatal("lottery picked a non-pending port")
+		}
+	}
+	if _, ok := l1.Pick(0, make([]bool, 4)); ok {
+		t.Fatal("no pending must yield no grant")
+	}
+	l1.Reset()
+	p1, _ := l1.Pick(0, pending)
+	l3 := NewLottery(4, 7)
+	p3, _ := l3.Pick(0, pending)
+	if p1 != p3 {
+		t.Fatal("reset must restore the seed sequence")
+	}
+}
+
+func TestLotteryZeroSeedDefaults(t *testing.T) {
+	l := NewLottery(2, 0)
+	if _, ok := l.Pick(0, []bool{true, true}); !ok {
+		t.Fatal("zero-seed lottery must still pick")
+	}
+}
+
+func TestArbiterNames(t *testing.T) {
+	if NewRoundRobin(2).Name() != "rr" || NewTDMA(2, 4).Name() != "tdma" || NewLottery(2, 1).Name() != "lottery" {
+		t.Error("arbiter names wrong")
+	}
+}

@@ -1,0 +1,268 @@
+package bus
+
+import "fmt"
+
+// Kind classifies bus transactions. The kind determines how the system
+// dispatches the completion (unblock a core, free a store-buffer entry,
+// forward to memory, deliver refill data).
+type Kind uint8
+
+const (
+	// KindLoad is a demand data read issued on a DL1 load miss.
+	KindLoad Kind = iota
+	// KindIFetch is an instruction line read issued on an IL1 miss.
+	KindIFetch
+	// KindStore is a write-through store drained from a store buffer.
+	KindStore
+	// KindResp is a refill response from the memory controller back to the
+	// requesting core/L2 (split-transaction second half of an L2 miss).
+	KindResp
+)
+
+// String returns a short mnemonic for the transaction kind.
+func (k Kind) String() string {
+	switch k {
+	case KindLoad:
+		return "load"
+	case KindIFetch:
+		return "ifetch"
+	case KindStore:
+		return "store"
+	case KindResp:
+		return "resp"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Request is one bus transaction from submission to completion. Exactly one
+// request per port may be outstanding at the bus; cores queue additional
+// work (e.g. store-buffer entries) internally and resubmit.
+type Request struct {
+	// Port is the submitting bus master (cores 0..Nc-1, memory controller
+	// last).
+	Port int
+	// Kind classifies the transaction.
+	Kind Kind
+	// Addr is the line-aligned target address.
+	Addr uint64
+	// OrigPort is the core on whose behalf a KindResp travels (responses
+	// are submitted by the memory controller port).
+	OrigPort int
+	// Ready is the cycle the request became ready (set by Submit).
+	Ready uint64
+	// Grant is the cycle the bus was granted (set at arbitration).
+	Grant uint64
+	// Occupancy is the number of cycles the transaction holds the bus
+	// (set at grant by the Serve callback).
+	Occupancy int
+	// Hit records the L2 lookup outcome for load/ifetch/store kinds
+	// (set at grant by the Serve callback).
+	Hit bool
+	// Tag carries caller-defined context (e.g. memory transaction ids).
+	Tag uint64
+}
+
+// Gamma returns the contention delay the request suffered: cycles from ready
+// to grant. This is the γ of the paper.
+func (r *Request) Gamma() uint64 { return r.Grant - r.Ready }
+
+// Serve is invoked at grant time. It must perform the L2-side lookup,
+// set r.Hit as appropriate, and return the bus occupancy in cycles
+// (occupancy >= 1).
+type Serve func(r *Request) (occupancy int)
+
+// Stats aggregates bus activity over a measurement window.
+type Stats struct {
+	// Grants counts transactions granted, per port.
+	Grants []uint64
+	// BusyCycles counts occupancy cycles attributed to each port
+	// (NGMP counter 0x17, per-core bus utilization).
+	BusyCycles []uint64
+	// TotalBusy counts all occupancy cycles (NGMP counter 0x18).
+	TotalBusy uint64
+	// WaitSum accumulates γ per port, so WaitSum[p]/Grants[p] is the mean
+	// contention delay.
+	WaitSum []uint64
+	// MaxGamma records the worst contention delay observed per port: the
+	// measured ubdm of the naive approach when the port runs an rsk.
+	MaxGamma []uint64
+}
+
+func newStats(n int) Stats {
+	return Stats{
+		Grants:     make([]uint64, n),
+		BusyCycles: make([]uint64, n),
+		WaitSum:    make([]uint64, n),
+		MaxGamma:   make([]uint64, n),
+	}
+}
+
+// Utilization returns TotalBusy divided by the window length.
+func (s Stats) Utilization(windowCycles uint64) float64 {
+	if windowCycles == 0 {
+		return 0
+	}
+	return float64(s.TotalBusy) / float64(windowCycles)
+}
+
+// PortUtilization returns the share of the window the bus spent serving
+// port p.
+func (s Stats) PortUtilization(p int, windowCycles uint64) float64 {
+	if windowCycles == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles[p]) / float64(windowCycles)
+}
+
+// Bus is the shared interconnect. It is driven by the owning system in three
+// phases per cycle: Complete, (clients submit), Arbitrate.
+type Bus struct {
+	nports int
+	arb    Arbiter
+	serve  Serve
+
+	heads   []*Request
+	pending []bool
+	npend   int
+
+	current *Request
+	freeAt  uint64
+
+	stats Stats
+
+	// OnSubmit, if non-nil, is called when a request is submitted;
+	// readyContenders is the number of other ports that currently have a
+	// request pending or in service (the Fig. 6(a) statistic).
+	OnSubmit func(r *Request, readyContenders int)
+	// OnGrant, if non-nil, is called when a request is granted, after its
+	// Grant/Occupancy/Hit fields are filled in.
+	OnGrant func(r *Request)
+}
+
+// New builds a bus with nports masters, the given arbiter and the grant-time
+// service callback.
+func New(nports int, arb Arbiter, serve Serve) (*Bus, error) {
+	if nports <= 0 {
+		return nil, fmt.Errorf("bus: need at least one port, got %d", nports)
+	}
+	if arb == nil || serve == nil {
+		return nil, fmt.Errorf("bus: arbiter and serve callback are required")
+	}
+	return &Bus{
+		nports:  nports,
+		arb:     arb,
+		serve:   serve,
+		heads:   make([]*Request, nports),
+		pending: make([]bool, nports),
+		stats:   newStats(nports),
+	}, nil
+}
+
+// Ports returns the number of masters.
+func (b *Bus) Ports() int { return b.nports }
+
+// Arbiter returns the installed arbitration policy.
+func (b *Bus) Arbiter() Arbiter { return b.arb }
+
+// Stats returns a copy of the accumulated statistics.
+func (b *Bus) Stats() Stats {
+	s := newStats(b.nports)
+	copy(s.Grants, b.stats.Grants)
+	copy(s.BusyCycles, b.stats.BusyCycles)
+	copy(s.WaitSum, b.stats.WaitSum)
+	copy(s.MaxGamma, b.stats.MaxGamma)
+	s.TotalBusy = b.stats.TotalBusy
+	return s
+}
+
+// ResetStats zeroes the statistics (in-flight transactions are unaffected),
+// so measurement windows can exclude warmup.
+func (b *Bus) ResetStats() { b.stats = newStats(b.nports) }
+
+// HasPending reports whether port already has an outstanding request
+// (pending or in service).
+func (b *Bus) HasPending(port int) bool {
+	return b.pending[port] || (b.current != nil && b.current.Port == port)
+}
+
+// InService returns the transaction currently holding the bus, or nil.
+func (b *Bus) InService() *Request { return b.current }
+
+// Submit registers r as port r.Port's outstanding request, ready at cycle.
+// It panics if the port already has one: that is a client sequencing bug,
+// not a runtime condition.
+func (b *Bus) Submit(r *Request, cycle uint64) {
+	if b.HasPending(r.Port) {
+		panic(fmt.Sprintf("bus: port %d submitted %s while busy", r.Port, r.Kind))
+	}
+	r.Ready = cycle
+	b.heads[r.Port] = r
+	b.pending[r.Port] = true
+	b.npend++
+	if b.OnSubmit != nil {
+		n := 0
+		for p := 0; p < b.nports; p++ {
+			if p != r.Port && b.pending[p] {
+				n++
+			}
+		}
+		if b.current != nil && b.current.Port != r.Port {
+			n++
+		}
+		b.OnSubmit(r, n)
+	}
+}
+
+// Complete finishes the in-service transaction if its occupancy ends at or
+// before cycle, returning it (or nil). The owning system dispatches the
+// completion effects (data return, store-entry free, memory forward).
+func (b *Bus) Complete(cycle uint64) *Request {
+	if b.current == nil || cycle < b.freeAt {
+		return nil
+	}
+	done := b.current
+	b.current = nil
+	return done
+}
+
+// Arbitrate grants the bus at cycle if it is free and a request is pending
+// under the installed policy. The granted request is returned (or nil).
+func (b *Bus) Arbitrate(cycle uint64) *Request {
+	if b.current != nil || b.npend == 0 {
+		return nil
+	}
+	port, ok := b.arb.Pick(cycle, b.pending)
+	if !ok {
+		return nil
+	}
+	r := b.heads[port]
+	b.heads[port] = nil
+	b.pending[port] = false
+	b.npend--
+	r.Grant = cycle
+	r.Occupancy = b.serve(r)
+	if r.Occupancy < 1 {
+		panic(fmt.Sprintf("bus: serve returned occupancy %d for %s", r.Occupancy, r.Kind))
+	}
+	b.current = r
+	b.freeAt = cycle + uint64(r.Occupancy)
+	b.arb.Granted(port, cycle)
+
+	g := r.Gamma()
+	b.stats.Grants[port]++
+	b.stats.BusyCycles[port] += uint64(r.Occupancy)
+	b.stats.TotalBusy += uint64(r.Occupancy)
+	b.stats.WaitSum[port] += g
+	if g > b.stats.MaxGamma[port] {
+		b.stats.MaxGamma[port] = g
+	}
+	if b.OnGrant != nil {
+		b.OnGrant(r)
+	}
+	return r
+}
+
+// Drain reports whether the bus is completely idle: nothing pending and
+// nothing in service.
+func (b *Bus) Drain() bool { return b.current == nil && b.npend == 0 }

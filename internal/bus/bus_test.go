@@ -1,0 +1,247 @@
+package bus
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixedServe returns a Serve callback with constant occupancy.
+func fixedServe(occ int) Serve {
+	return func(r *Request) int { return occ }
+}
+
+func newTestBus(t *testing.T, n, occ int) *Bus {
+	t.Helper()
+	b, err := New(n, NewRoundRobin(n), fixedServe(occ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, NewRoundRobin(1), fixedServe(1)); err == nil {
+		t.Error("zero ports must fail")
+	}
+	if _, err := New(2, nil, fixedServe(1)); err == nil {
+		t.Error("nil arbiter must fail")
+	}
+	if _, err := New(2, NewRoundRobin(2), nil); err == nil {
+		t.Error("nil serve must fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindLoad: "load", KindIFetch: "ifetch", KindStore: "store", KindResp: "resp", Kind(7): "kind(7)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSingleTransactionLifecycle(t *testing.T) {
+	b := newTestBus(t, 2, 9)
+	r := &Request{Port: 0, Kind: KindLoad, Addr: 0x100}
+	b.Submit(r, 5)
+	if r.Ready != 5 {
+		t.Fatalf("Ready = %d", r.Ready)
+	}
+	if !b.HasPending(0) || b.HasPending(1) {
+		t.Fatal("pending tracking wrong")
+	}
+	// Nothing to complete yet.
+	if b.Complete(5) != nil {
+		t.Fatal("nothing in service to complete")
+	}
+	g := b.Arbitrate(5)
+	if g != r || r.Grant != 5 || r.Occupancy != 9 {
+		t.Fatalf("grant wrong: %+v", r)
+	}
+	if r.Gamma() != 0 {
+		t.Fatalf("uncontended gamma = %d", r.Gamma())
+	}
+	// Occupied until cycle 14.
+	if b.Arbitrate(6) != nil {
+		t.Fatal("bus must stay occupied")
+	}
+	if b.Complete(13) != nil {
+		t.Fatal("completion before freeAt")
+	}
+	done := b.Complete(14)
+	if done != r {
+		t.Fatal("completion must return the request")
+	}
+	if !b.Drain() {
+		t.Fatal("bus must be idle after completion")
+	}
+}
+
+func TestSubmitWhileBusyPanics(t *testing.T) {
+	b := newTestBus(t, 2, 4)
+	b.Submit(&Request{Port: 0, Kind: KindLoad}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double submit must panic")
+		}
+	}()
+	b.Submit(&Request{Port: 0, Kind: KindStore}, 1)
+}
+
+func TestHasPendingIncludesInService(t *testing.T) {
+	b := newTestBus(t, 2, 4)
+	b.Submit(&Request{Port: 0, Kind: KindLoad}, 0)
+	b.Arbitrate(0)
+	if !b.HasPending(0) {
+		t.Fatal("in-service request must count as pending (single outstanding per port)")
+	}
+	if b.InService() == nil {
+		t.Fatal("InService must expose the current transaction")
+	}
+}
+
+func TestGammaAccounting(t *testing.T) {
+	b := newTestBus(t, 3, 10)
+	r0 := &Request{Port: 0, Kind: KindLoad}
+	r1 := &Request{Port: 1, Kind: KindLoad}
+	b.Submit(r0, 0)
+	b.Submit(r1, 0)
+	b.Arbitrate(0) // port 0 granted (initial order)
+	b.Complete(10)
+	b.Arbitrate(10) // port 1 granted after waiting 10
+	if r1.Gamma() != 10 {
+		t.Fatalf("gamma = %d, want 10", r1.Gamma())
+	}
+	st := b.Stats()
+	if st.MaxGamma[1] != 10 || st.WaitSum[1] != 10 || st.Grants[1] != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if st.TotalBusy != 20 || st.BusyCycles[0] != 10 || st.BusyCycles[1] != 10 {
+		t.Fatalf("busy accounting wrong: %+v", st)
+	}
+	if got := st.Utilization(40); got != 0.5 {
+		t.Fatalf("utilization = %v", got)
+	}
+	if got := st.PortUtilization(0, 40); got != 0.25 {
+		t.Fatalf("port utilization = %v", got)
+	}
+	if st.Utilization(0) != 0 || st.PortUtilization(0, 0) != 0 {
+		t.Fatal("zero window must yield zero utilization")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	b := newTestBus(t, 2, 3)
+	b.Submit(&Request{Port: 0, Kind: KindLoad}, 0)
+	b.Arbitrate(0)
+	b.ResetStats()
+	st := b.Stats()
+	if st.TotalBusy != 0 || st.Grants[0] != 0 {
+		t.Fatal("ResetStats must zero counters")
+	}
+	// In-flight transaction still completes.
+	if b.Complete(3) == nil {
+		t.Fatal("in-flight transaction lost by ResetStats")
+	}
+}
+
+func TestOnSubmitContenderCount(t *testing.T) {
+	b := newTestBus(t, 4, 9)
+	var got []int
+	b.OnSubmit = func(r *Request, ready int) { got = append(got, ready) }
+	b.Submit(&Request{Port: 1, Kind: KindLoad}, 0) // sees 0 others
+	b.Submit(&Request{Port: 2, Kind: KindLoad}, 0) // sees 1 other
+	b.Arbitrate(0)                                 // grants port 1
+	b.Submit(&Request{Port: 3, Kind: KindLoad}, 1) // sees port 2 pending + port 1 in service = 2
+	b.Submit(&Request{Port: 0, Kind: KindLoad}, 2) // sees 3
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OnSubmit counts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOnGrantHook(t *testing.T) {
+	b := newTestBus(t, 2, 5)
+	var seen *Request
+	b.OnGrant = func(r *Request) { seen = r }
+	r := &Request{Port: 0, Kind: KindStore}
+	b.Submit(r, 2)
+	b.Arbitrate(7)
+	if seen != r || seen.Grant != 7 || seen.Occupancy != 5 {
+		t.Fatalf("OnGrant saw %+v", seen)
+	}
+}
+
+func TestServeOccupancyValidation(t *testing.T) {
+	b, err := New(1, NewRoundRobin(1), fixedServe(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Submit(&Request{Port: 0, Kind: KindLoad}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero occupancy must panic")
+		}
+	}()
+	b.Arbitrate(0)
+}
+
+func TestArbitrateRespectsArbiterRefusal(t *testing.T) {
+	// TDMA refuses outside slot boundaries.
+	b, err := New(2, NewTDMA(2, 10), fixedServe(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Submit(&Request{Port: 1, Kind: KindLoad}, 3)
+	if b.Arbitrate(3) != nil {
+		t.Fatal("TDMA mid-slot grant")
+	}
+	// Port 1's slot starts at cycle 10.
+	if g := b.Arbitrate(10); g == nil || g.Port != 1 {
+		t.Fatal("TDMA slot grant failed")
+	}
+}
+
+func TestBackToBackGrantSameCycle(t *testing.T) {
+	// A completion at cycle T frees the bus for a grant at T — the
+	// δ = 0 semantics that give γ = ubd in Eq. 2.
+	b := newTestBus(t, 2, 9)
+	r0 := &Request{Port: 0, Kind: KindLoad}
+	r1 := &Request{Port: 1, Kind: KindLoad}
+	b.Submit(r0, 0)
+	b.Arbitrate(0)
+	b.Submit(r1, 4)
+	if done := b.Complete(9); done != r0 {
+		t.Fatal("completion missing")
+	}
+	if g := b.Arbitrate(9); g != r1 || r1.Grant != 9 {
+		t.Fatal("same-cycle handover failed")
+	}
+	if r1.Gamma() != 5 {
+		t.Fatalf("gamma = %d, want 5", r1.Gamma())
+	}
+}
+
+func TestStatsCopyIsolation(t *testing.T) {
+	b := newTestBus(t, 2, 3)
+	b.Submit(&Request{Port: 0, Kind: KindLoad}, 0)
+	b.Arbitrate(0)
+	s := b.Stats()
+	s.Grants[0] = 999
+	if b.Stats().Grants[0] == 999 {
+		t.Fatal("Stats must return a copy")
+	}
+}
+
+func TestRequestGammaString(t *testing.T) {
+	r := &Request{Ready: 3, Grant: 10}
+	if r.Gamma() != 7 {
+		t.Fatal("gamma arithmetic")
+	}
+	if !strings.Contains(KindResp.String(), "resp") {
+		t.Fatal("kind string")
+	}
+}

@@ -1,0 +1,185 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// saturatedGamma simulates a saturated round-robin bus directly at the bus
+// abstraction level: nc ports, fixed occupancy lbus, every contender
+// resubmitting with zero delay, while the observed port resubmits with
+// injection time delta. It returns the steady-state γ of the observed port.
+func saturatedGamma(nc, lbus, delta int, rounds int) uint64 {
+	b, _ := New(nc, NewRoundRobin(nc), fixedServe(lbus))
+	type next struct {
+		at   uint64
+		port int
+	}
+	// Every port starts with a request at cycle 0.
+	pending := make([]next, 0, nc)
+	for p := 0; p < nc; p++ {
+		pending = append(pending, next{0, p})
+	}
+	var lastGamma uint64
+	seen := 0
+	for cycle := uint64(0); seen < rounds; cycle++ {
+		if done := b.Complete(cycle); done != nil {
+			// Completion: the port's next request becomes ready
+			// after its injection time.
+			d := 0
+			if done.Port == 0 {
+				d = delta
+				if done.Gamma() >= 0 { // observed port
+					lastGamma = done.Gamma()
+					seen++
+				}
+			}
+			pending = append(pending, next{cycle + uint64(d), done.Port})
+		}
+		for i := 0; i < len(pending); i++ {
+			if pending[i].at <= cycle && !b.HasPending(pending[i].port) {
+				b.Submit(&Request{Port: pending[i].port, Kind: KindLoad}, cycle)
+				pending = append(pending[:i], pending[i+1:]...)
+				i--
+			}
+		}
+		b.Arbitrate(cycle)
+	}
+	return lastGamma
+}
+
+// eq2 is the paper's Eq. 2.
+func eq2(delta, ubd int) int {
+	if delta == 0 {
+		return ubd
+	}
+	return (ubd - delta%ubd) % ubd
+}
+
+// TestPropEq2AtBusLevel: the bus abstraction alone (no cores, no caches)
+// reproduces Eq. 2 exactly for arbitrary geometry and injection time. This
+// is the paper's synchrony effect as a machine-checked property.
+func TestPropEq2AtBusLevel(t *testing.T) {
+	f := func(ncRaw, lbusRaw, deltaRaw uint8) bool {
+		nc := 2 + int(ncRaw)%6     // 2..7 requesters
+		lbus := 1 + int(lbusRaw)%9 // 1..9 cycles
+		ubd := (nc - 1) * lbus
+		delta := int(deltaRaw) % (3 * ubd)
+		got := saturatedGamma(nc, lbus, delta, 20)
+		return got == uint64(eq2(delta, ubd))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropGammaNeverExceedsUBD: under round-robin with single-outstanding
+// ports, no request of the observed port ever waits longer than
+// (nc-1)*lbus, regardless of its injection time.
+func TestPropGammaNeverExceedsUBD(t *testing.T) {
+	f := func(ncRaw, lbusRaw uint8, deltas []uint8) bool {
+		nc := 2 + int(ncRaw)%6
+		lbus := 1 + int(lbusRaw)%9
+		ubd := uint64((nc - 1) * lbus)
+		b, _ := New(nc, NewRoundRobin(nc), fixedServe(lbus))
+
+		nextAt := make([]uint64, nc)
+		di := 0
+		ok := true
+		for cycle := uint64(0); cycle < 3000 && ok; cycle++ {
+			if done := b.Complete(cycle); done != nil {
+				if done.Port == 0 && done.Gamma() > ubd {
+					ok = false
+				}
+				d := uint64(0)
+				if done.Port == 0 && len(deltas) > 0 {
+					d = uint64(deltas[di%len(deltas)])
+					di++
+				}
+				nextAt[done.Port] = cycle + d
+			}
+			for p := 0; p < nc; p++ {
+				if nextAt[p] <= cycle && !b.HasPending(p) {
+					b.Submit(&Request{Port: p, Kind: KindLoad}, cycle)
+					nextAt[p] = ^uint64(0)
+				}
+			}
+			b.Arbitrate(cycle)
+			for p := 0; p < nc; p++ {
+				if nextAt[p] == ^uint64(0) && !b.HasPending(p) {
+					nextAt[p] = cycle // resubmit next cycle scan
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropWorkConserving: whenever at least one request is pending and the
+// bus is free, the very same cycle produces a grant (round-robin never
+// idles a pending bus).
+func TestPropWorkConserving(t *testing.T) {
+	f := func(subs []uint8) bool {
+		b, _ := New(4, NewRoundRobin(4), fixedServe(3))
+		cycle := uint64(0)
+		for _, s := range subs {
+			p := int(s) % 4
+			if done := b.Complete(cycle); done != nil {
+				_ = done
+			}
+			if !b.HasPending(p) {
+				b.Submit(&Request{Port: p, Kind: KindLoad}, cycle)
+			}
+			granted := b.Arbitrate(cycle)
+			if b.InService() == nil && anyPending(b) {
+				return false // free bus with pending work and no grant
+			}
+			_ = granted
+			cycle++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyPending(b *Bus) bool {
+	for p := 0; p < b.Ports(); p++ {
+		if b.pending[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPropStatsConservation: total busy cycles equal the sum of per-port
+// busy cycles, and grant counts match submissions that were granted.
+func TestPropStatsConservation(t *testing.T) {
+	f := func(subs []uint8) bool {
+		b, _ := New(3, NewRoundRobin(3), fixedServe(2))
+		cycle := uint64(0)
+		for _, s := range subs {
+			b.Complete(cycle)
+			p := int(s) % 3
+			if !b.HasPending(p) {
+				b.Submit(&Request{Port: p, Kind: KindLoad}, cycle)
+			}
+			b.Arbitrate(cycle)
+			cycle++
+		}
+		st := b.Stats()
+		var sum, grants uint64
+		for p := 0; p < 3; p++ {
+			sum += st.BusyCycles[p]
+			grants += st.Grants[p]
+		}
+		return sum == st.TotalBusy && st.TotalBusy == grants*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package bus
+
+import "fmt"
+
+// WeightedRoundRobin is an MBBA-style multi-bandwidth arbiter (Bourgade et
+// al., the paper's related work [2]): each port owns a number of virtual
+// slots per round proportional to its weight, visited in a fixed cyclic
+// sequence; like plain round-robin it is work conserving (an idle slot
+// falls through to the next pending port in sequence).
+//
+// With weights w and W = Σw, a port holding w_i contiguous slots has
+// ubd_i = (W - w_i) * lbus: the generalization of Eq. 1 that the ablation
+// benchmarks probe.
+type WeightedRoundRobin struct {
+	n       int
+	weights []int
+	seq     []int
+	pos     int
+}
+
+// NewWeightedRoundRobin builds the arbiter. weights must be positive; the
+// virtual-slot sequence is port-major (port 0's slots first), so each
+// port's slots are contiguous within a round.
+func NewWeightedRoundRobin(weights []int) *WeightedRoundRobin {
+	if len(weights) == 0 {
+		panic("bus: weighted round-robin needs at least one port")
+	}
+	var seq []int
+	for p, w := range weights {
+		if w <= 0 {
+			panic(fmt.Sprintf("bus: non-positive weight %d for port %d", w, p))
+		}
+		for i := 0; i < w; i++ {
+			seq = append(seq, p)
+		}
+	}
+	return &WeightedRoundRobin{
+		n:       len(weights),
+		weights: append([]int(nil), weights...),
+		seq:     seq,
+	}
+}
+
+// Name implements Arbiter.
+func (w *WeightedRoundRobin) Name() string { return "wrr" }
+
+// Pick implements Arbiter: the first pending port in virtual-slot order
+// starting from the current position.
+func (w *WeightedRoundRobin) Pick(_ uint64, pending []bool) (int, bool) {
+	for i := 0; i < len(w.seq); i++ {
+		s := w.pos + i
+		if s >= len(w.seq) {
+			s -= len(w.seq)
+		}
+		if pending[w.seq[s]] {
+			return w.seq[s], true
+		}
+	}
+	return 0, false
+}
+
+// Granted implements Arbiter: advance past the slot that was used.
+func (w *WeightedRoundRobin) Granted(port int, _ uint64) {
+	// Find the slot we granted from (the first slot of `port` at or
+	// after pos) and move one beyond it.
+	for i := 0; i < len(w.seq); i++ {
+		s := w.pos + i
+		if s >= len(w.seq) {
+			s -= len(w.seq)
+		}
+		if w.seq[s] == port {
+			w.pos = s + 1
+			if w.pos >= len(w.seq) {
+				w.pos = 0
+			}
+			return
+		}
+	}
+}
+
+// Reset implements Arbiter.
+func (w *WeightedRoundRobin) Reset() { w.pos = 0 }
+
+// RoundSlots returns the total virtual slots per round (Σ weights).
+func (w *WeightedRoundRobin) RoundSlots() int { return len(w.seq) }
+
+// UBD returns the analytical worst wait for port p in transactions:
+// (Σw - w_p) slots of lbus cycles each.
+func (w *WeightedRoundRobin) UBD(p, lbus int) int {
+	return (len(w.seq) - w.weights[p]) * lbus
+}

@@ -1,0 +1,131 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWRRConstruction(t *testing.T) {
+	w := NewWeightedRoundRobin([]int{2, 1, 1})
+	if w.Name() != "wrr" {
+		t.Error("name")
+	}
+	if w.RoundSlots() != 4 {
+		t.Errorf("round slots = %d", w.RoundSlots())
+	}
+	if w.UBD(0, 9) != 18 {
+		t.Errorf("ubd port0 = %d, want (4-2)*9", w.UBD(0, 9))
+	}
+	if w.UBD(1, 9) != 27 {
+		t.Errorf("ubd port1 = %d, want (4-1)*9", w.UBD(1, 9))
+	}
+	mustPanicWRR(t, func() { NewWeightedRoundRobin(nil) })
+	mustPanicWRR(t, func() { NewWeightedRoundRobin([]int{1, 0}) })
+}
+
+func TestWRREqualWeightsIsRoundRobin(t *testing.T) {
+	// With unit weights WRR degenerates to plain RR: same grant
+	// sequence under saturation.
+	wrr := NewWeightedRoundRobin([]int{1, 1, 1, 1})
+	rr := NewRoundRobin(4)
+	all := []bool{true, true, true, true}
+	for i := 0; i < 40; i++ {
+		pw, okw := wrr.Pick(uint64(i), all)
+		pr, okr := rr.Pick(uint64(i), all)
+		if !okw || !okr || pw != pr {
+			t.Fatalf("step %d: wrr=%d rr=%d", i, pw, pr)
+		}
+		wrr.Granted(pw, uint64(i))
+		rr.Granted(pr, uint64(i))
+	}
+}
+
+func TestWRRBandwidthShares(t *testing.T) {
+	// Under saturation, grants divide proportionally to the weights.
+	w := NewWeightedRoundRobin([]int{3, 1})
+	all := []bool{true, true}
+	counts := make([]int, 2)
+	for i := 0; i < 400; i++ {
+		p, ok := w.Pick(uint64(i), all)
+		if !ok {
+			t.Fatal("saturated pick failed")
+		}
+		w.Granted(p, uint64(i))
+		counts[p]++
+	}
+	if counts[0] != 300 || counts[1] != 100 {
+		t.Errorf("shares = %v, want [300 100]", counts)
+	}
+}
+
+func TestWRRWorkConserving(t *testing.T) {
+	// An idle heavy port's slots fall through to the light port.
+	w := NewWeightedRoundRobin([]int{3, 1})
+	only1 := []bool{false, true}
+	for i := 0; i < 10; i++ {
+		p, ok := w.Pick(uint64(i), only1)
+		if !ok || p != 1 {
+			t.Fatalf("fall-through pick = %d,%v", p, ok)
+		}
+		w.Granted(p, uint64(i))
+	}
+	if _, ok := w.Pick(0, []bool{false, false}); ok {
+		t.Fatal("no pending must not grant")
+	}
+}
+
+func TestWRRReset(t *testing.T) {
+	w := NewWeightedRoundRobin([]int{2, 1})
+	all := []bool{true, true}
+	p1, _ := w.Pick(0, all)
+	w.Granted(p1, 0)
+	w.Reset()
+	p2, _ := w.Pick(0, all)
+	if p2 != p1 {
+		t.Error("reset must restore the initial sequence position")
+	}
+}
+
+// TestPropWRRBoundedWait: a continuously pending port is granted within
+// (RoundSlots - weight_p) other grants — the generalized Eq. 1.
+func TestPropWRRBoundedWait(t *testing.T) {
+	f := func(w0, w1, w2 uint8, target uint8) bool {
+		weights := []int{1 + int(w0)%3, 1 + int(w1)%3, 1 + int(w2)%3}
+		tgt := int(target) % 3
+		w := NewWeightedRoundRobin(weights)
+		bound := w.RoundSlots() - weights[tgt]
+		all := []bool{true, true, true}
+		// From any starting rotation, count other grants before tgt.
+		for spin := 0; spin < 5; spin++ {
+			others := 0
+			for {
+				p, ok := w.Pick(0, all)
+				if !ok {
+					return false
+				}
+				w.Granted(p, 0)
+				if p == tgt {
+					break
+				}
+				others++
+				if others > bound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustPanicWRR(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

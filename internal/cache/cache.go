@@ -1,0 +1,403 @@
+// Package cache implements the set-associative cache model used for the
+// private IL1/DL1 caches and the shared, way-partitioned L2 of the simulated
+// NGMP-like multicore.
+//
+// The model is purely functional with respect to timing: Access reports
+// hit/miss and performs allocation/replacement bookkeeping, while the owning
+// component (cpu core or bus/L2 front-end) charges latencies. This keeps the
+// replacement logic independently testable against the paper's requirements
+// (e.g. the rsk kernel's W+1 same-set strided loads must always miss DL1).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Policy selects the replacement policy of a cache.
+type Policy uint8
+
+const (
+	// LRU replaces the least recently used line (NGMP default; the paper's
+	// caches all use LRU).
+	LRU Policy = iota
+	// FIFO replaces lines in allocation order regardless of reuse.
+	FIFO
+	// Random replaces a pseudo-randomly chosen line (deterministic xorshift
+	// sequence, so simulations stay reproducible).
+	Random
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// WritePolicy selects how stores interact with the cache.
+type WritePolicy uint8
+
+const (
+	// WriteThrough propagates every store to the next level and does not
+	// allocate on a write miss (the paper's DL1 configuration; this is why
+	// every store becomes a bus request).
+	WriteThrough WritePolicy = iota
+	// WriteBack marks lines dirty and writes them out on eviction,
+	// allocating on write misses.
+	WriteBack
+)
+
+// String returns the write policy name.
+func (w WritePolicy) String() string {
+	if w == WriteBack {
+		return "write-back"
+	}
+	return "write-through"
+}
+
+// Config describes one cache.
+type Config struct {
+	// Name labels the cache in stats and errors (e.g. "DL1").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// Policy is the replacement policy.
+	Policy Policy
+	// Write is the write policy.
+	Write WritePolicy
+	// Latency is the access latency in cycles charged by the owner
+	// (lookup time; 1 for the reference NGMP L1s, 4 for the variant).
+	Latency int
+	// Partitioned enables NGMP-style per-requester way partitioning:
+	// requester i may only allocate into way (i mod Ways). Lookups still
+	// search all ways.
+	Partitioned bool
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int {
+	if c.Ways <= 0 || c.LineBytes <= 0 {
+		return 0
+	}
+	return c.SizeBytes / (c.Ways * c.LineBytes)
+}
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %d/%d/%d", c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	sets := c.Sets()
+	if sets == 0 || sets*c.Ways*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache %s: size %dB not divisible into %d ways of %dB lines", c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("cache %s: negative latency %d", c.Name, c.Latency)
+	}
+	return nil
+}
+
+// Stats accumulates cache accesses; hits and misses are split by reads and
+// writes so write-through traffic can be accounted separately.
+type Stats struct {
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Evictions   uint64
+	Writebacks  uint64
+}
+
+// Accesses returns the total number of accesses.
+func (s Stats) Accesses() uint64 {
+	return s.ReadHits + s.ReadMisses + s.WriteHits + s.WriteMisses
+}
+
+// Hits returns the total hit count.
+func (s Stats) Hits() uint64 { return s.ReadHits + s.WriteHits }
+
+// Misses returns the total miss count.
+func (s Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// HitRate returns hits/accesses, or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(a)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// stamp orders lines for LRU (last-touch time) and FIFO (fill time).
+	stamp uint64
+	// owner is the requester that allocated the line (partitioned mode).
+	owner int
+}
+
+// Cache is a set-associative cache. It is not safe for concurrent use; the
+// simulator is single-goroutine by design (determinism).
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	offBits  uint
+	tick     uint64
+	rng      uint64
+	stats    Stats
+	waysLog2 int
+}
+
+// New builds a cache from cfg. It panics only via returned error; callers
+// must check.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, sets),
+		setMask: uint64(sets - 1),
+		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		rng:     0x9E3779B97F4A7C15,
+	}
+	backing := make([]line, sets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
+	}
+	return c, nil
+}
+
+// MustNew builds a cache and panics on configuration errors; intended for
+// tests and package-internal fixed configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without disturbing cache contents, so a
+// measurement window can exclude warmup traffic.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// SetIndex returns the set index addr maps to.
+func (c *Cache) SetIndex(addr uint64) uint64 { return (addr >> c.offBits) & c.setMask }
+
+// Tag returns the tag of addr.
+func (c *Cache) Tag(addr uint64) uint64 { return addr >> c.offBits >> uint(bits.Len64(c.setMask)) }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
+
+// Result reports the outcome of an Access.
+type Result struct {
+	// Hit is true when the line was present.
+	Hit bool
+	// Evicted is true when a valid line was displaced to make room.
+	Evicted bool
+	// WritebackAddr is the line address that must be written to the next
+	// level (write-back caches evicting a dirty line). Valid only when
+	// NeedsWriteback is true.
+	WritebackAddr uint64
+	// NeedsWriteback is true when the eviction displaced a dirty line.
+	NeedsWriteback bool
+}
+
+// Access performs a read (isWrite=false) or write (isWrite=true) by
+// requester (core id; used only by partitioned caches). It updates
+// replacement state and statistics and reports hit/miss plus any writeback
+// obligation.
+//
+// Write-through caches update the line on a write hit and do not allocate on
+// a write miss; the caller must forward every write to the next level.
+// Write-back caches allocate on both read and write misses.
+func (c *Cache) Access(addr uint64, isWrite bool, requester int) Result {
+	set := c.sets[c.SetIndex(addr)]
+	tag := c.Tag(addr)
+	c.tick++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			if c.cfg.Policy == LRU {
+				set[i].stamp = c.tick
+			}
+			if isWrite {
+				c.stats.WriteHits++
+				if c.cfg.Write == WriteBack {
+					set[i].dirty = true
+				}
+			} else {
+				c.stats.ReadHits++
+			}
+			return Result{Hit: true}
+		}
+	}
+	// Miss.
+	if isWrite {
+		c.stats.WriteMisses++
+		if c.cfg.Write == WriteThrough {
+			// No allocation on write miss.
+			return Result{}
+		}
+	} else {
+		c.stats.ReadMisses++
+	}
+	return c.fill(addr, isWrite, requester)
+}
+
+// Fill allocates a line for addr without counting an access, for refills
+// that arrive later than the miss was recorded (e.g. DL1 allocation when the
+// bus returns data). It is idempotent for already-present lines.
+func (c *Cache) Fill(addr uint64, requester int) Result {
+	set := c.sets[c.SetIndex(addr)]
+	tag := c.Tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return Result{Hit: true}
+		}
+	}
+	c.tick++
+	return c.fill(addr, false, requester)
+}
+
+func (c *Cache) fill(addr uint64, isWrite bool, requester int) Result {
+	setIdx := c.SetIndex(addr)
+	set := c.sets[setIdx]
+	tag := c.Tag(addr)
+	victim := c.victim(set, requester)
+	res := Result{}
+	if set[victim].valid {
+		res.Evicted = true
+		c.stats.Evictions++
+		if set[victim].dirty {
+			res.NeedsWriteback = true
+			res.WritebackAddr = c.reconstruct(set[victim].tag, setIdx)
+			c.stats.Writebacks++
+		}
+	}
+	set[victim] = line{
+		tag:   tag,
+		valid: true,
+		dirty: isWrite && c.cfg.Write == WriteBack,
+		stamp: c.tick,
+		owner: requester,
+	}
+	return res
+}
+
+// victim selects the way to replace within set for the given requester.
+func (c *Cache) victim(set []line, requester int) int {
+	lo, hi := 0, len(set)
+	if c.cfg.Partitioned {
+		w := requester % len(set)
+		if w < 0 {
+			w += len(set)
+		}
+		lo, hi = w, w+1
+	}
+	// Prefer an invalid way.
+	for i := lo; i < hi; i++ {
+		if !set[i].valid {
+			return i
+		}
+	}
+	switch c.cfg.Policy {
+	case Random:
+		// xorshift64* for determinism.
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return lo + int(c.rng%uint64(hi-lo))
+	default: // LRU and FIFO both evict the oldest stamp; they differ in
+		// whether hits refresh the stamp (see Access).
+		best := lo
+		for i := lo + 1; i < hi; i++ {
+			if set[i].stamp < set[best].stamp {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+func (c *Cache) reconstruct(tag, setIdx uint64) uint64 {
+	return (tag<<uint(bits.Len64(c.setMask)) | setIdx) << c.offBits
+}
+
+// Contains reports whether addr's line is present, without touching
+// replacement state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	set := c.sets[c.SetIndex(addr)]
+	tag := c.Tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll clears every line (statistics are preserved).
+func (c *Cache) InvalidateAll() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+}
+
+// ValidLines returns the number of valid lines currently cached.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// OwnerLines returns how many valid lines were allocated by requester; only
+// meaningful for partitioned caches.
+func (c *Cache) OwnerLines(requester int) int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].owner == requester {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"rrbus/internal/isa"
+	"rrbus/internal/sim"
+)
+
+func TestNaiveUnderestimatesOnFake(t *testing.T) {
+	// The synchrony effect: the plain rsk (k=0) suffers γ(δrsk) per
+	// request, so det/nr = ubd - δrsk, an underestimate by exactly the
+	// injection time.
+	for _, tc := range []struct{ ubd, delta0, want int }{
+		{27, 1, 26}, {27, 4, 23}, {6, 1, 5},
+	} {
+		r := newFake(tc.ubd, tc.delta0)
+		res, err := NaiveUBDM(r, isa.OpLoad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.UBDm != tc.want {
+			t.Errorf("ubd=%d δ0=%d: naive = %d, want %d", tc.ubd, tc.delta0, res.UBDm, tc.want)
+		}
+		if res.Requests != 500 {
+			t.Errorf("requests = %d", res.Requests)
+		}
+		if res.Det <= 0 {
+			t.Errorf("det = %d", res.Det)
+		}
+	}
+}
+
+func TestNaiveRefusesSingleCore(t *testing.T) {
+	r := newFake(27, 1)
+	r.cores = 1
+	if _, err := NaiveUBDM(r, isa.OpLoad); err == nil {
+		t.Error("single core must be refused")
+	}
+}
+
+func TestNaiveZeroRequests(t *testing.T) {
+	r := newFake(27, 1)
+	r.requests = 0
+	res, err := NaiveUBDM(r, isa.OpLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UBDm != 0 {
+		t.Errorf("no requests must give 0, got %d", res.UBDm)
+	}
+}
+
+// TestNaiveOnSimulator reproduces the paper's Fig. 6(b) numbers end to
+// end: naive ubdm is 26 on ref and 23 on var, both short of the actual 27.
+func TestNaiveOnSimulator(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  sim.Config
+		want int
+	}{
+		{sim.NGMPRef(), 26},
+		{sim.NGMPVar(), 23},
+	} {
+		r, err := NewSimRunner(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NaiveUBDM(r, isa.OpLoad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.UBDm != tc.want {
+			t.Errorf("%s: naive = %d, paper reports %d", tc.cfg.Name, res.UBDm, tc.want)
+		}
+		if res.UBDm >= tc.cfg.UBD() {
+			t.Errorf("%s: naive must underestimate the actual %d", tc.cfg.Name, tc.cfg.UBD())
+		}
+		if res.Utilization < 0.99 {
+			t.Errorf("%s: utilization = %.3f", tc.cfg.Name, res.Utilization)
+		}
+	}
+}

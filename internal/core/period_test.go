@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rrbus/internal/analytic"
+	"rrbus/internal/stats"
+)
+
+// sawtoothSeries builds a slowdown-like series proportional to
+// γ(δ0 + k·δnop) for k = kmin.., with optional additive noise amplitude.
+func sawtoothSeries(delta0, deltaNop, ubd, kmin, n int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g := analytic.Gamma(delta0+(kmin+i)*deltaNop, ubd)
+		out[i] = 1000*float64(g) + noise*(rng.Float64()*2-1)
+	}
+	return out
+}
+
+func TestExactPeriodCleanSawtooth(t *testing.T) {
+	for _, ubd := range []int{6, 9, 27, 35} {
+		d := sawtoothSeries(1, 1, ubd, 1, 3*ubd, 0, 1)
+		if got := ExactPeriod(d, 0.02); got != ubd {
+			t.Errorf("ubd=%d: exact period = %d", ubd, got)
+		}
+	}
+}
+
+func TestExactPeriodWithNoise(t *testing.T) {
+	// 2% amplitude tolerance absorbs small measurement jitter.
+	d := sawtoothSeries(1, 1, 27, 1, 81, 200, 7) // noise ≈ 0.8% of amplitude
+	if got := ExactPeriod(d, 0.02); got != 27 {
+		t.Errorf("noisy exact period = %d", got)
+	}
+}
+
+func TestExactPeriodRejectsDegenerate(t *testing.T) {
+	if got := ExactPeriod([]float64{1, 2, 3}, 0.02); got != 0 {
+		t.Errorf("short series period = %d", got)
+	}
+	flat := make([]float64, 50)
+	for i := range flat {
+		flat[i] = 42
+	}
+	if got := ExactPeriod(flat, 0.02); got != 0 {
+		t.Errorf("constant series period = %d (flat slowdown has no saw-tooth)", got)
+	}
+	// Monotone series: no period fits.
+	mono := make([]float64, 40)
+	for i := range mono {
+		mono[i] = float64(i * i)
+	}
+	if got := ExactPeriod(mono, 0.02); got != 0 {
+		t.Errorf("monotone series period = %d", got)
+	}
+}
+
+func TestAutocorrPeriod(t *testing.T) {
+	d := sawtoothSeries(1, 1, 27, 1, 108, 0, 1)
+	if got := AutocorrPeriod(d, 0.8); got != 27 {
+		t.Errorf("autocorr period = %d", got)
+	}
+	if got := AutocorrPeriod(d[:5], 0.8); got != 0 {
+		t.Errorf("short series = %d", got)
+	}
+	flat := make([]float64, 60)
+	if got := AutocorrPeriod(flat, 0.8); got != 0 {
+		t.Errorf("flat series = %d", got)
+	}
+}
+
+func TestPeakPeriod(t *testing.T) {
+	d := sawtoothSeries(1, 1, 27, 1, 108, 0, 1)
+	if got := PeakPeriod(d); got != 27 {
+		t.Errorf("peak period = %d", got)
+	}
+	if got := PeakPeriod([]float64{1, 2, 1}); got != 0 {
+		t.Errorf("single peak = %d", got)
+	}
+}
+
+func TestModelFitExact(t *testing.T) {
+	for _, tc := range []struct {
+		delta0, ubd int
+	}{{1, 27}, {4, 27}, {2, 9}, {1, 35}} {
+		d := sawtoothSeries(tc.delta0, 1, tc.ubd, 1, 3*tc.ubd, 0, 1)
+		got, res := ModelFitUBD(d, 1, 1.0, 80)
+		if got != tc.ubd {
+			t.Errorf("δ0=%d ubd=%d: fit = %d (residual %.4f)", tc.delta0, tc.ubd, got, res)
+		}
+		if res > 1e-9 {
+			t.Errorf("clean fit residual = %g", res)
+		}
+	}
+}
+
+func TestModelFitResolvesAliasing(t *testing.T) {
+	// δnop = 2 with ubd = 27: the k-period is 27, so period×δnop reads
+	// 54 — double. The model fit must still recover 27 because the
+	// sampled VALUES only match ubd = 27.
+	d := sawtoothSeries(1, 2, 27, 1, 54, 0, 1)
+	if p := ExactPeriod(d, 0.02); p != 27 {
+		t.Fatalf("precondition: sampled k-period = %d, want 27", p)
+	}
+	got, _ := ModelFitUBD(d, 1, 2.0, 80)
+	if got != 27 {
+		t.Errorf("aliased fit = %d, want 27", got)
+	}
+}
+
+func TestModelFitDegenerate(t *testing.T) {
+	if got, res := ModelFitUBD([]float64{1, 2}, 1, 1, 50); got != 0 || !math.IsInf(res, 1) {
+		t.Error("short series must not fit")
+	}
+	flat := make([]float64, 40)
+	if got, _ := ModelFitUBD(flat, 1, 1, 50); got != 0 {
+		t.Error("flat series must not fit")
+	}
+}
+
+// TestPropDetectorsAgreeOnCleanData: on noiseless synthetic saw-tooths with
+// δnop = 1, all three period detectors and the model fit agree with the
+// ground-truth ubd.
+func TestPropDetectorsAgreeOnCleanData(t *testing.T) {
+	f := func(ubdRaw, d0Raw uint8) bool {
+		ubd := 4 + int(ubdRaw)%40
+		delta0 := 1 + int(d0Raw)%ubd
+		d := sawtoothSeries(delta0, 1, ubd, 1, 3*ubd, 0, int64(ubd)*31+int64(delta0))
+		if ExactPeriod(d, 0.02) != ubd {
+			return false
+		}
+		if AutocorrPeriod(d, 0.8) != ubd {
+			return false
+		}
+		if PeakPeriod(d) != ubd {
+			return false
+		}
+		fit, _ := ModelFitUBD(d, 1, 1, 3*ubd+16)
+		return fit == ubd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropExactPeriodIsMinimal: ExactPeriod never returns a multiple of a
+// smaller valid period.
+func TestPropExactPeriodIsMinimal(t *testing.T) {
+	f := func(ubdRaw uint8) bool {
+		ubd := 3 + int(ubdRaw)%30
+		d := sawtoothSeries(1, 1, ubd, 1, 4*ubd, 0, 9)
+		p := ExactPeriod(d, 0.02)
+		if p != ubd {
+			return false
+		}
+		// No smaller shift may satisfy the tolerance.
+		lo, hi := stats.MinMax(d)
+		lim := 0.02 * (hi - lo)
+		for q := 1; q < p; q++ {
+			ok := true
+			for i := 0; i+q < len(d); i++ {
+				if math.Abs(d[i]-d[i+q]) > lim {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders the derivation result as a human-readable summary,
+// including an ASCII plot of the measured saw-tooth — the artifact an
+// analyst would archive alongside the derived bound.
+func (res *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "derived ubdm        %d cycles\n", res.UBDm)
+	fmt.Fprintf(&b, "saw-tooth period    %d nop steps\n", res.PeriodK)
+	fmt.Fprintf(&b, "δnop                %.3f cycles\n", res.DeltaNop)
+
+	methods := make([]string, 0, len(res.Methods))
+	for m := range res.Methods {
+		methods = append(methods, string(m))
+	}
+	sort.Strings(methods)
+	b.WriteString("detection methods  ")
+	for _, m := range methods {
+		fmt.Fprintf(&b, " %s=%d", m, res.Methods[PeriodMethod(m)])
+	}
+	b.WriteByte('\n')
+
+	c := res.Confidence
+	fmt.Fprintf(&b, "confidence          %.2f (utilization %.0f%% ok=%v, methods agree=%v, periods=%.1f)\n",
+		c.Score(), c.MinUtilization*100, c.UtilizationOK, c.MethodsAgree, c.PeriodsObserved)
+	for _, n := range c.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+
+	if plot := res.SawtoothPlot(16); plot != "" {
+		b.WriteString("\nper-request slowdown vs k:\n")
+		b.WriteString(plot)
+	}
+	return b.String()
+}
+
+// SawtoothPlot renders the slowdown series as a height-row ASCII plot with
+// the given number of rows. It returns "" for degenerate series.
+func (res *Result) SawtoothPlot(rows int) string {
+	d := res.Slowdowns
+	if len(d) < 2 || rows < 2 {
+		return ""
+	}
+	lo, hi := d[0], d[0]
+	for _, v := range d {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return ""
+	}
+	// Cap the width to keep reports terminal friendly.
+	width := len(d)
+	const maxWidth = 120
+	if width > maxWidth {
+		width = maxWidth
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := 0; i < width; i++ {
+		lvl := int((d[i] - lo) / (hi - lo) * float64(rows-1))
+		for r := 0; r <= lvl; r++ {
+			grid[rows-1-r][i] = '#'
+		}
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.1f ", hi)
+		}
+		if r == rows-1 {
+			label = fmt.Sprintf("%7.1f ", lo)
+		}
+		b.WriteString(label)
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "        k=%d%sk=%d\n", res.KMin, strings.Repeat(" ", max(1, width-len(fmt.Sprint(res.KMin))-len(fmt.Sprint(res.KMin+width-1))-2)), res.KMin+width-1)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"rrbus/internal/isa"
+	"rrbus/internal/kernel"
+	"rrbus/internal/sim"
+)
+
+// Obs is what one experiment on the target platform yields: quantities any
+// COTS multicore exposes (an execution time, a PMC request count and the
+// bus-utilization PMCs). The methodology deliberately consumes nothing
+// else.
+type Obs struct {
+	// Cycles is the execution time of the measured window.
+	Cycles uint64
+	// Requests is the number of bus requests the measured program issued
+	// (PMC; needed by the naive det/nr baseline and ETB padding).
+	Requests uint64
+	// Utilization is the total bus utilization of the window (NGMP
+	// counter 0x18 normalized), used by the confidence check.
+	Utilization float64
+}
+
+// Runner abstracts the target platform. Implementations run the paper's
+// kernels in the required placements and report observations. The shipped
+// implementation (SimRunner) drives the cycle-accurate simulator; a
+// hardware port would shell out to a real board.
+type Runner interface {
+	// Cores returns the number of cores of the platform.
+	Cores() int
+	// RunContended measures rsk-nop(t, k) against Nc-1 copies of rsk(t).
+	RunContended(t isa.Op, k int) (Obs, error)
+	// RunIsolation measures rsk-nop(t, k) alone on the platform.
+	RunIsolation(t isa.Op, k int) (Obs, error)
+	// MeasureDeltaNop estimates δnop, the cycles one nop adds to the
+	// injection time, via the nop-only kernel (§4.2).
+	MeasureDeltaNop() (float64, error)
+}
+
+// SimRunner implements Runner on the cycle-accurate simulator.
+type SimRunner struct {
+	cfg     sim.Config
+	builder kernel.Builder
+	// Iters is the number of measured body iterations per experiment
+	// (default 20).
+	Iters uint64
+	// Warmup is the number of warmup iterations excluded from each
+	// measurement (default 3: enough to warm L2 and lock the synchrony
+	// schedule).
+	Warmup uint64
+	// ScuaCore places the measured kernel (default 0).
+	ScuaCore int
+}
+
+// NewSimRunner builds a simulator-backed runner for cfg.
+//
+// The kernel builder is pinned to a small constant unroll factor rather
+// than the default "as large as fits IL1": Eq. 3 compares slowdowns across
+// different k, which is only meaningful when every rsk-nop in the sweep
+// performs the same loop structure. A k-dependent unroll would change the
+// per-iteration request count and the loop-boundary share mid-sweep and
+// break the periodicity the detector reads. Unroll 2 keeps rsk-nop bodies
+// IL1-resident for every k the derivation sweeps (k ≤ ~400 on NGMP-sized
+// IL1s).
+func NewSimRunner(cfg sim.Config) (*SimRunner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+	b.Unroll = 2
+	return &SimRunner{
+		cfg:     cfg,
+		builder: b,
+		Iters:   20,
+		Warmup:  3,
+	}, nil
+}
+
+// Config returns the platform configuration under test.
+func (r *SimRunner) Config() sim.Config { return r.cfg }
+
+// Builder returns the kernel builder used for this platform's geometry.
+func (r *SimRunner) Builder() kernel.Builder { return r.builder }
+
+// Cores implements Runner.
+func (r *SimRunner) Cores() int { return r.cfg.Cores }
+
+func (r *SimRunner) opts() sim.RunOpts {
+	return sim.RunOpts{WarmupIters: r.Warmup, MeasureIters: r.Iters}
+}
+
+// contenders builds Nc-1 rsk(t) copies for the non-scua cores.
+func (r *SimRunner) contenders(t isa.Op) ([]*isa.Program, error) {
+	progs := make([]*isa.Program, 0, r.cfg.Cores-1)
+	for c := 0; c < r.cfg.Cores; c++ {
+		if c == r.ScuaCore {
+			continue
+		}
+		p, err := r.builder.RSK(c, t)
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+	return progs, nil
+}
+
+// RunContended implements Runner.
+func (r *SimRunner) RunContended(t isa.Op, k int) (Obs, error) {
+	scua, err := r.builder.RSKNop(r.ScuaCore, t, k)
+	if err != nil {
+		return Obs{}, err
+	}
+	cont, err := r.contenders(t)
+	if err != nil {
+		return Obs{}, err
+	}
+	m, err := sim.Run(r.cfg, sim.Workload{Scua: scua, ScuaCore: r.ScuaCore, Contenders: cont}, r.opts())
+	if err != nil {
+		return Obs{}, err
+	}
+	return Obs{Cycles: m.Cycles, Requests: m.Requests, Utilization: m.Utilization}, nil
+}
+
+// RunIsolation implements Runner.
+func (r *SimRunner) RunIsolation(t isa.Op, k int) (Obs, error) {
+	scua, err := r.builder.RSKNop(r.ScuaCore, t, k)
+	if err != nil {
+		return Obs{}, err
+	}
+	m, err := sim.RunIsolation(r.cfg, scua, r.opts())
+	if err != nil {
+		return Obs{}, err
+	}
+	return Obs{Cycles: m.Cycles, Requests: m.Requests, Utilization: m.Utilization}, nil
+}
+
+// MeasureDeltaNop implements Runner: it runs the nop-only kernel in
+// isolation and divides the execution time by the number of nops executed.
+// Loop-control overhead is diluted by the large body (the paper: "by
+// dividing the execution time of such rsk by the number of nop operations
+// executed we can derive δnop very accurately").
+func (r *SimRunner) MeasureDeltaNop() (float64, error) {
+	p, err := r.builder.NopKernel(r.ScuaCore, 4000)
+	if err != nil {
+		return 0, err
+	}
+	m, err := sim.RunIsolation(r.cfg, p, r.opts())
+	if err != nil {
+		return 0, err
+	}
+	nops := kernel.NopCount(p) * m.Iters
+	if nops == 0 {
+		return 0, fmt.Errorf("core: nop kernel executed no nops")
+	}
+	return float64(m.Cycles) / float64(nops), nil
+}

@@ -1,0 +1,380 @@
+// Package cpu models the in-order cores of the simulated multicore. The
+// timing contract that the paper's experiments rest on is implemented here:
+//
+//   - A load whose data returns in cycle D lets the next instruction start
+//     in D (full forwarding), so with k nops between loads the next bus
+//     request becomes ready at D + DL1Latency + k*NopLatency — the paper's
+//     injection time δ = δrsk + k*δnop with δrsk = DL1 latency (1 in the
+//     reference NGMP configuration, 4 in the variant).
+//   - Stores retire into the store buffer after the DL1 access and only
+//     stall the pipeline when the buffer is full; buffered stores drain to
+//     the bus whenever the core's port is free, with zero injection time
+//     between consecutive drains.
+package cpu
+
+import (
+	"fmt"
+
+	"rrbus/internal/bus"
+	"rrbus/internal/cache"
+	"rrbus/internal/isa"
+)
+
+// Port is the core's view of its bus master port. The simulator system
+// adapts the shared bus to this interface.
+type Port interface {
+	// Free reports whether the port has no outstanding request.
+	Free() bool
+	// Submit registers r as the port's outstanding request, ready at
+	// cycle.
+	Submit(r *bus.Request, cycle uint64)
+}
+
+// Config describes one core.
+type Config struct {
+	// ID is the core index; it doubles as the bus port number.
+	ID int
+	// DL1 and IL1 are the private first-level caches (owned by the core).
+	DL1, IL1 *cache.Cache
+	// DL1Latency and IL1Latency are the L1 lookup times in cycles
+	// (1 in the paper's reference configuration, 4 in the variant).
+	DL1Latency, IL1Latency int
+	// NopLatency, IntLatency and BranchLatency are the execution
+	// latencies of nop, integer-ALU and loop-branch instructions.
+	NopLatency, IntLatency, BranchLatency int
+	// StoreBufferDepth is the store buffer capacity in entries.
+	StoreBufferDepth int
+}
+
+// Validate checks the core configuration.
+func (c Config) Validate() error {
+	if c.ID < 0 {
+		return fmt.Errorf("cpu: negative core id %d", c.ID)
+	}
+	if c.DL1 == nil || c.IL1 == nil {
+		return fmt.Errorf("cpu: core %d missing L1 caches", c.ID)
+	}
+	if c.DL1Latency < 1 || c.IL1Latency < 1 {
+		return fmt.Errorf("cpu: core %d L1 latencies must be >= 1 (dl1=%d il1=%d)", c.ID, c.DL1Latency, c.IL1Latency)
+	}
+	if c.NopLatency < 1 || c.IntLatency < 1 || c.BranchLatency < 1 {
+		return fmt.Errorf("cpu: core %d execution latencies must be >= 1", c.ID)
+	}
+	if c.StoreBufferDepth < 1 {
+		return fmt.Errorf("cpu: core %d store buffer depth must be >= 1, got %d", c.ID, c.StoreBufferDepth)
+	}
+	return nil
+}
+
+type state uint8
+
+const (
+	// sRun: ready to start the instruction at pc once nextFree is reached.
+	sRun state = iota
+	// sLoadIssue: DL1 miss determined; waiting for the bus port to submit
+	// the load request.
+	sLoadIssue
+	// sWaitLoad: load request at the bus; waiting for data.
+	sWaitLoad
+	// sIFetchIssue: IL1 miss determined; waiting for the bus port.
+	sIFetchIssue
+	// sWaitIFetch: instruction fetch at the bus; waiting for the line.
+	sWaitIFetch
+	// sStoreCommit: DL1 access done; trying to enter the store buffer.
+	sStoreCommit
+	// sDone: program finished (scua completed its iterations).
+	sDone
+)
+
+// Counters collects per-core activity over a measurement window.
+type Counters struct {
+	Instrs   uint64
+	Loads    uint64
+	Stores   uint64
+	Nops     uint64
+	ALUs     uint64
+	Branches uint64
+	// Iters counts completed body iterations.
+	Iters uint64
+	// SBStallCycles counts cycles the pipeline was blocked on a full
+	// store buffer.
+	SBStallCycles uint64
+	// PortStallCycles counts cycles a demand miss waited for the core's
+	// bus port (a store drain in flight).
+	PortStallCycles uint64
+}
+
+// Core is one in-order, single-issue core.
+type Core struct {
+	cfg  Config
+	prog *isa.Program
+	port Port
+
+	maxIters uint64 // 0 = run forever (contender)
+	inSetup  bool
+	pc       int
+
+	st       state
+	nextFree uint64
+	done     bool
+
+	fetchLine   uint64
+	haveFetch   bool
+	lineMask    uint64
+	commitAddr  uint64
+	pendingAddr uint64
+
+	sb *StoreBuffer
+
+	ctr Counters
+}
+
+// New builds a core executing prog through port. maxIters bounds the number
+// of body iterations (0 = run until the simulation stops; used for
+// contenders, which "must not complete execution before the scua").
+func New(cfg Config, prog *isa.Program, port Port, maxIters uint64) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if port == nil {
+		return nil, fmt.Errorf("cpu: core %d has no bus port", cfg.ID)
+	}
+	c := &Core{
+		cfg:      cfg,
+		prog:     prog,
+		port:     port,
+		maxIters: maxIters,
+		inSetup:  len(prog.Setup) > 0,
+		sb:       NewStoreBuffer(cfg.StoreBufferDepth),
+		lineMask: ^(uint64(cfg.IL1.Config().LineBytes) - 1),
+	}
+	return c, nil
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.cfg.ID }
+
+// Program returns the bound program.
+func (c *Core) Program() *isa.Program { return c.prog }
+
+// Done reports whether the core finished its bounded iterations.
+func (c *Core) Done() bool { return c.done }
+
+// Iters returns the number of completed body iterations.
+func (c *Core) Iters() uint64 { return c.ctr.Iters }
+
+// Counters returns a copy of the per-core counters.
+func (c *Core) Counters() Counters { return c.ctr }
+
+// StoreBuffer exposes the core's store buffer (read-mostly; tests and PMC
+// collection use it).
+func (c *Core) StoreBuffer() *StoreBuffer { return c.sb }
+
+// ResetCounters zeroes the activity counters (excluding Iters progress
+// tracking would break measurement; Iters is preserved so the harness can
+// count iterations across the reset; callers should snapshot and subtract).
+func (c *Core) ResetCounters() {
+	iters := c.ctr.Iters
+	c.ctr = Counters{Iters: iters}
+	c.sb.Pushes, c.sb.FullStalls, c.sb.Drains = 0, 0, 0
+}
+
+// Idle reports whether the core has no in-flight activity: used by the
+// harness to detect quiescence after the scua finishes.
+func (c *Core) Idle() bool {
+	return c.st == sDone && c.sb.Empty()
+}
+
+func (c *Core) cur() isa.Instr {
+	if c.inSetup {
+		return c.prog.Setup[c.pc]
+	}
+	return c.prog.Body[c.pc]
+}
+
+func (c *Core) curAddr() uint64 {
+	return c.prog.InstrAddr(c.inSetup, c.pc)
+}
+
+func (c *Core) advance() {
+	c.ctr.Instrs++
+	c.pc++
+	if c.inSetup {
+		if c.pc >= len(c.prog.Setup) {
+			c.inSetup = false
+			c.pc = 0
+		}
+		return
+	}
+	if c.pc >= len(c.prog.Body) {
+		c.pc = 0
+		c.ctr.Iters++
+		if c.maxIters > 0 && c.ctr.Iters >= c.maxIters {
+			c.st = sDone
+			c.done = true
+		}
+	}
+}
+
+// Tick advances the core at cycle. The owning system calls it once per
+// cycle, after bus completions have been dispatched.
+func (c *Core) Tick(cycle uint64) {
+	for {
+		c.tryDrain(cycle)
+		if c.done && c.st == sDone {
+			return
+		}
+		if cycle < c.nextFree {
+			return
+		}
+		switch c.st {
+		case sRun:
+			if !c.step(cycle) {
+				return
+			}
+		case sLoadIssue:
+			if !c.port.Free() {
+				c.ctr.PortStallCycles++
+				return
+			}
+			c.port.Submit(&bus.Request{Port: c.cfg.ID, Kind: bus.KindLoad, Addr: c.pendingAddr}, cycle)
+			c.st = sWaitLoad
+			return
+		case sIFetchIssue:
+			if !c.port.Free() {
+				c.ctr.PortStallCycles++
+				return
+			}
+			c.port.Submit(&bus.Request{Port: c.cfg.ID, Kind: bus.KindIFetch, Addr: c.pendingAddr}, cycle)
+			c.st = sWaitIFetch
+			return
+		case sStoreCommit:
+			if !c.sb.Push(c.commitAddr) {
+				c.ctr.SBStallCycles++
+				return
+			}
+			c.st = sRun
+			c.advance()
+			// The store committed exactly at nextFree; the next
+			// instruction starts this same cycle (loop again).
+		case sWaitLoad, sWaitIFetch:
+			return
+		case sDone:
+			return
+		}
+	}
+}
+
+// step starts the instruction at pc in cycle. It returns true when the core
+// may attempt further progress within the same cycle.
+func (c *Core) step(cycle uint64) bool {
+	// Instruction fetch at line granularity: a one-line fetch buffer.
+	addr := c.curAddr()
+	line := addr & c.lineMask
+	if !c.haveFetch || line != c.fetchLine {
+		res := c.cfg.IL1.Access(addr, false, c.cfg.ID)
+		if !res.Hit {
+			c.pendingAddr = line
+			c.st = sIFetchIssue
+			c.nextFree = cycle + uint64(c.cfg.IL1Latency)
+			return true
+		}
+		c.fetchLine = line
+		c.haveFetch = true
+	}
+
+	in := c.cur()
+	switch in.Op {
+	case isa.OpNop:
+		c.ctr.Nops++
+		c.nextFree = cycle + uint64(c.cfg.NopLatency)
+		c.advance()
+	case isa.OpIALU:
+		c.ctr.ALUs++
+		lat := uint64(c.cfg.IntLatency)
+		if in.Lat > 0 {
+			lat = uint64(in.Lat)
+		}
+		c.nextFree = cycle + lat
+		c.advance()
+	case isa.OpBranch:
+		c.ctr.Branches++
+		c.nextFree = cycle + uint64(c.cfg.BranchLatency)
+		c.advance()
+	case isa.OpLoad:
+		c.ctr.Loads++
+		res := c.cfg.DL1.Access(in.Addr, false, c.cfg.ID)
+		c.nextFree = cycle + uint64(c.cfg.DL1Latency)
+		if res.Hit {
+			c.advance()
+		} else {
+			// Miss known after the DL1 lookup; the bus request
+			// becomes ready at nextFree.
+			c.pendingAddr = c.cfg.DL1.LineAddr(in.Addr)
+			c.st = sLoadIssue
+		}
+	case isa.OpStore:
+		c.ctr.Stores++
+		c.cfg.DL1.Access(in.Addr, true, c.cfg.ID)
+		c.commitAddr = c.cfg.DL1.LineAddr(in.Addr)
+		c.st = sStoreCommit
+		c.nextFree = cycle + uint64(c.cfg.DL1Latency)
+	default:
+		panic(fmt.Sprintf("cpu: core %d unknown opcode %v", c.cfg.ID, in.Op))
+	}
+	return true
+}
+
+// tryDrain submits the store buffer head to the bus when the port is free
+// and no demand miss is competing for it (demand requests have priority).
+func (c *Core) tryDrain(cycle uint64) {
+	if c.st == sLoadIssue || c.st == sIFetchIssue {
+		return
+	}
+	addr, ok := c.sb.Head()
+	if !ok || !c.port.Free() {
+		return
+	}
+	c.sb.MarkInflight()
+	c.port.Submit(&bus.Request{Port: c.cfg.ID, Kind: bus.KindStore, Addr: addr}, cycle)
+}
+
+// LoadDone delivers load data at cycle: the DL1 line is filled, the load
+// retires and the next instruction may start in the same cycle.
+func (c *Core) LoadDone(cycle uint64) {
+	if c.st != sWaitLoad {
+		panic(fmt.Sprintf("cpu: core %d LoadDone in state %d", c.cfg.ID, c.st))
+	}
+	c.cfg.DL1.Fill(c.pendingAddr, c.cfg.ID)
+	c.st = sRun
+	c.nextFree = cycle
+	c.advance()
+}
+
+// IFetchDone delivers an instruction line at cycle; the stalled instruction
+// restarts (and now hits the fetch buffer fast path).
+func (c *Core) IFetchDone(cycle uint64) {
+	if c.st != sWaitIFetch {
+		panic(fmt.Sprintf("cpu: core %d IFetchDone in state %d", c.cfg.ID, c.st))
+	}
+	c.cfg.IL1.Fill(c.pendingAddr, c.cfg.ID)
+	c.fetchLine = c.pendingAddr
+	c.haveFetch = true
+	c.st = sRun
+	c.nextFree = cycle
+}
+
+// StoreDrained retires the in-flight store buffer entry after its bus
+// transaction completed at cycle.
+func (c *Core) StoreDrained(uint64) {
+	c.sb.PopInflight()
+}
+
+// DL1 returns the core's data cache (for harness statistics).
+func (c *Core) DL1() *cache.Cache { return c.cfg.DL1 }
+
+// IL1 returns the core's instruction cache (for harness statistics).
+func (c *Core) IL1() *cache.Cache { return c.cfg.IL1 }

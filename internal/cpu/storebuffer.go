@@ -1,0 +1,93 @@
+package cpu
+
+// StoreBuffer is the FIFO write buffer between the pipeline and the bus.
+// Stores retire into it in one DL1-latency step (posted writes); the buffer
+// drains entries to the bus whenever the core's bus port is free. The
+// pipeline stalls only when the buffer is full — the mechanism behind
+// Fig. 7(b) of the paper, where sufficiently spaced stores are completely
+// hidden.
+type StoreBuffer struct {
+	entries  []uint64
+	capacity int
+	inflight bool
+
+	// Pushes counts stores accepted, FullStalls counts pipeline stall
+	// events due to a full buffer, Drains counts entries retired to the
+	// bus.
+	Pushes     uint64
+	FullStalls uint64
+	Drains     uint64
+}
+
+// NewStoreBuffer builds a buffer with capacity entries. Capacity must be
+// positive.
+func NewStoreBuffer(capacity int) *StoreBuffer {
+	if capacity <= 0 {
+		panic("cpu: store buffer capacity must be positive")
+	}
+	return &StoreBuffer{entries: make([]uint64, 0, capacity), capacity: capacity}
+}
+
+// Cap returns the configured capacity.
+func (sb *StoreBuffer) Cap() int { return sb.capacity }
+
+// Len returns the current number of buffered entries (including one marked
+// in flight at the bus).
+func (sb *StoreBuffer) Len() int { return len(sb.entries) }
+
+// Full reports whether a push would stall the pipeline.
+func (sb *StoreBuffer) Full() bool { return len(sb.entries) >= sb.capacity }
+
+// Empty reports whether the buffer holds no entries.
+func (sb *StoreBuffer) Empty() bool { return len(sb.entries) == 0 }
+
+// Push appends a store to addr. It reports false (and counts a stall) when
+// the buffer is full.
+func (sb *StoreBuffer) Push(addr uint64) bool {
+	if sb.Full() {
+		sb.FullStalls++
+		return false
+	}
+	sb.entries = append(sb.entries, addr)
+	sb.Pushes++
+	return true
+}
+
+// Head returns the oldest entry if one exists and it is not already in
+// flight at the bus.
+func (sb *StoreBuffer) Head() (addr uint64, ok bool) {
+	if sb.inflight || len(sb.entries) == 0 {
+		return 0, false
+	}
+	return sb.entries[0], true
+}
+
+// MarkInflight flags the head entry as submitted to the bus; Head then
+// returns ok == false until PopInflight.
+func (sb *StoreBuffer) MarkInflight() {
+	if sb.inflight || len(sb.entries) == 0 {
+		panic("cpu: MarkInflight without a drainable head")
+	}
+	sb.inflight = true
+}
+
+// Inflight reports whether the head entry is at the bus.
+func (sb *StoreBuffer) Inflight() bool { return sb.inflight }
+
+// PopInflight retires the in-flight head entry after its bus transaction
+// completed, freeing one slot.
+func (sb *StoreBuffer) PopInflight() {
+	if !sb.inflight {
+		panic("cpu: PopInflight without an in-flight entry")
+	}
+	sb.entries = sb.entries[1:]
+	sb.inflight = false
+	sb.Drains++
+}
+
+// Reset discards all entries and statistics.
+func (sb *StoreBuffer) Reset() {
+	sb.entries = sb.entries[:0]
+	sb.inflight = false
+	sb.Pushes, sb.FullStalls, sb.Drains = 0, 0, 0
+}

@@ -1,0 +1,121 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreBufferBasics(t *testing.T) {
+	sb := NewStoreBuffer(2)
+	if sb.Cap() != 2 || !sb.Empty() || sb.Full() {
+		t.Fatal("fresh buffer state wrong")
+	}
+	if !sb.Push(0x100) || !sb.Push(0x200) {
+		t.Fatal("pushes within capacity must succeed")
+	}
+	if !sb.Full() || sb.Len() != 2 {
+		t.Fatal("buffer must be full")
+	}
+	if sb.Push(0x300) {
+		t.Fatal("push into full buffer must fail")
+	}
+	if sb.FullStalls != 1 || sb.Pushes != 2 {
+		t.Fatalf("counters: %d stalls, %d pushes", sb.FullStalls, sb.Pushes)
+	}
+}
+
+func TestStoreBufferFIFOOrder(t *testing.T) {
+	sb := NewStoreBuffer(4)
+	sb.Push(1)
+	sb.Push(2)
+	sb.Push(3)
+	for want := uint64(1); want <= 3; want++ {
+		addr, ok := sb.Head()
+		if !ok || addr != want {
+			t.Fatalf("head = %d,%v, want %d", addr, ok, want)
+		}
+		sb.MarkInflight()
+		if _, ok := sb.Head(); ok {
+			t.Fatal("in-flight head must not be drainable again")
+		}
+		sb.PopInflight()
+	}
+	if !sb.Empty() || sb.Drains != 3 {
+		t.Fatal("drain accounting wrong")
+	}
+}
+
+func TestStoreBufferInflightProtocol(t *testing.T) {
+	sb := NewStoreBuffer(2)
+	if _, ok := sb.Head(); ok {
+		t.Fatal("empty buffer has no head")
+	}
+	mustPanic(t, func() { sb.MarkInflight() })
+	mustPanic(t, func() { sb.PopInflight() })
+	sb.Push(9)
+	sb.MarkInflight()
+	if !sb.Inflight() {
+		t.Fatal("inflight flag")
+	}
+	mustPanic(t, func() { sb.MarkInflight() })
+	sb.PopInflight()
+	if sb.Inflight() {
+		t.Fatal("inflight must clear")
+	}
+}
+
+func TestStoreBufferReset(t *testing.T) {
+	sb := NewStoreBuffer(2)
+	sb.Push(1)
+	sb.MarkInflight()
+	sb.Reset()
+	if !sb.Empty() || sb.Inflight() || sb.Pushes != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestNewStoreBufferPanicsOnZero(t *testing.T) {
+	mustPanic(t, func() { NewStoreBuffer(0) })
+}
+
+// TestPropStoreBufferNeverExceedsCap: arbitrary push/drain interleavings
+// keep the buffer within capacity and preserve FIFO order.
+func TestPropStoreBufferInvariants(t *testing.T) {
+	f := func(ops []bool, capRaw uint8) bool {
+		capacity := int(capRaw)%8 + 1
+		sb := NewStoreBuffer(capacity)
+		next := uint64(1)
+		expectHead := uint64(1)
+		for _, push := range ops {
+			if push {
+				if sb.Push(next) {
+					next++
+				}
+			} else if addr, ok := sb.Head(); ok {
+				if addr != expectHead {
+					return false // FIFO violated
+				}
+				sb.MarkInflight()
+				sb.PopInflight()
+				expectHead++
+			}
+			if sb.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,203 @@
+package etb
+
+import (
+	"strings"
+	"testing"
+
+	"rrbus/internal/sim"
+	"rrbus/internal/workload"
+)
+
+func task(t *testing.T, name string, core int) Task {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("profile %s missing", name)
+	}
+	prog, err := p.Build(core, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Task{Name: name, Prog: prog}
+}
+
+func TestNewAnalyzerValidation(t *testing.T) {
+	if _, err := NewAnalyzer(sim.NGMPRef(), 0, sim.RunOpts{}); err == nil {
+		t.Error("zero ubdm must fail")
+	}
+	bad := sim.NGMPRef()
+	bad.Cores = 0
+	if _, err := NewAnalyzer(bad, 27, sim.RunOpts{}); err == nil {
+		t.Error("bad config must fail")
+	}
+}
+
+func TestBoundArithmetic(t *testing.T) {
+	a, err := NewAnalyzer(sim.NGMPRef(), 27, sim.RunOpts{WarmupIters: 2, MeasureIters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Bound(task(t, "tblook", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ETB != b.Isolation+b.Requests*27 {
+		t.Errorf("ETB arithmetic: %+v", b)
+	}
+	if b.Requests == 0 {
+		t.Error("tblook must issue bus requests")
+	}
+	if b.PadShare() <= 0 || b.PadShare() >= 1 {
+		t.Errorf("pad share = %v", b.PadShare())
+	}
+	if (Bound{}).PadShare() != 0 {
+		t.Error("empty bound pad share")
+	}
+}
+
+func TestBoundRejectsNilProgram(t *testing.T) {
+	a, _ := NewAnalyzer(sim.NGMPRef(), 27, sim.RunOpts{})
+	if _, err := a.Bound(Task{Name: "empty"}); err == nil {
+		t.Error("nil program must fail")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	a, _ := NewAnalyzer(sim.NGMPRef(), 27, sim.RunOpts{WarmupIters: 2, MeasureIters: 5})
+	bs, err := a.Bounds([]Task{task(t, "tblook", 0), task(t, "canrdr", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 || bs[0].Task != "tblook" || bs[1].Task != "canrdr" {
+		t.Errorf("bounds = %+v", bs)
+	}
+}
+
+// TestBoundHoldsAgainstRSK is the safety property the whole methodology
+// exists for: the padded ETB upper-bounds the observed execution time even
+// against maximally adversarial contenders.
+func TestBoundHoldsAgainstRSK(t *testing.T) {
+	cfg := sim.NGMPRef()
+	a, _ := NewAnalyzer(cfg, cfg.UBD(), sim.RunOpts{WarmupIters: 2, MeasureIters: 8})
+	for _, name := range []string{"tblook", "matrix", "canrdr", "pntrch"} {
+		tk := task(t, name, 0)
+		b, err := a.Bound(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := a.ValidateAgainstRSK(tk, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Holds {
+			t.Errorf("%s: bound %d violated by %s (observed %d)", name, v.Bound, v.Scenario, v.Observed)
+		}
+	}
+}
+
+// TestUnderestimatedBoundCanBeViolated: sanity check in the other
+// direction — padding with an under-estimate (e.g. a naive ubdm of 1) must
+// be catchable by validation for a contention-sensitive task.
+func TestUnderestimatedBoundCanBeViolated(t *testing.T) {
+	cfg := sim.NGMPRef()
+	a, _ := NewAnalyzer(cfg, 1, sim.RunOpts{WarmupIters: 2, MeasureIters: 8})
+	tk := task(t, "tblook", 0)
+	b, err := a.Bound(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.ValidateAgainstRSK(tk, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Holds {
+		t.Errorf("ubdm=1 bound unexpectedly held: observed %d bound %d", v.Observed, v.Bound)
+	}
+}
+
+func TestValidateAgainstWorkloads(t *testing.T) {
+	cfg := sim.NGMPRef()
+	a, _ := NewAnalyzer(cfg, cfg.UBD(), sim.RunOpts{WarmupIters: 2, MeasureIters: 5})
+	tk := task(t, "tblook", 0)
+	b, err := a.Bound(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := a.ValidateAgainstWorkloads(tk, b, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("validations = %d", len(vs))
+	}
+	for _, v := range vs {
+		if !v.Holds {
+			t.Errorf("bound violated by workload %s", v.Scenario)
+		}
+		if v.Scenario == "" {
+			t.Error("scenario unnamed")
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	cfg := sim.NGMPRef()
+	r := NewReport(cfg, 27)
+	a, _ := NewAnalyzer(cfg, 27, sim.RunOpts{WarmupIters: 2, MeasureIters: 5})
+	tk := task(t, "canrdr", 0)
+	b, err := a.Bound(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Bounds = append(r.Bounds, b)
+	v, err := a.ValidateAgainstRSK(tk, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Validations["canrdr"] = []Validation{v}
+	if !r.AllHold() {
+		t.Error("validation should hold")
+	}
+	out := r.String()
+	for _, want := range []string{"canrdr", "HOLDS", "ubdm = 27", "pad%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	r.Validations["canrdr"][0].Holds = false
+	if r.AllHold() {
+		t.Error("AllHold must see the violation")
+	}
+}
+
+func TestValidationHeadroom(t *testing.T) {
+	v := Validation{Observed: 100, Bound: 150, Holds: true, Headroom: 0.5}
+	if v.Headroom != 0.5 {
+		t.Error("headroom field")
+	}
+}
+
+func TestStoreOnlyTaskInsensitive(t *testing.T) {
+	// A small-footprint task (all loads DL1-resident, a few buffered
+	// stores) is contention-insensitive: its observed time under rsk
+	// attack equals isolation, and the ETB is wildly conservative —
+	// the Fig. 7(b) phenomenon surfacing in MBTA practice.
+	cfg := sim.NGMPRef()
+	a, _ := NewAnalyzer(cfg, cfg.UBD(), sim.RunOpts{WarmupIters: 2, MeasureIters: 8})
+	tk := task(t, "puwmod", 0)
+	b, err := a.Bound(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.ValidateAgainstRSK(tk, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Holds {
+		t.Fatal("bound must hold")
+	}
+	slow := float64(v.Observed) / float64(b.Isolation)
+	if slow > 1.02 {
+		t.Errorf("store-buffered task slowed %.2fx under rsk; expected ≈ 1.0", slow)
+	}
+}

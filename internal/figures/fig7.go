@@ -1,0 +1,159 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"rrbus/internal/core"
+	"rrbus/internal/isa"
+	"rrbus/internal/sim"
+)
+
+// SweepPoint is one k of a Fig. 7 sweep.
+type SweepPoint struct {
+	K int
+	// Slowdown is ExecTime_contended - ExecTime_isolation in cycles.
+	Slowdown int64
+	// Utilization is the contended run's bus utilization.
+	Utilization float64
+}
+
+// Sweep runs the rsk-nop(t, k) slowdown sweep for k = 1..kmax with the
+// given number of measured iterations per run.
+func Sweep(cfg sim.Config, t isa.Op, kmax int, iters uint64) ([]SweepPoint, error) {
+	r, err := core.NewSimRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if iters > 0 {
+		r.Iters = iters
+	}
+	out := make([]SweepPoint, 0, kmax)
+	for k := 1; k <= kmax; k++ {
+		cont, err := r.RunContended(t, k)
+		if err != nil {
+			return nil, err
+		}
+		isol, err := r.RunIsolation(t, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			K:           k,
+			Slowdown:    int64(cont.Cycles) - int64(isol.Cycles),
+			Utilization: cont.Utilization,
+		})
+	}
+	return out, nil
+}
+
+// Fig7aResult is the Fig. 7(a) pair of load sweeps.
+type Fig7aResult struct {
+	Ref, Var []SweepPoint
+	// RefPeaks and VarPeaks are the k positions of the saw-tooth maxima
+	// (the paper: 27/54 for ref, 24/51 for var, both period 27).
+	RefPeaks, VarPeaks []int
+}
+
+// Fig7a regenerates Fig. 7(a): slowdown of rsk-nop(load, k) against three
+// load rsk on the reference and variant architectures.
+func Fig7a(kmax int, iters uint64) (*Fig7aResult, error) {
+	ref, err := Sweep(sim.NGMPRef(), isa.OpLoad, kmax, iters)
+	if err != nil {
+		return nil, err
+	}
+	vr, err := Sweep(sim.NGMPVar(), isa.OpLoad, kmax, iters)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7aResult{
+		Ref:      ref,
+		Var:      vr,
+		RefPeaks: peaksOf(ref),
+		VarPeaks: peaksOf(vr),
+	}, nil
+}
+
+// peaksOf returns the k positions of strict local maxima of the slowdown.
+func peaksOf(pts []SweepPoint) []int {
+	var out []int
+	for i := range pts {
+		cur := pts[i].Slowdown
+		leftOK := i == 0 || pts[i-1].Slowdown < cur
+		rightOK := i == len(pts)-1 || pts[i+1].Slowdown < cur
+		// Interior maxima only: edges are ambiguous.
+		if i > 0 && i < len(pts)-1 && leftOK && rightOK {
+			out = append(out, pts[i].K)
+		}
+	}
+	return out
+}
+
+// Render formats the two sweeps as aligned columns with a bar for ref.
+func (r *Fig7aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("  k  slowdown(ref)  slowdown(var)\n")
+	maxS := int64(1)
+	for _, p := range r.Ref {
+		if p.Slowdown > maxS {
+			maxS = p.Slowdown
+		}
+	}
+	for i := range r.Ref {
+		bar := strings.Repeat("#", int(r.Ref[i].Slowdown*30/maxS))
+		fmt.Fprintf(&b, "%3d  %13d  %13d  %s\n", r.Ref[i].K, r.Ref[i].Slowdown, r.Var[i].Slowdown, bar)
+	}
+	fmt.Fprintf(&b, "ref peaks at k=%v, var peaks at k=%v\n", r.RefPeaks, r.VarPeaks)
+	return b.String()
+}
+
+// Fig7bResult is the Fig. 7(b) store sweep.
+type Fig7bResult struct {
+	Points []SweepPoint
+	// ZeroFromK is the first k from which the slowdown stays zero: the
+	// store buffer hides all contention beyond it (paper: the first
+	// period spans k ∈ [1..28]; in this simulator the tooth ends at
+	// ubd + lbus - 1 because a saturated buffer frees one entry per full
+	// round — see DESIGN.md).
+	ZeroFromK int
+}
+
+// Fig7b regenerates Fig. 7(b): slowdown of rsk-nop(store, k) against three
+// store rsk on cfg.
+func Fig7b(cfg sim.Config, kmax int, iters uint64) (*Fig7bResult, error) {
+	pts, err := Sweep(cfg, isa.OpStore, kmax, iters)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7bResult{Points: pts, ZeroFromK: -1}
+	for i := len(pts) - 1; i >= 0; i-- {
+		if pts[i].Slowdown != 0 {
+			if i+1 < len(pts) {
+				res.ZeroFromK = pts[i+1].K
+			}
+			break
+		}
+		if i == 0 {
+			res.ZeroFromK = pts[0].K
+		}
+	}
+	return res, nil
+}
+
+// Render formats the store sweep.
+func (r *Fig7bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("  k  slowdown(store)\n")
+	maxS := int64(1)
+	for _, p := range r.Points {
+		if p.Slowdown > maxS {
+			maxS = p.Slowdown
+		}
+	}
+	for _, p := range r.Points {
+		bar := strings.Repeat("#", int(p.Slowdown*30/maxS))
+		fmt.Fprintf(&b, "%3d  %15d  %s\n", p.K, p.Slowdown, bar)
+	}
+	fmt.Fprintf(&b, "slowdown identically zero from k=%d (store buffer hides contention)\n", r.ZeroFromK)
+	return b.String()
+}

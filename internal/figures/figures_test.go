@@ -1,0 +1,242 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"rrbus/internal/analytic"
+	"rrbus/internal/isa"
+	"rrbus/internal/sim"
+)
+
+func TestToyConfig(t *testing.T) {
+	c := ToyConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.UBD() != 6 {
+		t.Errorf("toy ubd = %d, want 6 (Fig. 3)", c.UBD())
+	}
+}
+
+func TestFig3MatchesEq2(t *testing.T) {
+	rows, err := Fig3(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The exact Fig. 3 matrix: 6 5 4 3 2 1 0 5 ...
+	want := []int{6, 5, 4, 3, 2, 1, 0, 5, 4, 3, 2, 1, 0, 5}
+	for i, r := range rows {
+		if r.Delta != i {
+			t.Errorf("row %d: delta %d", i, r.Delta)
+		}
+		if r.GammaAnalytic != want[i] {
+			t.Errorf("δ=%d: analytic %d, want %d", i, r.GammaAnalytic, want[i])
+		}
+		if r.GammaSim != r.GammaAnalytic {
+			t.Errorf("δ=%d: sim %d ≠ analytic %d", i, r.GammaSim, r.GammaAnalytic)
+		}
+	}
+	out := RenderGammaRows(rows)
+	if strings.Contains(out, "mismatch") {
+		t.Error("render flags a mismatch")
+	}
+}
+
+func TestFig2Scenario(t *testing.T) {
+	gamma, tl, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma != 3 {
+		t.Errorf("Fig. 2: γ = %d, paper shows 3 for δ=9, ubd=6", gamma)
+	}
+	if !strings.Contains(tl, "port0") {
+		t.Error("timeline missing")
+	}
+}
+
+func TestFig5Scenarios(t *testing.T) {
+	scen, err := Fig5([]int{1, 2, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scen) != 4 {
+		t.Fatalf("scenarios = %d", len(scen))
+	}
+	// The paper's progression on the toy platform (δrsk = 1):
+	// k=1 → δ=2 → γ=4; k=2 → δ=3 → γ=3; k=5 → δ=6 → γ=0;
+	// k=6 → δ=7 → γ=5 (wraps back up).
+	want := map[int]int{1: 4, 2: 3, 5: 0, 6: 5}
+	for _, s := range scen {
+		if s.Gamma != want[s.K] {
+			t.Errorf("k=%d: γ = %d, want %d", s.K, s.Gamma, want[s.K])
+		}
+		if s.Delta != 1+s.K {
+			t.Errorf("k=%d: δ = %d", s.K, s.Delta)
+		}
+		if s.Timeline == "" {
+			t.Errorf("k=%d: missing timeline", s.K)
+		}
+	}
+}
+
+func TestFig6a(t *testing.T) {
+	res, err := Fig6a(sim.NGMPRef(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4×rsk: every request finds all three contenders ready.
+	if res.RSKFrac[3] < 0.999 {
+		t.Errorf("rsk 3-contender share = %.3f, want ≈ 1", res.RSKFrac[3])
+	}
+	// EEMBC-like: the bus is empty or single-contended most of the time.
+	if low := res.EEMBCFrac[0] + res.EEMBCFrac[1]; low < 0.5 {
+		t.Errorf("EEMBC 0-1 contender share = %.3f, paper says 'most of the times'", low)
+	}
+	if len(res.Workloads) != 4 {
+		t.Errorf("workloads = %d", len(res.Workloads))
+	}
+	out := res.Render()
+	if !strings.Contains(out, "ready-contenders") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFig6b(t *testing.T) {
+	res, err := Fig6b(sim.NGMPRef(), sim.NGMPVar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	// The paper's exact numbers: ubdm 26 (ref) and 23 (var), actual 27,
+	// with 98% of requests at the dominant delay.
+	if res[0].UBDm != 26 || res[0].ActualUBD != 27 {
+		t.Errorf("ref: ubdm %d / actual %d", res[0].UBDm, res[0].ActualUBD)
+	}
+	if res[1].UBDm != 23 {
+		t.Errorf("var: ubdm %d", res[1].UBDm)
+	}
+	for _, r := range res {
+		if r.ModeFrac < 0.97 || r.ModeFrac > 0.99 {
+			t.Errorf("%s: mode share %.3f, paper reports 98%%", r.Arch, r.ModeFrac)
+		}
+		if !strings.Contains(r.Render(), "ubdm") {
+			t.Error("render missing")
+		}
+	}
+}
+
+func TestFig7a(t *testing.T) {
+	res, err := Fig7a(56, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peaks at 27/54 (ref) and 24/51 (var): period 27 on both.
+	wantRef := map[int]bool{27: true, 54: true}
+	for _, pk := range res.RefPeaks {
+		if !wantRef[pk] {
+			t.Errorf("unexpected ref peak at k=%d", pk)
+		}
+		delete(wantRef, pk)
+	}
+	if len(wantRef) != 0 {
+		t.Errorf("missing ref peaks: %v (got %v)", wantRef, res.RefPeaks)
+	}
+	wantVar := map[int]bool{24: true, 51: true}
+	for _, pk := range res.VarPeaks {
+		if !wantVar[pk] {
+			t.Errorf("unexpected var peak at k=%d", pk)
+		}
+		delete(wantVar, pk)
+	}
+	if len(wantVar) != 0 {
+		t.Errorf("missing var peaks: %v (got %v)", wantVar, res.VarPeaks)
+	}
+	if !strings.Contains(res.Render(), "peaks") {
+		t.Error("render missing peaks")
+	}
+}
+
+func TestFig7b(t *testing.T) {
+	// The window must be long enough for the store backlog to reach the
+	// buffer bound near the crossover: with 10 stores per iteration and
+	// an 8-entry buffer, ~30 iterations suffice for k up to 34.
+	res, err := Fig7b(sim.NGMPRef(), 45, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ZeroFromK < 0 {
+		t.Fatal("store slowdown never reached zero")
+	}
+	// In this simulator the tooth ends once the production period
+	// exceeds the full round: k = Nc*lbus - storeCost = 35 (DESIGN.md).
+	// Near the asymptote the backlog fill time diverges, so a finite
+	// window may truncate one step early.
+	if res.ZeroFromK < 34 || res.ZeroFromK > 35 {
+		t.Errorf("zero from k=%d, expected 34..35 (steady state: Nc*lbus - 1 = 35)", res.ZeroFromK)
+	}
+	// Single tooth: nonzero before, all zero after.
+	for _, p := range res.Points {
+		if p.K >= res.ZeroFromK && p.Slowdown != 0 {
+			t.Errorf("slowdown %d at k=%d after the tooth", p.Slowdown, p.K)
+		}
+		if p.K < 30 && p.Slowdown == 0 {
+			t.Errorf("unexpected zero inside the tooth at k=%d", p.K)
+		}
+	}
+	if !strings.Contains(res.Render(), "zero from") {
+		t.Error("render missing")
+	}
+}
+
+func TestSweepMatchesAnalyticAmplitude(t *testing.T) {
+	// One point cross-check: at k=1 on ref the sweep runner uses a
+	// fixed unroll of 2, so each iteration issues 9 inner requests at
+	// γ(δ=2) plus one loop-boundary request at γ(δ=3).
+	pts, err := Sweep(sim.NGMPRef(), isa.OpLoad, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerIter := analytic.SlowdownPerIteration(9, 2, 3, 27)
+	got := pts[0].Slowdown
+	if got != int64(wantPerIter*10) {
+		t.Errorf("slowdown = %d, analytic model says %d", got, wantPerIter*10)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	rows, err := Summary(sim.NGMPRef(), sim.NGMPVar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("%s: %s", r.Arch, r.Err)
+		}
+		if r.DerivedUBDm != 27 || r.ActualUBD != 27 {
+			t.Errorf("%s: derived %d, actual %d", r.Arch, r.DerivedUBDm, r.ActualUBD)
+		}
+		if r.NaiveUBDm >= r.ActualUBD {
+			t.Errorf("%s: naive %d must underestimate", r.Arch, r.NaiveUBDm)
+		}
+		if r.Confidence != 1 {
+			t.Errorf("%s: confidence %.2f", r.Arch, r.Confidence)
+		}
+	}
+	if rows[0].NaiveUBDm != 26 || rows[1].NaiveUBDm != 23 {
+		t.Errorf("naive values %d/%d, paper reports 26/23", rows[0].NaiveUBDm, rows[1].NaiveUBDm)
+	}
+	out := RenderSummary(rows)
+	if !strings.Contains(out, "ngmp-ref") || !strings.Contains(out, "ngmp-var") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,76 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"rrbus/internal/core"
+	"rrbus/internal/isa"
+	"rrbus/internal/sim"
+)
+
+// SummaryRow is one line of the E8 headline table: the paper's §5 numbers
+// condensed — for an architecture and access type, the methodology's
+// derived bound versus the naive det/nr estimate versus Eq. 1 ground truth.
+type SummaryRow struct {
+	Arch      string
+	Type      string
+	ActualUBD int
+	// DerivedUBDm is the methodology's estimate (0 when derivation
+	// failed; Err holds the reason).
+	DerivedUBDm int
+	// NaiveUBDm is det/nr for the plain rsk.
+	NaiveUBDm int
+	// PeriodK, DeltaNop, Confidence summarize the derivation.
+	PeriodK    int
+	DeltaNop   float64
+	Confidence float64
+	Err        string
+}
+
+// Summary derives ubd on each configuration with both the methodology and
+// the naive baseline, for load kernels (the store path is exercised by
+// Fig. 7(b); its slowdown is flat beyond one tooth, so no period exists to
+// detect — exactly the paper's argument for using loads).
+func Summary(cfgs ...sim.Config) ([]SummaryRow, error) {
+	rows := make([]SummaryRow, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		r, err := core.NewSimRunner(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := SummaryRow{Arch: cfg.Name, Type: "load", ActualUBD: cfg.UBD()}
+		res, err := core.Derive(r, core.Options{Type: isa.OpLoad, AutoExtend: true})
+		if err != nil {
+			row.Err = err.Error()
+		}
+		if res != nil {
+			row.DerivedUBDm = res.UBDm
+			row.PeriodK = res.PeriodK
+			row.DeltaNop = res.DeltaNop
+			row.Confidence = res.Confidence.Score()
+		}
+		nv, err := core.NaiveUBDM(r, isa.OpLoad)
+		if err != nil {
+			return nil, err
+		}
+		row.NaiveUBDm = nv.UBDm
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSummary formats the headline table.
+func RenderSummary(rows []SummaryRow) string {
+	var b strings.Builder
+	b.WriteString("arch       type   actual-ubd  derived-ubdm  naive-ubdm  periodK  δnop   confidence\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-6s %10d  %12d  %10d  %7d  %5.2f  %10.2f",
+			r.Arch, r.Type, r.ActualUBD, r.DerivedUBDm, r.NaiveUBDm, r.PeriodK, r.DeltaNop, r.Confidence)
+		if r.Err != "" {
+			fmt.Fprintf(&b, "  ERR: %s", r.Err)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

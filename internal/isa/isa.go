@@ -1,0 +1,162 @@
+// Package isa defines the minimal instruction set used by the simulated
+// cores. The paper's kernels (rsk, rsk-nop) and the synthetic EEMBC-like
+// workloads are expressed as programs over this ISA; the cpu package gives
+// each operation its timing.
+//
+// The ISA is deliberately small: the contention phenomena under study depend
+// only on when instructions issue requests to the bus, not on architectural
+// state, so instructions carry no register semantics — only an opcode, an
+// optional memory address, and an optional latency override.
+package isa
+
+import "fmt"
+
+// Op enumerates the instruction classes the simulated core executes.
+type Op uint8
+
+const (
+	// OpNop is a single-cycle filler instruction. rsk-nop uses it to
+	// stretch the injection time between bus accesses.
+	OpNop Op = iota
+	// OpLoad reads one word. It accesses DL1 and, on a miss, issues a bus
+	// request; the pipeline blocks until the data returns.
+	OpLoad
+	// OpStore writes one word. DL1 is write-through, so every store
+	// eventually reaches the bus; the pipeline only blocks when the store
+	// buffer is full.
+	OpStore
+	// OpIALU is an integer ALU operation with a configurable latency
+	// (Instr.Lat, defaulting to the core's integer latency).
+	OpIALU
+	// OpBranch models loop-control overhead: a taken backward branch at
+	// the end of a loop body.
+	OpBranch
+)
+
+// String returns the conventional mnemonic for the opcode.
+func (o Op) String() string {
+	switch o {
+	case OpNop:
+		return "nop"
+	case OpLoad:
+		return "ld"
+	case OpStore:
+		return "st"
+	case OpIALU:
+		return "alu"
+	case OpBranch:
+		return "br"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// IsMem reports whether the opcode accesses data memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// Instr is one instruction of a simulated program.
+type Instr struct {
+	// Op selects the instruction class.
+	Op Op
+	// Addr is the byte address accessed by OpLoad/OpStore. Ignored for
+	// other opcodes.
+	Addr uint64
+	// Lat overrides the core's default latency for OpIALU (in cycles).
+	// Zero means "use the core default".
+	Lat uint8
+}
+
+// String renders the instruction in a compact assembly-like form.
+func (in Instr) String() string {
+	if in.Op.IsMem() {
+		return fmt.Sprintf("%s 0x%x", in.Op, in.Addr)
+	}
+	if in.Op == OpIALU && in.Lat > 0 {
+		return fmt.Sprintf("%s#%d", in.Op, in.Lat)
+	}
+	return in.Op.String()
+}
+
+// Nop returns a nop instruction.
+func Nop() Instr { return Instr{Op: OpNop} }
+
+// Load returns a load from addr.
+func Load(addr uint64) Instr { return Instr{Op: OpLoad, Addr: addr} }
+
+// Store returns a store to addr.
+func Store(addr uint64) Instr { return Instr{Op: OpStore, Addr: addr} }
+
+// IALU returns an integer ALU instruction with latency lat cycles
+// (0 = core default).
+func IALU(lat uint8) Instr { return Instr{Op: OpIALU, Lat: lat} }
+
+// Branch returns a loop-control branch instruction.
+func Branch() Instr { return Instr{Op: OpBranch} }
+
+// Program is a unit of work for one simulated core: an optional setup
+// sequence executed once, followed by a body executed repeatedly.
+//
+// Programs used as the software component under analysis (scua) run the body
+// a fixed number of times per measurement; contender programs loop forever
+// ("rsk must not complete execution before the scua").
+type Program struct {
+	// Name identifies the program in reports and traces.
+	Name string
+	// CodeBase is the byte address of the first body instruction, used
+	// for instruction fetch through IL1. Setup instructions are laid out
+	// before the body.
+	CodeBase uint64
+	// Setup is executed once, before the first body iteration. Kernels
+	// use it to warm the L2 cache.
+	Setup []Instr
+	// Body is the measured loop body.
+	Body []Instr
+}
+
+// Validate reports whether the program is well formed.
+func (p *Program) Validate() error {
+	if p == nil {
+		return fmt.Errorf("isa: nil program")
+	}
+	if len(p.Body) == 0 {
+		return fmt.Errorf("isa: program %q has empty body", p.Name)
+	}
+	if p.CodeBase%4 != 0 {
+		return fmt.Errorf("isa: program %q code base 0x%x not 4-byte aligned", p.Name, p.CodeBase)
+	}
+	return nil
+}
+
+// BodyRequests counts the data-memory instructions in one body iteration.
+// For write-through caches every store is a bus request; loads are bus
+// requests only when they miss DL1, which the caller must account for.
+func (p *Program) BodyRequests() (loads, stores int) {
+	for _, in := range p.Body {
+		switch in.Op {
+		case OpLoad:
+			loads++
+		case OpStore:
+			stores++
+		}
+	}
+	return loads, stores
+}
+
+// InstrBytes is the encoded size of one instruction, used to lay out code
+// addresses for instruction fetch (SPARC V8-style fixed 4-byte encoding).
+const InstrBytes = 4
+
+// CodeFootprint returns the number of code bytes the program occupies
+// (setup + body), used to check that kernels fit in IL1.
+func (p *Program) CodeFootprint() uint64 {
+	return uint64(len(p.Setup)+len(p.Body)) * InstrBytes
+}
+
+// InstrAddr returns the fetch address of instruction i, where setup
+// instructions precede body instructions starting at CodeBase.
+func (p *Program) InstrAddr(setup bool, i int) uint64 {
+	if setup {
+		return p.CodeBase + uint64(i)*InstrBytes
+	}
+	return p.CodeBase + uint64(len(p.Setup)+i)*InstrBytes
+}

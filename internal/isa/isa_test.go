@@ -1,0 +1,143 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{OpNop, "nop"},
+		{OpLoad, "ld"},
+		{OpStore, "st"},
+		{OpIALU, "alu"},
+		{OpBranch, "br"},
+		{Op(99), "op(99)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("Op(%d).String() = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpIsMem(t *testing.T) {
+	if !OpLoad.IsMem() || !OpStore.IsMem() {
+		t.Error("loads and stores must be memory ops")
+	}
+	for _, op := range []Op{OpNop, OpIALU, OpBranch} {
+		if op.IsMem() {
+			t.Errorf("%v must not be a memory op", op)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	if got := Load(0x1000).String(); got != "ld 0x1000" {
+		t.Errorf("Load string = %q", got)
+	}
+	if got := Store(0x20).String(); got != "st 0x20" {
+		t.Errorf("Store string = %q", got)
+	}
+	if got := IALU(3).String(); got != "alu#3" {
+		t.Errorf("IALU(3) string = %q", got)
+	}
+	if got := IALU(0).String(); got != "alu" {
+		t.Errorf("IALU(0) string = %q", got)
+	}
+	if got := Nop().String(); got != "nop" {
+		t.Errorf("Nop string = %q", got)
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if in := Load(42); in.Op != OpLoad || in.Addr != 42 {
+		t.Errorf("Load(42) = %+v", in)
+	}
+	if in := Store(7); in.Op != OpStore || in.Addr != 7 {
+		t.Errorf("Store(7) = %+v", in)
+	}
+	if in := Branch(); in.Op != OpBranch {
+		t.Errorf("Branch() = %+v", in)
+	}
+	if in := IALU(5); in.Op != OpIALU || in.Lat != 5 {
+		t.Errorf("IALU(5) = %+v", in)
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	var nilProg *Program
+	if err := nilProg.Validate(); err == nil {
+		t.Error("nil program must not validate")
+	}
+	p := &Program{Name: "empty"}
+	if err := p.Validate(); err == nil {
+		t.Error("empty body must not validate")
+	}
+	p = &Program{Name: "misaligned", CodeBase: 2, Body: []Instr{Nop()}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "aligned") {
+		t.Errorf("misaligned code base: got %v", err)
+	}
+	p = &Program{Name: "ok", CodeBase: 0x1000, Body: []Instr{Nop(), Branch()}}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestBodyRequests(t *testing.T) {
+	p := &Program{Body: []Instr{Load(0), Nop(), Store(4), Load(8), Branch()}}
+	loads, stores := p.BodyRequests()
+	if loads != 2 || stores != 1 {
+		t.Errorf("BodyRequests = (%d, %d), want (2, 1)", loads, stores)
+	}
+}
+
+func TestCodeFootprintAndAddrs(t *testing.T) {
+	p := &Program{
+		Name:     "layout",
+		CodeBase: 0x4000,
+		Setup:    []Instr{Load(0), Load(4)},
+		Body:     []Instr{Nop(), Branch()},
+	}
+	if got := p.CodeFootprint(); got != 16 {
+		t.Errorf("CodeFootprint = %d, want 16", got)
+	}
+	if got := p.InstrAddr(true, 0); got != 0x4000 {
+		t.Errorf("setup[0] addr = %#x", got)
+	}
+	if got := p.InstrAddr(true, 1); got != 0x4004 {
+		t.Errorf("setup[1] addr = %#x", got)
+	}
+	// Body instructions are laid out after setup.
+	if got := p.InstrAddr(false, 0); got != 0x4008 {
+		t.Errorf("body[0] addr = %#x", got)
+	}
+	if got := p.InstrAddr(false, 1); got != 0x400c {
+		t.Errorf("body[1] addr = %#x", got)
+	}
+}
+
+func TestInstrAddrMonotonic(t *testing.T) {
+	// Property: body addresses are strictly increasing by InstrBytes.
+	f := func(nSetup, nBody uint8) bool {
+		p := &Program{
+			Name:     "prop",
+			CodeBase: 0x1000,
+			Setup:    make([]Instr, int(nSetup)%64),
+			Body:     make([]Instr, int(nBody)%64+1),
+		}
+		for i := 1; i < len(p.Body); i++ {
+			if p.InstrAddr(false, i)-p.InstrAddr(false, i-1) != InstrBytes {
+				return false
+			}
+		}
+		return p.InstrAddr(false, 0) == p.CodeBase+uint64(len(p.Setup))*InstrBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

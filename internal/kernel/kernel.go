@@ -1,0 +1,235 @@
+// Package kernel generates the paper's resource-stressing kernels:
+//
+//   - rsk(t): a loop of W+1 memory instructions of type t whose addresses
+//     share one DL1 set with a fixed stride, so every access misses DL1 and
+//     (after warmup) hits L2 — maximum sustainable bus pressure (Fig. 1(a)).
+//   - rsk-nop(t, k): the same kernel with k nop instructions injected
+//     between consecutive memory instructions, stretching the injection
+//     time δ by k*δnop (Fig. 1(b)).
+//   - nop-kernel: a loop of only nops used to measure δnop (§4.2).
+//   - l2miss-kernel: memory instructions that also conflict in the L2
+//     partition, forcing DRAM traffic (used by the memory-pressure
+//     extension experiments).
+//
+// Loop bodies are unrolled so that loop-control overhead distorts only a
+// small fraction of requests (the paper reports 98% of requests suffering
+// the same contention with <2% overhead), while still fitting in IL1 so
+// instruction fetches never touch the bus after warmup.
+package kernel
+
+import (
+	"fmt"
+
+	"rrbus/internal/cache"
+	"rrbus/internal/isa"
+)
+
+// Builder generates kernels for a particular platform geometry.
+type Builder struct {
+	// DL1, IL1, L2 are the cache geometries of the target platform.
+	DL1, IL1, L2 cache.Config
+	// Unroll is the number of times the W+1 access group is replicated in
+	// the loop body (default 10, giving a 1/(Unroll*(W+1)) boundary
+	// fraction ≈ 2%).
+	Unroll int
+}
+
+// NewBuilder returns a Builder for the given cache geometries with the
+// default unroll factor.
+func NewBuilder(dl1, il1, l2 cache.Config) Builder {
+	return Builder{DL1: dl1, IL1: il1, L2: l2, Unroll: 10}
+}
+
+// codeBase returns a per-core code region; regions are 1MB apart so
+// programs never share instruction lines.
+func codeBase(core int) uint64 { return 0x4000_0000 + uint64(core)<<20 }
+
+// dataBase returns a per-core data region. Regions are 256MB apart: cores
+// map to the same cache sets (same low bits) but distinct tags, so the
+// partitioned L2 keeps them fully independent.
+func dataBase(core int) uint64 { return 0x1000_0000 * uint64(core+1) }
+
+// dl1ConflictAddrs returns W+1 addresses with the DL1 set-span stride, all
+// mapping to one DL1 set and exceeding its associativity — the paper's
+// always-miss pattern.
+func (b Builder) dl1ConflictAddrs(core int) []uint64 {
+	stride := uint64(b.DL1.Sets() * b.DL1.LineBytes)
+	n := b.DL1.Ways + 1
+	addrs := make([]uint64, n)
+	base := dataBase(core)
+	for i := range addrs {
+		addrs[i] = base + uint64(i)*stride
+	}
+	return addrs
+}
+
+// l2ConflictAddrs returns addresses that conflict in both DL1 and the L2
+// partition (stride = L2 set span), so every access goes to DRAM.
+func (b Builder) l2ConflictAddrs(core int) []uint64 {
+	stride := uint64(b.L2.Sets() * b.L2.LineBytes)
+	// With way partitioning each core owns a single way per set, so two
+	// conflicting lines already thrash; use W+1 relative to DL1 for a
+	// matching DL1 miss pattern.
+	n := b.DL1.Ways + 1
+	addrs := make([]uint64, n)
+	base := dataBase(core)
+	for i := range addrs {
+		addrs[i] = base + uint64(i)*stride
+	}
+	return addrs
+}
+
+// maxBodyInstrs returns how many instructions fit in IL1 with one line
+// spare, the "as big as possible without causing instruction cache misses"
+// constraint from the paper.
+func (b Builder) maxBodyInstrs() int {
+	return (b.IL1.SizeBytes - b.IL1.LineBytes) / isa.InstrBytes
+}
+
+// MaxUnroll returns the largest unroll factor whose rsk-nop(t,k) body still
+// fits in IL1.
+func (b Builder) MaxUnroll(k int) int {
+	group := (b.DL1.Ways + 1) * (1 + k)
+	u := (b.maxBodyInstrs() - 1) / group
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// effectiveUnroll clamps the configured unroll so the body fits in IL1.
+func (b Builder) effectiveUnroll(k int) int {
+	u := b.Unroll
+	if u <= 0 {
+		u = 10
+	}
+	if m := b.MaxUnroll(k); u > m {
+		u = m
+	}
+	return u
+}
+
+// RSK builds the plain resource-stressing kernel of type t (isa.OpLoad or
+// isa.OpStore) for the given core (Fig. 1(a)).
+func (b Builder) RSK(core int, t isa.Op) (*isa.Program, error) {
+	return b.RSKNop(core, t, 0)
+}
+
+// RSKNop builds rsk-nop(t, k): the rsk with k nops injected after every
+// memory instruction (Fig. 1(b)). k = 0 yields the plain rsk.
+func (b Builder) RSKNop(core int, t isa.Op, k int) (*isa.Program, error) {
+	if t != isa.OpLoad && t != isa.OpStore {
+		return nil, fmt.Errorf("kernel: rsk type must be load or store, got %v", t)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("kernel: negative nop count %d", k)
+	}
+	addrs := b.dl1ConflictAddrs(core)
+	unroll := b.effectiveUnroll(k)
+
+	body := make([]isa.Instr, 0, unroll*len(addrs)*(1+k)+1)
+	for u := 0; u < unroll; u++ {
+		for _, a := range addrs {
+			body = append(body, isa.Instr{Op: t, Addr: a})
+			for i := 0; i < k; i++ {
+				body = append(body, isa.Nop())
+			}
+		}
+	}
+	body = append(body, isa.Branch())
+
+	// Setup touches the footprint once with loads so the L2 is warm
+	// before the first measured iteration regardless of t.
+	setup := make([]isa.Instr, 0, len(addrs))
+	for _, a := range addrs {
+		setup = append(setup, isa.Load(a))
+	}
+
+	name := fmt.Sprintf("rsk-%v", t)
+	if k > 0 {
+		name = fmt.Sprintf("rsk-nop-%v-k%d", t, k)
+	}
+	p := &isa.Program{
+		Name:     name,
+		CodeBase: codeBase(core),
+		Setup:    setup,
+		Body:     body,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.CodeFootprint() > uint64(b.IL1.SizeBytes) {
+		return nil, fmt.Errorf("kernel: %s body (%dB) exceeds IL1 (%dB)", name, p.CodeFootprint(), b.IL1.SizeBytes)
+	}
+	return p, nil
+}
+
+// NopKernel builds the δnop-measurement kernel: a loop of n nops (§4.2,
+// "all the operations in the loop-body are nops ... as big as possible
+// without causing instruction cache misses").
+func (b Builder) NopKernel(core, n int) (*isa.Program, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("kernel: nop kernel needs at least 1 nop, got %d", n)
+	}
+	if max := b.maxBodyInstrs() - 1; n > max {
+		n = max
+	}
+	body := make([]isa.Instr, 0, n+1)
+	for i := 0; i < n; i++ {
+		body = append(body, isa.Nop())
+	}
+	body = append(body, isa.Branch())
+	p := &isa.Program{
+		Name:     fmt.Sprintf("nop-kernel-%d", n),
+		CodeBase: codeBase(core),
+		Body:     body,
+	}
+	return p, p.Validate()
+}
+
+// L2MissKernel builds a kernel whose accesses conflict in the core's L2
+// partition as well, so every access reaches DRAM — the memory-pressure
+// stressor used by the extension experiments.
+func (b Builder) L2MissKernel(core int, t isa.Op) (*isa.Program, error) {
+	if t != isa.OpLoad && t != isa.OpStore {
+		return nil, fmt.Errorf("kernel: l2miss type must be load or store, got %v", t)
+	}
+	addrs := b.l2ConflictAddrs(core)
+	unroll := b.effectiveUnroll(0)
+	body := make([]isa.Instr, 0, unroll*len(addrs)+1)
+	for u := 0; u < unroll; u++ {
+		for _, a := range addrs {
+			body = append(body, isa.Instr{Op: t, Addr: a})
+		}
+	}
+	body = append(body, isa.Branch())
+	p := &isa.Program{
+		Name:     fmt.Sprintf("l2miss-%v", t),
+		CodeBase: codeBase(core),
+		Body:     body,
+	}
+	return p, p.Validate()
+}
+
+// NopCount returns the number of nops executed per body iteration of a
+// program built by NopKernel.
+func NopCount(p *isa.Program) uint64 {
+	var n uint64
+	for _, in := range p.Body {
+		if in.Op == isa.OpNop {
+			n++
+		}
+	}
+	return n
+}
+
+// MemCount returns the number of memory instructions per body iteration.
+func MemCount(p *isa.Program) uint64 {
+	var n uint64
+	for _, in := range p.Body {
+		if in.Op.IsMem() {
+			n++
+		}
+	}
+	return n
+}

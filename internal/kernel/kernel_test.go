@@ -1,0 +1,322 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rrbus/internal/cache"
+	"rrbus/internal/isa"
+)
+
+func testBuilder() Builder {
+	dl1 := cache.Config{Name: "DL1", SizeBytes: 16 << 10, Ways: 4, LineBytes: 32,
+		Policy: cache.LRU, Write: cache.WriteThrough, Latency: 1}
+	il1 := dl1
+	il1.Name = "IL1"
+	l2 := cache.Config{Name: "L2", SizeBytes: 256 << 10, Ways: 4, LineBytes: 32,
+		Policy: cache.LRU, Write: cache.WriteBack, Latency: 6, Partitioned: true}
+	return NewBuilder(dl1, il1, l2)
+}
+
+func TestRSKStructure(t *testing.T) {
+	b := testBuilder()
+	p, err := b.RSK(0, isa.OpLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// W+1 = 5 distinct addresses, strided by the DL1 set span (4KB).
+	loads, stores := p.BodyRequests()
+	if stores != 0 {
+		t.Errorf("load rsk contains %d stores", stores)
+	}
+	if loads != 10*5 {
+		t.Errorf("body loads = %d, want unroll(10) * 5", loads)
+	}
+	// Last instruction is the loop branch.
+	if p.Body[len(p.Body)-1].Op != isa.OpBranch {
+		t.Error("body must end with the loop branch")
+	}
+	// Check the stride and same-set property.
+	addrs := map[uint64]bool{}
+	for _, in := range p.Body {
+		if in.Op == isa.OpLoad {
+			addrs[in.Addr] = true
+		}
+	}
+	if len(addrs) != 5 {
+		t.Fatalf("distinct addresses = %d, want W+1 = 5", len(addrs))
+	}
+	dl1 := cache.MustNew(b.DL1)
+	set := dl1.SetIndex(p.Body[0].Addr)
+	for a := range addrs {
+		if dl1.SetIndex(a) != set {
+			t.Errorf("address %#x maps to set %d, want %d (same-set property)", a, dl1.SetIndex(a), set)
+		}
+	}
+}
+
+func TestRSKAlwaysMissesDL1(t *testing.T) {
+	// The defining property from Fig. 1(a): every body load misses DL1.
+	b := testBuilder()
+	p, err := b.RSK(0, isa.OpLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl1 := cache.MustNew(b.DL1)
+	misses := 0
+	total := 0
+	for round := 0; round < 20; round++ {
+		for _, in := range p.Body {
+			if in.Op != isa.OpLoad {
+				continue
+			}
+			total++
+			if !dl1.Access(in.Addr, false, 0).Hit {
+				misses++
+			}
+			dl1.Fill(in.Addr, 0)
+		}
+	}
+	if misses != total {
+		t.Errorf("rsk loads hit DL1 %d/%d times; must always miss", total-misses, total)
+	}
+}
+
+func TestRSKFitsL2Partition(t *testing.T) {
+	// The footprint must be co-resident in the core's L2 partition so
+	// all post-warmup accesses hit L2.
+	b := testBuilder()
+	p, _ := b.RSK(2, isa.OpLoad)
+	l2 := cache.MustNew(b.L2)
+	for _, in := range p.Body {
+		if in.Op == isa.OpLoad {
+			l2.Fill(in.Addr, 2)
+		}
+	}
+	// Second pass: everything still resident.
+	for _, in := range p.Body {
+		if in.Op == isa.OpLoad && !l2.Contains(in.Addr) {
+			t.Fatalf("address %#x evicted from L2 partition", in.Addr)
+		}
+	}
+}
+
+func TestRSKNopInjection(t *testing.T) {
+	b := testBuilder()
+	p, err := b.RSKNop(0, isa.OpLoad, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern: every load followed by exactly 3 nops.
+	for i, in := range p.Body[:len(p.Body)-1] {
+		if in.Op == isa.OpLoad {
+			for j := 1; j <= 3; j++ {
+				if p.Body[i+j].Op != isa.OpNop {
+					t.Fatalf("load at %d not followed by 3 nops", i)
+				}
+			}
+		}
+	}
+	if got := NopCount(p); got != 10*5*3 {
+		t.Errorf("nop count = %d", got)
+	}
+	if got := MemCount(p); got != 10*5 {
+		t.Errorf("mem count = %d", got)
+	}
+}
+
+func TestRSKNopNames(t *testing.T) {
+	b := testBuilder()
+	p0, _ := b.RSKNop(0, isa.OpStore, 0)
+	if !strings.Contains(p0.Name, "rsk-st") {
+		t.Errorf("k=0 name = %q", p0.Name)
+	}
+	p5, _ := b.RSKNop(0, isa.OpLoad, 5)
+	if !strings.Contains(p5.Name, "k5") {
+		t.Errorf("k=5 name = %q", p5.Name)
+	}
+}
+
+func TestRSKNopValidation(t *testing.T) {
+	b := testBuilder()
+	if _, err := b.RSKNop(0, isa.OpNop, 1); err == nil {
+		t.Error("nop access type must be rejected")
+	}
+	if _, err := b.RSKNop(0, isa.OpLoad, -1); err == nil {
+		t.Error("negative k must be rejected")
+	}
+}
+
+func TestUnrollShrinksToFitIL1(t *testing.T) {
+	b := testBuilder()
+	// Huge k forces the unroll below the default 10.
+	p, err := b.RSKNop(0, isa.OpLoad, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CodeFootprint() > uint64(b.IL1.SizeBytes) {
+		t.Errorf("body %dB exceeds IL1 %dB", p.CodeFootprint(), b.IL1.SizeBytes)
+	}
+	if MemCount(p) < 5 {
+		t.Error("even huge k must keep one full access group")
+	}
+}
+
+// TestPropBodyAlwaysFitsIL1: for any supportable k, the generated body
+// fits IL1 — the paper's "as big as possible without causing instruction
+// cache misses" constraint. Beyond the point where even a single W+1
+// access group with its nops exceeds IL1, the builder must refuse rather
+// than emit a fetch-missing kernel.
+func TestPropBodyAlwaysFitsIL1(t *testing.T) {
+	b := testBuilder()
+	// The builder accepts a kernel when setup (W+1 loads) + one access
+	// group ((W+1)*(1+k)) + branch fit IL1 exactly:
+	// 4*((W+1) + (W+1)*(1+k) + 1) ≤ IL1 size.
+	wp1 := b.DL1.Ways + 1
+	maxK := (b.IL1.SizeBytes/4-wp1-1)/wp1 - 1
+	f := func(kRaw uint16, store bool) bool {
+		k := int(kRaw) % 1024
+		typ := isa.OpLoad
+		if store {
+			typ = isa.OpStore
+		}
+		p, err := b.RSKNop(0, typ, k)
+		if k > maxK {
+			return err != nil // must refuse oversized kernels
+		}
+		if err != nil {
+			return false
+		}
+		if p.CodeFootprint() > uint64(b.IL1.SizeBytes) {
+			return false
+		}
+		// Structure: MemCount * k nops.
+		return NopCount(p) == MemCount(p)*uint64(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetupWarmsEveryLine(t *testing.T) {
+	b := testBuilder()
+	p, _ := b.RSK(1, isa.OpStore)
+	if len(p.Setup) != 5 {
+		t.Fatalf("setup length = %d", len(p.Setup))
+	}
+	bodyAddrs := map[uint64]bool{}
+	for _, in := range p.Body {
+		if in.Op.IsMem() {
+			bodyAddrs[in.Addr] = true
+		}
+	}
+	for _, in := range p.Setup {
+		if in.Op != isa.OpLoad {
+			t.Error("setup must use loads to warm L2")
+		}
+		delete(bodyAddrs, in.Addr)
+	}
+	if len(bodyAddrs) != 0 {
+		t.Errorf("setup missed addresses: %v", bodyAddrs)
+	}
+}
+
+func TestNopKernel(t *testing.T) {
+	b := testBuilder()
+	p, err := b.NopKernel(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NopCount(p); got != 1000 {
+		t.Errorf("nop count = %d", got)
+	}
+	if p.Body[len(p.Body)-1].Op != isa.OpBranch {
+		t.Error("nop kernel must end with branch")
+	}
+	// Oversized request is clamped to IL1 capacity.
+	big, err := b.NopKernel(0, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.CodeFootprint() > uint64(b.IL1.SizeBytes) {
+		t.Error("clamped nop kernel exceeds IL1")
+	}
+	if _, err := b.NopKernel(0, 0); err == nil {
+		t.Error("zero nops must be rejected")
+	}
+}
+
+func TestL2MissKernel(t *testing.T) {
+	b := testBuilder()
+	p, err := b.L2MissKernel(0, isa.OpLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Addresses conflict in the L2 partition: same L2 set, one way each
+	// → thrash.
+	l2 := cache.MustNew(b.L2)
+	set := l2.SetIndex(p.Body[0].Addr)
+	distinct := map[uint64]bool{}
+	for _, in := range p.Body {
+		if in.Op == isa.OpLoad {
+			distinct[in.Addr] = true
+			if l2.SetIndex(in.Addr) != set {
+				t.Errorf("address %#x not in conflict set", in.Addr)
+			}
+		}
+	}
+	if len(distinct) < 2 {
+		t.Error("need at least 2 conflicting lines to thrash a 1-way partition")
+	}
+	if _, err := b.L2MissKernel(0, isa.OpBranch); err == nil {
+		t.Error("invalid type must be rejected")
+	}
+}
+
+func TestPerCoreSeparation(t *testing.T) {
+	b := testBuilder()
+	p0, _ := b.RSK(0, isa.OpLoad)
+	p1, _ := b.RSK(1, isa.OpLoad)
+	if p0.CodeBase == p1.CodeBase {
+		t.Error("cores must not share code regions")
+	}
+	a0 := map[uint64]bool{}
+	for _, in := range p0.Body {
+		if in.Op.IsMem() {
+			a0[in.Addr] = true
+		}
+	}
+	for _, in := range p1.Body {
+		if in.Op.IsMem() && a0[in.Addr] {
+			t.Fatalf("cores share data address %#x", in.Addr)
+		}
+	}
+	// Same cache sets, different tags (the partitioned-L2 placement).
+	dl1 := cache.MustNew(b.DL1)
+	if dl1.SetIndex(p0.Body[0].Addr) != dl1.SetIndex(p1.Body[0].Addr) {
+		t.Error("cores should map to the same sets (tags differ)")
+	}
+}
+
+func TestMaxUnroll(t *testing.T) {
+	b := testBuilder()
+	if b.MaxUnroll(0) < 10 {
+		t.Errorf("MaxUnroll(0) = %d, expected ≥ 10", b.MaxUnroll(0))
+	}
+	if b.MaxUnroll(1000) < 1 {
+		t.Error("MaxUnroll must never drop below 1")
+	}
+	// Monotone non-increasing in k.
+	prev := b.MaxUnroll(0)
+	for k := 1; k < 64; k *= 2 {
+		cur := b.MaxUnroll(k)
+		if cur > prev {
+			t.Errorf("MaxUnroll(%d) = %d > MaxUnroll(prev) = %d", k, cur, prev)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,120 @@
+// Package pmc models the performance-monitoring-counter interface that the
+// paper's methodology consumes for its confidence check (§4.3): the Cobham
+// Gaisler NGMP exposes per-core and total bus-utilization counters (ids
+// 0x17 and 0x18 in the LEON4 statistics unit), which the methodology reads
+// to confirm the contenders saturate the bus.
+package pmc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies one counter. The values mirror the NGMP L4STAT ids where
+// one exists; purely simulator-side counters use the 0x100+ range.
+type ID uint16
+
+const (
+	// CycleCount counts elapsed cycles in the measurement window.
+	CycleCount ID = 0x01
+	// InstrCount counts retired instructions.
+	InstrCount ID = 0x02
+	// DCacheMiss counts DL1 misses.
+	DCacheMiss ID = 0x10
+	// ICacheMiss counts IL1 misses.
+	ICacheMiss ID = 0x11
+	// L2Hit counts shared-cache hits.
+	L2Hit ID = 0x12
+	// L2Miss counts shared-cache misses.
+	L2Miss ID = 0x13
+	// BusUtilCore counts bus-busy cycles attributable to this core
+	// (NGMP counter 0x17).
+	BusUtilCore ID = 0x17
+	// BusUtilTotal counts bus-busy cycles of all masters
+	// (NGMP counter 0x18).
+	BusUtilTotal ID = 0x18
+	// BusRequests counts bus transactions granted to this core.
+	BusRequests ID = 0x100
+	// BusWaitCycles accumulates this core's contention delay γ.
+	BusWaitCycles ID = 0x101
+	// SBFullStalls counts pipeline stalls on a full store buffer.
+	SBFullStalls ID = 0x102
+	// MemReads and MemWrites count DRAM transactions.
+	MemReads  ID = 0x103
+	MemWrites ID = 0x104
+)
+
+// Name returns a human-readable counter name.
+func (id ID) Name() string {
+	switch id {
+	case CycleCount:
+		return "cycles"
+	case InstrCount:
+		return "instructions"
+	case DCacheMiss:
+		return "dl1-misses"
+	case ICacheMiss:
+		return "il1-misses"
+	case L2Hit:
+		return "l2-hits"
+	case L2Miss:
+		return "l2-misses"
+	case BusUtilCore:
+		return "bus-util-core(0x17)"
+	case BusUtilTotal:
+		return "bus-util-total(0x18)"
+	case BusRequests:
+		return "bus-requests"
+	case BusWaitCycles:
+		return "bus-wait-cycles"
+	case SBFullStalls:
+		return "sb-full-stalls"
+	case MemReads:
+		return "mem-reads"
+	case MemWrites:
+		return "mem-writes"
+	default:
+		return fmt.Sprintf("pmc(0x%x)", uint16(id))
+	}
+}
+
+// Set is one snapshot of counter values.
+type Set map[ID]uint64
+
+// Get returns the value of id (0 when absent).
+func (s Set) Get(id ID) uint64 { return s[id] }
+
+// Delta returns s - prev counter-wise (counters absent from prev count
+// from zero; counters absent from s are omitted).
+func (s Set) Delta(prev Set) Set {
+	out := make(Set, len(s))
+	for id, v := range s {
+		out[id] = v - prev[id]
+	}
+	return out
+}
+
+// Utilization returns the fraction of window cycles a busy-cycle counter
+// accounts for.
+func (s Set) Utilization(id ID) float64 {
+	cyc := s[CycleCount]
+	if cyc == 0 {
+		return 0
+	}
+	return float64(s[id]) / float64(cyc)
+}
+
+// String renders the set sorted by counter id.
+func (s Set) String() string {
+	ids := make([]int, 0, len(s))
+	for id := range s {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%-22s %12d\n", ID(id).Name(), s[ID(id)])
+	}
+	return b.String()
+}

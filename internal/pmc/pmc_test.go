@@ -1,0 +1,71 @@
+package pmc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNGMPCounterIDs(t *testing.T) {
+	// The ids the paper cites (§4.3): 0x17 per-core and 0x18 total bus
+	// utilization on the Cobham Gaisler NGMP.
+	if BusUtilCore != 0x17 {
+		t.Errorf("BusUtilCore = %#x, want 0x17", uint16(BusUtilCore))
+	}
+	if BusUtilTotal != 0x18 {
+		t.Errorf("BusUtilTotal = %#x, want 0x18", uint16(BusUtilTotal))
+	}
+}
+
+func TestNames(t *testing.T) {
+	if !strings.Contains(BusUtilCore.Name(), "0x17") {
+		t.Errorf("name = %q", BusUtilCore.Name())
+	}
+	if CycleCount.Name() != "cycles" {
+		t.Errorf("name = %q", CycleCount.Name())
+	}
+	if !strings.Contains(ID(0xBEEF).Name(), "beef") {
+		t.Errorf("unknown id name = %q", ID(0xBEEF).Name())
+	}
+	for _, id := range []ID{InstrCount, DCacheMiss, ICacheMiss, L2Hit, L2Miss, BusRequests, BusWaitCycles, SBFullStalls, MemReads, MemWrites} {
+		if id.Name() == "" || strings.HasPrefix(id.Name(), "pmc(") {
+			t.Errorf("id %#x lacks a proper name", uint16(id))
+		}
+	}
+}
+
+func TestSetGetDelta(t *testing.T) {
+	a := Set{CycleCount: 100, InstrCount: 50}
+	b := Set{CycleCount: 350, InstrCount: 170, BusRequests: 7}
+	if a.Get(CycleCount) != 100 || a.Get(BusRequests) != 0 {
+		t.Fatal("Get wrong")
+	}
+	d := b.Delta(a)
+	if d[CycleCount] != 250 || d[InstrCount] != 120 || d[BusRequests] != 7 {
+		t.Errorf("Delta = %v", d)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := Set{CycleCount: 200, BusUtilTotal: 150, BusUtilCore: 50}
+	if got := s.Utilization(BusUtilTotal); got != 0.75 {
+		t.Errorf("total util = %v", got)
+	}
+	if got := s.Utilization(BusUtilCore); got != 0.25 {
+		t.Errorf("core util = %v", got)
+	}
+	if (Set{}).Utilization(BusUtilTotal) != 0 {
+		t.Error("zero-cycle utilization must be 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Set{CycleCount: 5, BusUtilTotal: 3}
+	out := s.String()
+	if !strings.Contains(out, "cycles") || !strings.Contains(out, "bus-util-total") {
+		t.Errorf("render = %q", out)
+	}
+	// Sorted by id: cycles (0x01) before bus-util (0x18).
+	if strings.Index(out, "cycles") > strings.Index(out, "bus-util-total") {
+		t.Error("render must sort by id")
+	}
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"fmt"
+
+	"rrbus/internal/bus"
+	"rrbus/internal/cache"
+	"rrbus/internal/cpu"
+	"rrbus/internal/isa"
+	"rrbus/internal/mem"
+	"rrbus/internal/pmc"
+)
+
+// Workload describes one measurement scenario: the software component under
+// analysis (scua) on one core, optionally surrounded by contender programs
+// on the remaining cores.
+type Workload struct {
+	// Scua is the measured program; it runs on core ScuaCore.
+	Scua *isa.Program
+	// ScuaCore selects the scua's core (default 0).
+	ScuaCore int
+	// Contenders run on the remaining cores in order, skipping ScuaCore.
+	// They loop forever, so they never finish before the scua. Fewer
+	// contenders than cores leaves the rest idle; nil entries are idle
+	// cores too.
+	Contenders []*isa.Program
+}
+
+// RunOpts tunes a measurement run.
+type RunOpts struct {
+	// WarmupIters body iterations are executed before the measurement
+	// window opens (caches warm, synchrony established). Default 2.
+	WarmupIters uint64
+	// MeasureIters body iterations form the measurement window.
+	// Default 10.
+	MeasureIters uint64
+	// MaxCycles aborts a run that exceeds this budget (deadlock and
+	// misconfiguration guard). Default 2^28 ≈ 268M cycles, far beyond
+	// any legitimate experiment in this package.
+	MaxCycles uint64
+	// CollectGammas enables the per-request contention histogram for the
+	// scua (Fig. 6(b)) and the ready-contender histogram (Fig. 6(a)).
+	CollectGammas bool
+	// OnGrant, if non-nil, observes every grant during the measurement
+	// window (tracing).
+	OnGrant func(r *bus.Request)
+}
+
+func (o *RunOpts) fill() {
+	if o.WarmupIters == 0 {
+		o.WarmupIters = 2
+	}
+	if o.MeasureIters == 0 {
+		o.MeasureIters = 10
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 1 << 28
+	}
+}
+
+// Measurement is the outcome of one run.
+type Measurement struct {
+	// Cycles is the execution time of the scua's measured iterations.
+	Cycles uint64
+	// Iters is the number of measured iterations.
+	Iters uint64
+	// Requests is the number of bus transactions the scua's port was
+	// granted during the window (loads + fetches + stores). This is the
+	// nr of the paper's pad = nr * ubdm.
+	Requests uint64
+	// MaxGamma is the worst per-request contention delay the scua's port
+	// suffered (the naive ubdm when the scua is an rsk).
+	MaxGamma uint64
+	// AvgGamma is the mean per-request contention delay.
+	AvgGamma float64
+	// Utilization is total bus occupancy divided by window length
+	// (NGMP counter 0x18 normalized).
+	Utilization float64
+	// PerCoreUtilization is each core's bus occupancy share
+	// (NGMP counter 0x17 normalized); index Cores is the memory port.
+	PerCoreUtilization []float64
+	// Scua holds the scua core's activity counters.
+	Scua cpu.Counters
+	// DL1, IL1 are the scua's L1 statistics; L2 is the shared cache; Bus
+	// the bus statistics; Mem the memory system statistics.
+	DL1, IL1, L2 cache.Stats
+	Bus          bus.Stats
+	Mem          mem.Stats
+	// GammaHist maps contention delay (cycles) to occurrence count for
+	// the scua's requests (CollectGammas only).
+	GammaHist map[int]uint64
+	// ContendersHist[i] counts scua submissions that found i other
+	// requests pending or in service (CollectGammas only).
+	ContendersHist []uint64
+	// PMC exposes the window as an NGMP-style counter snapshot for the
+	// scua core (the view a real platform would offer the methodology).
+	PMC pmc.Set
+}
+
+// SlowdownVs returns the execution-time increase of m relative to an
+// isolation measurement over the same iteration count: the paper's
+// det = ExecTime_rsk - ExecTime_isol.
+func (m *Measurement) SlowdownVs(isol *Measurement) (int64, error) {
+	if m.Iters != isol.Iters {
+		return 0, fmt.Errorf("sim: slowdown over mismatched windows (%d vs %d iters)", m.Iters, isol.Iters)
+	}
+	return int64(m.Cycles) - int64(isol.Cycles), nil
+}
+
+// Run executes the workload on cfg and measures the scua over opt's window.
+func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
+	opt.fill()
+	if w.Scua == nil {
+		return nil, fmt.Errorf("sim: workload has no scua")
+	}
+	if w.ScuaCore < 0 || w.ScuaCore >= cfg.Cores {
+		return nil, fmt.Errorf("sim: scua core %d out of range (%d cores)", w.ScuaCore, cfg.Cores)
+	}
+	if len(w.Contenders) > cfg.Cores-1 {
+		return nil, fmt.Errorf("sim: %d contenders for %d cores", len(w.Contenders), cfg.Cores)
+	}
+
+	// Place programs: the scua on its core, contenders on the others in
+	// order. Cores without a contender run an idle nop loop so the RR
+	// port positions match the physical layout.
+	full := make([]*isa.Program, 0, cfg.Cores)
+	fullIters := make([]uint64, 0, cfg.Cores)
+	ci := 0
+	for core := 0; core < cfg.Cores; core++ {
+		if core == w.ScuaCore {
+			full = append(full, w.Scua)
+			fullIters = append(fullIters, opt.WarmupIters+opt.MeasureIters)
+			continue
+		}
+		var p *isa.Program
+		if ci < len(w.Contenders) {
+			p = w.Contenders[ci]
+		}
+		ci++
+		if p == nil {
+			p = idleProgram(core)
+		}
+		full = append(full, p)
+		fullIters = append(fullIters, 0)
+	}
+
+	sys, err := NewSystem(cfg, full, fullIters)
+	if err != nil {
+		return nil, err
+	}
+	scua := sys.Core(w.ScuaCore)
+
+	// Warmup phase.
+	if !sys.RunUntil(func() bool { return scua.Iters() >= opt.WarmupIters }, opt.MaxCycles) {
+		return nil, fmt.Errorf("sim: warmup exceeded %d cycles (scua %q at %d/%d iters)",
+			opt.MaxCycles, w.Scua.Name, scua.Iters(), opt.WarmupIters)
+	}
+	sys.ResetStats()
+	startCycle := sys.Cycle()
+	startIters := scua.Iters()
+
+	m := &Measurement{}
+	if opt.CollectGammas {
+		m.GammaHist = make(map[int]uint64)
+		m.ContendersHist = make([]uint64, cfg.Cores+1)
+	}
+	if opt.CollectGammas || opt.OnGrant != nil {
+		sys.Bus().OnGrant = func(r *bus.Request) {
+			if opt.CollectGammas && r.Port == w.ScuaCore && r.Kind != bus.KindResp {
+				m.GammaHist[int(r.Gamma())]++
+			}
+			if opt.OnGrant != nil {
+				opt.OnGrant(r)
+			}
+		}
+		if opt.CollectGammas {
+			sys.Bus().OnSubmit = func(r *bus.Request, ready int) {
+				if r.Port == w.ScuaCore {
+					if ready >= len(m.ContendersHist) {
+						ready = len(m.ContendersHist) - 1
+					}
+					m.ContendersHist[ready]++
+				}
+			}
+		}
+	}
+
+	// Measurement phase.
+	target := opt.WarmupIters + opt.MeasureIters
+	if !sys.RunUntil(func() bool { return scua.Iters() >= target }, opt.MaxCycles) {
+		return nil, fmt.Errorf("sim: measurement exceeded %d cycles (scua %q at %d/%d iters)",
+			opt.MaxCycles, w.Scua.Name, scua.Iters(), target)
+	}
+
+	window := sys.Cycle() - startCycle
+	bs := sys.Bus().Stats()
+	m.Cycles = window
+	m.Iters = scua.Iters() - startIters
+	m.Requests = bs.Grants[w.ScuaCore]
+	m.MaxGamma = bs.MaxGamma[w.ScuaCore]
+	if bs.Grants[w.ScuaCore] > 0 {
+		m.AvgGamma = float64(bs.WaitSum[w.ScuaCore]) / float64(bs.Grants[w.ScuaCore])
+	}
+	m.Utilization = bs.Utilization(window)
+	m.PerCoreUtilization = make([]float64, cfg.Cores+1)
+	for p := range m.PerCoreUtilization {
+		m.PerCoreUtilization[p] = bs.PortUtilization(p, window)
+	}
+	m.Scua = scua.Counters()
+	m.DL1 = scua.DL1().Stats()
+	m.IL1 = scua.IL1().Stats()
+	m.L2 = sys.L2().Stats()
+	m.Bus = bs
+	m.Mem = sys.Mem().Stats()
+	m.PMC = pmc.Set{
+		pmc.CycleCount:    window,
+		pmc.InstrCount:    m.Scua.Instrs,
+		pmc.DCacheMiss:    m.DL1.Misses(),
+		pmc.ICacheMiss:    m.IL1.Misses(),
+		pmc.L2Hit:         m.L2.Hits(),
+		pmc.L2Miss:        m.L2.Misses(),
+		pmc.BusUtilCore:   bs.BusyCycles[w.ScuaCore],
+		pmc.BusUtilTotal:  bs.TotalBusy,
+		pmc.BusRequests:   bs.Grants[w.ScuaCore],
+		pmc.BusWaitCycles: bs.WaitSum[w.ScuaCore],
+		pmc.SBFullStalls:  scua.StoreBuffer().FullStalls,
+		pmc.MemReads:      m.Mem.Reads,
+		pmc.MemWrites:     m.Mem.Writes,
+	}
+	return m, nil
+}
+
+// RunIsolation measures the scua alone on the platform: the baseline
+// ExecTime_isol of the paper.
+func RunIsolation(cfg Config, scua *isa.Program, opt RunOpts) (*Measurement, error) {
+	return Run(cfg, Workload{Scua: scua}, opt)
+}
+
+// idleProgram returns a minimal endless program for cores without work: a
+// one-instruction nop loop that never touches the bus after its first
+// instruction fetch.
+func idleProgram(core int) *isa.Program {
+	return &isa.Program{
+		Name:     fmt.Sprintf("idle-%d", core),
+		CodeBase: 0x7F00_0000 + uint64(core)<<16,
+		Body:     []isa.Instr{isa.Nop(), isa.Branch()},
+	}
+}

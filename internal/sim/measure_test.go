@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+
+	"rrbus/internal/bus"
+	"rrbus/internal/isa"
+	"rrbus/internal/kernel"
+)
+
+func TestContenderPlacementSkipsNilSlots(t *testing.T) {
+	// A nil contender slot leaves that core idle; the remaining
+	// contender still runs. With only one rsk contender the scua's
+	// per-request wait is bounded by one transaction.
+	cfg := NGMPRef()
+	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+	scua, err := b.RSK(0, isa.OpLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := b.RSK(1, isa.OpLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(cfg, Workload{Scua: scua, Contenders: []*isa.Program{one, nil, nil}},
+		RunOpts{WarmupIters: 3, MeasureIters: 10, CollectGammas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxGamma == 0 {
+		t.Error("one contender must still contend")
+	}
+	if m.MaxGamma > uint64(cfg.BusLatency()) {
+		t.Errorf("max γ = %d with one contender, bound is lbus = %d", m.MaxGamma, cfg.BusLatency())
+	}
+	// The contender histogram never sees more than 1 ready contender.
+	for n := 2; n < len(m.ContendersHist); n++ {
+		if m.ContendersHist[n] != 0 {
+			t.Errorf("%d ready contenders observed with only one contender program", n)
+		}
+	}
+}
+
+func TestScuaOnMiddleCoreWithContenders(t *testing.T) {
+	// The scua on core 2: contenders fill cores 0, 1, 3 in order, and
+	// the synchrony numbers are identical to scua-on-core-0 (RR
+	// symmetry).
+	cfg := NGMPRef()
+	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+	scua, err := b.RSK(2, isa.OpLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cont []*isa.Program
+	for _, c := range []int{0, 1, 3} {
+		p, err := b.RSK(c, isa.OpLoad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cont = append(cont, p)
+	}
+	m, err := Run(cfg, Workload{Scua: scua, ScuaCore: 2, Contenders: cont},
+		RunOpts{WarmupIters: 3, MeasureIters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxGamma != 26 {
+		t.Errorf("max γ = %d on core 2, want 26", m.MaxGamma)
+	}
+	if m.Utilization < 0.999 {
+		t.Errorf("utilization = %.3f", m.Utilization)
+	}
+}
+
+func TestRunOptsDefaults(t *testing.T) {
+	var o RunOpts
+	o.fill()
+	if o.WarmupIters == 0 || o.MeasureIters == 0 || o.MaxCycles == 0 {
+		t.Errorf("defaults not filled: %+v", o)
+	}
+}
+
+func TestOnGrantHookObservesWindowOnly(t *testing.T) {
+	cfg := NGMPRef()
+	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+	scua, err := b.RSK(0, isa.OpLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grants int
+	var firstReady uint64
+	_, err = Run(cfg, Workload{Scua: scua}, RunOpts{
+		WarmupIters: 3, MeasureIters: 5,
+		OnGrant: func(r *bus.Request) {
+			if grants == 0 {
+				firstReady = r.Ready
+			}
+			grants++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grants == 0 {
+		t.Fatal("hook never fired")
+	}
+	if firstReady == 0 {
+		t.Error("hook must only observe the measurement window (warmup excluded)")
+	}
+}
+
+func TestSlowdownVsSelf(t *testing.T) {
+	cfg := NGMPRef()
+	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+	scua, err := b.RSK(0, isa.OpLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunIsolation(cfg, scua, RunOpts{WarmupIters: 2, MeasureIters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.SlowdownVs(m)
+	if err != nil || d != 0 {
+		t.Errorf("self slowdown = %d, %v", d, err)
+	}
+}

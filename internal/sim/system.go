@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"fmt"
+
+	"rrbus/internal/bus"
+	"rrbus/internal/cache"
+	"rrbus/internal/cpu"
+	"rrbus/internal/isa"
+	"rrbus/internal/mem"
+)
+
+// memTxnKind values carried in mem.Txn.Tag / bus.Request.Tag so response
+// completions know which core-side event to deliver.
+const (
+	tagLoad uint64 = iota
+	tagIFetch
+)
+
+// System is one fully wired simulated platform executing a set of programs,
+// one per core. It advances cycle by cycle and is strictly deterministic.
+type System struct {
+	cfg   Config
+	cores []*cpu.Core
+	bus   *bus.Bus
+	l2    *cache.Cache
+	mc    *mem.Controller
+	cycle uint64
+
+	memPort int
+}
+
+// port adapts the shared bus to the cpu.Port interface for one core.
+type port struct {
+	s  *System
+	id int
+}
+
+// Free implements cpu.Port.
+func (p port) Free() bool { return !p.s.bus.HasPending(p.id) }
+
+// Submit implements cpu.Port.
+func (p port) Submit(r *bus.Request, cycle uint64) { p.s.bus.Submit(r, cycle) }
+
+// NewSystem wires a platform from cfg running the given programs. programs
+// must have between 1 and cfg.Cores entries; cores beyond len(programs)
+// stay idle. maxIters[i] bounds core i's body iterations (0 = forever); it
+// must have the same length as programs.
+func NewSystem(cfg Config, programs []*isa.Program, maxIters []uint64) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(programs) == 0 || len(programs) > cfg.Cores {
+		return nil, fmt.Errorf("sim: %d programs for %d cores", len(programs), cfg.Cores)
+	}
+	if len(maxIters) != len(programs) {
+		return nil, fmt.Errorf("sim: %d iteration bounds for %d programs", len(maxIters), len(programs))
+	}
+
+	s := &System{cfg: cfg, memPort: cfg.Cores}
+
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	s.l2 = l2
+
+	s.mc, err = mem.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+
+	arb, err := cfg.newArbiter(cfg.Cores + 1)
+	if err != nil {
+		return nil, err
+	}
+	s.bus, err = bus.New(cfg.Cores+1, arb, s.serve)
+	if err != nil {
+		return nil, err
+	}
+
+	for i, prog := range programs {
+		if prog == nil {
+			return nil, fmt.Errorf("sim: nil program for core %d", i)
+		}
+		dl1, err := cache.New(named(cfg.DL1, fmt.Sprintf("DL1.%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		il1, err := cache.New(named(cfg.IL1, fmt.Sprintf("IL1.%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		core, err := cpu.New(cpu.Config{
+			ID:               i,
+			DL1:              dl1,
+			IL1:              il1,
+			DL1Latency:       cfg.DL1.Latency,
+			IL1Latency:       cfg.IL1.Latency,
+			NopLatency:       cfg.NopLatency,
+			IntLatency:       cfg.IntLatency,
+			BranchLatency:    cfg.BranchLatency,
+			StoreBufferDepth: cfg.StoreBufferDepth,
+		}, prog, port{s: s, id: i}, maxIters[i])
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, core)
+	}
+	return s, nil
+}
+
+func named(c cache.Config, name string) cache.Config {
+	c.Name = name
+	return c
+}
+
+// Config returns the platform configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Cycle returns the current simulation cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// Bus returns the shared bus (hooks and statistics).
+func (s *System) Bus() *bus.Bus { return s.bus }
+
+// L2 returns the shared cache.
+func (s *System) L2() *cache.Cache { return s.l2 }
+
+// Mem returns the memory controller.
+func (s *System) Mem() *mem.Controller { return s.mc }
+
+// Core returns core i.
+func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// NumCores returns the number of active cores.
+func (s *System) NumCores() int { return len(s.cores) }
+
+// serve is the bus grant-time callback: it performs the L2 lookup, decides
+// the transaction occupancy and generates background memory traffic
+// (writebacks, store-miss line fetches).
+func (s *System) serve(r *bus.Request) int {
+	switch r.Kind {
+	case bus.KindLoad, bus.KindIFetch:
+		res := s.l2.Access(r.Addr, false, r.Port)
+		r.Hit = res.Hit
+		if res.NeedsWriteback {
+			s.mc.Push(&mem.Txn{Addr: res.WritebackAddr, Write: true, OrigPort: -1}, r.Grant)
+		}
+		return s.cfg.BusTransferLat + s.cfg.L2HitLat
+	case bus.KindStore:
+		res := s.l2.Access(r.Addr, true, r.Port)
+		r.Hit = res.Hit
+		if res.NeedsWriteback {
+			s.mc.Push(&mem.Txn{Addr: res.WritebackAddr, Write: true, OrigPort: -1}, r.Grant)
+		}
+		switch {
+		case !res.Hit && s.cfg.L2.Write == cache.WriteBack:
+			// Write-allocate: the L2 line was installed at lookup
+			// time; fetch its contents in the background (the
+			// L2-memory path does not re-cross the front bus).
+			s.mc.Push(&mem.Txn{Addr: r.Addr, OrigPort: -1}, r.Grant)
+		case !res.Hit:
+			// Write-through L2: forward the write to memory.
+			s.mc.Push(&mem.Txn{Addr: r.Addr, Write: true, OrigPort: -1}, r.Grant)
+		}
+		return s.cfg.BusTransferLat + s.cfg.L2HitLat
+	case bus.KindResp:
+		return s.cfg.BusTransferLat
+	default:
+		panic(fmt.Sprintf("sim: unknown bus kind %v", r.Kind))
+	}
+}
+
+// dispatch applies the completion effects of a finished bus transaction.
+func (s *System) dispatch(r *bus.Request, cycle uint64) {
+	switch r.Kind {
+	case bus.KindLoad:
+		if r.Hit {
+			s.cores[r.Port].LoadDone(cycle)
+			return
+		}
+		s.mc.Push(&mem.Txn{Addr: r.Addr, OrigPort: r.Port, Tag: tagLoad}, cycle)
+	case bus.KindIFetch:
+		if r.Hit {
+			s.cores[r.Port].IFetchDone(cycle)
+			return
+		}
+		s.mc.Push(&mem.Txn{Addr: r.Addr, OrigPort: r.Port, Tag: tagIFetch}, cycle)
+	case bus.KindStore:
+		s.cores[r.Port].StoreDrained(cycle)
+	case bus.KindResp:
+		// Refill the L2 (idempotent: the line was pre-installed at the
+		// miss lookup) and wake the waiting core.
+		s.l2.Fill(r.Addr, r.OrigPort)
+		if r.Tag == tagIFetch {
+			s.cores[r.OrigPort].IFetchDone(cycle)
+		} else {
+			s.cores[r.OrigPort].LoadDone(cycle)
+		}
+	}
+}
+
+// Step advances the platform by one cycle.
+func (s *System) Step() {
+	c := s.cycle
+	if done := s.bus.Complete(c); done != nil {
+		s.dispatch(done, c)
+	}
+	s.mc.Tick(c)
+	// Route at most one completed memory read back over the bus; reads
+	// without a waiting core (OrigPort < 0, background fills) finish off
+	// the front bus.
+	if !s.bus.HasPending(s.memPort) {
+		for {
+			t := s.mc.PeekReady()
+			if t == nil {
+				break
+			}
+			if t.OrigPort < 0 {
+				s.mc.PopReady()
+				continue
+			}
+			s.mc.PopReady()
+			s.bus.Submit(&bus.Request{
+				Port:     s.memPort,
+				Kind:     bus.KindResp,
+				Addr:     t.Addr,
+				OrigPort: t.OrigPort,
+				Tag:      t.Tag,
+			}, c)
+			break
+		}
+	}
+	for _, core := range s.cores {
+		core.Tick(c)
+	}
+	s.bus.Arbitrate(c)
+	s.cycle = c + 1
+}
+
+// RunUntil steps the system until pred returns true or maxCycles elapse; it
+// reports whether pred was satisfied.
+func (s *System) RunUntil(pred func() bool, maxCycles uint64) bool {
+	for s.cycle < maxCycles {
+		if pred() {
+			return true
+		}
+		s.Step()
+	}
+	return pred()
+}
+
+// ResetStats clears every statistic (bus, caches, memory, core counters) so
+// a measurement window excludes warmup effects. Architectural state (cache
+// contents, store buffers, in-flight transactions) is preserved.
+func (s *System) ResetStats() {
+	s.bus.ResetStats()
+	s.l2.ResetStats()
+	s.mc.ResetStats()
+	for _, c := range s.cores {
+		c.DL1().ResetStats()
+		c.IL1().ResetStats()
+		c.ResetCounters()
+	}
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist()
+	if h.Total() != 0 {
+		t.Fatal("fresh histogram not empty")
+	}
+	if _, ok := h.Min(); ok {
+		t.Fatal("empty Min must report !ok")
+	}
+	if _, ok := h.Max(); ok {
+		t.Fatal("empty Max must report !ok")
+	}
+	if _, _, ok := h.Mode(); ok {
+		t.Fatal("empty Mode must report !ok")
+	}
+	h.Add(5)
+	h.AddN(3, 4)
+	h.Add(9)
+	if h.Total() != 6 || h.Count(3) != 4 || h.Count(99) != 0 {
+		t.Fatal("counting wrong")
+	}
+	if mn, _ := h.Min(); mn != 3 {
+		t.Errorf("Min = %d", mn)
+	}
+	if mx, _ := h.Max(); mx != 9 {
+		t.Errorf("Max = %d", mx)
+	}
+	mode, frac, _ := h.Mode()
+	if mode != 3 || math.Abs(frac-4.0/6) > 1e-12 {
+		t.Errorf("Mode = %d/%.3f", mode, frac)
+	}
+	if vals := h.Values(); len(vals) != 3 || vals[0] != 3 || vals[2] != 9 {
+		t.Errorf("Values = %v", vals)
+	}
+	wantMean := (5.0 + 3*4 + 9) / 6
+	if got := h.Mean(); math.Abs(got-wantMean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, wantMean)
+	}
+}
+
+func TestHistPercentile(t *testing.T) {
+	h := NewHist()
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if p, _ := h.Percentile(0.5); p != 50 {
+		t.Errorf("p50 = %d", p)
+	}
+	if p, _ := h.Percentile(0.99); p != 99 {
+		t.Errorf("p99 = %d", p)
+	}
+	if p, _ := h.Percentile(1.5); p != 100 {
+		t.Errorf("clamped p = %d", p)
+	}
+	if p, _ := h.Percentile(-1); p != 1 {
+		t.Errorf("clamped low p = %d", p)
+	}
+	if _, ok := NewHist().Percentile(0.5); ok {
+		t.Error("empty percentile must report !ok")
+	}
+}
+
+func TestHistString(t *testing.T) {
+	h := NewHist()
+	h.AddN(26, 98)
+	h.AddN(25, 2)
+	s := h.String()
+	if !strings.Contains(s, "26") || !strings.Contains(s, "98.00%") {
+		t.Errorf("render missing data: %q", s)
+	}
+	if NewHist().String() != "(empty histogram)\n" {
+		t.Error("empty render")
+	}
+}
+
+func TestFromMap(t *testing.T) {
+	h := FromMap(map[int]uint64{1: 2, 3: 4})
+	if h.Total() != 6 || h.Count(3) != 4 {
+		t.Fatal("FromMap wrong")
+	}
+}
+
+func TestMeanStdMinMax(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Error("empty series")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Std(xs); got != 2 {
+		t.Errorf("Std = %v", got)
+	}
+	lo, hi := MinMax(xs)
+	if lo != 2 || hi != 9 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+	if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
+		t.Error("empty MinMax")
+	}
+}
+
+func TestAutocorrPeriodic(t *testing.T) {
+	// A clean period-8 saw-tooth: autocorrelation peaks at lag 8.
+	var xs []float64
+	for i := 0; i < 64; i++ {
+		xs = append(xs, float64(7-i%8))
+	}
+	if got := Autocorr(xs, 8); got < 0.99 {
+		t.Errorf("autocorr at period = %v", got)
+	}
+	if got := Autocorr(xs, 4); got > 0.5 {
+		t.Errorf("autocorr at half period = %v", got)
+	}
+	// Degenerate inputs.
+	if Autocorr(xs, 0) != 0 || Autocorr(xs, len(xs)) != 0 {
+		t.Error("out-of-range lags must be 0")
+	}
+	if Autocorr([]float64{3, 3, 3, 3}, 1) != 0 {
+		t.Error("constant series must be 0")
+	}
+}
+
+func TestLocalMaxima(t *testing.T) {
+	xs := []float64{0, 3, 1, 2, 5, 2, 2, 4, 0}
+	got := LocalMaxima(xs)
+	want := []int{1, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("maxima = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("maxima = %v, want %v", got, want)
+		}
+	}
+	// Plateau counts once, at its first index.
+	plat := LocalMaxima([]float64{0, 5, 5, 5, 0})
+	if len(plat) != 1 || plat[0] != 1 {
+		t.Errorf("plateau maxima = %v", plat)
+	}
+	if LocalMaxima([]float64{1, 2}) != nil {
+		t.Error("too-short series must have no maxima")
+	}
+}
+
+func TestMedianIntAndDiffs(t *testing.T) {
+	if MedianInt(nil) != 0 {
+		t.Error("empty median")
+	}
+	if MedianInt([]int{5}) != 5 {
+		t.Error("single median")
+	}
+	if MedianInt([]int{9, 1, 5}) != 5 {
+		t.Error("odd median")
+	}
+	if MedianInt([]int{4, 1, 3, 2}) != 2 {
+		t.Error("even median takes lower middle")
+	}
+	d := Diffs([]int{3, 7, 12, 12})
+	if len(d) != 3 || d[0] != 4 || d[1] != 5 || d[2] != 0 {
+		t.Errorf("Diffs = %v", d)
+	}
+	if Diffs([]int{1}) != nil {
+		t.Error("short Diffs")
+	}
+}
+
+func TestToFloats(t *testing.T) {
+	f := ToFloats([]int{1, -2})
+	if len(f) != 2 || f[0] != 1 || f[1] != -2 {
+		t.Errorf("ToFloats = %v", f)
+	}
+}
+
+// TestPropMedianIsMember: the median of a non-empty slice is one of its
+// elements and at least half the elements are ≥ it... (lower-middle
+// convention: position (n-1)/2 in sorted order).
+func TestPropMedianIsMember(t *testing.T) {
+	f := func(xs []int) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		m := MedianInt(xs)
+		found := false
+		le, ge := 0, 0
+		for _, x := range xs {
+			if x == m {
+				found = true
+			}
+			if x <= m {
+				le++
+			}
+			if x >= m {
+				ge++
+			}
+		}
+		return found && 2*le >= len(xs) && 2*ge >= len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropHistTotalConserved: Total always equals the sum of counts.
+func TestPropHistTotalConserved(t *testing.T) {
+	f := func(vals []int8) bool {
+		h := NewHist()
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		var sum uint64
+		for _, v := range h.Values() {
+			sum += h.Count(v)
+		}
+		return sum == h.Total() && h.Total() == uint64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropAutocorrAtZeroLagEquivalent: autocorrelation of any series with
+// itself shifted by a true period is ≈ 1.
+func TestPropAutocorrPerfectPeriod(t *testing.T) {
+	f := func(patRaw []uint8, repsRaw uint8) bool {
+		if len(patRaw) < 3 || len(patRaw) > 16 {
+			return true
+		}
+		reps := 4 + int(repsRaw)%4
+		var xs []float64
+		for r := 0; r < reps; r++ {
+			for _, p := range patRaw {
+				xs = append(xs, float64(p))
+			}
+		}
+		// Constant patterns are degenerate.
+		if Std(xs) == 0 {
+			return Autocorr(xs, len(patRaw)) == 0
+		}
+		return Autocorr(xs, len(patRaw)) > 0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

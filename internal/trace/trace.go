@@ -1,0 +1,171 @@
+// Package trace records bus-level events and renders them as ASCII
+// timelines, reproducing the timing-diagram figures of the paper
+// (Figs. 2, 3 and 5) directly from simulation rather than by hand.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"rrbus/internal/bus"
+)
+
+// Event is one granted bus transaction.
+type Event struct {
+	// Port is the bus master that was granted.
+	Port int
+	// Kind is the transaction type.
+	Kind bus.Kind
+	// Ready, Grant are the submission and grant cycles; Gamma is their
+	// difference (the contention delay γ).
+	Ready, Grant uint64
+	Gamma        uint64
+	// Occupancy is the cycles the bus was held.
+	Occupancy int
+	// Addr is the transaction address.
+	Addr uint64
+}
+
+// Recorder captures grant events from a bus, optionally bounded to the most
+// recent Cap events (ring buffer semantics).
+type Recorder struct {
+	// Cap bounds the number of retained events (0 = unbounded).
+	Cap    int
+	events []Event
+	// dropped counts events discarded by the ring bound.
+	dropped uint64
+}
+
+// NewRecorder returns a recorder retaining at most capEvents events
+// (0 = unbounded).
+func NewRecorder(capEvents int) *Recorder { return &Recorder{Cap: capEvents} }
+
+// Attach chains the recorder onto b's OnGrant hook, preserving any hook
+// already installed.
+func (rec *Recorder) Attach(b *bus.Bus) {
+	prev := b.OnGrant
+	b.OnGrant = func(r *bus.Request) {
+		rec.Record(r)
+		if prev != nil {
+			prev(r)
+		}
+	}
+}
+
+// Record appends the grant event of r.
+func (rec *Recorder) Record(r *bus.Request) {
+	if rec.Cap > 0 && len(rec.events) >= rec.Cap {
+		copy(rec.events, rec.events[1:])
+		rec.events = rec.events[:len(rec.events)-1]
+		rec.dropped++
+	}
+	rec.events = append(rec.events, Event{
+		Port:      r.Port,
+		Kind:      r.Kind,
+		Ready:     r.Ready,
+		Grant:     r.Grant,
+		Gamma:     r.Gamma(),
+		Occupancy: r.Occupancy,
+		Addr:      r.Addr,
+	})
+}
+
+// Events returns the retained events in grant order.
+func (rec *Recorder) Events() []Event { return rec.events }
+
+// Dropped returns how many events the ring bound discarded.
+func (rec *Recorder) Dropped() uint64 { return rec.dropped }
+
+// Reset discards all retained events.
+func (rec *Recorder) Reset() {
+	rec.events = rec.events[:0]
+	rec.dropped = 0
+}
+
+// PortEvents returns the retained events of one port.
+func (rec *Recorder) PortEvents(port int) []Event {
+	var out []Event
+	for _, e := range rec.events {
+		if e.Port == port {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Timeline renders the events within [from, to) as an ASCII Gantt chart
+// with one row per port (nports rows): '.' idle, 'r' request pending,
+// '=' bus held, '|' grant cycle. This is the textual equivalent of the
+// paper's Figs. 2/3/5 timing diagrams.
+func Timeline(events []Event, nports int, from, to uint64) string {
+	if to <= from || nports <= 0 {
+		return ""
+	}
+	width := int(to - from)
+	rows := make([][]byte, nports)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	mark := func(p int, cyc uint64, ch byte) {
+		if cyc < from || cyc >= to || p < 0 || p >= nports {
+			return
+		}
+		rows[p][cyc-from] = ch
+	}
+	for _, e := range events {
+		for c := e.Ready; c < e.Grant; c++ {
+			mark(e.Port, c, 'r')
+		}
+		mark(e.Port, e.Grant, '|')
+		for c := e.Grant + 1; c < e.Grant+uint64(e.Occupancy); c++ {
+			mark(e.Port, c, '=')
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles %d..%d (r=waiting |=grant ==busy)\n", from, to)
+	for p := 0; p < nports; p++ {
+		fmt.Fprintf(&b, "port%-2d %s\n", p, rows[p])
+	}
+	return b.String()
+}
+
+// GammaTable formats per-event γ values of one port as the paper's Fig. 3
+// matrix rows: "δ → γ" pairs computed from consecutive events (δ is the gap
+// between the previous completion and the next ready time).
+func GammaTable(events []Event) string {
+	var b strings.Builder
+	b.WriteString("  req   ready   grant   delta   gamma\n")
+	var prevEnd uint64
+	have := false
+	for i, e := range events {
+		if have {
+			delta := int64(e.Ready) - int64(prevEnd)
+			fmt.Fprintf(&b, "%5d %7d %7d %7d %7d\n", i, e.Ready, e.Grant, delta, e.Gamma)
+		} else {
+			fmt.Fprintf(&b, "%5d %7d %7d       - %7d\n", i, e.Ready, e.Grant, e.Gamma)
+		}
+		prevEnd = e.Grant + uint64(e.Occupancy)
+		have = true
+	}
+	return b.String()
+}
+
+// Deltas returns the injection times between consecutive events of one
+// port: element i is ready(i+1) - completion(i). Negative gaps (ready
+// before the previous completion, impossible for single-outstanding ports)
+// are clamped to 0.
+func Deltas(events []Event) []int {
+	if len(events) < 2 {
+		return nil
+	}
+	out := make([]int, 0, len(events)-1)
+	for i := 1; i < len(events); i++ {
+		end := events[i-1].Grant + uint64(events[i-1].Occupancy)
+		d := int64(events[i].Ready) - int64(end)
+		if d < 0 {
+			d = 0
+		}
+		out = append(out, int(d))
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rrbus/internal/bus"
+)
+
+func mkBus(t *testing.T) *bus.Bus {
+	t.Helper()
+	b, err := bus.New(2, bus.NewRoundRobin(2), func(*bus.Request) int { return 4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRecorderCapturesGrants(t *testing.T) {
+	b := mkBus(t)
+	rec := NewRecorder(0)
+	rec.Attach(b)
+	b.Submit(&bus.Request{Port: 0, Kind: bus.KindLoad, Addr: 0x40}, 2)
+	b.Arbitrate(5)
+	evs := rec.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	e := evs[0]
+	if e.Port != 0 || e.Ready != 2 || e.Grant != 5 || e.Gamma != 3 || e.Occupancy != 4 || e.Addr != 0x40 {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+func TestRecorderChainsHooks(t *testing.T) {
+	b := mkBus(t)
+	called := false
+	b.OnGrant = func(*bus.Request) { called = true }
+	rec := NewRecorder(0)
+	rec.Attach(b)
+	b.Submit(&bus.Request{Port: 0, Kind: bus.KindLoad}, 0)
+	b.Arbitrate(0)
+	if !called {
+		t.Error("recorder must preserve the existing hook")
+	}
+	if len(rec.Events()) != 1 {
+		t.Error("recorder must also capture")
+	}
+}
+
+func TestRecorderRingBound(t *testing.T) {
+	rec := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		rec.Record(&bus.Request{Port: i % 2, Grant: uint64(i)})
+	}
+	if len(rec.Events()) != 3 {
+		t.Fatalf("retained = %d, want 3", len(rec.Events()))
+	}
+	if rec.Dropped() != 2 {
+		t.Errorf("dropped = %d", rec.Dropped())
+	}
+	// Oldest events are dropped first.
+	if rec.Events()[0].Grant != 2 {
+		t.Errorf("first retained grant = %d, want 2", rec.Events()[0].Grant)
+	}
+	rec.Reset()
+	if len(rec.Events()) != 0 || rec.Dropped() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestPortEvents(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.Record(&bus.Request{Port: 0})
+	rec.Record(&bus.Request{Port: 1})
+	rec.Record(&bus.Request{Port: 0})
+	if got := len(rec.PortEvents(0)); got != 2 {
+		t.Errorf("port 0 events = %d", got)
+	}
+	if got := len(rec.PortEvents(3)); got != 0 {
+		t.Errorf("port 3 events = %d", got)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	evs := []Event{
+		{Port: 0, Ready: 2, Grant: 4, Occupancy: 3},
+		{Port: 1, Ready: 0, Grant: 7, Occupancy: 2},
+	}
+	s := Timeline(evs, 2, 0, 10)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), s)
+	}
+	// Port 0: waiting at 2..3, grant at 4, busy 5..6.
+	row0 := lines[1][len("port0  "):]
+	if row0 != "..rr|==..." {
+		t.Errorf("row0 = %q", row0)
+	}
+	// Occupancy 2 renders as the grant mark plus one busy cell.
+	row1 := lines[2][len("port1  "):]
+	if row1 != "rrrrrrr|=." {
+		t.Errorf("row1 = %q", row1)
+	}
+	// Degenerate windows.
+	if Timeline(evs, 2, 5, 5) != "" || Timeline(evs, 0, 0, 10) != "" {
+		t.Error("degenerate timeline must be empty")
+	}
+}
+
+func TestTimelineClipsOutOfRange(t *testing.T) {
+	evs := []Event{{Port: 0, Ready: 0, Grant: 100, Occupancy: 5}}
+	s := Timeline(evs, 1, 0, 10)
+	// The port row (not the legend header) must show only waiting marks:
+	// the grant at cycle 100 lies outside the [0, 10) window.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	row := lines[1][len("port0  "):]
+	if strings.ContainsAny(row, "|=") {
+		t.Errorf("grant outside the window rendered: %q", row)
+	}
+	if row != strings.Repeat("r", 10) {
+		t.Errorf("waiting cells wrong: %q", row)
+	}
+}
+
+func TestGammaTable(t *testing.T) {
+	evs := []Event{
+		{Port: 0, Ready: 0, Grant: 0, Gamma: 0, Occupancy: 9},
+		{Port: 0, Ready: 10, Grant: 36, Gamma: 26, Occupancy: 9},
+	}
+	s := GammaTable(evs)
+	if !strings.Contains(s, "26") {
+		t.Errorf("gamma table missing γ:\n%s", s)
+	}
+	// The second row's delta: ready(10) - prevEnd(9) = 1.
+	if !strings.Contains(s, " 1 ") && !strings.Contains(s, "      1") {
+		t.Errorf("gamma table missing delta:\n%s", s)
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	evs := []Event{
+		{Ready: 0, Grant: 0, Occupancy: 9},   // ends at 9
+		{Ready: 10, Grant: 36, Occupancy: 9}, // δ = 1, ends at 45
+		{Ready: 45, Grant: 72, Occupancy: 9}, // δ = 0
+	}
+	d := Deltas(evs)
+	if len(d) != 2 || d[0] != 1 || d[1] != 0 {
+		t.Errorf("Deltas = %v", d)
+	}
+	if Deltas(evs[:1]) != nil {
+		t.Error("single event has no deltas")
+	}
+}

@@ -1,0 +1,223 @@
+package rrbus_test
+
+import (
+	"strings"
+	"testing"
+
+	"rrbus"
+)
+
+func TestFacadeConfigs(t *testing.T) {
+	ref := rrbus.ReferenceNGMP()
+	if ref.UBD() != 27 || ref.Cores != 4 {
+		t.Errorf("reference: ubd=%d cores=%d", ref.UBD(), ref.Cores)
+	}
+	v := rrbus.VariantNGMP()
+	if v.DL1.Latency != 4 {
+		t.Error("variant DL1 latency")
+	}
+	s := rrbus.ScaledConfig(ref, 6, 3, 6)
+	if s.UBD() != 45 {
+		t.Errorf("scaled ubd = %d", s.UBD())
+	}
+}
+
+func TestFacadeAnalytic(t *testing.T) {
+	if rrbus.AnalyticUBD(4, 9) != 27 {
+		t.Error("Eq. 1")
+	}
+	if rrbus.AnalyticGamma(1, 27) != 26 {
+		t.Error("Eq. 2")
+	}
+	if rrbus.AnalyticGamma(0, 6) != 6 {
+		t.Error("Eq. 2 at δ=0")
+	}
+}
+
+func TestFacadeProfiles(t *testing.T) {
+	ps := rrbus.EEMBCProfiles()
+	if len(ps) != 16 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	p, ok := rrbus.EEMBCProfile("matrix")
+	if !ok {
+		t.Fatal("matrix profile missing")
+	}
+	prog, err := p.Build(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Validate() != nil {
+		t.Fatal("built program invalid")
+	}
+	sets := rrbus.RandomTaskSets(3, 4, 9)
+	if len(sets) != 3 || len(sets[0].Names) != 4 {
+		t.Fatal("task sets wrong")
+	}
+}
+
+func TestFacadeKernelsAndRun(t *testing.T) {
+	cfg := rrbus.ReferenceNGMP()
+	b := rrbus.NewKernelBuilder(cfg)
+	scua, err := b.RSK(0, rrbus.OpLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rrbus.RunIsolation(cfg, scua, rrbus.RunOpts{WarmupIters: 2, MeasureIters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests == 0 || m.Cycles == 0 {
+		t.Error("empty measurement")
+	}
+
+	var cont []*rrbus.Program
+	for c := 1; c < cfg.Cores; c++ {
+		p, err := b.RSK(c, rrbus.OpLoad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cont = append(cont, p)
+	}
+	mc, err := rrbus.Run(cfg, rrbus.Workload{Scua: scua, Contenders: cont},
+		rrbus.RunOpts{WarmupIters: 2, MeasureIters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Cycles <= m.Cycles {
+		t.Error("contention must slow the scua")
+	}
+}
+
+func TestFacadeDeriveEndToEnd(t *testing.T) {
+	res, err := rrbus.DeriveUBD(rrbus.ReferenceNGMP(), rrbus.DeriveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UBDm != 27 {
+		t.Errorf("derived %d", res.UBDm)
+	}
+	nv, err := rrbus.NaiveUBDM(rrbus.ReferenceNGMP(), rrbus.OpLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.UBDm != 26 {
+		t.Errorf("naive %d", nv.UBDm)
+	}
+	if res.ETB(1000, 10) != 1000+10*27 {
+		t.Error("ETB arithmetic")
+	}
+}
+
+func TestFacadeCustomRunner(t *testing.T) {
+	r, err := rrbus.NewRunner(rrbus.ReferenceNGMP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generic Derive accepts any Runner implementation.
+	res, err := rrbus.Derive(r, rrbus.DeriveOptions{AutoExtend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UBDm != 27 {
+		t.Errorf("derived %d", res.UBDm)
+	}
+}
+
+func TestFacadeSystemAndTrace(t *testing.T) {
+	cfg := rrbus.ReferenceNGMP()
+	b := rrbus.NewKernelBuilder(cfg)
+	progs := make([]*rrbus.Program, 0, 4)
+	iters := make([]uint64, 0, 4)
+	for c := 0; c < 4; c++ {
+		p, err := b.RSK(c, rrbus.OpLoad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+		it := uint64(0)
+		if c == 0 {
+			it = 5
+		}
+		iters = append(iters, it)
+	}
+	sys, err := rrbus.NewSystem(cfg, progs, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &rrbus.TraceRecorder{Cap: 1024}
+	rec.Attach(sys.Bus())
+	if !sys.RunUntil(func() bool { return sys.Core(0).Done() }, 1<<20) {
+		t.Fatal("run did not finish")
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("no trace events")
+	}
+	tl := rrbus.RenderTimeline(rec.Events(), 5, 0, 60)
+	if !strings.Contains(tl, "port0") {
+		t.Error("timeline render")
+	}
+}
+
+func TestFacadeArbiterKinds(t *testing.T) {
+	cfg := rrbus.ReferenceNGMP()
+	for _, k := range []rrbus.ArbiterKind{rrbus.ArbiterRR, rrbus.ArbiterTDMA, rrbus.ArbiterFP, rrbus.ArbiterLottery, rrbus.ArbiterWRR} {
+		c := cfg
+		c.Arbiter = k
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+}
+
+func TestFacadeETBWorkflow(t *testing.T) {
+	cfg := rrbus.ReferenceNGMP()
+	a, err := rrbus.NewAnalyzer(cfg, cfg.UBD(), rrbus.RunOpts{WarmupIters: 2, MeasureIters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := rrbus.EEMBCProfile("tblook")
+	prog, err := prof.Build(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := rrbus.Task{Name: "tblook", Prog: prog}
+	b, err := a.Bound(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.ValidateAgainstRSK(task, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Holds {
+		t.Errorf("bound violated: %+v", v)
+	}
+	rep := rrbus.NewETBReport(cfg, cfg.UBD())
+	rep.Bounds = append(rep.Bounds, b)
+	rep.Validations[task.Name] = []rrbus.Validation{v}
+	if !rep.AllHold() || !strings.Contains(rep.String(), "tblook") {
+		t.Error("report assembly failed")
+	}
+}
+
+func TestFacadeNoisyRunner(t *testing.T) {
+	inner, err := rrbus.NewRunner(rrbus.ReferenceNGMP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := rrbus.NewNoisyRunner(inner, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rrbus.Derive(n, rrbus.DeriveOptions{AutoExtend: true, Tolerance: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UBDm != 27 {
+		t.Errorf("noisy derivation = %d", res.UBDm)
+	}
+	if res.Report() == "" {
+		t.Error("report rendering")
+	}
+}
