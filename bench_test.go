@@ -217,9 +217,11 @@ func BenchmarkMemContention(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorThroughput measures raw simulation speed (cycles/sec)
-// on the saturated 4×rsk workload — the cost model behind every other
-// benchmark here.
+// BenchmarkSimulatorThroughput measures raw simulation speed on the
+// saturated 4×rsk workload — the cost model behind every other benchmark
+// here. It reports simcycles/s (simulated platform cycles per wall-clock
+// second), the trajectory metric cmd/rrbus-bench records in
+// BENCH_sim.json.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	cfg := sim.NGMPRef()
 	b.ReportAllocs()
@@ -229,9 +231,10 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cycles += m[0].Hist.Total()
+		if m[0].Hist.Total() == 0 {
+			b.Fatal("no requests simulated")
+		}
+		cycles += m[0].SimCycles
 	}
-	if cycles == 0 {
-		b.Fatal("no requests simulated")
-	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
 }

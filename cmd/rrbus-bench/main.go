@@ -1,0 +1,138 @@
+// Command rrbus-bench measures the simulator's throughput and the
+// wall-clock cost of the figure-regeneration workloads, and emits the
+// result as JSON (BENCH_sim.json) so successive PRs can track the
+// performance trajectory.
+//
+// Usage:
+//
+//	rrbus-bench                      # print JSON to stdout
+//	rrbus-bench -out BENCH_sim.json  # write the baseline file
+//	rrbus-bench -workers 8 -repeat 3
+//
+// Each benchmark reports the best (fastest) of -repeat runs, minimizing
+// scheduler noise; sim_cycles counts simulated platform cycles, so
+// cycles_per_sec = sim_cycles / wall_seconds is the headline simulation
+// speed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rrbus/internal/exp"
+	"rrbus/internal/figures"
+	"rrbus/internal/sim"
+)
+
+type result struct {
+	Name string `json:"name"`
+	// SimCycles is the number of simulated platform cycles the workload
+	// covers (0 when the workload has no single meaningful cycle count,
+	// e.g. multi-run sweeps).
+	SimCycles uint64 `json:"sim_cycles,omitempty"`
+	// WallNanos is the fastest observed wall-clock time.
+	WallNanos int64 `json:"wall_ns"`
+	// CyclesPerSec is SimCycles normalized by the wall time.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+}
+
+type report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Workers   int      `json:"workers"`
+	Repeat    int      `json:"repeat"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON to this file instead of stdout")
+	repeat := flag.Int("repeat", 3, "runs per benchmark (best is reported)")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+	if *repeat < 1 {
+		fmt.Fprintf(os.Stderr, "rrbus-bench: -repeat must be >= 1, got %d\n", *repeat)
+		os.Exit(2)
+	}
+	exp.SetWorkers(*workers)
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workers:   exp.Workers(),
+		Repeat:    *repeat,
+	}
+
+	benchmarks := []struct {
+		name string
+		run  func() (simCycles uint64, err error)
+	}{
+		{"sim-throughput-4xrsk", func() (uint64, error) {
+			res, err := figures.Fig6b(sim.NGMPRef())
+			if err != nil {
+				return 0, err
+			}
+			return res[0].SimCycles, nil
+		}},
+		{"fig4-sawtooth", func() (uint64, error) {
+			_, err := figures.Fig4(2 * sim.NGMPRef().UBD())
+			return 0, err
+		}},
+		{"fig7a-load-sweep", func() (uint64, error) {
+			_, err := figures.Fig7a(56, 20)
+			return 0, err
+		}},
+		{"ablation-scaling", func() (uint64, error) {
+			_, err := figures.AblationScaling(sim.NGMPRef(), []int{3, 4, 6, 8}, []int{3, 6, 12})
+			return 0, err
+		}},
+	}
+
+	for _, b := range benchmarks {
+		best := result{Name: b.name, WallNanos: 1<<63 - 1}
+		for r := 0; r < *repeat; r++ {
+			start := time.Now()
+			cycles, err := b.run()
+			wall := time.Since(start)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rrbus-bench: %s: %v\n", b.name, err)
+				os.Exit(1)
+			}
+			if wall.Nanoseconds() < best.WallNanos {
+				best.WallNanos = wall.Nanoseconds()
+				best.SimCycles = cycles
+			}
+		}
+		if best.SimCycles > 0 {
+			best.CyclesPerSec = float64(best.SimCycles) / (float64(best.WallNanos) / 1e9)
+		}
+		rep.Results = append(rep.Results, best)
+		fmt.Fprintf(os.Stderr, "%-22s %12.3fms", best.Name, float64(best.WallNanos)/1e6)
+		if best.CyclesPerSec > 0 {
+			fmt.Fprintf(os.Stderr, "  %.2fM simcycles/s", best.CyclesPerSec/1e6)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"rrbus/internal/core"
+	"rrbus/internal/exp"
 	"rrbus/internal/isa"
 	"rrbus/internal/sim"
 )
@@ -46,7 +47,9 @@ func main() {
 	kmax := flag.Int("kmax", 40, "initial sweep end (auto-extends)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
 	series := flag.Bool("series", false, "include the slowdown series in the output")
+	workers := flag.Int("workers", 0, "simulation worker goroutines for the k-sweep (0 = GOMAXPROCS; output is identical for any value)")
 	flag.Parse()
+	exp.SetWorkers(*workers)
 
 	var cfg sim.Config
 	switch *arch {

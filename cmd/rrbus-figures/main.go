@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"rrbus/internal/exp"
 	"rrbus/internal/figures"
 	"rrbus/internal/sim"
 )
@@ -27,7 +28,9 @@ func main() {
 	iters := flag.Uint64("iters", 100, "measured iterations per run for fig 7a/7b")
 	count := flag.Int("count", 8, "number of random workloads for fig 6a")
 	seed := flag.Uint64("seed", 1, "workload generator seed")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS; output is identical for any value)")
 	flag.Parse()
+	exp.SetWorkers(*workers)
 
 	run := func(name string) bool { return *fig == "all" || *fig == name }
 	did := false

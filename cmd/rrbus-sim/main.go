@@ -81,7 +81,7 @@ func main() {
 	fmt.Print(m.PMC.String())
 	if *gammas {
 		fmt.Println("\ncontention-delay histogram (scua requests):")
-		fmt.Print(stats.FromMap(m.GammaHist).String())
+		fmt.Print(stats.FromDense(m.GammaHist).String())
 	}
 }
 

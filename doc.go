@@ -29,6 +29,41 @@
 //   - internal/workload: EEMBC-Autobench-like synthetic tasks
 //   - internal/analytic: closed forms (Eq. 1 ubd, Eq. 2 γ(δ))
 //   - internal/trace, stats, pmc: observation tooling
+//   - internal/exp: the experiment engine that fans independent
+//     simulations out across a worker pool
 //
 // Everything is deterministic and uses only the standard library.
+//
+// # Experiment engine
+//
+// Every artifact of the paper's evaluation — the figures, the summary
+// table, the ablations — is a batch of independent cycle-accurate
+// simulations. internal/exp runs such batches on a bounded worker pool
+// (GOMAXPROCS workers by default) while keeping a strict determinism
+// contract:
+//
+//   - results are folded back in job-index order, never completion order,
+//     so a batch run with 1 worker and with N workers produces
+//     byte-identical rendered output (internal/exp's determinism tests
+//     regenerate real figures under both settings and compare bytes);
+//   - each job builds its own System — no simulator state is shared
+//     between workers;
+//   - errors are deterministic: the lowest-indexed failing job wins.
+//
+// The batch CLIs (rrbus-figures, rrbus-derive, rrbus-bench) expose the
+// pool as -workers; -workers 1 recovers fully serial execution on the
+// calling goroutine (rrbus-sim runs a single simulation, so it has no
+// batch to fan out). Derive fans its k-sweep out only when the Runner
+// declares itself safe for concurrent measurements (ConcurrentSafe, which
+// the simulator-backed SimRunner does); order-dependent runners such as
+// NoisyRunner or a hardware board stay strictly serial.
+//
+// Inside each worker the simulator itself is allocation-free in steady
+// state (pooled bus requests and memory transactions, dense histograms)
+// and skips provably idle cycles: when every core is waiting on the bus
+// or on a known-future latency, the clock jumps straight to the next
+// event instead of executing no-op Steps. The fast path is exact — grant
+// traces and measurements are bit-identical to cycle-by-cycle execution
+// (see internal/sim's fast-forward equivalence tests) — and can be
+// disabled per run with RunOpts.DisableFastForward.
 package rrbus

@@ -1,0 +1,3 @@
+module rrbus
+
+go 1.24

@@ -266,3 +266,22 @@ func (b *Bus) Arbitrate(cycle uint64) *Request {
 // Drain reports whether the bus is completely idle: nothing pending and
 // nothing in service.
 func (b *Bus) Drain() bool { return b.current == nil && b.npend == 0 }
+
+// NextEvent returns the earliest cycle at or after cycle at which the bus
+// might change state: the in-service transaction's completion, the next
+// cycle while requests are pending (arbitration is cycle-dependent under
+// TDMA/lottery, so pending requests forbid skipping), or ^uint64(0) when
+// the bus is completely idle. Used by the simulator's idle-cycle fast
+// path.
+func (b *Bus) NextEvent(cycle uint64) uint64 {
+	if b.current != nil {
+		if b.freeAt < cycle {
+			return cycle
+		}
+		return b.freeAt
+	}
+	if b.npend > 0 {
+		return cycle
+	}
+	return ^uint64(0)
+}

@@ -159,14 +159,18 @@ type line struct {
 // Cache is a set-associative cache. It is not safe for concurrent use; the
 // simulator is single-goroutine by design (determinism).
 type Cache struct {
-	cfg      Config
-	sets     [][]line
-	setMask  uint64
-	offBits  uint
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	offBits uint
+	// tagShift is offBits plus the set-index width, precomputed so the
+	// per-access Tag extraction is a single shift instead of re-deriving
+	// bits.Len64(setMask) on every lookup.
+	tagShift uint
+	idxBits  uint
 	tick     uint64
 	rng      uint64
 	stats    Stats
-	waysLog2 int
 }
 
 // New builds a cache from cfg. It panics only via returned error; callers
@@ -176,12 +180,16 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	sets := cfg.Sets()
+	offBits := uint(bits.TrailingZeros(uint(cfg.LineBytes)))
+	idxBits := uint(bits.Len64(uint64(sets - 1)))
 	c := &Cache{
-		cfg:     cfg,
-		sets:    make([][]line, sets),
-		setMask: uint64(sets - 1),
-		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
-		rng:     0x9E3779B97F4A7C15,
+		cfg:      cfg,
+		sets:     make([][]line, sets),
+		setMask:  uint64(sets - 1),
+		offBits:  offBits,
+		idxBits:  idxBits,
+		tagShift: offBits + idxBits,
+		rng:      0x9E3779B97F4A7C15,
 	}
 	backing := make([]line, sets*cfg.Ways)
 	for i := range c.sets {
@@ -214,7 +222,7 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 func (c *Cache) SetIndex(addr uint64) uint64 { return (addr >> c.offBits) & c.setMask }
 
 // Tag returns the tag of addr.
-func (c *Cache) Tag(addr uint64) uint64 { return addr >> c.offBits >> uint(bits.Len64(c.setMask)) }
+func (c *Cache) Tag(addr uint64) uint64 { return addr >> c.tagShift }
 
 // LineAddr returns the line-aligned address containing addr.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
@@ -350,7 +358,7 @@ func (c *Cache) victim(set []line, requester int) int {
 }
 
 func (c *Cache) reconstruct(tag, setIdx uint64) uint64 {
-	return (tag<<uint(bits.Len64(c.setMask)) | setIdx) << c.offBits
+	return (tag<<c.idxBits | setIdx) << c.offBits
 }
 
 // Contains reports whether addr's line is present, without touching

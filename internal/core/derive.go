@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"rrbus/internal/exp"
 	"rrbus/internal/isa"
 )
 
@@ -125,6 +126,19 @@ type Result struct {
 	Confidence Confidence
 }
 
+// runnerWorkers returns the worker count Derive may use for r's
+// measurement sweep: the experiment engine's default when r declares
+// itself safe for concurrent measurements (ConcurrentSafe), and 1 —
+// the historical strictly-serial behavior — otherwise. A NoisyRunner's
+// jitter stream and a hardware-backed runner's board session are
+// order-dependent, so they must stay serial.
+func runnerWorkers(r Runner) int {
+	if c, ok := r.(interface{ ConcurrentSafe() bool }); ok && c.ConcurrentSafe() {
+		return exp.Workers()
+	}
+	return 1
+}
+
 // Derive runs the full methodology of §4.2 on the platform behind r:
 // measure δnop, sweep rsk-nop(t, k) against Nc-1 rsk(t), difference against
 // isolation, detect the saw-tooth period, and map it to cycles.
@@ -151,23 +165,39 @@ func Derive(r Runner, opt Options) (*Result, error) {
 
 	kmax := opt.KMax
 	for {
-		// Extend the slowdown series up to kmax.
-		for k := opt.KMin + len(res.Slowdowns); k <= kmax; k++ {
+		// Extend the slowdown series up to kmax. Each k is a pair of
+		// independent contended/isolation runs; the whole batch fans out
+		// across the experiment engine, with results folded back in k
+		// order so the series (and thus the derived period) is identical
+		// to a serial sweep.
+		type point struct {
+			slowdown    float64
+			utilization float64
+		}
+		kfirst := opt.KMin + len(res.Slowdowns)
+		pts, err := exp.MapN(runnerWorkers(r), kmax-kfirst+1, func(i int) (point, error) {
+			k := kfirst + i
 			cont, err := r.RunContended(opt.Type, k)
 			if err != nil {
-				return nil, fmt.Errorf("core: contended run k=%d: %w", k, err)
+				return point{}, fmt.Errorf("core: contended run k=%d: %w", k, err)
 			}
 			isol, err := r.RunIsolation(opt.Type, k)
 			if err != nil {
-				return nil, fmt.Errorf("core: isolation run k=%d: %w", k, err)
+				return point{}, fmt.Errorf("core: isolation run k=%d: %w", k, err)
 			}
 			d := float64(cont.Cycles) - float64(isol.Cycles)
 			if cont.Requests > 0 {
 				d /= float64(cont.Requests)
 			}
-			res.Slowdowns = append(res.Slowdowns, d)
-			if cont.Utilization < minUtil {
-				minUtil = cont.Utilization
+			return point{slowdown: d, utilization: cont.Utilization}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			res.Slowdowns = append(res.Slowdowns, p.slowdown)
+			if p.utilization < minUtil {
+				minUtil = p.utilization
 			}
 		}
 

@@ -81,6 +81,12 @@ func NewSimRunner(cfg sim.Config) (*SimRunner, error) {
 // Config returns the platform configuration under test.
 func (r *SimRunner) Config() sim.Config { return r.cfg }
 
+// ConcurrentSafe reports that SimRunner measurements may run concurrently:
+// every Run builds a fresh, fully isolated sim.System, and the runner's own
+// fields are read-only after construction. Derive uses this to fan its
+// k-sweep out across the experiment engine.
+func (r *SimRunner) ConcurrentSafe() bool { return true }
+
 // Builder returns the kernel builder used for this platform's geometry.
 func (r *SimRunner) Builder() kernel.Builder { return r.builder }
 

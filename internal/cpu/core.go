@@ -126,6 +126,25 @@ type Core struct {
 
 	sb *StoreBuffer
 
+	// noBatch disables nop-run batching, forcing one instruction per
+	// Tick — the pre-batching reference behavior the simulator's
+	// equivalence tests compare against.
+	noBatch bool
+	// batchEnd is the cycle the most recent nop batch finishes issuing
+	// (its nextFree); ResetCounters and Counters use it to split a
+	// mid-flight batch exactly across a measurement-window boundary.
+	// now is the cycle of the core's latest Tick, the read point those
+	// splits are computed against.
+	batchEnd uint64
+	now      uint64
+
+	// req is the core's reusable bus request. A port has at most one
+	// transaction live at the bus (Port.Free gates every submission), and
+	// the bus drops its reference when the completion is dispatched, so a
+	// single backing object per core eliminates the per-transaction heap
+	// allocation that dominated the steady-state profile.
+	req bus.Request
+
 	ctr Counters
 }
 
@@ -166,21 +185,51 @@ func (c *Core) Done() bool { return c.done }
 // Iters returns the number of completed body iterations.
 func (c *Core) Iters() uint64 { return c.ctr.Iters }
 
-// Counters returns a copy of the per-core counters.
-func (c *Core) Counters() Counters { return c.ctr }
+// Counters returns a copy of the per-core counters as of the core's
+// latest executed cycle. A nop batch pre-commits its whole run's
+// Nops/Instrs; the share of the batch that serially would issue after
+// that cycle is subtracted, so readers observe exactly the
+// one-instruction-per-Tick counts.
+func (c *Core) Counters() Counters {
+	ctr := c.ctr
+	if c.now < c.batchEnd {
+		notYetIssued := (c.batchEnd - c.now - 1) / uint64(c.cfg.NopLatency)
+		ctr.Nops -= notYetIssued
+		ctr.Instrs -= notYetIssued
+	}
+	return ctr
+}
 
 // StoreBuffer exposes the core's store buffer (read-mostly; tests and PMC
 // collection use it).
 func (c *Core) StoreBuffer() *StoreBuffer { return c.sb }
 
-// ResetCounters zeroes the activity counters (excluding Iters progress
-// tracking would break measurement; Iters is preserved so the harness can
-// count iterations across the reset; callers should snapshot and subtract).
-func (c *Core) ResetCounters() {
+// ResetCounters zeroes the activity counters as of the given cycle
+// (excluding Iters progress tracking would break measurement; Iters is
+// preserved so the harness can count iterations across the reset; callers
+// should snapshot and subtract).
+//
+// A nop batch commits its whole run's Nops/Instrs at batch start, so if
+// the reset lands mid-batch the nops that serially would issue at or
+// after the reset cycle are re-credited to the new window — keeping the
+// counters bit-identical to one-instruction-per-Tick execution.
+func (c *Core) ResetCounters(cycle uint64) {
 	iters := c.ctr.Iters
 	c.ctr = Counters{Iters: iters}
+	if cycle < c.batchEnd {
+		remaining := (c.batchEnd - cycle) / uint64(c.cfg.NopLatency)
+		c.ctr.Nops = remaining
+		c.ctr.Instrs = remaining
+	}
 	c.sb.Pushes, c.sb.FullStalls, c.sb.Drains = 0, 0, 0
 }
+
+// SetNopBatching toggles nop-run batching (enabled by default). Disabling
+// it restores strict one-instruction-per-Tick execution; externally
+// observable behavior (bus traffic, iteration boundaries, counters at
+// those boundaries) is identical either way — batching only changes when
+// within a nop run the Nops/Instrs counters are committed.
+func (c *Core) SetNopBatching(enabled bool) { c.noBatch = !enabled }
 
 // Idle reports whether the core has no in-flight activity: used by the
 // harness to detect quiescence after the scua finishes.
@@ -222,6 +271,7 @@ func (c *Core) advance() {
 // Tick advances the core at cycle. The owning system calls it once per
 // cycle, after bus completions have been dispatched.
 func (c *Core) Tick(cycle uint64) {
+	c.now = cycle
 	for {
 		c.tryDrain(cycle)
 		if c.done && c.st == sDone {
@@ -240,7 +290,8 @@ func (c *Core) Tick(cycle uint64) {
 				c.ctr.PortStallCycles++
 				return
 			}
-			c.port.Submit(&bus.Request{Port: c.cfg.ID, Kind: bus.KindLoad, Addr: c.pendingAddr}, cycle)
+			c.req = bus.Request{Port: c.cfg.ID, Kind: bus.KindLoad, Addr: c.pendingAddr}
+			c.port.Submit(&c.req, cycle)
 			c.st = sWaitLoad
 			return
 		case sIFetchIssue:
@@ -248,7 +299,8 @@ func (c *Core) Tick(cycle uint64) {
 				c.ctr.PortStallCycles++
 				return
 			}
-			c.port.Submit(&bus.Request{Port: c.cfg.ID, Kind: bus.KindIFetch, Addr: c.pendingAddr}, cycle)
+			c.req = bus.Request{Port: c.cfg.ID, Kind: bus.KindIFetch, Addr: c.pendingAddr}
+			c.port.Submit(&c.req, cycle)
 			c.st = sWaitIFetch
 			return
 		case sStoreCommit:
@@ -265,6 +317,28 @@ func (c *Core) Tick(cycle uint64) {
 		case sDone:
 			return
 		}
+	}
+}
+
+// NextEvent returns the earliest cycle at or after cycle at which this
+// core might act on its own (as opposed to being woken by a bus
+// completion), or ^uint64(0) when it is entirely event-driven right now.
+// Stalled states that count per-cycle statistics (port stalls, full store
+// buffer) report the very next cycle so the counters stay exact. Used by
+// the simulator's idle-cycle fast path; it must never be later than the
+// core's true next action.
+func (c *Core) NextEvent(cycle uint64) uint64 {
+	switch c.st {
+	case sWaitLoad, sWaitIFetch, sDone:
+		// Woken by completions only. Store-buffer drains also resume on
+		// bus events: if a drainable head is still queued after Tick, the
+		// port is busy, and the bus's own next event covers the wake-up.
+		return ^uint64(0)
+	default: // sRun, sLoadIssue, sIFetchIssue, sStoreCommit
+		if c.nextFree > cycle {
+			return c.nextFree
+		}
+		return cycle
 	}
 }
 
@@ -289,9 +363,28 @@ func (c *Core) step(cycle uint64) bool {
 	in := c.cur()
 	switch in.Op {
 	case isa.OpNop:
-		c.ctr.Nops++
-		c.nextFree = cycle + uint64(c.cfg.NopLatency)
-		c.advance()
+		// Execute the whole run of consecutive nops that shares the
+		// current fetch line in one step. Those nops cannot miss IL1 or
+		// touch the bus, and the run never includes the sequence's last
+		// instruction (so no iteration boundary is crossed), making the
+		// batch cycle-exact: the next instruction starts at the same
+		// cycle as under 1-nop-per-Tick execution. Batching matters for
+		// the idle-cycle fast path — a core chewing nops one Tick at a
+		// time would otherwise pin the platform clock to 1-cycle steps
+		// for the entire rsk-nop injection interval.
+		n := 1
+		if !c.noBatch {
+			n = c.nopRunLen(addr)
+		}
+		c.ctr.Nops += uint64(n)
+		c.nextFree = cycle + uint64(n)*uint64(c.cfg.NopLatency)
+		if n == 1 {
+			c.advance()
+		} else {
+			c.ctr.Instrs += uint64(n)
+			c.pc += n
+			c.batchEnd = c.nextFree
+		}
 	case isa.OpIALU:
 		c.ctr.ALUs++
 		lat := uint64(c.cfg.IntLatency)
@@ -328,6 +421,27 @@ func (c *Core) step(cycle uint64) bool {
 	return true
 }
 
+// nopRunLen returns how many consecutive nops starting at pc (whose fetch
+// address is addr) can be executed as one batch: the run may not leave the
+// current fetch line and may not consume the sequence's last instruction,
+// so the scalar path keeps handling line crossings and loop wrap-around.
+func (c *Core) nopRunLen(addr uint64) int {
+	seq := c.prog.Body
+	if c.inSetup {
+		seq = c.prog.Setup
+	}
+	max := len(seq) - c.pc - 1
+	lineBytes := ^c.lineMask + 1
+	if left := int((c.fetchLine + lineBytes - addr) / isa.InstrBytes); left < max {
+		max = left
+	}
+	n := 1
+	for n < max && seq[c.pc+n].Op == isa.OpNop {
+		n++
+	}
+	return n
+}
+
 // tryDrain submits the store buffer head to the bus when the port is free
 // and no demand miss is competing for it (demand requests have priority).
 func (c *Core) tryDrain(cycle uint64) {
@@ -339,7 +453,8 @@ func (c *Core) tryDrain(cycle uint64) {
 		return
 	}
 	c.sb.MarkInflight()
-	c.port.Submit(&bus.Request{Port: c.cfg.ID, Kind: bus.KindStore, Addr: addr}, cycle)
+	c.req = bus.Request{Port: c.cfg.ID, Kind: bus.KindStore, Addr: addr}
+	c.port.Submit(&c.req, cycle)
 }
 
 // LoadDone delivers load data at cycle: the DL1 line is filled, the load

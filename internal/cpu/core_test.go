@@ -9,9 +9,12 @@ import (
 )
 
 // fakePort records submissions and lets tests complete them manually.
+// History entries are copies: the core reuses its request object across
+// submissions (see Core.req), exactly like the real bus, which drops its
+// reference at completion.
 type fakePort struct {
 	pending *bus.Request
-	history []*bus.Request
+	history []bus.Request
 }
 
 func (p *fakePort) Free() bool { return p.pending == nil }
@@ -22,7 +25,7 @@ func (p *fakePort) Submit(r *bus.Request, cycle uint64) {
 	}
 	r.Ready = cycle
 	p.pending = r
-	p.history = append(p.history, r)
+	p.history = append(p.history, *r)
 }
 
 func (p *fakePort) complete() *bus.Request {
@@ -413,7 +416,7 @@ func TestResetCountersPreservesIters(t *testing.T) {
 	if before == 0 {
 		t.Fatal("no progress")
 	}
-	c.ResetCounters()
+	c.ResetCounters(10_000)
 	if c.Iters() != before {
 		t.Fatal("ResetCounters must preserve iteration progress")
 	}

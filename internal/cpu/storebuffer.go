@@ -7,7 +7,12 @@ package cpu
 // Fig. 7(b) of the paper, where sufficiently spaced stores are completely
 // hidden.
 type StoreBuffer struct {
-	entries  []uint64
+	// buf is a fixed-capacity ring: head indexes the oldest entry, n
+	// counts occupied slots. The ring never reallocates, keeping the
+	// drain path free of steady-state heap traffic.
+	buf      []uint64
+	head     int
+	n        int
 	capacity int
 	inflight bool
 
@@ -25,7 +30,7 @@ func NewStoreBuffer(capacity int) *StoreBuffer {
 	if capacity <= 0 {
 		panic("cpu: store buffer capacity must be positive")
 	}
-	return &StoreBuffer{entries: make([]uint64, 0, capacity), capacity: capacity}
+	return &StoreBuffer{buf: make([]uint64, capacity), capacity: capacity}
 }
 
 // Cap returns the configured capacity.
@@ -33,13 +38,13 @@ func (sb *StoreBuffer) Cap() int { return sb.capacity }
 
 // Len returns the current number of buffered entries (including one marked
 // in flight at the bus).
-func (sb *StoreBuffer) Len() int { return len(sb.entries) }
+func (sb *StoreBuffer) Len() int { return sb.n }
 
 // Full reports whether a push would stall the pipeline.
-func (sb *StoreBuffer) Full() bool { return len(sb.entries) >= sb.capacity }
+func (sb *StoreBuffer) Full() bool { return sb.n >= sb.capacity }
 
 // Empty reports whether the buffer holds no entries.
-func (sb *StoreBuffer) Empty() bool { return len(sb.entries) == 0 }
+func (sb *StoreBuffer) Empty() bool { return sb.n == 0 }
 
 // Push appends a store to addr. It reports false (and counts a stall) when
 // the buffer is full.
@@ -48,7 +53,12 @@ func (sb *StoreBuffer) Push(addr uint64) bool {
 		sb.FullStalls++
 		return false
 	}
-	sb.entries = append(sb.entries, addr)
+	i := sb.head + sb.n
+	if i >= sb.capacity {
+		i -= sb.capacity
+	}
+	sb.buf[i] = addr
+	sb.n++
 	sb.Pushes++
 	return true
 }
@@ -56,16 +66,16 @@ func (sb *StoreBuffer) Push(addr uint64) bool {
 // Head returns the oldest entry if one exists and it is not already in
 // flight at the bus.
 func (sb *StoreBuffer) Head() (addr uint64, ok bool) {
-	if sb.inflight || len(sb.entries) == 0 {
+	if sb.inflight || sb.n == 0 {
 		return 0, false
 	}
-	return sb.entries[0], true
+	return sb.buf[sb.head], true
 }
 
 // MarkInflight flags the head entry as submitted to the bus; Head then
 // returns ok == false until PopInflight.
 func (sb *StoreBuffer) MarkInflight() {
-	if sb.inflight || len(sb.entries) == 0 {
+	if sb.inflight || sb.n == 0 {
 		panic("cpu: MarkInflight without a drainable head")
 	}
 	sb.inflight = true
@@ -80,14 +90,18 @@ func (sb *StoreBuffer) PopInflight() {
 	if !sb.inflight {
 		panic("cpu: PopInflight without an in-flight entry")
 	}
-	sb.entries = sb.entries[1:]
+	sb.head++
+	if sb.head >= sb.capacity {
+		sb.head = 0
+	}
+	sb.n--
 	sb.inflight = false
 	sb.Drains++
 }
 
 // Reset discards all entries and statistics.
 func (sb *StoreBuffer) Reset() {
-	sb.entries = sb.entries[:0]
+	sb.head, sb.n = 0, 0
 	sb.inflight = false
 	sb.Pushes, sb.FullStalls, sb.Drains = 0, 0, 0
 }

@@ -1,0 +1,87 @@
+package exp_test
+
+import (
+	"testing"
+
+	"rrbus/internal/exp"
+	"rrbus/internal/figures"
+	"rrbus/internal/sim"
+)
+
+// The engine's core contract: a figure batch run with 1 worker and with
+// many workers renders byte-identical output. These tests regenerate real
+// paper artifacts (not synthetic jobs) under both settings, so they cover
+// the full path: job fan-out, per-job simulator isolation, index-ordered
+// result folding, and the renderers. Run with -race to also check that
+// concurrent simulations share no mutable state.
+
+func renderAt(t *testing.T, workers int, f func() (string, error)) string {
+	t.Helper()
+	exp.SetWorkers(workers)
+	defer exp.SetWorkers(0)
+	out, err := f()
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return out
+}
+
+func checkDeterministic(t *testing.T, f func() (string, error)) {
+	t.Helper()
+	serial := renderAt(t, 1, f)
+	if serial == "" {
+		t.Fatal("empty rendering")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := renderAt(t, workers, f); got != serial {
+			t.Errorf("workers=%d output differs from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, serial, workers, got)
+		}
+	}
+}
+
+func TestFig7SweepDeterminism(t *testing.T) {
+	checkDeterministic(t, func() (string, error) {
+		res, err := figures.Fig7b(figures.ToyConfig(), 16, 5)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	})
+}
+
+func TestFig3Determinism(t *testing.T) {
+	checkDeterministic(t, func() (string, error) {
+		rows, err := figures.Fig3(9)
+		if err != nil {
+			return "", err
+		}
+		return figures.RenderGammaRows(rows), nil
+	})
+}
+
+func TestFig6aDeterminism(t *testing.T) {
+	// Fig6a folds floating-point fractions across workloads; the fold
+	// happens in set order after the parallel phase, so even the float
+	// accumulation must match bitwise.
+	checkDeterministic(t, func() (string, error) {
+		res, err := figures.Fig6a(figures.ToyConfig(), 4, 7)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	})
+}
+
+func TestScalingAblationDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("derivation sweep is slow")
+	}
+	checkDeterministic(t, func() (string, error) {
+		rows, err := figures.AblationScaling(sim.NGMPRef(), []int{3, 4}, []int{3})
+		if err != nil {
+			return "", err
+		}
+		return figures.RenderScaling(rows), nil
+	})
+}

@@ -1,0 +1,191 @@
+// Package exp is the experiment engine: it fans batches of independent
+// simulation jobs out across a bounded worker pool while preserving the
+// exact observable behavior of a serial run.
+//
+// Every figure, table and ablation of the paper's evaluation is a batch of
+// mutually independent cycle-accurate simulations (each builds its own
+// sim.System), so they parallelize embarrassingly. The engine's contract
+// is strict determinism:
+//
+//   - Results are delivered ordered by job index, never by completion
+//     order. A batch run with 1 worker and with N workers produces
+//     byte-identical downstream output.
+//   - Each job must be self-contained: it may share read-only inputs
+//     (configs, kernel builders) but must not mutate shared state. All
+//     simulator state (System, Cache, Bus, Controller) is created inside
+//     the job.
+//   - Errors are reported deterministically: the error of the
+//     lowest-indexed failing job wins, regardless of scheduling.
+//
+// The default worker count is GOMAXPROCS; CLIs expose it as -workers and
+// a value of 1 recovers the fully serial execution on the caller's
+// goroutine (no pool is spun up at all).
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var defaultWorkers atomic.Int64
+
+// active counts worker goroutines currently reserved by running batches.
+// Every parallel batch claims its workers from the shared Workers()
+// budget via an atomic compare-and-swap (reserve), so nested fan-out —
+// e.g. a Derive k-sweep inside an ablation job — shrinks to whatever
+// budget remains (typically serial execution on its own worker) instead
+// of multiplying concurrency to workers².
+var active atomic.Int64
+
+// reserve atomically claims up to want worker slots from the engine-wide
+// budget and returns how many it got (possibly 0). The caller must return
+// the slots with active.Add(-granted) when the batch finishes.
+func reserve(want int) int {
+	for {
+		a := active.Load()
+		avail := int64(Workers()) - a
+		if avail < 1 {
+			return 0
+		}
+		g := int64(want)
+		if g > avail {
+			g = avail
+		}
+		if active.CompareAndSwap(a, a+g) {
+			return int(g)
+		}
+	}
+}
+
+// Workers returns the engine's current default worker count: the last
+// value installed with SetWorkers, or GOMAXPROCS when unset.
+func Workers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers installs the default worker count used by Map. Values < 1
+// reset to the GOMAXPROCS default. It is safe for concurrent use, but is
+// intended to be called once at startup (CLI -workers flag).
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Map runs fn(0), fn(1), ..., fn(n-1) across the default worker pool and
+// returns the results ordered by index. See MapN.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapN(Workers(), n, fn)
+}
+
+// MapN runs fn(0..n-1) across at most workers goroutines — further
+// bounded by the engine-wide Workers() budget, which parallel batches
+// share (a batch nested inside another batch's worker typically gets no
+// extra goroutines and runs serially) — and returns the n results ordered
+// by index. If any job fails, the error of the lowest-indexed failing job
+// is returned and the results are nil regardless of worker count: the
+// serial path stops at the first failure while the parallel path finishes
+// the batch, so partial results are deliberately not exposed.
+func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers > 1 {
+		granted := reserve(workers)
+		if granted <= 1 {
+			active.Add(int64(-granted))
+			workers = 1
+		} else {
+			workers = granted
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	defer active.Add(int64(-workers))
+	errs := make([]error, n)
+	var next atomic.Int64
+	// failed tracks the lowest failing index seen so far; jobs above it
+	// are skipped (their results are discarded on error anyway), so an
+	// early failure doesn't pay for the rest of an expensive batch.
+	var failed atomic.Int64
+	failed.Store(int64(n))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || int64(i) > failed.Load() {
+					return
+				}
+				out[i], errs[i] = fn(i)
+				if errs[i] != nil {
+					for {
+						f := failed.Load()
+						if int64(i) >= f || failed.CompareAndSwap(f, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Pair runs two independent jobs (typically a contended/isolation
+// measurement pair) concurrently under the default worker pool and
+// returns both results. Errors favor the first job, matching serial
+// order.
+func Pair[A, B any](fa func() (A, error), fb func() (B, error)) (A, B, error) {
+	if Workers() <= 1 || reserve(1) == 0 {
+		a, err := fa()
+		if err != nil {
+			var b B
+			return a, b, err
+		}
+		b, err := fb()
+		return a, b, err
+	}
+	defer active.Add(-1)
+	var (
+		b    B
+		errB error
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b, errB = fb()
+	}()
+	a, errA := fa()
+	<-done
+	if errA != nil {
+		return a, b, errA
+	}
+	return a, b, errB
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rrbus/internal/core"
+	"rrbus/internal/exp"
 	"rrbus/internal/isa"
 	"rrbus/internal/sim"
 )
@@ -31,14 +32,15 @@ type ArbiterRow struct {
 // is flat at the contenders' mercy, and under a lottery there is no stable
 // period at all.
 func AblationArbiters(cfg sim.Config) ([]ArbiterRow, error) {
-	rows := make([]ArbiterRow, 0, 5)
-	for _, kind := range []sim.ArbiterKind{sim.ArbiterRR, sim.ArbiterTDMA, sim.ArbiterFP, sim.ArbiterLottery, sim.ArbiterWRR} {
+	kinds := []sim.ArbiterKind{sim.ArbiterRR, sim.ArbiterTDMA, sim.ArbiterFP, sim.ArbiterLottery, sim.ArbiterWRR}
+	return exp.Map(len(kinds), func(i int) (ArbiterRow, error) {
+		kind := kinds[i]
 		c := cfg
 		c.Arbiter = kind
 		c.Name = fmt.Sprintf("%s-%s", cfg.Name, kind)
 		r, err := core.NewSimRunner(c)
 		if err != nil {
-			return nil, err
+			return ArbiterRow{}, err
 		}
 		row := ArbiterRow{Arbiter: string(kind), ActualUBD: c.UBD()}
 		res, derr := core.Derive(r, core.Options{Type: isa.OpLoad, AutoExtend: true, KLimit: 160})
@@ -63,9 +65,8 @@ func AblationArbiters(cfg sim.Config) ([]ArbiterRow, error) {
 				"so saturation degenerates to plain RR and the period correctly reads (Nc-1)*lbus for loads; " +
 				"multi-outstanding contenders (e.g. store buffers) could consume whole weight blocks and raise the true bound"
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderArbiters formats the arbiter ablation.
@@ -98,14 +99,14 @@ type DeltaNopRow struct {
 
 // AblationDeltaNop derives ubd on copies of cfg with nop latency 1..maxNop.
 func AblationDeltaNop(cfg sim.Config, maxNop int) ([]DeltaNopRow, error) {
-	rows := make([]DeltaNopRow, 0, maxNop)
-	for n := 1; n <= maxNop; n++ {
+	return exp.Map(maxNop, func(i int) (DeltaNopRow, error) {
+		n := i + 1
 		c := cfg
 		c.NopLatency = n
 		c.Name = fmt.Sprintf("%s-nop%d", cfg.Name, n)
 		r, err := core.NewSimRunner(c)
 		if err != nil {
-			return nil, err
+			return DeltaNopRow{}, err
 		}
 		row := DeltaNopRow{NopLatency: n, ActualUBD: c.UBD()}
 		res, derr := core.Derive(r, core.Options{Type: isa.OpLoad, AutoExtend: true, KLimit: 160})
@@ -117,9 +118,8 @@ func AblationDeltaNop(cfg sim.Config, maxNop int) ([]DeltaNopRow, error) {
 			row.DerivedUBDm = res.UBDm
 			row.PeriodTimesDnop = int(float64(res.PeriodK)*res.DeltaNop + 0.5)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderDeltaNop formats the δnop ablation.
@@ -147,28 +147,27 @@ type ScalingRow struct {
 }
 
 // AblationScaling derives ubd over the cross product of core counts and bus
-// latencies (transfer fixed at 3, L2 hit varied).
+// latencies (transfer fixed at 3, L2 hit varied). The geometry grid is
+// flattened into one job batch for the experiment engine.
 func AblationScaling(base sim.Config, cores []int, l2hits []int) ([]ScalingRow, error) {
-	rows := make([]ScalingRow, 0, len(cores)*len(l2hits))
-	for _, nc := range cores {
-		for _, l2 := range l2hits {
-			c := sim.Scaled(base, nc, 3, l2)
-			r, err := core.NewSimRunner(c)
-			if err != nil {
-				return nil, err
-			}
-			row := ScalingRow{Cores: nc, LBus: c.BusLatency(), ActualUBD: c.UBD()}
-			res, derr := core.Derive(r, core.Options{Type: isa.OpLoad, AutoExtend: true, KLimit: 320})
-			if derr != nil {
-				row.Err = derr.Error()
-			}
-			if res != nil {
-				row.DerivedUBDm = res.UBDm
-			}
-			rows = append(rows, row)
+	return exp.Map(len(cores)*len(l2hits), func(i int) (ScalingRow, error) {
+		nc := cores[i/len(l2hits)]
+		l2 := l2hits[i%len(l2hits)]
+		c := sim.Scaled(base, nc, 3, l2)
+		r, err := core.NewSimRunner(c)
+		if err != nil {
+			return ScalingRow{}, err
 		}
-	}
-	return rows, nil
+		row := ScalingRow{Cores: nc, LBus: c.BusLatency(), ActualUBD: c.UBD()}
+		res, derr := core.Derive(r, core.Options{Type: isa.OpLoad, AutoExtend: true, KLimit: 320})
+		if derr != nil {
+			row.Err = derr.Error()
+		}
+		if res != nil {
+			row.DerivedUBDm = res.UBDm
+		}
+		return row, nil
+	})
 }
 
 // RenderScaling formats the scaling ablation.

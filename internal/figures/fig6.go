@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"rrbus/internal/exp"
 	"rrbus/internal/isa"
 	"rrbus/internal/kernel"
 	"rrbus/internal/sim"
@@ -32,10 +33,14 @@ func Fig6a(cfg sim.Config, count int, seed uint64) (*Fig6aResult, error) {
 		RSKFrac:   make([]float64, cfg.Cores+1),
 	}
 
-	// EEMBC workloads: scua is the task on core 0, the rest contend.
+	// EEMBC workloads: scua is the task on core 0, the rest contend. The
+	// runs are independent; fan them out and fold the histograms back in
+	// set order so the floating-point accumulation matches the serial run
+	// bit for bit.
 	sets := workload.RandomTaskSets(count, cfg.Cores, seed)
 	res.Workloads = sets
-	for _, ts := range sets {
+	hists, err := exp.Map(len(sets), func(i int) ([]uint64, error) {
+		ts := sets[i]
 		progs, err := ts.Build()
 		if err != nil {
 			return nil, err
@@ -45,14 +50,20 @@ func Fig6a(cfg sim.Config, count int, seed uint64) (*Fig6aResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("figures: workload %v: %w", ts.Names, err)
 		}
+		return m.ContendersHist, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, hist := range hists {
 		var total uint64
-		for _, c := range m.ContendersHist {
+		for _, c := range hist {
 			total += c
 		}
 		if total == 0 {
 			continue
 		}
-		for i, c := range m.ContendersHist {
+		for i, c := range hist {
 			if i < len(res.EEMBCFrac) {
 				res.EEMBCFrac[i] += float64(c) / float64(total) / float64(len(sets))
 			}
@@ -114,44 +125,48 @@ type Fig6bResult struct {
 	ModeFrac  float64
 	// ActualUBD is Eq. 1 ground truth.
 	ActualUBD int
+	// SimCycles is the full simulated length of the run (warmup +
+	// measurement window), used by the throughput benchmarks to report
+	// simcycles/s against the run's wall time.
+	SimCycles uint64
 }
 
 // Fig6b regenerates Fig. 6(b) on the given architectures (the paper: ref
 // and var; ubdm lands on 26 and 23 against an actual ubd of 27).
 func Fig6b(cfgs ...sim.Config) ([]Fig6bResult, error) {
-	out := make([]Fig6bResult, 0, len(cfgs))
-	for _, cfg := range cfgs {
+	return exp.Map(len(cfgs), func(i int) (Fig6bResult, error) {
+		cfg := cfgs[i]
 		b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
 		scua, err := b.RSK(0, isa.OpLoad)
 		if err != nil {
-			return nil, err
+			return Fig6bResult{}, err
 		}
 		var cont []*isa.Program
 		for c := 1; c < cfg.Cores; c++ {
 			p, err := b.RSK(c, isa.OpLoad)
 			if err != nil {
-				return nil, err
+				return Fig6bResult{}, err
 			}
 			cont = append(cont, p)
 		}
 		m, err := sim.Run(cfg, sim.Workload{Scua: scua, Contenders: cont},
 			sim.RunOpts{WarmupIters: 3, MeasureIters: 50, CollectGammas: true})
 		if err != nil {
-			return nil, err
+			return Fig6bResult{}, err
 		}
-		h := stats.FromMap(m.GammaHist)
+		h := stats.FromDense(m.GammaHist)
 		mode, frac, _ := h.Mode()
 		maxG, _ := h.Max()
-		out = append(out, Fig6bResult{
+		return Fig6bResult{
 			Arch:      cfg.Name,
 			Hist:      h,
 			UBDm:      maxG,
 			ModeGamma: mode,
 			ModeFrac:  frac,
 			ActualUBD: cfg.UBD(),
-		})
-	}
-	return out, nil
+			SimCycles: m.TotalCycles,
+		}, nil
+	})
 }
 
 // Render formats one Fig. 6(b) histogram.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rrbus/internal/core"
+	"rrbus/internal/exp"
 	"rrbus/internal/isa"
 	"rrbus/internal/sim"
 )
@@ -19,7 +20,9 @@ type SweepPoint struct {
 }
 
 // Sweep runs the rsk-nop(t, k) slowdown sweep for k = 1..kmax with the
-// given number of measured iterations per run.
+// given number of measured iterations per run. The kmax runs are
+// independent simulations and fan out across the experiment engine's
+// worker pool; results come back in k order regardless of worker count.
 func Sweep(cfg sim.Config, t isa.Op, kmax int, iters uint64) ([]SweepPoint, error) {
 	r, err := core.NewSimRunner(cfg)
 	if err != nil {
@@ -28,23 +31,22 @@ func Sweep(cfg sim.Config, t isa.Op, kmax int, iters uint64) ([]SweepPoint, erro
 	if iters > 0 {
 		r.Iters = iters
 	}
-	out := make([]SweepPoint, 0, kmax)
-	for k := 1; k <= kmax; k++ {
+	return exp.Map(kmax, func(i int) (SweepPoint, error) {
+		k := i + 1
 		cont, err := r.RunContended(t, k)
 		if err != nil {
-			return nil, err
+			return SweepPoint{}, err
 		}
 		isol, err := r.RunIsolation(t, k)
 		if err != nil {
-			return nil, err
+			return SweepPoint{}, err
 		}
-		out = append(out, SweepPoint{
+		return SweepPoint{
 			K:           k,
 			Slowdown:    int64(cont.Cycles) - int64(isol.Cycles),
 			Utilization: cont.Utilization,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Fig7aResult is the Fig. 7(a) pair of load sweeps.

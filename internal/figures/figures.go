@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"rrbus/internal/analytic"
+	"rrbus/internal/exp"
 	"rrbus/internal/isa"
 	"rrbus/internal/kernel"
 	"rrbus/internal/sim"
@@ -47,7 +48,7 @@ func gammaMode(cfg sim.Config, t isa.Op, k int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	mode, _, ok := stats.FromMap(m.GammaHist).Mode()
+	mode, _, ok := stats.FromDense(m.GammaHist).Mode()
 	if !ok {
 		return 0, fmt.Errorf("figures: no requests observed for %v k=%d", t, k)
 	}
@@ -68,8 +69,7 @@ type GammaRow struct {
 func Fig3(maxDelta int) ([]GammaRow, error) {
 	cfg := ToyConfig()
 	ubd := cfg.UBD()
-	rows := make([]GammaRow, 0, maxDelta+1)
-	for delta := 0; delta <= maxDelta; delta++ {
+	return exp.Map(maxDelta+1, func(delta int) (GammaRow, error) {
 		var g int
 		var err error
 		if delta == 0 {
@@ -78,11 +78,10 @@ func Fig3(maxDelta int) ([]GammaRow, error) {
 			g, err = gammaMode(cfg, isa.OpLoad, delta-cfg.DL1.Latency)
 		}
 		if err != nil {
-			return nil, err
+			return GammaRow{}, err
 		}
-		rows = append(rows, GammaRow{Delta: delta, GammaSim: g, GammaAnalytic: analytic.Gamma(delta, ubd)})
-	}
-	return rows, nil
+		return GammaRow{Delta: delta, GammaSim: g, GammaAnalytic: analytic.Gamma(delta, ubd)}, nil
+	})
 }
 
 // Fig4 regenerates the saw-tooth of Fig. 4 on the reference platform
@@ -90,15 +89,15 @@ func Fig3(maxDelta int) ([]GammaRow, error) {
 func Fig4(maxDelta int) ([]GammaRow, error) {
 	cfg := sim.NGMPRef()
 	ubd := cfg.UBD()
-	rows := make([]GammaRow, 0, maxDelta)
-	for delta := cfg.DL1.Latency; delta <= maxDelta; delta++ {
+	n := maxDelta - cfg.DL1.Latency + 1
+	return exp.Map(n, func(i int) (GammaRow, error) {
+		delta := cfg.DL1.Latency + i
 		g, err := gammaMode(cfg, isa.OpLoad, delta-cfg.DL1.Latency)
 		if err != nil {
-			return nil, err
+			return GammaRow{}, err
 		}
-		rows = append(rows, GammaRow{Delta: delta, GammaSim: g, GammaAnalytic: analytic.Gamma(delta, ubd)})
-	}
-	return rows, nil
+		return GammaRow{Delta: delta, GammaSim: g, GammaAnalytic: analytic.Gamma(delta, ubd)}, nil
+	})
 }
 
 // RenderGammaRows formats GammaRow tables.
@@ -173,43 +172,42 @@ type Fig5Scenario struct {
 // the alignment wraps and it jumps back up).
 func Fig5(ks []int) ([]Fig5Scenario, error) {
 	cfg := ToyConfig()
-	out := make([]Fig5Scenario, 0, len(ks))
-	for _, k := range ks {
+	return exp.Map(len(ks), func(i int) (Fig5Scenario, error) {
+		k := ks[i]
 		b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
 		scua, err := b.RSKNop(0, isa.OpLoad, k)
 		if err != nil {
-			return nil, err
+			return Fig5Scenario{}, err
 		}
 		var cont []*isa.Program
 		for c := 1; c < cfg.Cores; c++ {
 			p, err := b.RSK(c, isa.OpLoad)
 			if err != nil {
-				return nil, err
+				return Fig5Scenario{}, err
 			}
 			cont = append(cont, p)
 		}
 		sys, err := sim.NewSystem(cfg, append([]*isa.Program{scua}, cont...), []uint64{10, 0, 0, 0})
 		if err != nil {
-			return nil, err
+			return Fig5Scenario{}, err
 		}
 		rec := trace.NewRecorder(4096)
 		rec.Attach(sys.Bus())
 		sys.RunUntil(func() bool { return sys.Core(0).Done() }, 1<<22)
 		evs := rec.PortEvents(0)
 		if len(evs) < 6 {
-			return nil, fmt.Errorf("figures: too few events for k=%d", k)
+			return Fig5Scenario{}, fmt.Errorf("figures: too few events for k=%d", k)
 		}
 		e := evs[len(evs)-4]
 		from := uint64(0)
 		if e.Ready >= 6 {
 			from = e.Ready - 6
 		}
-		out = append(out, Fig5Scenario{
+		return Fig5Scenario{
 			K:        k,
 			Delta:    cfg.DL1.Latency + k,
 			Gamma:    int(e.Gamma),
 			Timeline: trace.Timeline(rec.Events(), cfg.Cores+1, from, e.Grant+uint64(e.Occupancy)+2),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"rrbus/internal/exp"
 	"rrbus/internal/isa"
 	"rrbus/internal/kernel"
 	"rrbus/internal/sim"
@@ -45,11 +46,6 @@ func MemContention(cfg sim.Config) (*MemContentionResult, error) {
 	}
 	opts := sim.RunOpts{WarmupIters: 3, MeasureIters: 10, CollectGammas: true}
 
-	isol, err := sim.RunIsolation(cfg, scua, opts)
-	if err != nil {
-		return nil, err
-	}
-
 	var cont []*isa.Program
 	for c := 1; c < cfg.Cores; c++ {
 		p, err := b.L2MissKernel(c, isa.OpLoad)
@@ -58,7 +54,14 @@ func MemContention(cfg sim.Config) (*MemContentionResult, error) {
 		}
 		cont = append(cont, p)
 	}
-	m, err := sim.Run(cfg, sim.Workload{Scua: scua, Contenders: cont}, opts)
+	// The isolation and contended runs are independent simulations; run
+	// them as a pair on the experiment engine.
+	isol, m, err := exp.Pair(
+		func() (*sim.Measurement, error) { return sim.RunIsolation(cfg, scua, opts) },
+		func() (*sim.Measurement, error) {
+			return sim.Run(cfg, sim.Workload{Scua: scua, Contenders: cont}, opts)
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +70,7 @@ func MemContention(cfg sim.Config) (*MemContentionResult, error) {
 		Arch:      cfg.Name,
 		BusUBD:    cfg.UBD(),
 		MaxGamma:  m.MaxGamma,
-		GammaHist: stats.FromMap(m.GammaHist),
+		GammaHist: stats.FromDense(m.GammaHist),
 	}
 	if isol.Requests > 0 {
 		res.IsolationLatency = float64(isol.Cycles) / float64(isol.Requests)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rrbus/internal/core"
+	"rrbus/internal/exp"
 	"rrbus/internal/isa"
 	"rrbus/internal/sim"
 )
@@ -33,11 +34,11 @@ type SummaryRow struct {
 // Fig. 7(b); its slowdown is flat beyond one tooth, so no period exists to
 // detect — exactly the paper's argument for using loads).
 func Summary(cfgs ...sim.Config) ([]SummaryRow, error) {
-	rows := make([]SummaryRow, 0, len(cfgs))
-	for _, cfg := range cfgs {
+	return exp.Map(len(cfgs), func(i int) (SummaryRow, error) {
+		cfg := cfgs[i]
 		r, err := core.NewSimRunner(cfg)
 		if err != nil {
-			return nil, err
+			return SummaryRow{}, err
 		}
 		row := SummaryRow{Arch: cfg.Name, Type: "load", ActualUBD: cfg.UBD()}
 		res, err := core.Derive(r, core.Options{Type: isa.OpLoad, AutoExtend: true})
@@ -52,12 +53,11 @@ func Summary(cfgs ...sim.Config) ([]SummaryRow, error) {
 		}
 		nv, err := core.NaiveUBDM(r, isa.OpLoad)
 		if err != nil {
-			return nil, err
+			return SummaryRow{}, err
 		}
 		row.NaiveUBDm = nv.UBDm
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderSummary formats the headline table.

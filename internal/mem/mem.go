@@ -117,6 +117,11 @@ type Txn struct {
 	Arrive uint64
 	Start  uint64
 	DataAt uint64
+
+	// pooled marks transactions acquired from the controller's freelist
+	// (AcquireTxn); only those are recycled, so caller-owned Txns pushed
+	// directly remain untouched after completion.
+	pooled bool
 }
 
 // Latency returns the total queue+service latency of a completed
@@ -148,6 +153,7 @@ type Controller struct {
 	queue    []*Txn
 	inflight []*Txn
 	ready    []*Txn
+	free     []*Txn
 	chanFree uint64
 	stats    Stats
 
@@ -200,6 +206,30 @@ func (c *Controller) Row(addr uint64) int64 {
 	return int64(addr >> c.rowShift / uint64(c.cfg.RowBytes/c.cfg.LineBytes))
 }
 
+// AcquireTxn returns a zeroed transaction from the controller's freelist
+// (or a new one), for callers that push transactions at high rate. Writes
+// are recycled automatically when they retire; completed reads return to
+// the pool when the caller hands them back with Recycle after consuming
+// the response. Caller-constructed Txns passed to Push are never pooled.
+func (c *Controller) AcquireTxn() *Txn {
+	if n := len(c.free); n > 0 {
+		t := c.free[n-1]
+		c.free = c.free[:n-1]
+		*t = Txn{pooled: true}
+		return t
+	}
+	return &Txn{pooled: true}
+}
+
+// Recycle returns a pool-acquired transaction to the freelist; Txns not
+// obtained from AcquireTxn are ignored. The caller must not touch t after
+// recycling it.
+func (c *Controller) Recycle(t *Txn) {
+	if t != nil && t.pooled {
+		c.free = append(c.free, t)
+	}
+}
+
 // Push enqueues a transaction arriving at cycle. It reports false when the
 // queue is full (bounded QueueDepth), in which case the caller must retry —
 // the paper's architecture applies backpressure through the bus instead, so
@@ -235,6 +265,7 @@ func (c *Controller) Tick(cycle uint64) {
 			if t.DataAt <= cycle {
 				if t.Write {
 					c.stats.Writes++
+					c.Recycle(t)
 				} else {
 					c.stats.Reads++
 					c.ready = append(c.ready, t)
@@ -242,6 +273,9 @@ func (c *Controller) Tick(cycle uint64) {
 			} else {
 				keep = append(keep, t)
 			}
+		}
+		for i := len(keep); i < len(c.inflight); i++ {
+			c.inflight[i] = nil
 		}
 		c.inflight = keep
 	}
@@ -314,14 +348,48 @@ func (c *Controller) issue(t *Txn, cycle uint64) {
 }
 
 // PopReady removes and returns the oldest completed read awaiting a bus
-// response slot, or nil.
+// response slot, or nil. The head is shifted out in place so the slice
+// keeps its capacity (a front reslice would leak it and force the next
+// append to reallocate).
 func (c *Controller) PopReady() *Txn {
 	if len(c.ready) == 0 {
 		return nil
 	}
 	t := c.ready[0]
-	c.ready = c.ready[1:]
+	copy(c.ready, c.ready[1:])
+	c.ready[len(c.ready)-1] = nil
+	c.ready = c.ready[:len(c.ready)-1]
 	return t
+}
+
+// NextEvent returns the earliest cycle at or after cycle at which the
+// controller might change state (retire an in-flight transaction or issue
+// a queued one), or ^uint64(0) when it is idle. The estimate may be
+// conservative (early), never late: the idle-cycle fast path uses it to
+// skip cycles where Tick provably does nothing.
+func (c *Controller) NextEvent(cycle uint64) uint64 {
+	next := ^uint64(0)
+	for _, t := range c.inflight {
+		if t.DataAt < next {
+			next = t.DataAt
+		}
+	}
+	if len(c.queue) > 0 {
+		// Earliest possible issue: the channel must be free. Bank busy
+		// states beyond chanFree (close-page precharge) degrade to a
+		// cycle-by-cycle crawl, which is conservative and exact.
+		v := c.chanFree
+		if v < cycle {
+			v = cycle
+		}
+		if v < next {
+			next = v
+		}
+	}
+	if next < cycle {
+		next = cycle
+	}
+	return next
 }
 
 // PeekReady returns the oldest completed read without removing it, or nil.

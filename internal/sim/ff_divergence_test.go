@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"rrbus/internal/bus"
+	"rrbus/internal/isa"
+	"rrbus/internal/kernel"
+)
+
+// The idle-cycle fast path must be invisible: every grant (port, kind,
+// ready, grant, occupancy) and every measurement field must match the
+// cycle-by-cycle run exactly. These tests pin that equivalence on the
+// saturated, the stretched-injection and the store-buffer workloads.
+
+type grantEvent struct {
+	Port      int
+	Kind      bus.Kind
+	Ready     uint64
+	Grant     uint64
+	Occupancy int
+}
+
+func grantTrace(t *testing.T, cfg Config, k int, op isa.Op, fastForward bool) []grantEvent {
+	t.Helper()
+	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+	b.Unroll = 2
+	scua, err := b.RSKNop(0, op, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []*isa.Program{scua}
+	iters := []uint64{13}
+	for c := 1; c < cfg.Cores; c++ {
+		p, err := b.RSK(c, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+		iters = append(iters, 0)
+	}
+	sys, err := NewSystem(cfg, progs, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFastForward(fastForward)
+	var evs []grantEvent
+	sys.Bus().OnGrant = func(r *bus.Request) {
+		evs = append(evs, grantEvent{r.Port, r.Kind, r.Ready, r.Grant, r.Occupancy})
+	}
+	if !sys.RunUntil(func() bool { return sys.Core(0).Done() }, 1<<22) {
+		t.Fatal("scua did not finish")
+	}
+	return evs
+}
+
+func TestFastForwardGrantEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		op   isa.Op
+		k    int
+	}{
+		{"ref-load-k1", NGMPRef(), isa.OpLoad, 1},
+		{"ref-load-k30", NGMPRef(), isa.OpLoad, 30},
+		{"ref-store-k5", NGMPRef(), isa.OpStore, 5},
+		{"var-load-k3", NGMPVar(), isa.OpLoad, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			slow := grantTrace(t, tc.cfg, tc.k, tc.op, false)
+			fast := grantTrace(t, tc.cfg, tc.k, tc.op, true)
+			if len(slow) != len(fast) {
+				t.Fatalf("event counts differ: %d cycle-by-cycle vs %d fast-forward", len(slow), len(fast))
+			}
+			for i := range slow {
+				if slow[i] != fast[i] {
+					t.Fatalf("grant %d differs: cycle-by-cycle %+v, fast-forward %+v", i, slow[i], fast[i])
+				}
+			}
+		})
+	}
+}
+
+func TestFastForwardMeasurementEquivalence(t *testing.T) {
+	// The full measurement harness (warmup boundary, stats reset, window
+	// length, histograms, PMCs) must be bit-identical with and without
+	// the fast path. Isolation runs additionally exercise the idle
+	// filler cores and the nop-batch skip.
+	// contenderK > 0 gives the contenders their own nop runs, so the
+	// warmup-boundary ResetStats can land mid-batch on a contender core
+	// (the mid-flight batch split in Core.ResetCounters).
+	cfg := NGMPRef()
+	run := func(fastForward bool, contenderK int) *Measurement {
+		b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+		b.Unroll = 2
+		scua, err := b.RSKNop(0, isa.OpLoad, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := Workload{Scua: scua}
+		if contenderK >= 0 {
+			for c := 1; c < cfg.Cores; c++ {
+				p, err := b.RSKNop(c, isa.OpLoad, contenderK)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.Contenders = append(w.Contenders, p)
+			}
+		}
+		m, err := Run(cfg, w, RunOpts{
+			WarmupIters: 3, MeasureIters: 10, CollectGammas: true,
+			DisableFastForward: !fastForward,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	for _, contenderK := range []int{-1, 0, 25} {
+		slow := run(false, contenderK)
+		fast := run(true, contenderK)
+		if !reflect.DeepEqual(slow, fast) {
+			t.Errorf("contenderK=%d: measurements differ:\ncycle-by-cycle: %+v\nfast-forward:   %+v", contenderK, slow, fast)
+		}
+	}
+}
+
+func TestFastForwardContenderCountersAcrossReset(t *testing.T) {
+	// Per-core counters of every core — not just the scua — must match
+	// the scalar run even when ResetStats lands in the middle of a
+	// contender's nop batch: the batch pre-commits its Nops/Instrs, and
+	// ResetCounters re-credits the post-reset remainder.
+	cfg := NGMPRef()
+	run := func(fastForward bool) []int64 {
+		b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+		b.Unroll = 2
+		progs := make([]*isa.Program, cfg.Cores)
+		iters := make([]uint64, cfg.Cores)
+		for c := 0; c < cfg.Cores; c++ {
+			p, err := b.RSKNop(c, isa.OpLoad, 20+3*c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			progs[c] = p
+		}
+		iters[0] = 40
+		sys, err := NewSystem(cfg, progs, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.SetFastForward(fastForward)
+		// Sweep the reset across many cycle offsets so some land inside
+		// a contender's 20+ nop batch.
+		var counts []int64
+		for _, stopIters := range []uint64{3, 5, 8, 13, 21} {
+			sys.RunUntil(func() bool { return sys.Core(0).Iters() >= stopIters }, 1<<22)
+			sys.ResetStats()
+			sys.RunUntil(func() bool { return sys.Core(0).Iters() >= stopIters+2 }, 1<<22)
+			for c := 0; c < cfg.Cores; c++ {
+				ctr := sys.Core(c).Counters()
+				counts = append(counts, int64(ctr.Instrs), int64(ctr.Nops), int64(ctr.Loads))
+			}
+		}
+		return counts
+	}
+	slow := run(false)
+	fast := run(true)
+	if !reflect.DeepEqual(slow, fast) {
+		t.Errorf("per-core counters diverge:\ncycle-by-cycle: %v\nfast-forward:   %v", slow, fast)
+	}
+}

@@ -44,6 +44,11 @@ type RunOpts struct {
 	// OnGrant, if non-nil, observes every grant during the measurement
 	// window (tracing).
 	OnGrant func(r *bus.Request)
+	// DisableFastForward forces cycle-by-cycle execution instead of the
+	// idle-cycle fast path. Results are identical either way (the
+	// equivalence tests prove it); the switch exists for debugging and
+	// for those tests.
+	DisableFastForward bool
 }
 
 func (o *RunOpts) fill() {
@@ -62,6 +67,10 @@ func (o *RunOpts) fill() {
 type Measurement struct {
 	// Cycles is the execution time of the scua's measured iterations.
 	Cycles uint64
+	// TotalCycles is the full simulated length of the run including the
+	// warmup phase; throughput accounting (simcycles/s) uses it so the
+	// warmup share of the wall time is matched by its cycle share.
+	TotalCycles uint64
 	// Iters is the number of measured iterations.
 	Iters uint64
 	// Requests is the number of bus transactions the scua's port was
@@ -86,9 +95,11 @@ type Measurement struct {
 	DL1, IL1, L2 cache.Stats
 	Bus          bus.Stats
 	Mem          mem.Stats
-	// GammaHist maps contention delay (cycles) to occurrence count for
-	// the scua's requests (CollectGammas only).
-	GammaHist map[int]uint64
+	// GammaHist counts the scua's requests by contention delay:
+	// GammaHist[g] requests suffered exactly g cycles of contention
+	// (CollectGammas only). The dense representation keeps the per-grant
+	// hot path allocation-free; trailing entries may be zero.
+	GammaHist []uint64
 	// ContendersHist[i] counts scua submissions that found i other
 	// requests pending or in service (CollectGammas only).
 	ContendersHist []uint64
@@ -148,6 +159,7 @@ func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 	if err != nil {
 		return nil, err
 	}
+	sys.SetFastForward(!opt.DisableFastForward)
 	scua := sys.Core(w.ScuaCore)
 
 	// Warmup phase.
@@ -161,13 +173,21 @@ func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 
 	m := &Measurement{}
 	if opt.CollectGammas {
-		m.GammaHist = make(map[int]uint64)
+		// Sized for the common case (γ ≤ ubd); grows on demand for
+		// workloads whose responses queue behind DRAM traffic.
+		m.GammaHist = make([]uint64, cfg.UBD()+2)
 		m.ContendersHist = make([]uint64, cfg.Cores+1)
 	}
 	if opt.CollectGammas || opt.OnGrant != nil {
 		sys.Bus().OnGrant = func(r *bus.Request) {
 			if opt.CollectGammas && r.Port == w.ScuaCore && r.Kind != bus.KindResp {
-				m.GammaHist[int(r.Gamma())]++
+				g := int(r.Gamma())
+				if g >= len(m.GammaHist) {
+					grown := make([]uint64, 2*g+1)
+					copy(grown, m.GammaHist)
+					m.GammaHist = grown
+				}
+				m.GammaHist[g]++
 			}
 			if opt.OnGrant != nil {
 				opt.OnGrant(r)
@@ -195,6 +215,7 @@ func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 	window := sys.Cycle() - startCycle
 	bs := sys.Bus().Stats()
 	m.Cycles = window
+	m.TotalCycles = sys.Cycle()
 	m.Iters = scua.Iters() - startIters
 	m.Requests = bs.Grants[w.ScuaCore]
 	m.MaxGamma = bs.MaxGamma[w.ScuaCore]
@@ -236,13 +257,16 @@ func RunIsolation(cfg Config, scua *isa.Program, opt RunOpts) (*Measurement, err
 	return Run(cfg, Workload{Scua: scua}, opt)
 }
 
-// idleProgram returns a minimal endless program for cores without work: a
-// one-instruction nop loop that never touches the bus after its first
-// instruction fetch.
+// idleProgram returns a minimal endless program for cores without work.
+// It never touches the bus after its first instruction fetch, so the
+// measured core cannot observe what it executes; a long-latency ALU loop
+// (rather than a 1-cycle nop loop) keeps the core quiescent for hundreds
+// of cycles at a time, which lets the idle-cycle fast path skip ahead in
+// isolation runs.
 func idleProgram(core int) *isa.Program {
 	return &isa.Program{
 		Name:     fmt.Sprintf("idle-%d", core),
 		CodeBase: 0x7F00_0000 + uint64(core)<<16,
-		Body:     []isa.Instr{isa.Nop(), isa.Branch()},
+		Body:     []isa.Instr{isa.IALU(255), isa.Branch()},
 	}
 }

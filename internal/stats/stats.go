@@ -19,12 +19,15 @@ type Hist struct {
 // NewHist returns an empty histogram.
 func NewHist() *Hist { return &Hist{counts: make(map[int]uint64)} }
 
-// FromMap builds a histogram from an existing value→count map (the map is
-// copied).
-func FromMap(m map[int]uint64) *Hist {
+// FromDense builds a histogram from a dense count slice where counts[v]
+// is the number of observations of value v (the simulator's hot-path
+// representation). Zero entries are skipped.
+func FromDense(counts []uint64) *Hist {
 	h := NewHist()
-	for v, c := range m {
-		h.AddN(v, c)
+	for v, c := range counts {
+		if c != 0 {
+			h.AddN(v, c)
+		}
 	}
 	return h
 }

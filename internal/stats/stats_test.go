@@ -81,10 +81,13 @@ func TestHistString(t *testing.T) {
 	}
 }
 
-func TestFromMap(t *testing.T) {
-	h := FromMap(map[int]uint64{1: 2, 3: 4})
-	if h.Total() != 6 || h.Count(3) != 4 {
-		t.Fatal("FromMap wrong")
+func TestFromDense(t *testing.T) {
+	h := FromDense([]uint64{0, 2, 0, 4})
+	if h.Total() != 6 || h.Count(3) != 4 || h.Count(0) != 0 {
+		t.Fatal("FromDense wrong")
+	}
+	if vs := h.Values(); len(vs) != 2 || vs[0] != 1 || vs[1] != 3 {
+		t.Fatalf("FromDense values = %v, want [1 3]", vs)
 	}
 }
 
