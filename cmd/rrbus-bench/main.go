@@ -8,11 +8,20 @@
 //	rrbus-bench                      # print JSON to stdout
 //	rrbus-bench -out BENCH_sim.json  # write the baseline file
 //	rrbus-bench -workers 8 -repeat 3
+//	rrbus-bench -compare BENCH_sim.json   # exit 1 on >10% simcycles/s regression
+//	rrbus-bench -out BENCH_sim.json -append  # accumulate a trend entry
 //
 // Each benchmark reports the best (fastest) of -repeat runs, minimizing
 // scheduler noise; sim_cycles counts simulated platform cycles, so
 // cycles_per_sec = sim_cycles / wall_seconds is the headline simulation
 // speed.
+//
+// -compare guards the performance trajectory: the current run is checked
+// against a baseline file and any benchmark whose simcycles/s drops more
+// than 10% fails the process (CI turns a perf regression into a red
+// build). -append keeps the history: each run adds one trend entry to the
+// baseline file, so BENCH_sim.json accumulates the simulator's speed
+// across PRs instead of being overwritten.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"rrbus/internal/exp"
@@ -40,6 +50,15 @@ type result struct {
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
 }
 
+// trendEntry is one historical run in the baseline file's trend: enough
+// to plot the simulator's speed across PRs.
+type trendEntry struct {
+	When      string   `json:"when"`
+	GoVersion string   `json:"go_version,omitempty"`
+	Workers   int      `json:"workers,omitempty"`
+	Results   []result `json:"results"`
+}
+
 type report struct {
 	GoVersion string   `json:"go_version"`
 	GOOS      string   `json:"goos"`
@@ -48,15 +67,23 @@ type report struct {
 	Workers   int      `json:"workers"`
 	Repeat    int      `json:"repeat"`
 	Results   []result `json:"results"`
+	// Trend accumulates one entry per -append run, oldest first.
+	Trend []trendEntry `json:"trend,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "", "write JSON to this file instead of stdout")
 	repeat := flag.Int("repeat", 3, "runs per benchmark (best is reported)")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	compare := flag.String("compare", "", "baseline JSON to compare against; exit 1 on >10% simcycles/s regression")
+	appendTrend := flag.Bool("append", false, "carry the baseline's trend forward and append this run to it (needs -out)")
 	flag.Parse()
 	if *repeat < 1 {
 		fmt.Fprintf(os.Stderr, "rrbus-bench: -repeat must be >= 1, got %d\n", *repeat)
+		os.Exit(2)
+	}
+	if *appendTrend && *out == "" {
+		fmt.Fprintln(os.Stderr, "rrbus-bench: -append needs -out (the file whose trend accumulates)")
 		os.Exit(2)
 	}
 	exp.SetWorkers(*workers)
@@ -121,6 +148,34 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 	}
 
+	if *compare != "" {
+		if err := compareBaseline(*compare, rep.Results); err != nil {
+			fmt.Fprintln(os.Stderr, "rrbus-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "compare: no >10%% simcycles/s regression vs %s\n", *compare)
+	}
+
+	if *out != "" {
+		// Writing to a baseline file always carries its accumulated
+		// trend forward — a plain -out refresh must not erase the
+		// cross-PR history; -append additionally adds this run to it.
+		trend, err := loadTrend(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rrbus-bench:", err)
+			os.Exit(1)
+		}
+		rep.Trend = trend
+		if *appendTrend {
+			rep.Trend = append(rep.Trend, trendEntry{
+				When:      time.Now().UTC().Format(time.RFC3339),
+				GoVersion: rep.GoVersion,
+				Workers:   rep.Workers,
+				Results:   rep.Results,
+			})
+		}
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrbus-bench:", err)
@@ -135,4 +190,66 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rrbus-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// loadBaseline reads a previously written report file.
+func loadBaseline(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &base, nil
+}
+
+// loadTrend returns the trend accumulated in an existing baseline file.
+// A missing file is a fresh baseline with an empty history; any other
+// failure (e.g. a corrupt file) aborts rather than silently discarding
+// the accumulated cross-PR history.
+func loadTrend(path string) ([]trendEntry, error) {
+	base, err := loadBaseline(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cannot carry forward the trend of the existing baseline: %w", err)
+	}
+	return base.Trend, nil
+}
+
+// compareBaseline checks every benchmark present in both runs that
+// reports a simcycles/s figure and fails on a >10% drop. Missing
+// benchmarks are ignored (the suite may grow across PRs); wall-time-only
+// benchmarks are excluded because wall time is machine-sensitive while
+// cycles/s normalizes by simulated work.
+func compareBaseline(path string, current []result) error {
+	base, err := loadBaseline(path)
+	if err != nil {
+		return err
+	}
+	baseline := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	var regressions []string
+	for _, cur := range current {
+		old, ok := baseline[cur.Name]
+		if !ok || old.CyclesPerSec <= 0 || cur.CyclesPerSec <= 0 {
+			continue
+		}
+		if cur.CyclesPerSec < old.CyclesPerSec*0.9 {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.2fM -> %.2fM simcycles/s (%.1f%%)",
+					cur.Name, old.CyclesPerSec/1e6, cur.CyclesPerSec/1e6,
+					100*(cur.CyclesPerSec/old.CyclesPerSec-1)))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("simcycles/s regression >10%% vs %s:\n  %s",
+			path, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }

@@ -3,23 +3,36 @@
 // its confidence assessment, next to the naive det/nr baseline and Eq. 1
 // ground truth.
 //
+// The measurement sweep can also run declaratively and sharded: a
+// scenario file with the "derive" generator fixes the k range, -shard
+// streams this machine's share of the (δnop + per-k) jobs to JSONL, and
+// -merge recombines the shard files and runs the period detection over
+// the reassembled series — the sharded derivation is measurement-for-
+// measurement identical to a single-machine run.
+//
 // Usage:
 //
 //	rrbus-derive -arch ref
 //	rrbus-derive -arch var -type store -kmax 80
 //	rrbus-derive -cores 6 -l2hit 12 -json
+//	rrbus-derive -scenario derive.json -shard 0/2 -out shard0.jsonl
+//	rrbus-derive -scenario derive.json -merge shard0.jsonl shard1.jsonl
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rrbus/internal/core"
 	"rrbus/internal/exp"
 	"rrbus/internal/isa"
+	"rrbus/internal/kernel"
+	"rrbus/internal/scenario"
 	"rrbus/internal/sim"
+	"rrbus/internal/workload"
 )
 
 type report struct {
@@ -48,17 +61,26 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
 	series := flag.Bool("series", false, "include the slowdown series in the output")
 	workers := flag.Int("workers", 0, "simulation worker goroutines for the k-sweep (0 = GOMAXPROCS; output is identical for any value)")
+	scenarioFile := flag.String("scenario", "", "derive declaratively from a scenario file (the \"derive\" generator)")
+	shardSpec := flag.String("shard", "", "run only every Nth job of the scenario sweep: i/N (requires -scenario and -out)")
+	out := flag.String("out", "", "stream the sweep's per-job results as JSONL to this file (\"-\" = stdout)")
+	merge := flag.Bool("merge", false, "merge mode: recombine shard JSONL files (args), then detect the period over the merged series")
 	flag.Parse()
 	exp.SetWorkers(*workers)
 
-	var cfg sim.Config
-	switch *arch {
-	case "ref":
-		cfg = sim.NGMPRef()
-	case "var":
-		cfg = sim.NGMPVar()
-	default:
-		fmt.Fprintf(os.Stderr, "rrbus-derive: unknown arch %q (ref|var)\n", *arch)
+	if *scenarioFile != "" || *merge {
+		rejectWithScenario("rrbus-derive", "arch", "type", "cores", "transfer", "l2hit", "kmin", "kmax")
+		runScenario(*scenarioFile, *shardSpec, *out, *merge, *jsonOut, *series, flag.Args())
+		return
+	}
+	if *shardSpec != "" || *out != "" {
+		fmt.Fprintln(os.Stderr, "rrbus-derive: -shard/-out need -scenario")
+		os.Exit(2)
+	}
+
+	cfg, err := sim.ByName(*arch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-derive:", err)
 		os.Exit(2)
 	}
 	if *cores > 0 || *transfer > 0 || *l2hit > 0 {
@@ -130,9 +152,200 @@ func main() {
 	}
 }
 
+// runScenario is the declarative path: a scenario file (the "derive"
+// generator) fixes the job list; -out streams this shard's measurements
+// as JSONL, -merge recombines shard files and runs the detection over the
+// reassembled series, and neither runs the whole sweep in-process.
+// -json/-series apply to the detection report exactly as on the classic
+// path.
+func runScenario(path, shardSpec, out string, merge, jsonOut, series bool, args []string) {
+	if path == "" {
+		fail(fmt.Errorf("-merge needs -scenario (the plan defines the k range and platform)"))
+	}
+	plan, err := scenario.Load(path)
+	fail(err)
+	if plan.Generator != "derive" {
+		fail(fmt.Errorf("scenario %s uses generator %q; rrbus-derive needs \"derive\"", path, plan.Generator))
+	}
+	jobs, err := plan.Expand()
+	fail(err)
+	opt := core.Options{KMin: plan.Params.Int("kmin", 1)}
+	if plan.Params.String("type", "load") == "store" {
+		opt.Type = isa.OpStore
+	}
+
+	var results []scenario.Result
+	switch {
+	case merge:
+		if len(args) == 0 {
+			fail(fmt.Errorf("-merge needs shard JSONL files as arguments"))
+		}
+		if shardSpec != "" {
+			fail(fmt.Errorf("-shard applies to measuring, not merging"))
+		}
+		results = mergeResults(jobs, args, out)
+	case out != "":
+		shard, err := exp.ParseShard(shardSpec)
+		fail(err)
+		fail(scenario.StreamToFile(jobs, shard, out))
+		return
+	default:
+		if shardSpec != "" {
+			fail(fmt.Errorf("-shard needs -out (a shard alone cannot detect the period)"))
+		}
+		results, err = scenario.RunAll(jobs)
+		fail(err)
+	}
+
+	deriveFromResults(jobs, results, opt, jsonOut, series)
+}
+
+// mergeResults recombines shard JSONL files (optionally saving the
+// merged rows to out) and checks the reassembled job list is complete:
+// the merge enforces contiguous indices from 0, and the count check
+// catches a tail-truncated final shard.
+func mergeResults(jobs []scenario.Job, files []string, out string) []scenario.Result {
+	var w io.Writer
+	if out != "" && out != "-" {
+		for _, f := range files {
+			if scenario.SamePath(out, f) {
+				fail(fmt.Errorf("-out %s is also a merge input; os.Create would truncate it before reading", out))
+			}
+		}
+	}
+	if out != "" {
+		f := os.Stdout
+		if out != "-" {
+			var err error
+			f, err = os.Create(out)
+			fail(err)
+			defer f.Close()
+		}
+		w = f
+	}
+	_, results, err := scenario.MergeFiles(w, files)
+	fail(err)
+	if len(results) != len(jobs) {
+		fail(fmt.Errorf("merged %d results for %d jobs — truncated or missing shard files?", len(results), len(jobs)))
+	}
+	return results
+}
+
+// deriveFromResults runs the detection half of the methodology on the
+// measured job results: job 0 is the δnop calibration, jobs 1.. are the
+// k sweep. The report mirrors the classic path's formats (text or
+// -json), minus the naive det/nr baseline, which needs measurements the
+// sweep does not take.
+func deriveFromResults(jobs []scenario.Job, results []scenario.Result, opt core.Options, jsonOut, series bool) {
+	if len(results) < 2 {
+		fail(fmt.Errorf("need the δnop job plus at least one k job, have %d results", len(results)))
+	}
+	cfg, err := jobs[0].Scenario.Platform.Build()
+	fail(err)
+
+	deltaNop, err := deltaNopOf(jobs[0], results[0])
+	fail(err)
+
+	slowdowns := make([]float64, 0, len(results)-1)
+	minUtil := 1.0
+	for _, r := range results[1:] {
+		d := float64(r.Slowdown)
+		if r.Requests > 0 {
+			d /= float64(r.Requests)
+		}
+		slowdowns = append(slowdowns, d)
+		if r.Utilization < minUtil {
+			minUtil = r.Utilization
+		}
+	}
+
+	res, derr := core.DeriveFromSeries(slowdowns, deltaNop, minUtil, opt)
+
+	typ := "load"
+	if opt.Type == isa.OpStore {
+		typ = "store"
+	}
+	rep := report{Arch: cfg.Name, Type: typ, ActualUBD: cfg.UBD()}
+	if derr != nil {
+		rep.Err = derr.Error()
+	}
+	if res != nil {
+		rep.UBDm = res.UBDm
+		rep.PeriodK = res.PeriodK
+		rep.DeltaNop = res.DeltaNop
+		rep.Methods = res.Methods
+		rep.Confidence = res.Confidence.Score()
+		rep.Notes = res.Confidence.Notes
+		if series {
+			rep.Slowdowns = res.Slowdowns
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fail(enc.Encode(rep))
+		if rep.Err != "" {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("platform            %s (%d cores, lbus=%d)\n", rep.Arch, cfg.Cores, cfg.BusLatency())
+	fmt.Printf("access type         %s\n", rep.Type)
+	fmt.Printf("actual ubd (Eq.1)   %d cycles\n", rep.ActualUBD)
+	if rep.Err != "" {
+		fmt.Printf("derivation FAILED: %s\n", rep.Err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Report())
+}
+
+// deltaNopOf recovers δnop from the calibration job's measurement: the
+// isolated execution time divided by the number of nops executed. The
+// nop count is recomputed from the job's declarative spec — the same
+// deterministic program build the measuring shard used.
+func deltaNopOf(job scenario.Job, res scenario.Result) (float64, error) {
+	cfg, err := job.Scenario.Platform.Build()
+	if err != nil {
+		return 0, err
+	}
+	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+	if job.Scenario.Workload.Unroll > 0 {
+		b.Unroll = job.Scenario.Workload.Unroll
+	}
+	p, err := workload.BuildSpec(b, job.Scenario.Workload.Scua, job.Scenario.Workload.ScuaCore, 1)
+	if err != nil {
+		return 0, err
+	}
+	nops := kernel.NopCount(p) * res.Iters
+	if nops == 0 {
+		return 0, fmt.Errorf("δnop job executed no nops")
+	}
+	cycles := res.IsolationCycles
+	if cycles == 0 {
+		cycles = res.Cycles
+	}
+	return float64(cycles) / float64(nops), nil
+}
+
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrbus-derive:", err)
 		os.Exit(1)
+	}
+}
+
+// rejectWithScenario refuses classic flags alongside -scenario/-merge:
+// the scenario file defines the platform and k range, and silently
+// ignoring an explicitly passed flag would derive from different
+// measurements than the user asked for.
+func rejectWithScenario(prog string, names ...string) {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, n := range names {
+		if set[n] {
+			fmt.Fprintf(os.Stderr, "%s: -%s conflicts with -scenario (the scenario file defines it)\n", prog, n)
+			os.Exit(2)
+		}
 	}
 }

@@ -1,11 +1,19 @@
 // Command rrbus-figures regenerates the paper's figures from the simulator
-// and prints them as terminal tables/plots.
+// and prints them as terminal tables/plots. It is also the scenario
+// runner: -scenario executes a declarative scenario file (an explicit
+// scenario/job list or a generator invocation), optionally sharded across
+// machines, streaming one JSONL row per job; -merge recombines shard
+// files into the byte-identical unsharded output and renders the final
+// table.
 //
 // Usage:
 //
 //	rrbus-figures -fig all
 //	rrbus-figures -fig 7a -kmax 60 -iters 2000
 //	rrbus-figures -fig 6a -count 8 -seed 1
+//	rrbus-figures -scenario examples/scenarios/wrr.json
+//	rrbus-figures -scenario sweep.json -shard 0/2 -out shard0.jsonl
+//	rrbus-figures -merge -out merged.jsonl shard0.jsonl shard1.jsonl
 //
 // Figures: 2, 3, 4, 5, 6a, 6b, 7a, 7b, table, abl-arb, abl-dnop,
 // abl-scaling.
@@ -14,11 +22,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"rrbus/internal/exp"
 	"rrbus/internal/figures"
+	"rrbus/internal/scenario"
 	"rrbus/internal/sim"
 )
 
@@ -29,8 +39,28 @@ func main() {
 	count := flag.Int("count", 8, "number of random workloads for fig 6a")
 	seed := flag.Uint64("seed", 1, "workload generator seed")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS; output is identical for any value)")
+	scenarioFile := flag.String("scenario", "", "run a scenario file instead of a built-in figure")
+	shardSpec := flag.String("shard", "", "run only every Nth job of the scenario: i/N (requires -out)")
+	out := flag.String("out", "", "stream results as JSONL to this file (\"-\" = stdout)")
+	merge := flag.Bool("merge", false, "merge mode: recombine shard JSONL files (args) into -out and render the table")
 	flag.Parse()
 	exp.SetWorkers(*workers)
+
+	if *merge || *scenarioFile != "" {
+		rejectWithScenario("rrbus-figures", "fig", "kmax", "iters", "count", "seed")
+	}
+	if *merge {
+		mergeShards(*out, *scenarioFile, flag.Args())
+		return
+	}
+	if *scenarioFile != "" {
+		runScenario(*scenarioFile, *shardSpec, *out)
+		return
+	}
+	if *shardSpec != "" || *out != "" {
+		fmt.Fprintln(os.Stderr, "rrbus-figures: -shard/-out need -scenario or -merge")
+		os.Exit(2)
+	}
 
 	run := func(name string) bool { return *fig == "all" || *fig == name }
 	did := false
@@ -126,9 +156,99 @@ func main() {
 	}
 }
 
+// runScenario expands a scenario file and streams this shard's share of
+// its jobs: JSONL to -out while jobs run, or — with no -out — a rendered
+// table once the (necessarily unsharded) batch completes.
+func runScenario(path, shardSpec, out string) {
+	plan, err := scenario.Load(path)
+	fail(err)
+	jobs, err := plan.Expand()
+	fail(err)
+	shard, err := exp.ParseShard(shardSpec)
+	fail(err)
+
+	if out == "" {
+		if !shard.All() {
+			fail(fmt.Errorf("-shard %s without -out would drop the shard rows; add -out", shard))
+		}
+		results, err := scenario.RunAll(jobs)
+		fail(err)
+		fmt.Printf("== scenario %s: %d jobs ==\n%s", planName(plan, path), len(jobs), scenario.RenderResults(results))
+		return
+	}
+
+	fail(scenario.StreamToFile(jobs, shard, out))
+}
+
+// mergeShards recombines shard JSONL files into the unsharded byte
+// stream and renders the final table to stdout (when the merged rows go
+// to a file) so a sharded sweep ends with the same artifact an unsharded
+// run prints. Passing the plan via -scenario additionally validates the
+// merged row count against the expanded job list — the only way to catch
+// a tail-truncated final shard.
+func mergeShards(out, scenarioFile string, files []string) {
+	if len(files) == 0 {
+		fail(fmt.Errorf("-merge needs shard JSONL files as arguments"))
+	}
+	for _, f := range files {
+		if out != "" && out != "-" && scenario.SamePath(out, f) {
+			fail(fmt.Errorf("-out %s is also a merge input; os.Create would truncate it before reading", out))
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	toStdout := out == "" || out == "-"
+	if !toStdout {
+		f, err := os.Create(out)
+		fail(err)
+		defer f.Close()
+		w = f
+	}
+	_, results, err := scenario.MergeFiles(w, files)
+	fail(err)
+
+	if scenarioFile != "" {
+		plan, err := scenario.Load(scenarioFile)
+		fail(err)
+		jobs, err := plan.Expand()
+		fail(err)
+		if len(results) != len(jobs) {
+			fail(fmt.Errorf("merged %d rows for %d jobs — truncated or missing shard files?", len(results), len(jobs)))
+		}
+	}
+	if !toStdout {
+		fmt.Printf("== merged %d shards: %d jobs ==\n%s", len(files), len(results), scenario.RenderResults(results))
+	}
+}
+
+func planName(p *scenario.Plan, path string) string {
+	if p.Name != "" {
+		return p.Name
+	}
+	if p.Generator != "" {
+		return p.Generator
+	}
+	return path
+}
+
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrbus-figures:", err)
 		os.Exit(1)
+	}
+}
+
+// rejectWithScenario refuses classic figure flags alongside
+// -scenario/-merge: the scenario file defines the sweep, and silently
+// ignoring an explicitly passed flag would run something other than what
+// the user asked for.
+func rejectWithScenario(prog string, names ...string) {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, n := range names {
+		if set[n] {
+			fmt.Fprintf(os.Stderr, "%s: -%s conflicts with -scenario (the scenario file defines it)\n", prog, n)
+			os.Exit(2)
+		}
 	}
 }

@@ -1,57 +1,66 @@
 // Command rrbus-sim runs one workload on a simulated platform and dumps
 // the measurement: execution time, request counts, utilization and the
 // NGMP-style PMC snapshot. Tasks are named EEMBC-like profiles or kernel
-// specs.
+// specs; -scenario runs a declarative scenario file's jobs instead.
 //
 // Usage:
 //
 //	rrbus-sim -scua canrdr -contenders matrix,tblook,pntrch
 //	rrbus-sim -arch var -scua rsk:load -contenders rsk:load,rsk:load,rsk:load -gammas
 //	rrbus-sim -scua rsknop:store:12 -contenders rsk:store,rsk:store,rsk:store
+//	rrbus-sim -scenario examples/scenarios/tdma.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
+	"rrbus/internal/exp"
 	"rrbus/internal/isa"
 	"rrbus/internal/kernel"
+	"rrbus/internal/scenario"
 	"rrbus/internal/sim"
 	"rrbus/internal/stats"
 	"rrbus/internal/workload"
 )
 
 func main() {
-	arch := flag.String("arch", "ref", "platform: ref or var")
-	scuaSpec := flag.String("scua", "rsk:load", "measured task: profile name, rsk:<load|store>, rsknop:<load|store>:<k>, nop, or l2miss:<load|store>")
+	arch := flag.String("arch", "ref", "platform: ref, var or toy")
+	scuaSpec := flag.String("scua", "rsk:load", "measured task: profile name, rsk:<load|store>, rsknop:<load|store>:<k>, nop[:<n>], or l2miss:<load|store>")
 	contSpec := flag.String("contenders", "", "comma-separated contender tasks (same syntax)")
 	warmup := flag.Uint64("warmup", 2, "warmup iterations")
 	iters := flag.Uint64("iters", 10, "measured iterations")
 	seed := flag.Uint64("seed", 1, "profile generator seed")
 	gammas := flag.Bool("gammas", false, "print the per-request contention histogram")
+	workers := flag.Int("workers", 0, "simulation worker goroutines for scenario batches (0 = GOMAXPROCS; output is identical for any value)")
+	scenarioFile := flag.String("scenario", "", "run a scenario file's jobs and print the results table")
 	flag.Parse()
+	exp.SetWorkers(*workers)
 
-	var cfg sim.Config
-	switch *arch {
-	case "ref":
-		cfg = sim.NGMPRef()
-	case "var":
-		cfg = sim.NGMPVar()
-	default:
-		fmt.Fprintf(os.Stderr, "rrbus-sim: unknown arch %q\n", *arch)
-		os.Exit(2)
+	if *scenarioFile != "" {
+		rejectWithScenario("rrbus-sim", "arch", "scua", "contenders", "warmup", "iters", "seed", "gammas")
+		plan, err := scenario.Load(*scenarioFile)
+		fail(err)
+		jobs, err := plan.Expand()
+		fail(err)
+		results, err := scenario.RunAll(jobs)
+		fail(err)
+		fmt.Print(scenario.RenderResults(results))
+		return
 	}
 
+	cfg, err := sim.ByName(*arch)
+	fail(err)
+
 	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
-	scua, err := buildTask(b, *scuaSpec, 0, *seed)
+	scua, err := workload.BuildSpec(b, *scuaSpec, 0, *seed)
 	fail(err)
 	var cont []*isa.Program
 	if *contSpec != "" {
 		for i, spec := range strings.Split(*contSpec, ",") {
-			p, err := buildTask(b, strings.TrimSpace(spec), i+1, *seed)
+			p, err := workload.BuildSpec(b, strings.TrimSpace(spec), i+1, *seed)
 			fail(err)
 			cont = append(cont, p)
 		}
@@ -85,52 +94,24 @@ func main() {
 	}
 }
 
-// buildTask parses a task spec into a program for the given core.
-func buildTask(b kernel.Builder, spec string, corenum int, seed uint64) (*isa.Program, error) {
-	parts := strings.Split(spec, ":")
-	switch parts[0] {
-	case "rsk", "rsknop", "l2miss":
-		if len(parts) < 2 {
-			return nil, fmt.Errorf("spec %q needs an access type (e.g. %s:load)", spec, parts[0])
-		}
-		var t isa.Op
-		switch parts[1] {
-		case "load":
-			t = isa.OpLoad
-		case "store":
-			t = isa.OpStore
-		default:
-			return nil, fmt.Errorf("spec %q: unknown access type %q", spec, parts[1])
-		}
-		switch parts[0] {
-		case "rsk":
-			return b.RSK(corenum, t)
-		case "l2miss":
-			return b.L2MissKernel(corenum, t)
-		default:
-			if len(parts) < 3 {
-				return nil, fmt.Errorf("spec %q needs a nop count (rsknop:%s:<k>)", spec, parts[1])
-			}
-			k, err := strconv.Atoi(parts[2])
-			if err != nil {
-				return nil, fmt.Errorf("spec %q: bad nop count: %w", spec, err)
-			}
-			return b.RSKNop(corenum, t, k)
-		}
-	case "nop":
-		return b.NopKernel(corenum, 4000)
-	default:
-		p, ok := workload.ByName(parts[0])
-		if !ok {
-			return nil, fmt.Errorf("unknown task %q (profile, rsk:<t>, rsknop:<t>:<k>, l2miss:<t>, nop)", spec)
-		}
-		return p.Build(corenum, seed)
-	}
-}
-
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrbus-sim:", err)
 		os.Exit(1)
+	}
+}
+
+// rejectWithScenario refuses classic single-run flags alongside
+// -scenario: the scenario file defines the platform, workload and
+// protocol, and silently ignoring an explicitly passed flag would let
+// the user measure something other than what they asked for.
+func rejectWithScenario(prog string, names ...string) {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, n := range names {
+		if set[n] {
+			fmt.Fprintf(os.Stderr, "%s: -%s conflicts with -scenario (the scenario file defines it)\n", prog, n)
+			os.Exit(2)
+		}
 	}
 }

@@ -65,5 +65,41 @@
 // event instead of executing no-op Steps. The fast path is exact — grant
 // traces and measurements are bit-identical to cycle-by-cycle execution
 // (see internal/sim's fast-forward equivalence tests) — and can be
-// disabled per run with RunOpts.DisableFastForward.
+// disabled per run with RunOpts.DisableFastForward. Runs of consecutive
+// same-latency instructions that cannot touch the bus (nops, IALU and
+// branch stretches) execute as one batched step so the fast path can
+// jump across them; the equivalence tests cover the batching too.
+//
+// # Scenarios, streaming and sharding
+//
+// internal/scenario adds a declarative layer on top: a Scenario is a
+// JSON document naming the platform (stock ref/var/toy plus overrides —
+// geometry, latencies, arbitration policy including WRR weights and TDMA
+// slots), the per-core workloads (the rsk:load / rsknop:store:12 /
+// profile task-spec grammar of internal/workload), and the measurement
+// protocol. Jobs pair a scenario with an optional isolation run; named
+// generators (fig3, fig4, fig6a, fig6b, fig7, derive, abl-scaling,
+// abl-arb) expand parameters into the job lists behind each paper
+// figure, ablation and derivation sweep — so arbitrary user-defined
+// experiments run from a file, with no code edits.
+//
+// Execution is streaming: exp.Stream delivers each job's result to an
+// exp.Sink in job-index order as soon as its predecessors are delivered,
+// not after the batch — a JSONL file fills while later jobs still run.
+// exp.Shard{Index, Count} deterministically selects every Count-th job,
+// so one job list splits across machines:
+//
+//	rrbus-figures -scenario sweep.json -shard 0/2 -out s0.jsonl   # A
+//	rrbus-figures -scenario sweep.json -shard 1/2 -out s1.jsonl   # B
+//	rrbus-figures -merge -out merged.jsonl s0.jsonl s1.jsonl
+//
+// Every JSONL row carries its job index, rows are emitted in index
+// order, and each row's bytes depend only on its job — so the merged
+// shard files are byte-identical to an unsharded run's output (CI proves
+// it on a Fig. 7 sweep every push). rrbus-derive shards the same way:
+// its -merge mode reassembles the slowdown series from shard files and
+// runs the period detection (core.DeriveFromSeries) over the merged
+// measurements. rrbus-bench guards the performance trajectory of all of
+// this: -compare fails on a >10% simcycles/s regression against
+// BENCH_sim.json and -append accumulates a trend entry per PR.
 package rrbus

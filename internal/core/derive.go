@@ -166,16 +166,16 @@ func Derive(r Runner, opt Options) (*Result, error) {
 	kmax := opt.KMax
 	for {
 		// Extend the slowdown series up to kmax. Each k is a pair of
-		// independent contended/isolation runs; the whole batch fans out
-		// across the experiment engine, with results folded back in k
-		// order so the series (and thus the derived period) is identical
-		// to a serial sweep.
+		// independent contended/isolation runs; the batch streams through
+		// the experiment engine and folds straight into the series — in k
+		// order as points complete, so the series (and thus the derived
+		// period) is identical to a serial sweep.
 		type point struct {
 			slowdown    float64
 			utilization float64
 		}
 		kfirst := opt.KMin + len(res.Slowdowns)
-		pts, err := exp.MapN(runnerWorkers(r), kmax-kfirst+1, func(i int) (point, error) {
+		err := exp.StreamN(runnerWorkers(r), kmax-kfirst+1, func(i int) (point, error) {
 			k := kfirst + i
 			cont, err := r.RunContended(opt.Type, k)
 			if err != nil {
@@ -190,15 +190,15 @@ func Derive(r Runner, opt Options) (*Result, error) {
 				d /= float64(cont.Requests)
 			}
 			return point{slowdown: d, utilization: cont.Utilization}, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range pts {
+		}, exp.SinkFunc[point](func(_ int, p point) error {
 			res.Slowdowns = append(res.Slowdowns, p.slowdown)
 			if p.utilization < minUtil {
 				minUtil = p.utilization
 			}
+			return nil
+		}))
+		if err != nil {
+			return nil, err
 		}
 
 		if done := res.detect(opt, deltaNop); done {
@@ -213,6 +213,39 @@ func Derive(r Runner, opt Options) (*Result, error) {
 		}
 	}
 
+	res.finish(opt, minUtil)
+	if res.UBDm == 0 {
+		return res, fmt.Errorf("core: no saw-tooth period found in k=%d..%d (flat or aperiodic slowdown — is the arbiter round-robin?)",
+			opt.KMin, opt.KMin+len(res.Slowdowns)-1)
+	}
+	return res, nil
+}
+
+// DeriveFromSeries runs the detection half of the methodology on an
+// already-measured per-request slowdown series: Slowdowns[i] belongs to
+// k = opt.KMin + i, deltaNop is the measured per-nop injection increment,
+// and minUtil is the lowest bus utilization observed across the contended
+// runs. This is how sharded sweeps work: each shard measures its slice of
+// the k range (streamed to JSONL), the merged series is reassembled, and
+// the period detection — which needs the whole series — runs here at
+// merge time. Deriving from a serially-measured series and from merged
+// shard measurements yields identical results because every measurement
+// is an independent simulation keyed only by k.
+func DeriveFromSeries(slowdowns []float64, deltaNop, minUtil float64, opt Options) (*Result, error) {
+	opt.fill()
+	if len(slowdowns) == 0 {
+		return nil, fmt.Errorf("core: empty slowdown series")
+	}
+	if deltaNop <= 0 {
+		return nil, fmt.Errorf("core: non-positive δnop %.3f", deltaNop)
+	}
+	res := &Result{
+		DeltaNop:  deltaNop,
+		KMin:      opt.KMin,
+		Slowdowns: slowdowns,
+		Methods:   make(map[PeriodMethod]int),
+	}
+	res.detect(opt, deltaNop)
 	res.finish(opt, minUtil)
 	if res.UBDm == 0 {
 		return res, fmt.Errorf("core: no saw-tooth period found in k=%d..%d (flat or aperiodic slowdown — is the arbiter round-robin?)",

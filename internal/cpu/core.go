@@ -126,16 +126,20 @@ type Core struct {
 
 	sb *StoreBuffer
 
-	// noBatch disables nop-run batching, forcing one instruction per
-	// Tick — the pre-batching reference behavior the simulator's
-	// equivalence tests compare against.
+	// noBatch disables instruction-run batching (nop, IALU and branch
+	// runs), forcing one instruction per Tick — the pre-batching
+	// reference behavior the simulator's equivalence tests compare
+	// against.
 	noBatch bool
-	// batchEnd is the cycle the most recent nop batch finishes issuing
-	// (its nextFree); ResetCounters and Counters use it to split a
-	// mid-flight batch exactly across a measurement-window boundary.
-	// now is the cycle of the core's latest Tick, the read point those
-	// splits are computed against.
+	// batchEnd is the cycle the most recent instruction batch finishes
+	// issuing (its nextFree); batchOp and batchLat record what kind of
+	// run it was and its uniform per-instruction latency. ResetCounters
+	// and Counters use them to split a mid-flight batch exactly across a
+	// measurement-window boundary. now is the cycle of the core's latest
+	// Tick, the read point those splits are computed against.
 	batchEnd uint64
+	batchOp  isa.Op
+	batchLat uint64
 	now      uint64
 
 	// req is the core's reusable bus request. A port has at most one
@@ -186,18 +190,45 @@ func (c *Core) Done() bool { return c.done }
 func (c *Core) Iters() uint64 { return c.ctr.Iters }
 
 // Counters returns a copy of the per-core counters as of the core's
-// latest executed cycle. A nop batch pre-commits its whole run's
-// Nops/Instrs; the share of the batch that serially would issue after
-// that cycle is subtracted, so readers observe exactly the
-// one-instruction-per-Tick counts.
+// latest executed cycle. An instruction batch (a nop, IALU or branch
+// run) pre-commits its whole run's op count and Instrs; the share of the
+// batch that serially would issue after that cycle is subtracted, so
+// readers observe exactly the one-instruction-per-Tick counts.
 func (c *Core) Counters() Counters {
 	ctr := c.ctr
 	if c.now < c.batchEnd {
-		notYetIssued := (c.batchEnd - c.now - 1) / uint64(c.cfg.NopLatency)
-		ctr.Nops -= notYetIssued
-		ctr.Instrs -= notYetIssued
+		notYetIssued := (c.batchEnd - c.now - 1) / c.batchLat
+		c.creditBatch(&ctr, notYetIssued, true)
 	}
 	return ctr
+}
+
+// opField returns the counter field a batchable opcode commits to — the
+// single source of the op→counter mapping used both when a batch is
+// issued and when a mid-flight batch is split at a window boundary.
+func opField(ctr *Counters, op isa.Op) *uint64 {
+	switch op {
+	case isa.OpIALU:
+		return &ctr.ALUs
+	case isa.OpBranch:
+		return &ctr.Branches
+	default:
+		return &ctr.Nops
+	}
+}
+
+// creditBatch adjusts the batched op's counter and Instrs by n:
+// subtracting (sub) for not-yet-issued reads, adding for post-reset
+// re-credits.
+func (c *Core) creditBatch(ctr *Counters, n uint64, sub bool) {
+	field := opField(ctr, c.batchOp)
+	if sub {
+		*field -= n
+		ctr.Instrs -= n
+	} else {
+		*field += n
+		ctr.Instrs += n
+	}
 }
 
 // StoreBuffer exposes the core's store buffer (read-mostly; tests and PMC
@@ -209,26 +240,28 @@ func (c *Core) StoreBuffer() *StoreBuffer { return c.sb }
 // preserved so the harness can count iterations across the reset; callers
 // should snapshot and subtract).
 //
-// A nop batch commits its whole run's Nops/Instrs at batch start, so if
-// the reset lands mid-batch the nops that serially would issue at or
-// after the reset cycle are re-credited to the new window — keeping the
-// counters bit-identical to one-instruction-per-Tick execution.
+// An instruction batch commits its whole run's op count and Instrs at
+// batch start, so if the reset lands mid-batch the instructions that
+// serially would issue at or after the reset cycle are re-credited to
+// the new window — keeping the counters bit-identical to
+// one-instruction-per-Tick execution.
 func (c *Core) ResetCounters(cycle uint64) {
 	iters := c.ctr.Iters
 	c.ctr = Counters{Iters: iters}
 	if cycle < c.batchEnd {
-		remaining := (c.batchEnd - cycle) / uint64(c.cfg.NopLatency)
-		c.ctr.Nops = remaining
-		c.ctr.Instrs = remaining
+		remaining := (c.batchEnd - cycle) / c.batchLat
+		c.creditBatch(&c.ctr, remaining, false)
 	}
 	c.sb.Pushes, c.sb.FullStalls, c.sb.Drains = 0, 0, 0
 }
 
-// SetNopBatching toggles nop-run batching (enabled by default). Disabling
-// it restores strict one-instruction-per-Tick execution; externally
-// observable behavior (bus traffic, iteration boundaries, counters at
-// those boundaries) is identical either way — batching only changes when
-// within a nop run the Nops/Instrs counters are committed.
+// SetNopBatching toggles instruction-run batching (enabled by default):
+// runs of consecutive nops, and of IALU or branch instructions with a
+// uniform latency, execute as one batched step. Disabling it restores
+// strict one-instruction-per-Tick execution; externally observable
+// behavior (bus traffic, iteration boundaries, counters at those
+// boundaries) is identical either way — batching only changes when
+// within a run the activity counters are committed.
 func (c *Core) SetNopBatching(enabled bool) { c.noBatch = !enabled }
 
 // Idle reports whether the core has no in-flight activity: used by the
@@ -372,31 +405,19 @@ func (c *Core) step(cycle uint64) bool {
 		// the idle-cycle fast path — a core chewing nops one Tick at a
 		// time would otherwise pin the platform clock to 1-cycle steps
 		// for the entire rsk-nop injection interval.
-		n := 1
-		if !c.noBatch {
-			n = c.nopRunLen(addr)
-		}
-		c.ctr.Nops += uint64(n)
-		c.nextFree = cycle + uint64(n)*uint64(c.cfg.NopLatency)
-		if n == 1 {
-			c.advance()
-		} else {
-			c.ctr.Instrs += uint64(n)
-			c.pc += n
-			c.batchEnd = c.nextFree
-		}
+		c.execRun(cycle, in, uint64(c.cfg.NopLatency))
 	case isa.OpIALU:
-		c.ctr.ALUs++
+		// IALU runs batch like nop runs (uniform in.Lat only, so the
+		// mid-batch counter splits stay exact). Compute-dominated EEMBC
+		// profiles are long stretches of same-latency ALU work, which
+		// the idle-cycle fast path can then skip across.
 		lat := uint64(c.cfg.IntLatency)
 		if in.Lat > 0 {
 			lat = uint64(in.Lat)
 		}
-		c.nextFree = cycle + lat
-		c.advance()
+		c.execRun(cycle, in, lat)
 	case isa.OpBranch:
-		c.ctr.Branches++
-		c.nextFree = cycle + uint64(c.cfg.BranchLatency)
-		c.advance()
+		c.execRun(cycle, in, uint64(c.cfg.BranchLatency))
 	case isa.OpLoad:
 		c.ctr.Loads++
 		res := c.cfg.DL1.Access(in.Addr, false, c.cfg.ID)
@@ -421,22 +442,50 @@ func (c *Core) step(cycle uint64) bool {
 	return true
 }
 
-// nopRunLen returns how many consecutive nops starting at pc (whose fetch
-// address is addr) can be executed as one batch: the run may not leave the
-// current fetch line and may not consume the sequence's last instruction,
-// so the scalar path keeps handling line crossings and loop wrap-around.
-func (c *Core) nopRunLen(addr uint64) int {
+// execRun executes the run of instructions identical to in (same opcode
+// and explicit latency) that starts at pc as one batched step: the
+// op's counter field and Instrs are pre-committed for the whole run, pc
+// jumps over it, and batchEnd/batchOp/batchLat let the counter readers
+// split a mid-flight batch exactly. A single-instruction run degenerates
+// to the historical scalar path (advance handles setup/body transitions
+// and iteration boundaries, which a batch never crosses).
+func (c *Core) execRun(cycle uint64, in isa.Instr, lat uint64) {
+	n := 1
+	if !c.noBatch {
+		n = c.runLen(in)
+	}
+	*opField(&c.ctr, in.Op) += uint64(n)
+	c.nextFree = cycle + uint64(n)*lat
+	if n == 1 {
+		c.advance()
+		return
+	}
+	c.ctr.Instrs += uint64(n)
+	c.pc += n
+	c.batchEnd = c.nextFree
+	c.batchOp = in.Op
+	c.batchLat = lat
+}
+
+// runLen returns how many consecutive instructions identical to in (same
+// opcode, same explicit latency) starting at pc can be executed as one
+// batch: the run may not leave the current fetch line and may not
+// consume the sequence's last instruction, so the scalar path keeps
+// handling line crossings and loop wrap-around. The fetch address of pc
+// is derivable but passed implicitly via the fetch buffer: the run is
+// clamped to the instructions left on the current fetch line.
+func (c *Core) runLen(in isa.Instr) int {
 	seq := c.prog.Body
 	if c.inSetup {
 		seq = c.prog.Setup
 	}
 	max := len(seq) - c.pc - 1
 	lineBytes := ^c.lineMask + 1
-	if left := int((c.fetchLine + lineBytes - addr) / isa.InstrBytes); left < max {
+	if left := int((c.fetchLine + lineBytes - c.curAddr()) / isa.InstrBytes); left < max {
 		max = left
 	}
 	n := 1
-	for n < max && seq[c.pc+n].Op == isa.OpNop {
+	for n < max && seq[c.pc+n].Op == in.Op && seq[c.pc+n].Lat == in.Lat {
 		n++
 	}
 	return n

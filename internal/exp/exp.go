@@ -17,6 +17,14 @@
 //   - Errors are reported deterministically: the error of the
 //     lowest-indexed failing job wins, regardless of scheduling.
 //
+// The streaming core (Stream, StreamShard, Sink) delivers results
+// incrementally — each result reaches the sink as soon as its
+// predecessors have, not after the whole batch — so sweeps write JSONL
+// rows (JSONLSink) while later jobs are still running, and Shard splits
+// one job list deterministically across machines; the merged shard
+// outputs are byte-identical to an unsharded run (MergeJSONL). Map/MapN
+// are thin batch-collecting wrappers over the same core.
+//
 // The default worker count is GOMAXPROCS; CLIs expose it as -workers and
 // a value of 1 recovers the fully serial execution on the caller's
 // goroutine (no pool is spun up at all).
@@ -24,7 +32,6 @@ package exp
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -91,69 +98,21 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 // is returned and the results are nil regardless of worker count: the
 // serial path stops at the first failure while the parallel path finishes
 // the batch, so partial results are deliberately not exposed.
+//
+// MapN is a thin batch-collecting wrapper over the streaming engine
+// (StreamShard); callers that can consume results incrementally should
+// stream instead of collecting.
 func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
 	out := make([]T, n)
-	if workers > n {
-		workers = n
-	}
-	if workers > 1 {
-		granted := reserve(workers)
-		if granted <= 1 {
-			active.Add(int64(-granted))
-			workers = 1
-		} else {
-			workers = granted
-		}
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			v, err := fn(i)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
-
-	defer active.Add(int64(-workers))
-	errs := make([]error, n)
-	var next atomic.Int64
-	// failed tracks the lowest failing index seen so far; jobs above it
-	// are skipped (their results are discarded on error anyway), so an
-	// early failure doesn't pay for the rest of an expensive batch.
-	var failed atomic.Int64
-	failed.Store(int64(n))
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || int64(i) > failed.Load() {
-					return
-				}
-				out[i], errs[i] = fn(i)
-				if errs[i] != nil {
-					for {
-						f := failed.Load()
-						if int64(i) >= f || failed.CompareAndSwap(f, int64(i)) {
-							break
-						}
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := StreamShard(Shard{}, workers, n, fn, SinkFunc[T](func(i int, v T) error {
+		out[i] = v
+		return nil
+	}))
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonlRecord is the wire format of one streamed result: the global job
+// index plus the result value. The index makes every row self-describing,
+// which is what lets shard outputs be recombined into the unsharded byte
+// stream by a pure merge.
+type jsonlRecord[T any] struct {
+	I int `json:"i"`
+	V T   `json:"v"`
+}
+
+// JSONLSink streams results as JSON Lines: one {"i":<index>,"v":<result>}
+// object per line. Rows arrive in ascending index order (the Sink
+// contract), so a shard's output file is sorted by construction and
+// MergeJSONL can recombine shard files without re-marshaling.
+type JSONLSink[T any] struct {
+	w *bufio.Writer
+}
+
+// NewJSONLSink wraps w in a buffered JSONL sink. Call Flush when the
+// stream completes.
+func NewJSONLSink[T any](w io.Writer) *JSONLSink[T] {
+	return &JSONLSink[T]{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink[T]) Emit(i int, v T) error {
+	b, err := json.Marshal(jsonlRecord[T]{I: i, V: v})
+	if err != nil {
+		return fmt.Errorf("exp: marshal job %d: %w", i, err)
+	}
+	if _, err := s.w.Write(b); err != nil {
+		return err
+	}
+	return s.w.WriteByte('\n')
+}
+
+// Flush drains the sink's buffer to the underlying writer.
+func (s *JSONLSink[T]) Flush() error { return s.w.Flush() }
+
+// ReadJSONL decodes a JSONL stream written by JSONLSink back into job
+// indices and values, preserving file order.
+func ReadJSONL[T any](r io.Reader) (idx []int, vals []T, err error) {
+	sc := newLineScanner(r)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec jsonlRecord[T]
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, nil, fmt.Errorf("exp: jsonl line %d: %w", len(idx)+1, err)
+		}
+		idx = append(idx, rec.I)
+		vals = append(vals, rec.V)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return idx, vals, nil
+}
+
+// MergeJSONL recombines shard JSONL streams into the byte stream an
+// unsharded run would have produced: a k-way merge by job index that
+// copies each input line verbatim. Every input must be sorted by
+// ascending index (which JSONLSink guarantees), and the merged indices
+// must be contiguous from 0 — a duplicate or an interior gap (a
+// forgotten shard file) is an error, because the output would silently
+// not be the unsharded byte stream it claims to be. Rows missing from
+// the tail (a truncated final shard) are undetectable here; callers that
+// know the expected job count must check it themselves.
+func MergeJSONL(out io.Writer, ins ...io.Reader) error {
+	type cursor struct {
+		sc   *bufio.Scanner
+		line []byte // current line (owned copy)
+		idx  int
+		done bool
+	}
+	advance := func(c *cursor) error {
+		for c.sc.Scan() {
+			raw := c.sc.Bytes()
+			if len(bytes.TrimSpace(raw)) == 0 {
+				continue
+			}
+			c.line = append(c.line[:0], raw...)
+			var rec struct {
+				I int `json:"i"`
+			}
+			if err := json.Unmarshal(c.line, &rec); err != nil {
+				return fmt.Errorf("exp: merge: bad jsonl line: %w", err)
+			}
+			c.idx = rec.I
+			return nil
+		}
+		c.done = true
+		return c.sc.Err()
+	}
+
+	curs := make([]*cursor, 0, len(ins))
+	for _, in := range ins {
+		c := &cursor{sc: newLineScanner(in)}
+		if err := advance(c); err != nil {
+			return err
+		}
+		if !c.done {
+			curs = append(curs, c)
+		}
+	}
+	w := bufio.NewWriter(out)
+	last := -1
+	for len(curs) > 0 {
+		min := 0
+		for i := 1; i < len(curs); i++ {
+			if curs[i].idx < curs[min].idx {
+				min = i
+			}
+		}
+		c := curs[min]
+		if c.idx == last {
+			return fmt.Errorf("exp: merge: duplicate job index %d across shards", c.idx)
+		}
+		if c.idx != last+1 {
+			return fmt.Errorf("exp: merge: job indices jump from %d to %d — missing a shard file?", last, c.idx)
+		}
+		last = c.idx
+		if _, err := w.Write(c.line); err != nil {
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+		prev := c.idx
+		if err := advance(c); err != nil {
+			return err
+		}
+		if c.done {
+			curs = append(curs[:min], curs[min+1:]...)
+		} else if c.idx <= prev {
+			return fmt.Errorf("exp: merge: input not sorted (index %d after %d)", c.idx, prev)
+		}
+	}
+	return w.Flush()
+}
+
+// newLineScanner builds a scanner tolerant of long lines (gamma
+// histograms and slowdown series can exceed bufio's default token size).
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	return sc
+}

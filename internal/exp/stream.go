@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Shard selects a deterministic subset of a job batch: the jobs whose
+// index i satisfies i % Count == Index. The zero value selects every job
+// (an unsharded run). Sharding composes with streaming so a large sweep
+// splits across machines: each machine runs its shard with the same job
+// list and the merged per-shard outputs are byte-identical to an
+// unsharded run (see MergeJSONL).
+type Shard struct {
+	// Index identifies this shard, 0 <= Index < Count.
+	Index int
+	// Count is the total number of shards; values < 2 mean "all jobs".
+	Count int
+}
+
+// Validate checks the shard coordinates.
+func (s Shard) Validate() error {
+	if s.Count < 0 || s.Index < 0 {
+		return fmt.Errorf("exp: negative shard %d/%d", s.Index, s.Count)
+	}
+	if s.Count >= 1 && s.Index >= s.Count {
+		return fmt.Errorf("exp: shard index %d out of range for %d shards", s.Index, s.Count)
+	}
+	return nil
+}
+
+// All reports whether the shard selects every job.
+func (s Shard) All() bool { return s.Count < 2 }
+
+// Owns reports whether job index i belongs to this shard.
+func (s Shard) Owns(i int) bool { return s.All() || i%s.Count == s.Index }
+
+// String renders the shard as "index/count" ("" for the full batch).
+func (s Shard) String() string {
+	if s.All() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// ParseShard parses "i/N" shard syntax (the CLIs' -shard flag). The empty
+// string is the full, unsharded batch.
+func ParseShard(spec string) (Shard, error) {
+	if spec == "" {
+		return Shard{}, nil
+	}
+	idx, count, ok := strings.Cut(spec, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("exp: shard %q is not i/N", spec)
+	}
+	i, err := strconv.Atoi(idx)
+	if err != nil {
+		return Shard{}, fmt.Errorf("exp: shard index %q: %w", idx, err)
+	}
+	n, err := strconv.Atoi(count)
+	if err != nil {
+		return Shard{}, fmt.Errorf("exp: shard count %q: %w", count, err)
+	}
+	s := Shard{Index: i, Count: n}
+	if n < 1 {
+		return Shard{}, fmt.Errorf("exp: shard count must be >= 1, got %d", n)
+	}
+	return s, s.Validate()
+}
+
+// Sink consumes streamed results. Emit is called from the streaming
+// goroutine only (never concurrently), strictly in ascending job-index
+// order, as soon as each result's predecessors have been delivered — not
+// after the whole batch. An Emit error aborts the stream.
+type Sink[T any] interface {
+	Emit(i int, v T) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc[T any] func(i int, v T) error
+
+// Emit implements Sink.
+func (f SinkFunc[T]) Emit(i int, v T) error { return f(i, v) }
+
+// Stream runs fn(0..n-1) across the default worker pool, delivering each
+// result to sink in job-index order as it becomes available. See
+// StreamShard for the full contract.
+func Stream[T any](n int, fn func(i int) (T, error), sink Sink[T]) error {
+	return StreamShard(Shard{}, Workers(), n, fn, sink)
+}
+
+// StreamN is Stream with an explicit worker bound (further limited by the
+// engine-wide Workers() budget, like MapN).
+func StreamN[T any](workers, n int, fn func(i int) (T, error), sink Sink[T]) error {
+	return StreamShard(Shard{}, workers, n, fn, sink)
+}
+
+// StreamShard runs this shard's subset of the jobs fn(0..n-1) across at
+// most workers goroutines and streams the results to sink. The contract
+// extends MapN's determinism to incremental delivery:
+//
+//   - sink.Emit(i, v) is called in ascending i, only for indices the
+//     shard owns, as soon as all owned predecessors have been emitted —
+//     a slow job blocks delivery (not execution) of later jobs, so the
+//     emitted prefix at any moment is exactly what a serial run would
+//     have produced so far.
+//   - on failure the error of the lowest-indexed failing owned job is
+//     returned and no result at or beyond that index is emitted; the
+//     serial path additionally stops launching jobs at the failure, and
+//     the parallel path skips jobs beyond the lowest known failure.
+//   - a sink error aborts the stream and is returned as-is.
+func StreamShard[T any](shard Shard, workers, n int, fn func(i int) (T, error), sink Sink[T]) error {
+	if err := shard.Validate(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	// owned is the number of jobs this shard runs; job j of the shard has
+	// global index shard.Index + j*shard.Count.
+	owned := n
+	index := func(j int) int { return j }
+	if !shard.All() {
+		owned = (n - shard.Index + shard.Count - 1) / shard.Count
+		index = func(j int) int { return shard.Index + j*shard.Count }
+	}
+	if owned <= 0 {
+		return nil
+	}
+	if workers > owned {
+		workers = owned
+	}
+	if workers > 1 {
+		granted := reserve(workers)
+		if granted <= 1 {
+			active.Add(int64(-granted))
+			workers = 1
+		} else {
+			workers = granted
+		}
+	}
+	if workers <= 1 {
+		for j := 0; j < owned; j++ {
+			i := index(j)
+			v, err := fn(i)
+			if err != nil {
+				return err
+			}
+			if err := sink.Emit(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	defer active.Add(int64(-workers))
+
+	type slot struct {
+		j   int
+		v   T
+		err error
+	}
+	done := make(chan slot, workers)
+	var next atomic.Int64
+	// failed tracks the lowest failing shard-local job seen so far; jobs
+	// beyond it are skipped, mirroring MapN.
+	var failed atomic.Int64
+	failed.Store(int64(owned))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= owned || int64(j) > failed.Load() {
+					return
+				}
+				v, err := fn(index(j))
+				if err != nil {
+					for {
+						f := failed.Load()
+						if int64(j) >= f || failed.CompareAndSwap(f, int64(j)) {
+							break
+						}
+					}
+				}
+				done <- slot{j: j, v: v, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Fold completions back into shard-local order, emitting the
+	// contiguous prefix as it forms. pending buffers out-of-order
+	// arrivals; firstErr remembers the lowest-indexed failure.
+	pending := make(map[int]slot)
+	emit := 0
+	var firstErr error
+	errAt := owned
+	var sinkErr error
+	for s := range done {
+		if s.err != nil {
+			if s.j < errAt {
+				errAt = s.j
+				firstErr = s.err
+			}
+			continue
+		}
+		if sinkErr != nil {
+			continue // drain remaining completions
+		}
+		pending[s.j] = s
+		for {
+			p, ok := pending[emit]
+			if !ok || emit >= errAt {
+				break
+			}
+			delete(pending, emit)
+			if err := sink.Emit(index(emit), p.v); err != nil {
+				sinkErr = err
+				// Results beyond the failed emission are useless; mark
+				// the failure so workers stop picking up new jobs
+				// (mirroring a job failure) instead of finishing the
+				// batch for nothing.
+				for {
+					f := failed.Load()
+					if int64(emit) >= f || failed.CompareAndSwap(f, int64(emit)) {
+						break
+					}
+				}
+				break
+			}
+			emit++
+		}
+	}
+	// A sink failure happened strictly below errAt (emission never reaches
+	// the failure index), so it is the lower-indexed abort and wins.
+	if sinkErr != nil {
+		return sinkErr
+	}
+	return firstErr
+}

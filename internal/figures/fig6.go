@@ -34,12 +34,14 @@ func Fig6a(cfg sim.Config, count int, seed uint64) (*Fig6aResult, error) {
 	}
 
 	// EEMBC workloads: scua is the task on core 0, the rest contend. The
-	// runs are independent; fan them out and fold the histograms back in
-	// set order so the floating-point accumulation matches the serial run
-	// bit for bit.
+	// runs are independent; stream them through the experiment engine and
+	// fold each histogram into the running fractions as it is delivered.
+	// Ordered delivery folds in set order, so the floating-point
+	// accumulation matches the serial run bit for bit — without holding
+	// every histogram in memory first.
 	sets := workload.RandomTaskSets(count, cfg.Cores, seed)
 	res.Workloads = sets
-	hists, err := exp.Map(len(sets), func(i int) ([]uint64, error) {
+	err := exp.Stream(len(sets), func(i int) ([]uint64, error) {
 		ts := sets[i]
 		progs, err := ts.Build()
 		if err != nil {
@@ -51,23 +53,23 @@ func Fig6a(cfg sim.Config, count int, seed uint64) (*Fig6aResult, error) {
 			return nil, fmt.Errorf("figures: workload %v: %w", ts.Names, err)
 		}
 		return m.ContendersHist, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, hist := range hists {
+	}, exp.SinkFunc[[]uint64](func(_ int, hist []uint64) error {
 		var total uint64
 		for _, c := range hist {
 			total += c
 		}
 		if total == 0 {
-			continue
+			return nil
 		}
 		for i, c := range hist {
 			if i < len(res.EEMBCFrac) {
 				res.EEMBCFrac[i] += float64(c) / float64(total) / float64(len(sets))
 			}
 		}
+		return nil
+	}))
+	if err != nil {
+		return nil, err
 	}
 
 	// 4 × rsk workload.

@@ -20,18 +20,37 @@ type SweepPoint struct {
 }
 
 // Sweep runs the rsk-nop(t, k) slowdown sweep for k = 1..kmax with the
-// given number of measured iterations per run. The kmax runs are
-// independent simulations and fan out across the experiment engine's
-// worker pool; results come back in k order regardless of worker count.
+// given number of measured iterations per run, collecting the streamed
+// points into a slice. See StreamSweep.
 func Sweep(cfg sim.Config, t isa.Op, kmax int, iters uint64) ([]SweepPoint, error) {
-	r, err := core.NewSimRunner(cfg)
+	pts := make([]SweepPoint, 0, kmax)
+	err := StreamSweep(cfg, t, kmax, iters, exp.Shard{},
+		exp.SinkFunc[SweepPoint](func(i int, p SweepPoint) error {
+			pts = append(pts, p)
+			return nil
+		}))
 	if err != nil {
 		return nil, err
+	}
+	return pts, nil
+}
+
+// StreamSweep runs the rsk-nop(t, k) slowdown sweep for this shard's
+// share of k = 1..kmax, streaming each point to sink in k order as it
+// completes. The kmax runs are independent simulations and fan out
+// across the experiment engine's worker pool; ordered delivery makes the
+// streamed sequence identical to a serial sweep regardless of worker
+// count, and sharding splits the k range across machines (job index i
+// carries k = i+1).
+func StreamSweep(cfg sim.Config, t isa.Op, kmax int, iters uint64, shard exp.Shard, sink exp.Sink[SweepPoint]) error {
+	r, err := core.NewSimRunner(cfg)
+	if err != nil {
+		return err
 	}
 	if iters > 0 {
 		r.Iters = iters
 	}
-	return exp.Map(kmax, func(i int) (SweepPoint, error) {
+	return exp.StreamShard(shard, exp.Workers(), kmax, func(i int) (SweepPoint, error) {
 		k := i + 1
 		cont, err := r.RunContended(t, k)
 		if err != nil {
@@ -46,7 +65,7 @@ func Sweep(cfg sim.Config, t isa.Op, kmax int, iters uint64) ([]SweepPoint, erro
 			Slowdown:    int64(cont.Cycles) - int64(isol.Cycles),
 			Utilization: cont.Utilization,
 		}, nil
-	})
+	}, sink)
 }
 
 // Fig7aResult is the Fig. 7(a) pair of load sweeps.

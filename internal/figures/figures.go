@@ -20,11 +20,7 @@ import (
 
 // ToyConfig returns the small platform used by the paper's illustrative
 // figures (Figs. 2, 3, 5): 4 cores, lbus = 2, so ubd = 6.
-func ToyConfig() sim.Config {
-	c := sim.Scaled(sim.NGMPRef(), 4, 1, 1)
-	c.Name = "toy"
-	return c
-}
+func ToyConfig() sim.Config { return sim.Toy() }
 
 // gammaMode measures the steady-state per-request contention delay of an
 // rsk-nop(t, k) scua against Nc-1 rsk(t) contenders: the mode of the γ

@@ -1,0 +1,441 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"rrbus/internal/sim"
+	"rrbus/internal/workload"
+)
+
+// Params are generator knobs: a free-form JSON object with typed getters
+// that fall back to generator defaults, so scenario files only spell the
+// knobs they change.
+type Params map[string]any
+
+// Int reads an integer parameter (JSON numbers arrive as float64).
+func (p Params) Int(key string, def int) int {
+	v, ok := p[key]
+	if !ok {
+		return def
+	}
+	switch n := v.(type) {
+	case float64:
+		return int(n)
+	case int:
+		return n
+	case json.Number:
+		i, _ := n.Int64()
+		return int(i)
+	}
+	return def
+}
+
+// Uint64 reads an unsigned parameter.
+func (p Params) Uint64(key string, def uint64) uint64 {
+	if n := p.Int(key, -1); n >= 0 {
+		return uint64(n)
+	}
+	return def
+}
+
+// String reads a string parameter.
+func (p Params) String(key, def string) string {
+	if s, ok := p[key].(string); ok {
+		return s
+	}
+	return def
+}
+
+// Ints reads an integer-list parameter.
+func (p Params) Ints(key string, def []int) []int {
+	v, ok := p[key].([]any)
+	if !ok {
+		return def
+	}
+	out := make([]int, 0, len(v))
+	for _, e := range v {
+		if n, ok := e.(float64); ok {
+			out = append(out, int(n))
+		}
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
+}
+
+// Generator expands parameters into a concrete job list. Expansion is
+// pure and deterministic: the same params always produce the same jobs in
+// the same order, which is what makes shard selection by job index stable
+// across machines.
+type Generator struct {
+	Name string
+	// Desc is a one-line description for CLI listings.
+	Desc string
+	// Expand produces the job list.
+	Expand func(p Params) ([]Job, error)
+}
+
+var (
+	genMu  sync.RWMutex
+	genReg = map[string]Generator{}
+)
+
+// Register installs a generator (panics on duplicates: registration is a
+// package-init-time act).
+func Register(g Generator) {
+	genMu.Lock()
+	defer genMu.Unlock()
+	if g.Name == "" || g.Expand == nil {
+		panic("scenario: generator needs a name and an Expand func")
+	}
+	if _, dup := genReg[g.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate generator %q", g.Name))
+	}
+	genReg[g.Name] = g
+}
+
+// Lookup returns the named generator.
+func Lookup(name string) (Generator, bool) {
+	genMu.RLock()
+	defer genMu.RUnlock()
+	g, ok := genReg[name]
+	return g, ok
+}
+
+// Names lists registered generators in sorted order.
+func Names() []string {
+	genMu.RLock()
+	defer genMu.RUnlock()
+	out := make([]string, 0, len(genReg))
+	for n := range genReg {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rskContenders returns nc-1 rsk(t) contender specs.
+func rskContenders(nc int, t string) []string {
+	out := make([]string, nc-1)
+	for i := range out {
+		out[i] = "rsk:" + t
+	}
+	return out
+}
+
+// coresOf resolves the core count of a named base platform.
+func coresOf(arch string) (int, error) {
+	cfg, err := sim.ByName(arch)
+	if err != nil {
+		return 0, err
+	}
+	return cfg.Cores, nil
+}
+
+func init() {
+	// fig3: the γ(δ) matrix on the toy platform. δ = 0 is the store
+	// buffer's back-to-back drains; δ >= 1 is rsk-nop(load, δ-1) since
+	// δ = DL1lat + k with DL1lat = 1 on the toy platform.
+	Register(Generator{
+		Name: "fig3",
+		Desc: "γ(δ) matrix on the toy platform (Fig. 3)",
+		Expand: func(p Params) ([]Job, error) {
+			maxDelta := p.Int("max_delta", 13)
+			nc, err := coresOf("toy")
+			if err != nil {
+				return nil, err
+			}
+			jobs := make([]Job, 0, maxDelta+1)
+			for delta := 0; delta <= maxDelta; delta++ {
+				scua := "rsknop:store:0"
+				t := "store"
+				if delta > 0 {
+					scua = fmt.Sprintf("rsknop:load:%d", delta-1)
+					t = "load"
+				}
+				jobs = append(jobs, Job{
+					ID: fmt.Sprintf("fig3/delta=%d", delta),
+					Scenario: Scenario{
+						Platform: PlatformSpec{Arch: "toy"},
+						Workload: WorkloadSpec{Scua: scua, Contenders: rskContenders(nc, t)},
+						Protocol: Protocol{Warmup: 3, Iters: 10, Gammas: true},
+					},
+				})
+			}
+			return jobs, nil
+		},
+	})
+
+	// fig4: the saw-tooth γ(δ) on a full-scale platform.
+	Register(Generator{
+		Name: "fig4",
+		Desc: "saw-tooth γ(δ) on the reference platform (Fig. 4)",
+		Expand: func(p Params) ([]Job, error) {
+			arch := p.String("arch", "ref")
+			cfg, err := sim.ByName(arch)
+			if err != nil {
+				return nil, err
+			}
+			maxDelta := p.Int("max_delta", 3*cfg.UBD())
+			jobs := make([]Job, 0, maxDelta)
+			for delta := cfg.DL1.Latency; delta <= maxDelta; delta++ {
+				jobs = append(jobs, Job{
+					ID: fmt.Sprintf("fig4/%s/delta=%d", arch, delta),
+					Scenario: Scenario{
+						Platform: PlatformSpec{Arch: arch},
+						Workload: WorkloadSpec{
+							Scua:       fmt.Sprintf("rsknop:load:%d", delta-cfg.DL1.Latency),
+							Contenders: rskContenders(cfg.Cores, "load"),
+						},
+						Protocol: Protocol{Warmup: 3, Iters: 10, Gammas: true},
+					},
+				})
+			}
+			return jobs, nil
+		},
+	})
+
+	// fig6a: random EEMBC-like task sets plus the 4xRSK reference row.
+	Register(Generator{
+		Name: "fig6a",
+		Desc: "ready-contender histograms of random EEMBC workloads vs 4xrsk (Fig. 6a)",
+		Expand: func(p Params) ([]Job, error) {
+			arch := p.String("arch", "ref")
+			count := p.Int("count", 8)
+			seed := p.Uint64("seed", 1)
+			nc, err := coresOf(arch)
+			if err != nil {
+				return nil, err
+			}
+			sets := workload.RandomTaskSets(count, nc, seed)
+			jobs := make([]Job, 0, count+1)
+			for i, ts := range sets {
+				jobs = append(jobs, Job{
+					ID: fmt.Sprintf("fig6a/set%d", i),
+					Scenario: Scenario{
+						Platform: PlatformSpec{Arch: arch},
+						Workload: WorkloadSpec{Scua: ts.Names[0], Contenders: ts.Names[1:], Seed: ts.Seed},
+						Protocol: Protocol{Warmup: 2, Iters: 6, Gammas: true},
+					},
+				})
+			}
+			jobs = append(jobs, Job{
+				ID: "fig6a/4xrsk",
+				Scenario: Scenario{
+					Platform: PlatformSpec{Arch: arch},
+					Workload: WorkloadSpec{Scua: "rsk:load", Contenders: rskContenders(nc, "load")},
+					Protocol: Protocol{Warmup: 3, Iters: 10, Gammas: true},
+				},
+			})
+			return jobs, nil
+		},
+	})
+
+	// fig6b: the rsk-vs-3-rsk contention histograms per architecture.
+	Register(Generator{
+		Name: "fig6b",
+		Desc: "contention-delay histograms of rsk vs Nc-1 rsk (Fig. 6b)",
+		Expand: func(p Params) ([]Job, error) {
+			var jobs []Job
+			for _, arch := range []string{p.String("arch", "ref"), p.String("arch2", "var")} {
+				nc, err := coresOf(arch)
+				if err != nil {
+					return nil, err
+				}
+				jobs = append(jobs, Job{
+					ID: "fig6b/" + arch,
+					Scenario: Scenario{
+						Platform: PlatformSpec{Arch: arch},
+						Workload: WorkloadSpec{Scua: "rsk:load", Contenders: rskContenders(nc, "load")},
+						Protocol: Protocol{Warmup: 3, Iters: 50, Gammas: true},
+					},
+				})
+			}
+			return jobs, nil
+		},
+	})
+
+	// fig7: the rsk-nop slowdown sweep — the paper's central experiment
+	// and the canonical shardable job list (one job per k, isolation
+	// paired). params: arch, type (load|store), kmax, iters, warmup.
+	Register(Generator{
+		Name: "fig7",
+		Desc: "rsk-nop(t,k) slowdown sweep, isolation-paired (Fig. 7 / derivation input)",
+		Expand: func(p Params) ([]Job, error) {
+			arch := p.String("arch", "ref")
+			typ := p.String("type", "load")
+			if typ != "load" && typ != "store" {
+				return nil, fmt.Errorf("type %q (want load|store)", typ)
+			}
+			kmax := p.Int("kmax", 60)
+			kmin := p.Int("kmin", 1)
+			if kmin < 1 || kmax < kmin {
+				return nil, fmt.Errorf("bad k range %d..%d", kmin, kmax)
+			}
+			iters := p.Uint64("iters", 20)
+			warmup := p.Uint64("warmup", 3)
+			nc, err := coresOf(arch)
+			if err != nil {
+				return nil, err
+			}
+			jobs := make([]Job, 0, kmax-kmin+1)
+			for k := kmin; k <= kmax; k++ {
+				jobs = append(jobs, Job{
+					ID:        fmt.Sprintf("fig7/%s/%s/k=%d", arch, typ, k),
+					Isolation: true,
+					Scenario: Scenario{
+						Platform: PlatformSpec{Arch: arch},
+						Workload: WorkloadSpec{
+							Scua:       fmt.Sprintf("rsknop:%s:%d", typ, k),
+							Contenders: rskContenders(nc, typ),
+							Unroll:     2,
+						},
+						Protocol: Protocol{Warmup: warmup, Iters: iters},
+					},
+				})
+			}
+			return jobs, nil
+		},
+	})
+
+	// derive: the methodology's measurement sweep — fig7-shaped jobs at
+	// the SimRunner protocol (unroll 2, warmup 3, 20 iters) for a fixed k
+	// range, preceded by the δnop calibration job at index 0. Detection
+	// runs over the merged series (core.DeriveFromSeries).
+	Register(Generator{
+		Name: "derive",
+		Desc: "derivation k-sweep: δnop calibration + isolation-paired rsk-nop jobs",
+		Expand: func(p Params) ([]Job, error) {
+			arch := p.String("arch", "ref")
+			typ := p.String("type", "load")
+			if typ != "load" && typ != "store" {
+				return nil, fmt.Errorf("type %q (want load|store)", typ)
+			}
+			kmin := p.Int("kmin", 1)
+			// The fixed range cannot auto-extend like the in-process
+			// Derive, so the default must already cover the >= 2 full
+			// periods detection needs (ubd = 27 on the stock platforms).
+			kmax := p.Int("kmax", 80)
+			if kmin < 1 || kmax < kmin {
+				return nil, fmt.Errorf("bad k range %d..%d", kmin, kmax)
+			}
+			platform := PlatformSpec{
+				Arch:     arch,
+				Cores:    p.Int("cores", 0),
+				Transfer: p.Int("transfer", 0),
+				L2Hit:    p.Int("l2hit", 0),
+			}
+			nc := platform.Cores
+			if nc == 0 {
+				var err error
+				if nc, err = coresOf(arch); err != nil {
+					return nil, err
+				}
+			}
+			// The δnop calibration has no contenders, so its one run IS
+			// the isolation run — no Isolation pairing, which would
+			// simulate the same kernel twice.
+			jobs := []Job{{
+				ID: fmt.Sprintf("derive/%s/%s/dnop", arch, typ),
+				Scenario: Scenario{
+					Platform: platform,
+					Workload: WorkloadSpec{Scua: "nop", Unroll: 2},
+					Protocol: Protocol{Warmup: 3, Iters: 20},
+				},
+			}}
+			for k := kmin; k <= kmax; k++ {
+				jobs = append(jobs, Job{
+					ID:        fmt.Sprintf("derive/%s/%s/k=%d", arch, typ, k),
+					Isolation: true,
+					Scenario: Scenario{
+						Platform: platform,
+						Workload: WorkloadSpec{
+							Scua:       fmt.Sprintf("rsknop:%s:%d", typ, k),
+							Contenders: rskContenders(nc, typ),
+							Unroll:     2,
+						},
+						Protocol: Protocol{Warmup: 3, Iters: 20},
+					},
+				})
+			}
+			return jobs, nil
+		},
+	})
+
+	// abl-scaling: the Eq. 1 recovery grid — a derive-shaped sweep per
+	// (cores, l2hit) geometry, flattened into one shardable job list.
+	Register(Generator{
+		Name: "abl-scaling",
+		Desc: "Eq. 1 recovery grid: derivation sweeps across geometries (ablation E9c)",
+		Expand: func(p Params) ([]Job, error) {
+			arch := p.String("arch", "ref")
+			cores := p.Ints("cores", []int{2, 4, 6, 8})
+			l2hits := p.Ints("l2hits", []int{3, 6, 12})
+			kmax := p.Int("kmax", 0)
+			var jobs []Job
+			for _, nc := range cores {
+				for _, l2 := range l2hits {
+					km := kmax
+					if km == 0 {
+						// Cover >= 2 periods of ubd = (nc-1)*(3+l2).
+						km = 2*(nc-1)*(3+l2) + 8
+					}
+					for k := 1; k <= km; k++ {
+						jobs = append(jobs, Job{
+							ID:        fmt.Sprintf("abl-scaling/n%d-l%d/k=%d", nc, 3+l2, k),
+							Isolation: true,
+							Scenario: Scenario{
+								Platform: PlatformSpec{Arch: arch, Cores: nc, Transfer: 3, L2Hit: l2},
+								Workload: WorkloadSpec{
+									Scua:       fmt.Sprintf("rsknop:load:%d", k),
+									Contenders: rskContenders(nc, "load"),
+									Unroll:     2,
+								},
+								Protocol: Protocol{Warmup: 3, Iters: 20},
+							},
+						})
+					}
+				}
+			}
+			return jobs, nil
+		},
+	})
+
+	// abl-arb: the arbitration-policy ablation as raw sweeps — one
+	// fig7-shaped k range per policy.
+	Register(Generator{
+		Name: "abl-arb",
+		Desc: "slowdown sweeps under each arbitration policy (ablation E9a)",
+		Expand: func(p Params) ([]Job, error) {
+			arch := p.String("arch", "ref")
+			kmax := p.Int("kmax", 60)
+			nc, err := coresOf(arch)
+			if err != nil {
+				return nil, err
+			}
+			var jobs []Job
+			for _, arb := range []string{"rr", "tdma", "fp", "lottery", "wrr"} {
+				for k := 1; k <= kmax; k++ {
+					jobs = append(jobs, Job{
+						ID:        fmt.Sprintf("abl-arb/%s/k=%d", arb, k),
+						Isolation: true,
+						Scenario: Scenario{
+							Platform: PlatformSpec{Arch: arch, Arbiter: arb},
+							Workload: WorkloadSpec{
+								Scua:       fmt.Sprintf("rsknop:load:%d", k),
+								Contenders: rskContenders(nc, "load"),
+								Unroll:     2,
+							},
+							Protocol: Protocol{Warmup: 3, Iters: 20},
+						},
+					})
+				}
+			}
+			return jobs, nil
+		},
+	})
+}

@@ -1,0 +1,112 @@
+package scenario_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rrbus/internal/figures"
+	"rrbus/internal/isa"
+	"rrbus/internal/scenario"
+	"rrbus/internal/sim"
+)
+
+func expand(t *testing.T, gen string, p scenario.Params) []scenario.Job {
+	t.Helper()
+	g, ok := scenario.Lookup(gen)
+	if !ok {
+		t.Fatalf("generator %q not registered", gen)
+	}
+	jobs, err := g.Expand(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func TestGeneratorRegistry(t *testing.T) {
+	for _, name := range []string{"fig3", "fig4", "fig6a", "fig6b", "fig7", "derive", "abl-scaling", "abl-arb"} {
+		if _, ok := scenario.Lookup(name); !ok {
+			t.Errorf("generator %q missing (have %v)", name, scenario.Names())
+		}
+	}
+}
+
+func TestGeneratorExpansionDeterministic(t *testing.T) {
+	p := scenario.Params{"arch": "ref", "kmax": float64(6)}
+	a := expand(t, "fig7", p)
+	b := expand(t, "fig7", p)
+	if len(a) != len(b) {
+		t.Fatalf("expansion size changed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("job %d id changed: %q vs %q", i, a[i].ID, b[i].ID)
+		}
+	}
+}
+
+func TestFig7GeneratorMatchesSweep(t *testing.T) {
+	// The declarative fig7 jobs must reproduce figures.Sweep exactly:
+	// same kernels, same protocol, same slowdown numbers.
+	cfg := sim.Toy()
+	const kmax, iters = 6, 20
+	pts, err := figures.Sweep(cfg, isa.OpLoad, kmax, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := expand(t, "fig7", scenario.Params{"arch": "toy", "kmax": float64(kmax), "iters": float64(iters)})
+	if len(jobs) != kmax {
+		t.Fatalf("%d jobs for kmax=%d", len(jobs), kmax)
+	}
+	results, err := scenario.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Slowdown != pts[i].Slowdown {
+			t.Errorf("k=%d: scenario slowdown %d != sweep slowdown %d", i+1, r.Slowdown, pts[i].Slowdown)
+		}
+		if r.Utilization != pts[i].Utilization {
+			t.Errorf("k=%d: scenario utilization %v != sweep %v", i+1, r.Utilization, pts[i].Utilization)
+		}
+	}
+}
+
+func TestDeriveGeneratorShape(t *testing.T) {
+	jobs := expand(t, "derive", scenario.Params{"arch": "toy", "kmin": float64(1), "kmax": float64(5)})
+	if len(jobs) != 6 {
+		t.Fatalf("derive 1..5 expanded to %d jobs, want 6 (δnop + 5 ks)", len(jobs))
+	}
+	if jobs[0].ID != "derive/toy/load/dnop" || jobs[0].Scenario.Workload.Scua != "nop" {
+		t.Errorf("job 0 is not the δnop calibration: %+v", jobs[0])
+	}
+	for k := 1; k <= 5; k++ {
+		want := fmt.Sprintf("derive/toy/load/k=%d", k)
+		if jobs[k].ID != want {
+			t.Errorf("job %d id %q, want %q", k, jobs[k].ID, want)
+		}
+		if !jobs[k].Isolation {
+			t.Errorf("job %d not isolation-paired", k)
+		}
+	}
+}
+
+func TestAblationGeneratorsCoverGrid(t *testing.T) {
+	jobs := expand(t, "abl-scaling", scenario.Params{
+		"cores": []any{float64(2), float64(3)}, "l2hits": []any{float64(3)}, "kmax": float64(4),
+	})
+	if len(jobs) != 8 {
+		t.Fatalf("2x1 grid with kmax=4 expanded to %d jobs, want 8", len(jobs))
+	}
+	if jobs[0].ID != "abl-scaling/n2-l6/k=1" {
+		t.Errorf("first job id %q", jobs[0].ID)
+	}
+
+	arb := expand(t, "abl-arb", scenario.Params{"kmax": float64(2)})
+	if len(arb) != 10 {
+		t.Fatalf("5 policies x 2 ks expanded to %d jobs", len(arb))
+	}
+	if arb[2].Scenario.Platform.Arbiter != "tdma" {
+		t.Errorf("job 2 arbiter %q, want tdma", arb[2].Scenario.Platform.Arbiter)
+	}
+}

@@ -183,6 +183,30 @@ func NGMPVar() Config {
 	return c
 }
 
+// Toy returns the small platform of the paper's illustrative figures
+// (Figs. 2, 3, 5): 4 cores with lbus = 2 (1 transfer + 1 L2 hit), so
+// ubd = 6.
+func Toy() Config {
+	c := Scaled(NGMPRef(), 4, 1, 1)
+	c.Name = "toy"
+	return c
+}
+
+// ByName returns the named stock platform: "ref", "var" or "toy" (the
+// spellings scenario files and the CLIs' -arch flags use).
+func ByName(name string) (Config, error) {
+	switch name {
+	case "ref", "":
+		return NGMPRef(), nil
+	case "var":
+		return NGMPVar(), nil
+	case "toy":
+		return Toy(), nil
+	default:
+		return Config{}, fmt.Errorf("sim: unknown platform %q (ref|var|toy)", name)
+	}
+}
+
 // Scaled returns a reduced copy of cfg with the given core count and bus
 // latency split (transfer+l2hit), used by the parametric ablation that
 // checks the methodology recovers Eq. 1 across geometries. The L2 is

@@ -7,6 +7,7 @@ import (
 	"rrbus/internal/bus"
 	"rrbus/internal/isa"
 	"rrbus/internal/kernel"
+	"rrbus/internal/workload"
 )
 
 // The idle-cycle fast path must be invisible: every grant (port, kind,
@@ -168,5 +169,94 @@ func TestFastForwardContenderCountersAcrossReset(t *testing.T) {
 	fast := run(true)
 	if !reflect.DeepEqual(slow, fast) {
 		t.Errorf("per-core counters diverge:\ncycle-by-cycle: %v\nfast-forward:   %v", slow, fast)
+	}
+}
+
+func TestFastForwardIALUBatchEquivalence(t *testing.T) {
+	// IALU runs batch like nop runs; compute-dominated EEMBC-like
+	// profiles are the workloads with long same-latency ALU stretches.
+	// The full measurement (window, requests, PMCs, per-core counters —
+	// including mid-batch warmup-boundary splits) must be bit-identical
+	// with and without the fast path + batching.
+	cfg := NGMPRef()
+	sets := workload.RandomTaskSets(3, cfg.Cores, 11)
+	for si, ts := range sets {
+		run := func(fastForward bool) *Measurement {
+			progs, err := ts.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := Run(cfg, Workload{Scua: progs[0], Contenders: progs[1:]},
+				RunOpts{WarmupIters: 2, MeasureIters: 6, CollectGammas: true,
+					DisableFastForward: !fastForward})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		slow := run(false)
+		fast := run(true)
+		if !reflect.DeepEqual(slow, fast) {
+			t.Errorf("set %d (%v): measurements differ:\ncycle-by-cycle: %+v\nfast-forward:   %+v",
+				si, ts.Names, slow, fast)
+		}
+	}
+}
+
+func TestFastForwardIALUGrantEquivalence(t *testing.T) {
+	// Grant-level equivalence for a mixed-latency ALU body: runs of
+	// IALU(0) (IntLatency) and IALU(3) interleaved with loads, so
+	// batches form, split at latency changes, and end at the loop
+	// branch. Every grant must match the scalar run exactly.
+	cfg := NGMPRef()
+	mk := func() []*isa.Program {
+		base := uint64(0x1000_0000)
+		body := make([]isa.Instr, 0, 64)
+		for blk := 0; blk < 4; blk++ {
+			for i := 0; i < 7; i++ {
+				body = append(body, isa.IALU(0))
+			}
+			for i := 0; i < 5; i++ {
+				body = append(body, isa.IALU(3))
+			}
+			body = append(body, isa.Load(base+uint64(blk)*32))
+		}
+		body = append(body, isa.Branch())
+		progs := []*isa.Program{{Name: "alurun", CodeBase: 0x4000_0000, Body: body}}
+		b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+		for c := 1; c < cfg.Cores; c++ {
+			p, err := b.RSK(c, isa.OpLoad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			progs = append(progs, p)
+		}
+		return progs
+	}
+	trace := func(fastForward bool) []grantEvent {
+		progs := mk()
+		sys, err := NewSystem(cfg, progs, []uint64{25, 0, 0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.SetFastForward(fastForward)
+		var evs []grantEvent
+		sys.Bus().OnGrant = func(r *bus.Request) {
+			evs = append(evs, grantEvent{r.Port, r.Kind, r.Ready, r.Grant, r.Occupancy})
+		}
+		if !sys.RunUntil(func() bool { return sys.Core(0).Done() }, 1<<22) {
+			t.Fatal("scua did not finish")
+		}
+		return evs
+	}
+	slow := trace(false)
+	fast := trace(true)
+	if len(slow) != len(fast) {
+		t.Fatalf("event counts differ: %d cycle-by-cycle vs %d fast-forward", len(slow), len(fast))
+	}
+	for i := range slow {
+		if slow[i] != fast[i] {
+			t.Fatalf("grant %d differs: cycle-by-cycle %+v, fast-forward %+v", i, slow[i], fast[i])
+		}
 	}
 }

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rrbus/internal/isa"
+	"rrbus/internal/kernel"
+)
+
+// SpecSyntax documents the task-spec grammar shared by the CLIs and the
+// scenario layer.
+const SpecSyntax = "profile name, rsk:<load|store>, rsknop:<load|store>:<k>, l2miss:<load|store>, or nop[:<n>]"
+
+// BuildSpec parses a task spec into a program for the given core. The
+// grammar is the one cmd/rrbus-sim introduced and scenario files reuse:
+//
+//	rsk:load            resource-stressing kernel (§4.1)
+//	rsknop:store:12     rsk-nop with k=12 nops per access
+//	l2miss:load         every access misses L2 (DRAM traffic)
+//	nop                 the δnop calibration kernel (4000 nops)
+//	nop:2000            ... with an explicit nop count
+//	canrdr              a named EEMBC-Autobench-like profile
+//
+// Profiles are parameterized by seed; the kernel specs ignore it.
+func BuildSpec(b kernel.Builder, spec string, core int, seed uint64) (*isa.Program, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "rsk", "rsknop", "l2miss":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("spec %q needs an access type (e.g. %s:load)", spec, parts[0])
+		}
+		var t isa.Op
+		switch parts[1] {
+		case "load":
+			t = isa.OpLoad
+		case "store":
+			t = isa.OpStore
+		default:
+			return nil, fmt.Errorf("spec %q: unknown access type %q", spec, parts[1])
+		}
+		switch parts[0] {
+		case "rsk":
+			return b.RSK(core, t)
+		case "l2miss":
+			return b.L2MissKernel(core, t)
+		default:
+			if len(parts) < 3 {
+				return nil, fmt.Errorf("spec %q needs a nop count (rsknop:%s:<k>)", spec, parts[1])
+			}
+			k, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("spec %q: bad nop count: %w", spec, err)
+			}
+			return b.RSKNop(core, t, k)
+		}
+	case "nop":
+		n := 4000
+		if len(parts) > 1 {
+			var err error
+			n, err = strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("spec %q: bad nop count: %w", spec, err)
+			}
+		}
+		return b.NopKernel(core, n)
+	default:
+		p, ok := ByName(parts[0])
+		if !ok {
+			return nil, fmt.Errorf("unknown task %q (want %s)", spec, SpecSyntax)
+		}
+		return p.Build(core, seed)
+	}
+}

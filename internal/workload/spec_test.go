@@ -1,0 +1,61 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"rrbus/internal/kernel"
+	"rrbus/internal/sim"
+	"rrbus/internal/workload"
+)
+
+func specBuilder() kernel.Builder {
+	cfg := sim.NGMPRef()
+	return kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
+}
+
+func TestBuildSpecKinds(t *testing.T) {
+	b := specBuilder()
+	for _, spec := range []string{
+		"rsk:load", "rsk:store", "rsknop:load:7", "rsknop:store:12",
+		"l2miss:load", "nop", "nop:2000", "canrdr", "matrix",
+	} {
+		p, err := workload.BuildSpec(b, spec, 1, 1)
+		if err != nil {
+			t.Errorf("BuildSpec(%q): %v", spec, err)
+			continue
+		}
+		if p == nil || len(p.Body) == 0 {
+			t.Errorf("BuildSpec(%q): empty program", spec)
+		}
+	}
+}
+
+func TestBuildSpecErrors(t *testing.T) {
+	b := specBuilder()
+	for _, spec := range []string{
+		"rsk", "rsk:jump", "rsknop:load", "rsknop:load:x", "nop:x", "nosuchtask",
+	} {
+		if _, err := workload.BuildSpec(b, spec, 0, 1); err == nil {
+			t.Errorf("BuildSpec(%q) unexpectedly succeeded", spec)
+		}
+	}
+}
+
+func TestBuildSpecDeterministic(t *testing.T) {
+	b := specBuilder()
+	p1, err := workload.BuildSpec(b, "tblook", 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := workload.BuildSpec(b, "tblook", 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Name != p2.Name || len(p1.Body) != len(p2.Body) {
+		t.Fatalf("profile build not deterministic: %s/%d vs %s/%d", p1.Name, len(p1.Body), p2.Name, len(p2.Body))
+	}
+	if !strings.Contains(p1.Name, "tblook") {
+		t.Errorf("program name %q does not carry the profile name", p1.Name)
+	}
+}
