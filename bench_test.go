@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"rrbus/internal/figures"
+	"rrbus/internal/report"
 	"rrbus/internal/sim"
 )
 
@@ -38,7 +39,7 @@ func BenchmarkFig3GammaMatrix(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce("fig3", "== Fig 3: γ(δ) on toy platform (ubd=6) ==\n"+figures.RenderGammaRows(rows))
+		printOnce("fig3", "== Fig 3: γ(δ) on toy platform (ubd=6) ==\n"+report.RenderGammaRows(rows))
 	}
 }
 
@@ -64,7 +65,7 @@ func BenchmarkFig4Sawtooth(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce("fig4", "== Fig 4: saw-tooth γ(δ), ref (ubd=27) ==\n"+figures.RenderGammaRows(rows))
+		printOnce("fig4", "== Fig 4: saw-tooth γ(δ), ref (ubd=27) ==\n"+report.RenderGammaRows(rows))
 	}
 }
 
@@ -87,7 +88,7 @@ func BenchmarkFig5Timelines(b *testing.B) {
 // histograms: EEMBC-like workloads vs 4×rsk.
 func BenchmarkFig6aContenders(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := figures.Fig6a(sim.NGMPRef(), 8, 1)
+		res, err := figures.Fig6a("ref", 8, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func BenchmarkFig6aContenders(b *testing.B) {
 // histograms on ref and var (ubdm 26 / 23 vs actual 27).
 func BenchmarkFig6bGammaHist(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := figures.Fig6b(sim.NGMPRef(), sim.NGMPVar())
+		res, err := figures.Fig6b("ref", "var")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func BenchmarkFig7aLoadSweep(b *testing.B) {
 // descending tooth, then zero.
 func BenchmarkFig7bStoreSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := figures.Fig7b(sim.NGMPRef(), 45, 20)
+		res, err := figures.Fig7b("ref", 45, 20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,11 +157,11 @@ func BenchmarkTableUBDSummary(b *testing.B) {
 // priority and lottery arbitration (E9a): the Eq. 3 mapping is RR-specific.
 func BenchmarkAblationArbiters(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.AblationArbiters(sim.NGMPRef())
+		rows, err := figures.AblationArbiters("ref")
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce("abl-arb", "== Ablation E9a: arbitration policies ==\n"+figures.RenderArbiters(rows))
+		printOnce("abl-arb", "== Ablation E9a: arbitration policies ==\n"+report.RenderArbiters(rows))
 	}
 }
 
@@ -168,11 +169,11 @@ func BenchmarkAblationArbiters(b *testing.B) {
 // aliases the period reading; the model fit resolves it.
 func BenchmarkAblationDeltaNop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.AblationDeltaNop(sim.NGMPRef(), 3)
+		rows, err := figures.AblationDeltaNop("ref", 3)
 		if err != nil {
 			b.Fatal(err)
 		}
-		printOnce("abl-dnop", "== Ablation E9b: δnop sampling ==\n"+figures.RenderDeltaNop(rows))
+		printOnce("abl-dnop", "== Ablation E9b: δnop sampling ==\n"+report.RenderDeltaNop(rows))
 	}
 }
 
@@ -180,7 +181,7 @@ func BenchmarkAblationDeltaNop(b *testing.B) {
 // the methodology recovers Eq. 1 for every Nc ≥ 3 and lbus.
 func BenchmarkAblationScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := figures.AblationScaling(sim.NGMPRef(), []int{3, 4, 6, 8}, []int{3, 6, 12})
+		rows, err := figures.AblationScaling("ref", []int{3, 4, 6, 8}, []int{3, 6, 12})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,7 +190,7 @@ func BenchmarkAblationScaling(b *testing.B) {
 				b.Fatalf("nc=%d lbus=%d: derived %d, actual %d", r.Cores, r.LBus, r.DerivedUBDm, r.ActualUBD)
 			}
 		}
-		printOnce("abl-scaling", "== Ablation E9c: Eq. 1 recovery across geometries ==\n"+figures.RenderScaling(rows))
+		printOnce("abl-scaling", "== Ablation E9c: Eq. 1 recovery across geometries ==\n"+report.RenderScaling(rows))
 	}
 }
 
@@ -223,11 +224,10 @@ func BenchmarkMemContention(b *testing.B) {
 // second), the trajectory metric cmd/rrbus-bench records in
 // BENCH_sim.json.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	cfg := sim.NGMPRef()
 	b.ReportAllocs()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		m, err := figures.Fig6b(cfg)
+		m, err := figures.Fig6b("ref")
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -102,7 +102,7 @@ func main() {
 		run  func() (simCycles uint64, err error)
 	}{
 		{"sim-throughput-4xrsk", func() (uint64, error) {
-			res, err := figures.Fig6b(sim.NGMPRef())
+			res, err := figures.Fig6b("ref")
 			if err != nil {
 				return 0, err
 			}
@@ -117,7 +117,7 @@ func main() {
 			return 0, err
 		}},
 		{"ablation-scaling", func() (uint64, error) {
-			_, err := figures.AblationScaling(sim.NGMPRef(), []int{3, 4, 6, 8}, []int{3, 6, 12})
+			_, err := figures.AblationScaling("ref", []int{3, 4, 6, 8}, []int{3, 6, 12})
 			return 0, err
 		}},
 	}

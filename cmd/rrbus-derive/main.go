@@ -3,12 +3,14 @@
 // its confidence assessment, next to the naive det/nr baseline and Eq. 1
 // ground truth.
 //
-// The measurement sweep can also run declaratively and sharded: a
-// scenario file with the "derive" generator fixes the k range, -shard
-// streams this machine's share of the (δnop + per-k) jobs to JSONL, and
-// -merge recombines the shard files and runs the period detection over
-// the reassembled series — the sharded derivation is measurement-for-
-// measurement identical to a single-machine run.
+// The measurement sweep can also run declaratively, sharded, and be
+// replayed: a scenario file with the "derive" generator fixes the k
+// range, -shard streams this machine's share of the (δnop + per-k) jobs
+// to JSONL, -merge recombines the shard files and runs the period
+// detection over the reassembled series, and -from re-derives from an
+// already-merged results file without simulating at all — the recorded
+// measurements are the single source of truth, so a replayed derivation
+// is byte-identical to the live one.
 //
 // Usage:
 //
@@ -17,6 +19,7 @@
 //	rrbus-derive -cores 6 -l2hit 12 -json
 //	rrbus-derive -scenario derive.json -shard 0/2 -out shard0.jsonl
 //	rrbus-derive -scenario derive.json -merge shard0.jsonl shard1.jsonl
+//	rrbus-derive -scenario derive.json -from merged.jsonl
 package main
 
 import (
@@ -29,13 +32,12 @@ import (
 	"rrbus/internal/core"
 	"rrbus/internal/exp"
 	"rrbus/internal/isa"
-	"rrbus/internal/kernel"
+	"rrbus/internal/report"
 	"rrbus/internal/scenario"
 	"rrbus/internal/sim"
-	"rrbus/internal/workload"
 )
 
-type report struct {
+type jsonReport struct {
 	Arch       string                    `json:"arch"`
 	Type       string                    `json:"type"`
 	ActualUBD  int                       `json:"actual_ubd"`
@@ -65,16 +67,17 @@ func main() {
 	shardSpec := flag.String("shard", "", "run only every Nth job of the scenario sweep: i/N (requires -scenario and -out)")
 	out := flag.String("out", "", "stream the sweep's per-job results as JSONL to this file (\"-\" = stdout)")
 	merge := flag.Bool("merge", false, "merge mode: recombine shard JSONL files (args), then detect the period over the merged series")
+	from := flag.String("from", "", "replay mode: re-derive from this recorded JSONL results file instead of simulating")
 	flag.Parse()
 	exp.SetWorkers(*workers)
 
 	if *scenarioFile != "" || *merge {
 		rejectWithScenario("rrbus-derive", "arch", "type", "cores", "transfer", "l2hit", "kmin", "kmax")
-		runScenario(*scenarioFile, *shardSpec, *out, *merge, *jsonOut, *series, flag.Args())
+		runScenario(*scenarioFile, *shardSpec, *out, *from, *merge, *jsonOut, *series, flag.Args())
 		return
 	}
-	if *shardSpec != "" || *out != "" {
-		fmt.Fprintln(os.Stderr, "rrbus-derive: -shard/-out need -scenario")
+	if *shardSpec != "" || *out != "" || *from != "" {
+		fmt.Fprintln(os.Stderr, "rrbus-derive: -shard/-out/-from need -scenario")
 		os.Exit(2)
 	}
 
@@ -108,33 +111,18 @@ func main() {
 	r, err := core.NewSimRunner(cfg)
 	fail(err)
 
-	rep := report{Arch: cfg.Name, Type: *typ, ActualUBD: cfg.UBD()}
+	rep := jsonReport{Arch: cfg.Name, Type: *typ, ActualUBD: cfg.UBD()}
 	res, derr := core.Derive(r, core.Options{Type: t, KMin: *kmin, KMax: *kmax, AutoExtend: true})
 	if derr != nil {
 		rep.Err = derr.Error()
 	}
-	if res != nil {
-		rep.UBDm = res.UBDm
-		rep.PeriodK = res.PeriodK
-		rep.DeltaNop = res.DeltaNop
-		rep.Methods = res.Methods
-		rep.Confidence = res.Confidence.Score()
-		rep.Notes = res.Confidence.Notes
-		if *series {
-			rep.Slowdowns = res.Slowdowns
-		}
-	}
+	fillReport(&rep, res, *series)
 	nv, err := core.NaiveUBDM(r, t)
 	fail(err)
 	rep.NaiveUBDm = nv.UBDm
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		fail(enc.Encode(rep))
-		if rep.Err != "" {
-			os.Exit(1)
-		}
+		emitJSON(rep)
 		return
 	}
 
@@ -154,11 +142,11 @@ func main() {
 
 // runScenario is the declarative path: a scenario file (the "derive"
 // generator) fixes the job list; -out streams this shard's measurements
-// as JSONL, -merge recombines shard files and runs the detection over the
-// reassembled series, and neither runs the whole sweep in-process.
-// -json/-series apply to the detection report exactly as on the classic
-// path.
-func runScenario(path, shardSpec, out string, merge, jsonOut, series bool, args []string) {
+// as JSONL, -merge recombines shard files, -from replays a merged file,
+// and in every case the detection half (report.DerivationFrom →
+// core.DeriveFromSeries) runs over recorded results only. -json/-series
+// apply to the detection report exactly as on the classic path.
+func runScenario(path, shardSpec, out, from string, merge, jsonOut, series bool, args []string) {
 	if path == "" {
 		fail(fmt.Errorf("-merge needs -scenario (the plan defines the k range and platform)"))
 	}
@@ -169,13 +157,18 @@ func runScenario(path, shardSpec, out string, merge, jsonOut, series bool, args 
 	}
 	jobs, err := plan.Expand()
 	fail(err)
-	opt := core.Options{KMin: plan.Params.Int("kmin", 1)}
-	if plan.Params.String("type", "load") == "store" {
-		opt.Type = isa.OpStore
-	}
 
 	var results []scenario.Result
 	switch {
+	case from != "":
+		if merge || out != "" || shardSpec != "" {
+			fail(fmt.Errorf("-from replays an existing recording; it cannot be combined with -merge/-out/-shard"))
+		}
+		results, err = scenario.ReadResultsFile(from)
+		fail(err)
+		if err := report.Check(jobs, results); err != nil {
+			fail(err)
+		}
 	case merge:
 		if len(args) == 0 {
 			fail(fmt.Errorf("-merge needs shard JSONL files as arguments"))
@@ -197,7 +190,7 @@ func runScenario(path, shardSpec, out string, merge, jsonOut, series bool, args 
 		fail(err)
 	}
 
-	deriveFromResults(jobs, results, opt, jsonOut, series)
+	deriveFromResults(jobs, results, jsonOut, series)
 }
 
 // mergeResults recombines shard JSONL files (optionally saving the
@@ -232,100 +225,60 @@ func mergeResults(jobs []scenario.Job, files []string, out string) []scenario.Re
 }
 
 // deriveFromResults runs the detection half of the methodology on the
-// measured job results: job 0 is the δnop calibration, jobs 1.. are the
-// k sweep. The report mirrors the classic path's formats (text or
-// -json), minus the naive det/nr baseline, which needs measurements the
-// sweep does not take.
-func deriveFromResults(jobs []scenario.Job, results []scenario.Result, opt core.Options, jsonOut, series bool) {
-	if len(results) < 2 {
-		fail(fmt.Errorf("need the δnop job plus at least one k job, have %d results", len(results)))
-	}
-	cfg, err := jobs[0].Scenario.Platform.Build()
+// recorded job results (job 0 is the δnop calibration, jobs 1.. the k
+// sweep) and prints the report — the shared report.Derive text (so
+// rrbus-derive and rrbus-figures render a recording identically), or
+// the classic -json shape. The naive det/nr baseline is omitted: it
+// needs measurements the sweep does not take.
+func deriveFromResults(jobs []scenario.Job, results []scenario.Result, jsonOut, series bool) {
+	d, err := report.DerivationFrom(jobs, results)
 	fail(err)
-
-	deltaNop, err := deltaNopOf(jobs[0], results[0])
-	fail(err)
-
-	slowdowns := make([]float64, 0, len(results)-1)
-	minUtil := 1.0
-	for _, r := range results[1:] {
-		d := float64(r.Slowdown)
-		if r.Requests > 0 {
-			d /= float64(r.Requests)
-		}
-		slowdowns = append(slowdowns, d)
-		if r.Utilization < minUtil {
-			minUtil = r.Utilization
-		}
-	}
-
-	res, derr := core.DeriveFromSeries(slowdowns, deltaNop, minUtil, opt)
-
-	typ := "load"
-	if opt.Type == isa.OpStore {
-		typ = "store"
-	}
-	rep := report{Arch: cfg.Name, Type: typ, ActualUBD: cfg.UBD()}
-	if derr != nil {
-		rep.Err = derr.Error()
-	}
-	if res != nil {
-		rep.UBDm = res.UBDm
-		rep.PeriodK = res.PeriodK
-		rep.DeltaNop = res.DeltaNop
-		rep.Methods = res.Methods
-		rep.Confidence = res.Confidence.Score()
-		rep.Notes = res.Confidence.Notes
-		if series {
-			rep.Slowdowns = res.Slowdowns
-		}
-	}
 
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		fail(enc.Encode(rep))
-		if rep.Err != "" {
-			os.Exit(1)
+		typ := "load"
+		if d.Type == isa.OpStore {
+			typ = "store"
 		}
+		rep := jsonReport{Arch: d.Cfg.Name, Type: typ, ActualUBD: d.Cfg.UBD()}
+		if d.Err != nil {
+			rep.Err = d.Err.Error()
+		}
+		fillReport(&rep, d.Res, series)
+		emitJSON(rep)
 		return
 	}
-	fmt.Printf("platform            %s (%d cores, lbus=%d)\n", rep.Arch, cfg.Cores, cfg.BusLatency())
-	fmt.Printf("access type         %s\n", rep.Type)
-	fmt.Printf("actual ubd (Eq.1)   %d cycles\n", rep.ActualUBD)
-	if rep.Err != "" {
-		fmt.Printf("derivation FAILED: %s\n", rep.Err)
+
+	text, err := report.Derive(jobs, results)
+	fail(err)
+	fmt.Print(text)
+	if d.Err != nil {
 		os.Exit(1)
 	}
-	fmt.Print(res.Report())
 }
 
-// deltaNopOf recovers δnop from the calibration job's measurement: the
-// isolated execution time divided by the number of nops executed. The
-// nop count is recomputed from the job's declarative spec — the same
-// deterministic program build the measuring shard used.
-func deltaNopOf(job scenario.Job, res scenario.Result) (float64, error) {
-	cfg, err := job.Scenario.Platform.Build()
-	if err != nil {
-		return 0, err
+// fillReport copies a derivation result into the JSON report shape.
+func fillReport(rep *jsonReport, res *core.Result, series bool) {
+	if res == nil {
+		return
 	}
-	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
-	if job.Scenario.Workload.Unroll > 0 {
-		b.Unroll = job.Scenario.Workload.Unroll
+	rep.UBDm = res.UBDm
+	rep.PeriodK = res.PeriodK
+	rep.DeltaNop = res.DeltaNop
+	rep.Methods = res.Methods
+	rep.Confidence = res.Confidence.Score()
+	rep.Notes = res.Confidence.Notes
+	if series {
+		rep.Slowdowns = res.Slowdowns
 	}
-	p, err := workload.BuildSpec(b, job.Scenario.Workload.Scua, job.Scenario.Workload.ScuaCore, 1)
-	if err != nil {
-		return 0, err
+}
+
+func emitJSON(rep jsonReport) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	fail(enc.Encode(rep))
+	if rep.Err != "" {
+		os.Exit(1)
 	}
-	nops := kernel.NopCount(p) * res.Iters
-	if nops == 0 {
-		return 0, fmt.Errorf("δnop job executed no nops")
-	}
-	cycles := res.IsolationCycles
-	if cycles == 0 {
-		cycles = res.Cycles
-	}
-	return float64(cycles) / float64(nops), nil
 }
 
 func fail(err error) {

@@ -1,10 +1,17 @@
-// Command rrbus-figures regenerates the paper's figures from the simulator
-// and prints them as terminal tables/plots. It is also the scenario
-// runner: -scenario executes a declarative scenario file (an explicit
-// scenario/job list or a generator invocation), optionally sharded across
-// machines, streaming one JSONL row per job; -merge recombines shard
-// files into the byte-identical unsharded output and renders the final
-// table.
+// Command rrbus-figures regenerates the paper's figures and prints them
+// as terminal tables/plots. Since the results-first refactor every
+// figure is produced in two decoupled stages: a scenario generator
+// expands into a job list, the jobs run on the experiment engine
+// (recording one result per job), and an internal/report renderer
+// rebuilds the figure text from the recorded results alone. That makes
+// measurement and analysis independent:
+//
+//   - -fig runs the named figure's generator live and renders it;
+//   - -scenario runs a declarative scenario file (optionally sharded
+//     across machines with -shard/-out, recombined with -merge);
+//   - -from replays a recorded JSONL results file through the same
+//     renderer, byte-identical to the live run — simulate once,
+//     analyze forever.
 //
 // Usage:
 //
@@ -14,6 +21,8 @@
 //	rrbus-figures -scenario examples/scenarios/wrr.json
 //	rrbus-figures -scenario sweep.json -shard 0/2 -out shard0.jsonl
 //	rrbus-figures -merge -out merged.jsonl shard0.jsonl shard1.jsonl
+//	rrbus-figures -scenario sweep.json -from merged.jsonl   # replay
+//	rrbus-figures -fig 6b -from fig6b.jsonl                 # replay
 //
 // Figures: 2, 3, 4, 5, 6a, 6b, 7a, 7b, table, abl-arb, abl-dnop,
 // abl-scaling.
@@ -24,10 +33,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"rrbus/internal/exp"
 	"rrbus/internal/figures"
+	"rrbus/internal/report"
 	"rrbus/internal/scenario"
 	"rrbus/internal/sim"
 )
@@ -42,7 +51,8 @@ func main() {
 	scenarioFile := flag.String("scenario", "", "run a scenario file instead of a built-in figure")
 	shardSpec := flag.String("shard", "", "run only every Nth job of the scenario: i/N (requires -out)")
 	out := flag.String("out", "", "stream results as JSONL to this file (\"-\" = stdout)")
-	merge := flag.Bool("merge", false, "merge mode: recombine shard JSONL files (args) into -out and render the table")
+	merge := flag.Bool("merge", false, "merge mode: recombine shard JSONL files (args) into -out and render")
+	from := flag.String("from", "", "replay mode: render from this recorded JSONL results file instead of simulating")
 	flag.Parse()
 	exp.SetWorkers(*workers)
 
@@ -50,11 +60,14 @@ func main() {
 		rejectWithScenario("rrbus-figures", "fig", "kmax", "iters", "count", "seed")
 	}
 	if *merge {
+		if *from != "" {
+			fail(fmt.Errorf("-from replays one complete file; -merge recombines shards — use one or the other"))
+		}
 		mergeShards(*out, *scenarioFile, flag.Args())
 		return
 	}
 	if *scenarioFile != "" {
-		runScenario(*scenarioFile, *shardSpec, *out)
+		runScenario(*scenarioFile, *shardSpec, *out, *from)
 		return
 	}
 	if *shardSpec != "" || *out != "" {
@@ -62,92 +75,58 @@ func main() {
 		os.Exit(2)
 	}
 
-	run := func(name string) bool { return *fig == "all" || *fig == name }
-	did := false
+	// Classic figure names, each backed by a scenario generator (so -fig
+	// and -scenario render through the same report code), except the
+	// summary table, whose derivation sweep auto-extends in-process.
+	type figSpec struct {
+		name      string
+		generator string
+		params    scenario.Params
+	}
+	specs := []figSpec{
+		{"2", "fig2", nil},
+		{"3", "fig3", scenario.Params{"max_delta": 13}},
+		{"4", "fig4", scenario.Params{"max_delta": 3 * sim.NGMPRef().UBD()}},
+		{"5", "fig5", scenario.Params{"ks": []int{1, 2, 5, 6}}},
+		{"6a", "fig6a", scenario.Params{"count": *count, "seed": *seed}},
+		{"6b", "fig6b", nil},
+		{"7a", "fig7a", scenario.Params{"kmax": *kmax, "iters": *iters}},
+		{"7b", "fig7b", scenario.Params{"kmax": *kmax, "iters": *iters}},
+		{"table", "", nil},
+		{"abl-arb", "abl-arb", nil},
+		{"abl-dnop", "abl-dnop", scenario.Params{"max_nop": 3}},
+		{"abl-scaling", "abl-scaling", nil},
+	}
 
-	if run("2") {
-		did = true
-		gamma, tl, err := figures.Fig2()
-		fail(err)
-		fmt.Printf("== Fig 2: request with δ=9 on toy platform (ubd=6) suffers γ=%d ==\n%s\n", gamma, tl)
-	}
-	if run("3") {
-		did = true
-		rows, err := figures.Fig3(13)
-		fail(err)
-		fmt.Printf("== Fig 3: γ(δ) matrix on toy platform (ubd=6) ==\n%s\n", figures.RenderGammaRows(rows))
-	}
-	if run("4") {
-		did = true
-		rows, err := figures.Fig4(3 * sim.NGMPRef().UBD())
-		fail(err)
-		fmt.Printf("== Fig 4: saw-tooth γ(δ) on reference platform (ubd=27) ==\n%s\n", figures.RenderGammaRows(rows))
-	}
-	if run("5") {
-		did = true
-		scen, err := figures.Fig5([]int{1, 2, 5, 6})
-		fail(err)
-		fmt.Println("== Fig 5: nop insertion timelines on toy platform ==")
-		for _, s := range scen {
-			fmt.Printf("-- k=%d (δ=%d) → γ=%d --\n%s", s.K, s.Delta, s.Gamma, s.Timeline)
+	did := false
+	for _, s := range specs {
+		if *fig != "all" && *fig != s.name {
+			continue
 		}
-		fmt.Println()
-	}
-	if run("6a") {
 		did = true
-		res, err := figures.Fig6a(sim.NGMPRef(), *count, *seed)
-		fail(err)
-		names := make([]string, 0, len(res.Workloads))
-		for _, w := range res.Workloads {
-			names = append(names, strings.Join(w.Names, "+"))
+		if s.generator == "" {
+			if *from != "" {
+				fail(fmt.Errorf("-fig table derives in-process and cannot replay from JSONL"))
+			}
+			rows, err := figures.Summary(sim.NGMPRef(), sim.NGMPVar())
+			fail(err)
+			fmt.Printf("== Headline summary: derived vs naive vs actual ==\n%s\n", figures.RenderSummary(rows))
+			continue
 		}
-		fmt.Printf("== Fig 6a: ready contenders at scua requests (%d workloads) ==\n%s\nworkloads: %s\n\n",
-			*count, res.Render(), strings.Join(names, ", "))
-	}
-	if run("6b") {
-		did = true
-		res, err := figures.Fig6b(sim.NGMPRef(), sim.NGMPVar())
-		fail(err)
-		fmt.Println("== Fig 6b: contention-delay histograms of rsk vs 3 rsk ==")
-		for _, r := range res {
-			fmt.Println(r.Render())
+		if *from != "" && *fig == "all" {
+			fail(fmt.Errorf("-from needs a single -fig (one recording holds one job list)"))
 		}
-	}
-	if run("7a") {
-		did = true
-		res, err := figures.Fig7a(*kmax, *iters)
+		g, ok := scenario.Lookup(s.generator)
+		if !ok {
+			fail(fmt.Errorf("generator %q not registered", s.generator))
+		}
+		jobs, err := g.Expand(s.params)
 		fail(err)
-		fmt.Printf("== Fig 7a: rsk-nop(load) slowdown sweep (ref & var) ==\n%s\n", res.Render())
-	}
-	if run("7b") {
-		did = true
-		res, err := figures.Fig7b(sim.NGMPRef(), *kmax, *iters)
+		results, err := obtainResults(jobs, *from)
 		fail(err)
-		fmt.Printf("== Fig 7b: rsk-nop(store) slowdown sweep (ref) ==\n%s\n", res.Render())
-	}
-	if run("table") {
-		did = true
-		rows, err := figures.Summary(sim.NGMPRef(), sim.NGMPVar())
+		text, err := report.Render(s.generator, jobs, results)
 		fail(err)
-		fmt.Printf("== Headline summary: derived vs naive vs actual ==\n%s\n", figures.RenderSummary(rows))
-	}
-	if run("abl-arb") {
-		did = true
-		rows, err := figures.AblationArbiters(sim.NGMPRef())
-		fail(err)
-		fmt.Printf("== Ablation: arbitration policies ==\n%s\n", figures.RenderArbiters(rows))
-	}
-	if run("abl-dnop") {
-		did = true
-		rows, err := figures.AblationDeltaNop(sim.NGMPRef(), 3)
-		fail(err)
-		fmt.Printf("== Ablation: δnop > 1 sampling ==\n%s\n", figures.RenderDeltaNop(rows))
-	}
-	if run("abl-scaling") {
-		did = true
-		rows, err := figures.AblationScaling(sim.NGMPRef(), []int{2, 4, 6, 8}, []int{3, 6, 12})
-		fail(err)
-		fmt.Printf("== Ablation: Eq. 1 recovery across geometries ==\n%s\n", figures.RenderScaling(rows))
+		fmt.Print(text)
 	}
 	if !did {
 		fmt.Fprintf(os.Stderr, "rrbus-figures: unknown figure %q\n", *fig)
@@ -156,10 +135,20 @@ func main() {
 	}
 }
 
-// runScenario expands a scenario file and streams this shard's share of
-// its jobs: JSONL to -out while jobs run, or — with no -out — a rendered
-// table once the (necessarily unsharded) batch completes.
-func runScenario(path, shardSpec, out string) {
+// obtainResults produces one result per job: replayed from a recorded
+// JSONL file when path is set, simulated live otherwise. Either way the
+// renderers downstream see the same thing — recorded results.
+func obtainResults(jobs []scenario.Job, path string) ([]scenario.Result, error) {
+	if path == "" {
+		return scenario.RunAll(jobs)
+	}
+	return scenario.ReadResultsFile(path)
+}
+
+// runScenario expands a scenario file and either streams this shard's
+// share of its jobs as JSONL to -out, or renders the plan's figure from
+// results — simulated live, or replayed from -from.
+func runScenario(path, shardSpec, out, from string) {
 	plan, err := scenario.Load(path)
 	fail(err)
 	jobs, err := plan.Expand()
@@ -167,25 +156,48 @@ func runScenario(path, shardSpec, out string) {
 	shard, err := exp.ParseShard(shardSpec)
 	fail(err)
 
+	if from != "" {
+		if out != "" || !shard.All() {
+			fail(fmt.Errorf("-from renders an existing recording; it cannot be combined with -out/-shard"))
+		}
+		results, err := scenario.ReadResultsFile(from)
+		fail(err)
+		renderPlan(plan, path, jobs, results)
+		return
+	}
 	if out == "" {
 		if !shard.All() {
 			fail(fmt.Errorf("-shard %s without -out would drop the shard rows; add -out", shard))
 		}
 		results, err := scenario.RunAll(jobs)
 		fail(err)
-		fmt.Printf("== scenario %s: %d jobs ==\n%s", planName(plan, path), len(jobs), scenario.RenderResults(results))
+		renderPlan(plan, path, jobs, results)
 		return
 	}
 
 	fail(scenario.StreamToFile(jobs, shard, out))
 }
 
+// renderPlan renders a plan's recorded results: the generator's figure
+// renderer when one exists, the generic results table otherwise. Live
+// runs, -from replays and -merge all funnel through here, which is what
+// makes their output byte-identical.
+func renderPlan(plan *scenario.Plan, path string, jobs []scenario.Job, results []scenario.Result) {
+	text, err := report.Render(plan.Generator, jobs, results)
+	fail(err)
+	if _, figRender := report.For(plan.Generator); !figRender {
+		fmt.Printf("== scenario %s: %d jobs ==\n", planName(plan, path), len(jobs))
+	}
+	fmt.Print(text)
+}
+
 // mergeShards recombines shard JSONL files into the unsharded byte
-// stream and renders the final table to stdout (when the merged rows go
-// to a file) so a sharded sweep ends with the same artifact an unsharded
-// run prints. Passing the plan via -scenario additionally validates the
-// merged row count against the expanded job list — the only way to catch
-// a tail-truncated final shard.
+// stream and renders the reassembled results to stdout (when the merged
+// rows go to a file) so a sharded sweep ends with the same artifact an
+// unsharded run prints. Passing the plan via -scenario additionally
+// validates the merged rows against the expanded job list — the only way
+// to catch a tail-truncated final shard — and selects the plan's figure
+// renderer.
 func mergeShards(out, scenarioFile string, files []string) {
 	if len(files) == 0 {
 		fail(fmt.Errorf("-merge needs shard JSONL files as arguments"))
@@ -207,18 +219,25 @@ func mergeShards(out, scenarioFile string, files []string) {
 	_, results, err := scenario.MergeFiles(w, files)
 	fail(err)
 
+	var plan *scenario.Plan
+	var jobs []scenario.Job
 	if scenarioFile != "" {
-		plan, err := scenario.Load(scenarioFile)
+		plan, err = scenario.Load(scenarioFile)
 		fail(err)
-		jobs, err := plan.Expand()
+		jobs, err = plan.Expand()
 		fail(err)
 		if len(results) != len(jobs) {
 			fail(fmt.Errorf("merged %d rows for %d jobs — truncated or missing shard files?", len(results), len(jobs)))
 		}
 	}
-	if !toStdout {
-		fmt.Printf("== merged %d shards: %d jobs ==\n%s", len(files), len(results), scenario.RenderResults(results))
+	if toStdout {
+		return
 	}
+	if plan != nil {
+		renderPlan(plan, scenarioFile, jobs, results)
+		return
+	}
+	fmt.Printf("== merged %d shards: %d jobs ==\n%s", len(files), len(results), scenario.RenderResults(results))
 }
 
 func planName(p *scenario.Plan, path string) string {

@@ -31,6 +31,12 @@
 //   - internal/trace, stats, pmc: observation tooling
 //   - internal/exp: the experiment engine that fans independent
 //     simulations out across a worker pool
+//   - internal/scenario: the declarative measurement layer (JSON
+//     scenarios, generators, JSONL recording)
+//   - internal/report: the analysis layer — every figure/table/bound
+//     rendered from recorded results
+//   - internal/figures: generation — expands generators, runs them,
+//     hands the records to internal/report
 //
 // Everything is deterministic and uses only the standard library.
 //
@@ -102,4 +108,27 @@
 // measurements. rrbus-bench guards the performance trajectory of all of
 // this: -compare fails on a >10% simcycles/s regression against
 // BENCH_sim.json and -append accumulates a trend entry per PR.
+//
+// # Results-first analysis: simulate once, analyze forever
+//
+// Measurement and analysis are fully decoupled. The measurement side
+// (internal/scenario + internal/exp) produces recorded results — one
+// self-describing row per job, optionally carrying γ histograms and a
+// bounded bus-event trace window (Protocol.Trace → sim.RunOpts.
+// TraceLimit → Measurement.Trace) for the timeline figures. The
+// analysis side (internal/report) is a set of pure renderers over
+// (jobs, results): gamma tables, timelines, histograms, sweeps,
+// ablation tables and derived bounds are all rebuilt from the records
+// alone — report never calls sim.Run, and bound derivation re-runs only
+// core.DeriveFromSeries with δnop taken from the in-band calibration
+// row every derivation-shaped generator emits.
+//
+// Because the job list is a pure function of the plan and every
+// renderer consumes only records, rendering is replayable: rrbus-figures
+// and rrbus-derive accept -from <results.jsonl> and reproduce the live
+// run's output byte for byte without simulating (CI replays a recorded
+// sweep and cmp's the bytes every push). The in-process figures
+// (internal/figures, the -fig flags, the benchmarks) run through exactly
+// the same path — expand generator, record results, render — so the
+// live artifacts and the archived ones can never drift apart.
 package rrbus

@@ -159,8 +159,11 @@ type line struct {
 // Cache is a set-associative cache. It is not safe for concurrent use; the
 // simulator is single-goroutine by design (determinism).
 type Cache struct {
-	cfg     Config
-	sets    [][]line
+	cfg  Config
+	sets [][]line
+	// arrays is the pooled backing storage behind sets; Release returns
+	// it to the shape-keyed pool (see pool.go).
+	arrays  *lineArrays
 	setMask uint64
 	offBits uint
 	// tagShift is offBits plus the set-index width, precomputed so the
@@ -182,18 +185,16 @@ func New(cfg Config) (*Cache, error) {
 	sets := cfg.Sets()
 	offBits := uint(bits.TrailingZeros(uint(cfg.LineBytes)))
 	idxBits := uint(bits.Len64(uint64(sets - 1)))
+	arrays := acquireLines(sets, cfg.Ways)
 	c := &Cache{
 		cfg:      cfg,
-		sets:     make([][]line, sets),
+		sets:     arrays.sets,
+		arrays:   arrays,
 		setMask:  uint64(sets - 1),
 		offBits:  offBits,
 		idxBits:  idxBits,
 		tagShift: offBits + idxBits,
 		rng:      0x9E3779B97F4A7C15,
-	}
-	backing := make([]line, sets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
 	}
 	return c, nil
 }

@@ -1,0 +1,74 @@
+package cache
+
+import "testing"
+
+func poolCfg() Config {
+	return Config{Name: "P", SizeBytes: 4 << 10, Ways: 4, LineBytes: 32, Policy: LRU, Write: WriteThrough, Latency: 1}
+}
+
+// TestReleaseReuseIsClean is the pooling contract: a cache built from
+// released arrays must be indistinguishable from a freshly allocated one
+// — no stale lines, tags or replacement state may leak between runs.
+func TestReleaseReuseIsClean(t *testing.T) {
+	c := MustNew(poolCfg())
+	for i := 0; i < 64; i++ {
+		c.Access(uint64(i)*32, i%2 == 0, 0)
+	}
+	if c.ValidLines() == 0 {
+		t.Fatal("warmup filled no lines")
+	}
+	c.Release()
+
+	// The next same-shape cache draws from the pool; it must start empty
+	// and behave exactly like a cold cache.
+	c2 := MustNew(poolCfg())
+	if got := c2.ValidLines(); got != 0 {
+		t.Fatalf("pooled cache starts with %d valid lines", got)
+	}
+	if c2.Contains(0) {
+		t.Error("pooled cache remembers a previous run's line")
+	}
+	res := c2.Access(0, false, 0)
+	if res.Hit {
+		t.Error("first access to a pooled cache hit")
+	}
+	if !c2.Access(0, false, 0).Hit {
+		t.Error("second access missed — allocation broken after reuse")
+	}
+}
+
+// TestReleaseTwiceIsNoop guards the double-release path: the second call
+// must not hand the same arrays to the pool again (which would let two
+// caches alias one line matrix).
+func TestReleaseTwiceIsNoop(t *testing.T) {
+	c := MustNew(poolCfg())
+	c.Access(0, false, 0)
+	c.Release()
+	c.Release() // must not panic or double-pool
+
+	a := MustNew(poolCfg())
+	b := MustNew(poolCfg())
+	a.Access(0, false, 0)
+	if b.Contains(0) {
+		t.Fatal("two live caches share pooled line arrays")
+	}
+}
+
+// TestPoolShapeKeying: different geometries never exchange arrays.
+func TestPoolShapeKeying(t *testing.T) {
+	small := poolCfg()
+	c := MustNew(small)
+	c.Release()
+
+	big := poolCfg()
+	big.SizeBytes = 8 << 10
+	d := MustNew(big)
+	if got, want := len(d.sets), big.Sets(); got != want {
+		t.Fatalf("big cache got %d sets, want %d", got, want)
+	}
+	for _, set := range d.sets {
+		if len(set) != big.Ways {
+			t.Fatalf("set with %d ways, want %d", len(set), big.Ways)
+		}
+	}
+}

@@ -5,7 +5,7 @@ import (
 
 	"rrbus/internal/exp"
 	"rrbus/internal/figures"
-	"rrbus/internal/sim"
+	"rrbus/internal/report"
 )
 
 // The engine's core contract: a figure batch run with 1 worker and with
@@ -42,7 +42,7 @@ func checkDeterministic(t *testing.T, f func() (string, error)) {
 
 func TestFig7SweepDeterminism(t *testing.T) {
 	checkDeterministic(t, func() (string, error) {
-		res, err := figures.Fig7b(figures.ToyConfig(), 16, 5)
+		res, err := figures.Fig7b("toy", 16, 5)
 		if err != nil {
 			return "", err
 		}
@@ -56,7 +56,7 @@ func TestFig3Determinism(t *testing.T) {
 		if err != nil {
 			return "", err
 		}
-		return figures.RenderGammaRows(rows), nil
+		return report.RenderGammaRows(rows), nil
 	})
 }
 
@@ -65,7 +65,7 @@ func TestFig6aDeterminism(t *testing.T) {
 	// happens in set order after the parallel phase, so even the float
 	// accumulation must match bitwise.
 	checkDeterministic(t, func() (string, error) {
-		res, err := figures.Fig6a(figures.ToyConfig(), 4, 7)
+		res, err := figures.Fig6a("toy", 4, 7)
 		if err != nil {
 			return "", err
 		}
@@ -78,10 +78,10 @@ func TestScalingAblationDeterminism(t *testing.T) {
 		t.Skip("derivation sweep is slow")
 	}
 	checkDeterministic(t, func() (string, error) {
-		rows, err := figures.AblationScaling(sim.NGMPRef(), []int{3, 4}, []int{3})
+		rows, err := figures.AblationScaling("ref", []int{3, 4}, []int{3})
 		if err != nil {
 			return "", err
 		}
-		return figures.RenderScaling(rows), nil
+		return report.RenderScaling(rows), nil
 	})
 }

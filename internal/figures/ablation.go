@@ -1,189 +1,42 @@
 package figures
 
 import (
-	"fmt"
-	"strings"
-
-	"rrbus/internal/core"
-	"rrbus/internal/exp"
-	"rrbus/internal/isa"
-	"rrbus/internal/sim"
+	"rrbus/internal/report"
+	"rrbus/internal/scenario"
 )
 
-// ArbiterRow reports how the methodology behaves under one arbitration
-// policy — the E9a ablation: the Eq. 3 period→ubd mapping is specific to
-// round-robin.
-type ArbiterRow struct {
-	Arbiter string
-	// ActualUBD is Eq. 1 (meaningful for RR only).
-	ActualUBD int
-	// DerivedUBDm is what the methodology reports; Err is the failure
-	// reason when it correctly refuses.
-	DerivedUBDm int
-	PeriodK     int
-	Err         string
-	// Note interprets the outcome.
-	Note string
-}
-
-// AblationArbiters runs the derivation on cfg under each arbitration
-// policy. Under TDMA the saw-tooth period equals the frame (Nc*slot), under
-// fixed priority the scua either never waits (high priority) or the series
-// is flat at the contenders' mercy, and under a lottery there is no stable
-// period at all.
-func AblationArbiters(cfg sim.Config) ([]ArbiterRow, error) {
-	kinds := []sim.ArbiterKind{sim.ArbiterRR, sim.ArbiterTDMA, sim.ArbiterFP, sim.ArbiterLottery, sim.ArbiterWRR}
-	return exp.Map(len(kinds), func(i int) (ArbiterRow, error) {
-		kind := kinds[i]
-		c := cfg
-		c.Arbiter = kind
-		c.Name = fmt.Sprintf("%s-%s", cfg.Name, kind)
-		r, err := core.NewSimRunner(c)
-		if err != nil {
-			return ArbiterRow{}, err
-		}
-		row := ArbiterRow{Arbiter: string(kind), ActualUBD: c.UBD()}
-		res, derr := core.Derive(r, core.Options{Type: isa.OpLoad, AutoExtend: true, KLimit: 160})
-		if derr != nil {
-			row.Err = derr.Error()
-		}
-		if res != nil {
-			row.DerivedUBDm = res.UBDm
-			row.PeriodK = res.PeriodK
-		}
-		switch kind {
-		case sim.ArbiterRR:
-			row.Note = "methodology applies: period = ubd"
-		case sim.ArbiterTDMA:
-			row.Note = "TDMA is time-composable: contended == isolation, flat slowdown, derivation refuses"
-		case sim.ArbiterFP:
-			row.Note = fmt.Sprintf("high-priority scua waits only for the in-service transaction: period reads lbus=%d, not ubd", c.BusLatency())
-		case sim.ArbiterLottery:
-			row.Note = "random grants: no exact period, estimate is low-confidence"
-		case sim.ArbiterWRR:
-			row.Note = "MBBA-like weights: single-outstanding cores cannot use extra slots (fall-through), " +
-				"so saturation degenerates to plain RR and the period correctly reads (Nc-1)*lbus for loads; " +
-				"multi-outstanding contenders (e.g. store buffers) could consume whole weight blocks and raise the true bound"
-		}
-		return row, nil
-	})
-}
-
-// RenderArbiters formats the arbiter ablation.
-func RenderArbiters(rows []ArbiterRow) string {
-	var b strings.Builder
-	b.WriteString("arbiter   eq1-ubd  derived  periodK  outcome\n")
-	for _, r := range rows {
-		out := r.Note
-		if r.Err != "" {
-			out = "refused: " + r.Err
-		}
-		fmt.Fprintf(&b, "%-9s %7d  %7d  %7d  %s\n", r.Arbiter, r.ActualUBD, r.DerivedUBDm, r.PeriodK, out)
+// AblationArbiters runs the E9a ablation on the named platform: a
+// recorded derivation block per arbitration policy, re-derived from the
+// results. Under TDMA the slowdown is flat and the derivation correctly
+// refuses, under fixed priority the period reads lbus, and under a
+// lottery there is no stable period at all.
+func AblationArbiters(arch string) ([]report.ArbiterRow, error) {
+	jobs, results, err := runGenerator("abl-arb", scenario.Params{"arch": arch})
+	if err != nil {
+		return nil, err
 	}
-	return b.String()
+	return report.ArbitersFrom(jobs, results)
 }
 
-// DeltaNopRow reports the E9b ablation: platforms where a nop costs more
-// than one cycle sample the saw-tooth sparsely; period-based reading
-// aliases, the model fit does not.
-type DeltaNopRow struct {
-	NopLatency  int
-	ActualUBD   int
-	DeltaNop    float64
-	DerivedUBDm int
-	// PeriodTimesDnop is the naive period×δnop reading that aliases when
-	// δnop does not divide ubd.
-	PeriodTimesDnop int
-	Err             string
-}
-
-// AblationDeltaNop derives ubd on copies of cfg with nop latency 1..maxNop.
-func AblationDeltaNop(cfg sim.Config, maxNop int) ([]DeltaNopRow, error) {
-	return exp.Map(maxNop, func(i int) (DeltaNopRow, error) {
-		n := i + 1
-		c := cfg
-		c.NopLatency = n
-		c.Name = fmt.Sprintf("%s-nop%d", cfg.Name, n)
-		r, err := core.NewSimRunner(c)
-		if err != nil {
-			return DeltaNopRow{}, err
-		}
-		row := DeltaNopRow{NopLatency: n, ActualUBD: c.UBD()}
-		res, derr := core.Derive(r, core.Options{Type: isa.OpLoad, AutoExtend: true, KLimit: 160})
-		if derr != nil {
-			row.Err = derr.Error()
-		}
-		if res != nil {
-			row.DeltaNop = res.DeltaNop
-			row.DerivedUBDm = res.UBDm
-			row.PeriodTimesDnop = int(float64(res.PeriodK)*res.DeltaNop + 0.5)
-		}
-		return row, nil
-	})
-}
-
-// RenderDeltaNop formats the δnop ablation.
-func RenderDeltaNop(rows []DeltaNopRow) string {
-	var b strings.Builder
-	b.WriteString("nop-lat  actual-ubd  δnop   derived  period×δnop\n")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%7d  %10d  %5.2f  %7d  %11d", r.NopLatency, r.ActualUBD, r.DeltaNop, r.DerivedUBDm, r.PeriodTimesDnop)
-		if r.Err != "" {
-			fmt.Fprintf(&b, "  ERR: %s", r.Err)
-		}
-		b.WriteByte('\n')
+// AblationDeltaNop runs the E9b ablation: derivation blocks on copies of
+// the named platform with nop latency 1..maxNop. Sparse sampling aliases
+// the naive period×δnop reading; the model fit does not.
+func AblationDeltaNop(arch string, maxNop int) ([]report.DeltaNopRow, error) {
+	jobs, results, err := runGenerator("abl-dnop", scenario.Params{"arch": arch, "max_nop": maxNop})
+	if err != nil {
+		return nil, err
 	}
-	return b.String()
+	return report.DeltaNopsFrom(jobs, results)
 }
 
-// ScalingRow reports the E9c ablation: the methodology recovers Eq. 1
-// across platform geometries.
-type ScalingRow struct {
-	Cores       int
-	LBus        int
-	ActualUBD   int
-	DerivedUBDm int
-	Err         string
-}
-
-// AblationScaling derives ubd over the cross product of core counts and bus
-// latencies (transfer fixed at 3, L2 hit varied). The geometry grid is
-// flattened into one job batch for the experiment engine.
-func AblationScaling(base sim.Config, cores []int, l2hits []int) ([]ScalingRow, error) {
-	return exp.Map(len(cores)*len(l2hits), func(i int) (ScalingRow, error) {
-		nc := cores[i/len(l2hits)]
-		l2 := l2hits[i%len(l2hits)]
-		c := sim.Scaled(base, nc, 3, l2)
-		r, err := core.NewSimRunner(c)
-		if err != nil {
-			return ScalingRow{}, err
-		}
-		row := ScalingRow{Cores: nc, LBus: c.BusLatency(), ActualUBD: c.UBD()}
-		res, derr := core.Derive(r, core.Options{Type: isa.OpLoad, AutoExtend: true, KLimit: 320})
-		if derr != nil {
-			row.Err = derr.Error()
-		}
-		if res != nil {
-			row.DerivedUBDm = res.UBDm
-		}
-		return row, nil
-	})
-}
-
-// RenderScaling formats the scaling ablation.
-func RenderScaling(rows []ScalingRow) string {
-	var b strings.Builder
-	b.WriteString("cores  lbus  actual-ubd  derived-ubdm\n")
-	for _, r := range rows {
-		mark := ""
-		if r.DerivedUBDm != r.ActualUBD {
-			mark = "  <- mismatch"
-		}
-		fmt.Fprintf(&b, "%5d  %4d  %10d  %12d%s", r.Cores, r.LBus, r.ActualUBD, r.DerivedUBDm, mark)
-		if r.Err != "" {
-			fmt.Fprintf(&b, "  ERR: %s", r.Err)
-		}
-		b.WriteByte('\n')
+// AblationScaling runs the E9c ablation: derivation blocks over the
+// cross product of core counts and bus latencies (transfer fixed at 3,
+// L2 hit varied), checking the methodology recovers Eq. 1 across
+// geometries.
+func AblationScaling(arch string, cores []int, l2hits []int) ([]report.ScalingRow, error) {
+	jobs, results, err := runGenerator("abl-scaling", scenario.Params{"arch": arch, "cores": cores, "l2hits": l2hits})
+	if err != nil {
+		return nil, err
 	}
-	return b.String()
+	return report.ScalingFrom(jobs, results)
 }

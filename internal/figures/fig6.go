@@ -1,181 +1,27 @@
 package figures
 
 import (
-	"fmt"
-	"strings"
-
-	"rrbus/internal/exp"
-	"rrbus/internal/isa"
-	"rrbus/internal/kernel"
-	"rrbus/internal/sim"
-	"rrbus/internal/stats"
-	"rrbus/internal/workload"
+	"rrbus/internal/report"
+	"rrbus/internal/scenario"
 )
 
-// Fig6aResult is the Fig. 6(a) histogram pair: how many contenders are
-// ready when the scua in core 0 submits a bus request, for real-ish EEMBC
-// workloads versus four rsk.
-type Fig6aResult struct {
-	// EEMBCFrac[i] is the average fraction of scua requests finding i
-	// ready contenders across the random workloads (dark bars).
-	EEMBCFrac []float64
-	// RSKFrac[i] is the same for the 4×rsk workload (light bars).
-	RSKFrac []float64
-	// Workloads lists the random task sets used.
-	Workloads []workload.TaskSet
-}
-
-// Fig6a regenerates Fig. 6(a) on cfg with count random nTask workloads
-// (the paper: 8 random 4-task EEMBC workloads, plus 4 rsk).
-func Fig6a(cfg sim.Config, count int, seed uint64) (*Fig6aResult, error) {
-	res := &Fig6aResult{
-		EEMBCFrac: make([]float64, cfg.Cores+1),
-		RSKFrac:   make([]float64, cfg.Cores+1),
-	}
-
-	// EEMBC workloads: scua is the task on core 0, the rest contend. The
-	// runs are independent; stream them through the experiment engine and
-	// fold each histogram into the running fractions as it is delivered.
-	// Ordered delivery folds in set order, so the floating-point
-	// accumulation matches the serial run bit for bit — without holding
-	// every histogram in memory first.
-	sets := workload.RandomTaskSets(count, cfg.Cores, seed)
-	res.Workloads = sets
-	err := exp.Stream(len(sets), func(i int) ([]uint64, error) {
-		ts := sets[i]
-		progs, err := ts.Build()
-		if err != nil {
-			return nil, err
-		}
-		m, err := sim.Run(cfg, sim.Workload{Scua: progs[0], Contenders: progs[1:]},
-			sim.RunOpts{WarmupIters: 2, MeasureIters: 6, CollectGammas: true})
-		if err != nil {
-			return nil, fmt.Errorf("figures: workload %v: %w", ts.Names, err)
-		}
-		return m.ContendersHist, nil
-	}, exp.SinkFunc[[]uint64](func(_ int, hist []uint64) error {
-		var total uint64
-		for _, c := range hist {
-			total += c
-		}
-		if total == 0 {
-			return nil
-		}
-		for i, c := range hist {
-			if i < len(res.EEMBCFrac) {
-				res.EEMBCFrac[i] += float64(c) / float64(total) / float64(len(sets))
-			}
-		}
-		return nil
-	}))
+// Fig6a regenerates Fig. 6(a) on the named platform with count random
+// task-set workloads (the paper: 8 random 4-task EEMBC workloads, plus
+// 4 rsk).
+func Fig6a(arch string, count int, seed uint64) (*report.Fig6aData, error) {
+	jobs, results, err := runGenerator("fig6a", scenario.Params{"arch": arch, "count": count, "seed": seed})
 	if err != nil {
 		return nil, err
 	}
-
-	// 4 × rsk workload.
-	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
-	scua, err := b.RSK(0, isa.OpLoad)
-	if err != nil {
-		return nil, err
-	}
-	var cont []*isa.Program
-	for c := 1; c < cfg.Cores; c++ {
-		p, err := b.RSK(c, isa.OpLoad)
-		if err != nil {
-			return nil, err
-		}
-		cont = append(cont, p)
-	}
-	m, err := sim.Run(cfg, sim.Workload{Scua: scua, Contenders: cont},
-		sim.RunOpts{WarmupIters: 3, MeasureIters: 10, CollectGammas: true})
-	if err != nil {
-		return nil, err
-	}
-	var total uint64
-	for _, c := range m.ContendersHist {
-		total += c
-	}
-	for i, c := range m.ContendersHist {
-		if i < len(res.RSKFrac) && total > 0 {
-			res.RSKFrac[i] = float64(c) / float64(total)
-		}
-	}
-	return res, nil
+	return report.Fig6aFrom(jobs, results)
 }
 
-// Render formats the Fig. 6(a) histograms side by side.
-func (r *Fig6aResult) Render() string {
-	var b strings.Builder
-	b.WriteString("ready-contenders  EEMBC-workloads  4xRSK\n")
-	for i := range r.EEMBCFrac {
-		fmt.Fprintf(&b, "%16d  %14.1f%%  %5.1f%%\n", i, r.EEMBCFrac[i]*100, r.RSKFrac[i]*100)
-	}
-	return b.String()
-}
-
-// Fig6bResult is the Fig. 6(b) contention-delay histogram for one
-// architecture.
-type Fig6bResult struct {
-	Arch string
-	// Hist is the per-request γ histogram of the rsk scua.
-	Hist *stats.Hist
-	// UBDm is the largest observed delay (the naive measured bound).
-	UBDm int
-	// ModeGamma is the dominant delay and ModeFrac its share (the paper
-	// reports 98%).
-	ModeGamma int
-	ModeFrac  float64
-	// ActualUBD is Eq. 1 ground truth.
-	ActualUBD int
-	// SimCycles is the full simulated length of the run (warmup +
-	// measurement window), used by the throughput benchmarks to report
-	// simcycles/s against the run's wall time.
-	SimCycles uint64
-}
-
-// Fig6b regenerates Fig. 6(b) on the given architectures (the paper: ref
+// Fig6b regenerates Fig. 6(b) on the named architectures (the paper: ref
 // and var; ubdm lands on 26 and 23 against an actual ubd of 27).
-func Fig6b(cfgs ...sim.Config) ([]Fig6bResult, error) {
-	return exp.Map(len(cfgs), func(i int) (Fig6bResult, error) {
-		cfg := cfgs[i]
-		b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
-		scua, err := b.RSK(0, isa.OpLoad)
-		if err != nil {
-			return Fig6bResult{}, err
-		}
-		var cont []*isa.Program
-		for c := 1; c < cfg.Cores; c++ {
-			p, err := b.RSK(c, isa.OpLoad)
-			if err != nil {
-				return Fig6bResult{}, err
-			}
-			cont = append(cont, p)
-		}
-		m, err := sim.Run(cfg, sim.Workload{Scua: scua, Contenders: cont},
-			sim.RunOpts{WarmupIters: 3, MeasureIters: 50, CollectGammas: true})
-		if err != nil {
-			return Fig6bResult{}, err
-		}
-		h := stats.FromDense(m.GammaHist)
-		mode, frac, _ := h.Mode()
-		maxG, _ := h.Max()
-		return Fig6bResult{
-			Arch:      cfg.Name,
-			Hist:      h,
-			UBDm:      maxG,
-			ModeGamma: mode,
-			ModeFrac:  frac,
-			ActualUBD: cfg.UBD(),
-			SimCycles: m.TotalCycles,
-		}, nil
-	})
-}
-
-// Render formats one Fig. 6(b) histogram.
-func (r Fig6bResult) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s: ubdm(observed max)=%d actual ubd=%d mode γ=%d (%.1f%% of requests)\n",
-		r.Arch, r.UBDm, r.ActualUBD, r.ModeGamma, r.ModeFrac*100)
-	b.WriteString(r.Hist.String())
-	return b.String()
+func Fig6b(archs ...string) ([]report.Fig6bData, error) {
+	jobs, results, err := runGenerator("fig6b", scenario.Params{"archs": archs})
+	if err != nil {
+		return nil, err
+	}
+	return report.Fig6bFrom(jobs, results)
 }

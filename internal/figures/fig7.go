@@ -1,31 +1,23 @@
 package figures
 
 import (
-	"fmt"
-	"strings"
-
 	"rrbus/internal/core"
 	"rrbus/internal/exp"
 	"rrbus/internal/isa"
+	"rrbus/internal/report"
+	"rrbus/internal/scenario"
 	"rrbus/internal/sim"
 )
 
-// SweepPoint is one k of a Fig. 7 sweep.
-type SweepPoint struct {
-	K int
-	// Slowdown is ExecTime_contended - ExecTime_isolation in cycles.
-	Slowdown int64
-	// Utilization is the contended run's bus utilization.
-	Utilization float64
-}
-
 // Sweep runs the rsk-nop(t, k) slowdown sweep for k = 1..kmax with the
 // given number of measured iterations per run, collecting the streamed
-// points into a slice. See StreamSweep.
-func Sweep(cfg sim.Config, t isa.Op, kmax int, iters uint64) ([]SweepPoint, error) {
-	pts := make([]SweepPoint, 0, kmax)
+// points into a slice. It is the in-process cross-check of the fig7
+// generator (the declarative path must reproduce it measurement for
+// measurement); the figures themselves go through the generators.
+func Sweep(cfg sim.Config, t isa.Op, kmax int, iters uint64) ([]report.SweepPoint, error) {
+	pts := make([]report.SweepPoint, 0, kmax)
 	err := StreamSweep(cfg, t, kmax, iters, exp.Shard{},
-		exp.SinkFunc[SweepPoint](func(i int, p SweepPoint) error {
+		exp.SinkFunc[report.SweepPoint](func(i int, p report.SweepPoint) error {
 			pts = append(pts, p)
 			return nil
 		}))
@@ -42,7 +34,7 @@ func Sweep(cfg sim.Config, t isa.Op, kmax int, iters uint64) ([]SweepPoint, erro
 // streamed sequence identical to a serial sweep regardless of worker
 // count, and sharding splits the k range across machines (job index i
 // carries k = i+1).
-func StreamSweep(cfg sim.Config, t isa.Op, kmax int, iters uint64, shard exp.Shard, sink exp.Sink[SweepPoint]) error {
+func StreamSweep(cfg sim.Config, t isa.Op, kmax int, iters uint64, shard exp.Shard, sink exp.Sink[report.SweepPoint]) error {
 	r, err := core.NewSimRunner(cfg)
 	if err != nil {
 		return err
@@ -50,17 +42,17 @@ func StreamSweep(cfg sim.Config, t isa.Op, kmax int, iters uint64, shard exp.Sha
 	if iters > 0 {
 		r.Iters = iters
 	}
-	return exp.StreamShard(shard, exp.Workers(), kmax, func(i int) (SweepPoint, error) {
+	return exp.StreamShard(shard, exp.Workers(), kmax, func(i int) (report.SweepPoint, error) {
 		k := i + 1
 		cont, err := r.RunContended(t, k)
 		if err != nil {
-			return SweepPoint{}, err
+			return report.SweepPoint{}, err
 		}
 		isol, err := r.RunIsolation(t, k)
 		if err != nil {
-			return SweepPoint{}, err
+			return report.SweepPoint{}, err
 		}
-		return SweepPoint{
+		return report.SweepPoint{
 			K:           k,
 			Slowdown:    int64(cont.Cycles) - int64(isol.Cycles),
 			Utilization: cont.Utilization,
@@ -68,113 +60,22 @@ func StreamSweep(cfg sim.Config, t isa.Op, kmax int, iters uint64, shard exp.Sha
 	}, sink)
 }
 
-// Fig7aResult is the Fig. 7(a) pair of load sweeps.
-type Fig7aResult struct {
-	Ref, Var []SweepPoint
-	// RefPeaks and VarPeaks are the k positions of the saw-tooth maxima
-	// (the paper: 27/54 for ref, 24/51 for var, both period 27).
-	RefPeaks, VarPeaks []int
-}
-
 // Fig7a regenerates Fig. 7(a): slowdown of rsk-nop(load, k) against three
 // load rsk on the reference and variant architectures.
-func Fig7a(kmax int, iters uint64) (*Fig7aResult, error) {
-	ref, err := Sweep(sim.NGMPRef(), isa.OpLoad, kmax, iters)
+func Fig7a(kmax int, iters uint64) (*report.Fig7aData, error) {
+	jobs, results, err := runGenerator("fig7a", scenario.Params{"kmax": kmax, "iters": iters})
 	if err != nil {
 		return nil, err
 	}
-	vr, err := Sweep(sim.NGMPVar(), isa.OpLoad, kmax, iters)
+	return report.Fig7aFrom(jobs, results)
+}
+
+// Fig7b regenerates Fig. 7(b): slowdown of rsk-nop(store, k) against
+// three store rsk on the named platform.
+func Fig7b(arch string, kmax int, iters uint64) (*report.Fig7bData, error) {
+	jobs, results, err := runGenerator("fig7b", scenario.Params{"arch": arch, "kmax": kmax, "iters": iters})
 	if err != nil {
 		return nil, err
 	}
-	return &Fig7aResult{
-		Ref:      ref,
-		Var:      vr,
-		RefPeaks: peaksOf(ref),
-		VarPeaks: peaksOf(vr),
-	}, nil
-}
-
-// peaksOf returns the k positions of strict local maxima of the slowdown.
-func peaksOf(pts []SweepPoint) []int {
-	var out []int
-	for i := range pts {
-		cur := pts[i].Slowdown
-		leftOK := i == 0 || pts[i-1].Slowdown < cur
-		rightOK := i == len(pts)-1 || pts[i+1].Slowdown < cur
-		// Interior maxima only: edges are ambiguous.
-		if i > 0 && i < len(pts)-1 && leftOK && rightOK {
-			out = append(out, pts[i].K)
-		}
-	}
-	return out
-}
-
-// Render formats the two sweeps as aligned columns with a bar for ref.
-func (r *Fig7aResult) Render() string {
-	var b strings.Builder
-	b.WriteString("  k  slowdown(ref)  slowdown(var)\n")
-	maxS := int64(1)
-	for _, p := range r.Ref {
-		if p.Slowdown > maxS {
-			maxS = p.Slowdown
-		}
-	}
-	for i := range r.Ref {
-		bar := strings.Repeat("#", int(r.Ref[i].Slowdown*30/maxS))
-		fmt.Fprintf(&b, "%3d  %13d  %13d  %s\n", r.Ref[i].K, r.Ref[i].Slowdown, r.Var[i].Slowdown, bar)
-	}
-	fmt.Fprintf(&b, "ref peaks at k=%v, var peaks at k=%v\n", r.RefPeaks, r.VarPeaks)
-	return b.String()
-}
-
-// Fig7bResult is the Fig. 7(b) store sweep.
-type Fig7bResult struct {
-	Points []SweepPoint
-	// ZeroFromK is the first k from which the slowdown stays zero: the
-	// store buffer hides all contention beyond it (paper: the first
-	// period spans k ∈ [1..28]; in this simulator the tooth ends at
-	// ubd + lbus - 1 because a saturated buffer frees one entry per full
-	// round — see DESIGN.md).
-	ZeroFromK int
-}
-
-// Fig7b regenerates Fig. 7(b): slowdown of rsk-nop(store, k) against three
-// store rsk on cfg.
-func Fig7b(cfg sim.Config, kmax int, iters uint64) (*Fig7bResult, error) {
-	pts, err := Sweep(cfg, isa.OpStore, kmax, iters)
-	if err != nil {
-		return nil, err
-	}
-	res := &Fig7bResult{Points: pts, ZeroFromK: -1}
-	for i := len(pts) - 1; i >= 0; i-- {
-		if pts[i].Slowdown != 0 {
-			if i+1 < len(pts) {
-				res.ZeroFromK = pts[i+1].K
-			}
-			break
-		}
-		if i == 0 {
-			res.ZeroFromK = pts[0].K
-		}
-	}
-	return res, nil
-}
-
-// Render formats the store sweep.
-func (r *Fig7bResult) Render() string {
-	var b strings.Builder
-	b.WriteString("  k  slowdown(store)\n")
-	maxS := int64(1)
-	for _, p := range r.Points {
-		if p.Slowdown > maxS {
-			maxS = p.Slowdown
-		}
-	}
-	for _, p := range r.Points {
-		bar := strings.Repeat("#", int(p.Slowdown*30/maxS))
-		fmt.Fprintf(&b, "%3d  %15d  %s\n", p.K, p.Slowdown, bar)
-	}
-	fmt.Fprintf(&b, "slowdown identically zero from k=%d (store buffer hides contention)\n", r.ZeroFromK)
-	return b.String()
+	return report.Fig7bFrom(jobs, results)
 }

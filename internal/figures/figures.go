@@ -1,209 +1,93 @@
-// Package figures regenerates every figure of the paper's evaluation from
-// the simulator and the methodology, producing structured rows plus
-// terminal-friendly renderings. cmd/rrbus-figures prints them; the root
-// bench_test.go benchmarks regenerate them; tests assert their shapes
-// against the paper's claims.
+// Package figures is the generation half of the measurement→analysis
+// pipeline: it regenerates every figure of the paper's evaluation by
+// expanding the corresponding scenario generator into a job list,
+// running the jobs on the experiment engine, and converting the recorded
+// results with internal/report's pure analysis functions. Rendering
+// lives entirely in internal/report, which consumes only recorded
+// scenario.Results — so everything produced here can equally be streamed
+// to JSONL, sharded across machines, and replayed byte-identically later
+// (cmd/rrbus-figures -from).
+//
+// The two artifacts that cannot be expressed as fixed recorded job lists
+// stay in-process: the headline summary table (its derivation sweep
+// auto-extends) and the E11 memory-contention extension.
 package figures
 
 import (
 	"fmt"
-	"strings"
 
-	"rrbus/internal/analytic"
-	"rrbus/internal/exp"
-	"rrbus/internal/isa"
-	"rrbus/internal/kernel"
+	"rrbus/internal/report"
+	"rrbus/internal/scenario"
 	"rrbus/internal/sim"
-	"rrbus/internal/stats"
-	"rrbus/internal/trace"
 )
 
 // ToyConfig returns the small platform used by the paper's illustrative
 // figures (Figs. 2, 3, 5): 4 cores, lbus = 2, so ubd = 6.
 func ToyConfig() sim.Config { return sim.Toy() }
 
-// gammaMode measures the steady-state per-request contention delay of an
-// rsk-nop(t, k) scua against Nc-1 rsk(t) contenders: the mode of the γ
-// histogram (boundary requests contribute the remaining mass).
-func gammaMode(cfg sim.Config, t isa.Op, k int) (int, error) {
-	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
-	scua, err := b.RSKNop(0, t, k)
-	if err != nil {
-		return 0, err
-	}
-	var cont []*isa.Program
-	for c := 1; c < cfg.Cores; c++ {
-		p, err := b.RSK(c, t)
-		if err != nil {
-			return 0, err
-		}
-		cont = append(cont, p)
-	}
-	m, err := sim.Run(cfg, sim.Workload{Scua: scua, Contenders: cont},
-		sim.RunOpts{WarmupIters: 3, MeasureIters: 10, CollectGammas: true})
-	if err != nil {
-		return 0, err
-	}
-	mode, _, ok := stats.FromDense(m.GammaHist).Mode()
+// runGenerator expands a registered scenario generator with params and
+// runs the resulting jobs on the experiment engine, returning the job
+// list and the recorded results the report converters consume.
+func runGenerator(name string, params scenario.Params) ([]scenario.Job, []scenario.Result, error) {
+	g, ok := scenario.Lookup(name)
 	if !ok {
-		return 0, fmt.Errorf("figures: no requests observed for %v k=%d", t, k)
+		return nil, nil, fmt.Errorf("figures: generator %q not registered", name)
 	}
-	return mode, nil
+	jobs, err := g.Expand(params)
+	if err != nil {
+		return nil, nil, fmt.Errorf("figures: %s: %w", name, err)
+	}
+	results, err := scenario.RunAll(jobs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("figures: %s: %w", name, err)
+	}
+	return jobs, results, nil
 }
 
-// GammaRow is one δ→γ pair with the simulator measurement and the Eq. 2
-// prediction.
-type GammaRow struct {
-	Delta         int
-	GammaSim      int
-	GammaAnalytic int
+// Fig2 regenerates the Fig. 2 scenario on the toy platform: a request
+// whose injection time is δ = 9 against three saturating contenders
+// suffers γ = 3 (< ubd = 6). It returns the measured γ and an ASCII
+// timeline excerpt rendered from the recorded bus-event trace.
+func Fig2() (gamma int, timeline string, err error) {
+	jobs, results, err := runGenerator("fig2", nil)
+	if err != nil {
+		return 0, "", err
+	}
+	f, err := report.Fig2From(jobs, results)
+	if err != nil {
+		return 0, "", err
+	}
+	return f.Gamma, f.Timeline, nil
 }
 
 // Fig3 regenerates the γ(δ) matrix of Fig. 3 on the toy platform
 // (ubd = 6): δ = 0 is realized by the store buffer's back-to-back drains;
 // δ ≥ 1 by rsk-nop(load, δ-1) since δ = DL1lat + k with DL1lat = 1.
-func Fig3(maxDelta int) ([]GammaRow, error) {
-	cfg := ToyConfig()
-	ubd := cfg.UBD()
-	return exp.Map(maxDelta+1, func(delta int) (GammaRow, error) {
-		var g int
-		var err error
-		if delta == 0 {
-			g, err = gammaMode(cfg, isa.OpStore, 0)
-		} else {
-			g, err = gammaMode(cfg, isa.OpLoad, delta-cfg.DL1.Latency)
-		}
-		if err != nil {
-			return GammaRow{}, err
-		}
-		return GammaRow{Delta: delta, GammaSim: g, GammaAnalytic: analytic.Gamma(delta, ubd)}, nil
-	})
+func Fig3(maxDelta int) ([]report.GammaRow, error) {
+	jobs, results, err := runGenerator("fig3", scenario.Params{"max_delta": maxDelta})
+	if err != nil {
+		return nil, err
+	}
+	return report.GammaRowsFrom(jobs, results)
 }
 
 // Fig4 regenerates the saw-tooth of Fig. 4 on the reference platform
 // (ubd = 27) for δ = 1..maxDelta, overlaying simulation on Eq. 2.
-func Fig4(maxDelta int) ([]GammaRow, error) {
-	cfg := sim.NGMPRef()
-	ubd := cfg.UBD()
-	n := maxDelta - cfg.DL1.Latency + 1
-	return exp.Map(n, func(i int) (GammaRow, error) {
-		delta := cfg.DL1.Latency + i
-		g, err := gammaMode(cfg, isa.OpLoad, delta-cfg.DL1.Latency)
-		if err != nil {
-			return GammaRow{}, err
-		}
-		return GammaRow{Delta: delta, GammaSim: g, GammaAnalytic: analytic.Gamma(delta, ubd)}, nil
-	})
-}
-
-// RenderGammaRows formats GammaRow tables.
-func RenderGammaRows(rows []GammaRow) string {
-	var b strings.Builder
-	b.WriteString("delta  gamma(sim)  gamma(eq2)\n")
-	for _, r := range rows {
-		mark := ""
-		if r.GammaSim != r.GammaAnalytic {
-			mark = "  <- mismatch"
-		}
-		fmt.Fprintf(&b, "%5d  %10d  %10d%s\n", r.Delta, r.GammaSim, r.GammaAnalytic, mark)
-	}
-	return b.String()
-}
-
-// Fig2 reproduces the Fig. 2 scenario on the toy platform: a request whose
-// injection time is δ = 9 against three saturating contenders suffers γ = 3
-// (< ubd = 6). It returns the measured γ and an ASCII timeline excerpt.
-func Fig2() (gamma int, timeline string, err error) {
-	cfg := ToyConfig()
-	// δ = 9 = DL1lat(1) + k(8).
-	const k = 8
-	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
-	scua, err := b.RSKNop(0, isa.OpLoad, k)
+func Fig4(maxDelta int) ([]report.GammaRow, error) {
+	jobs, results, err := runGenerator("fig4", scenario.Params{"max_delta": maxDelta})
 	if err != nil {
-		return 0, "", err
+		return nil, err
 	}
-	var cont []*isa.Program
-	for c := 1; c < cfg.Cores; c++ {
-		p, err := b.RSK(c, isa.OpLoad)
-		if err != nil {
-			return 0, "", err
-		}
-		cont = append(cont, p)
-	}
-
-	progs := append([]*isa.Program{scua}, cont...)
-	iters := []uint64{20, 0, 0, 0}
-	sys, err := sim.NewSystem(cfg, progs, iters)
-	if err != nil {
-		return 0, "", err
-	}
-	rec := trace.NewRecorder(4096)
-	rec.Attach(sys.Bus())
-	sys.RunUntil(func() bool { return sys.Core(0).Done() }, 1<<22)
-
-	evs := rec.PortEvents(0)
-	if len(evs) < 8 {
-		return 0, "", fmt.Errorf("figures: too few scua events (%d)", len(evs))
-	}
-	// Steady state: take a late event.
-	e := evs[len(evs)-4]
-	from := e.Ready - 4
-	if e.Ready < 4 {
-		from = 0
-	}
-	tl := trace.Timeline(rec.Events(), cfg.Cores+1, from, e.Grant+uint64(e.Occupancy)+2)
-	return int(e.Gamma), tl, nil
-}
-
-// Fig5Scenario is one nop-insertion timeline of Fig. 5.
-type Fig5Scenario struct {
-	K        int
-	Delta    int
-	Gamma    int
-	Timeline string
+	return report.GammaRowsFrom(jobs, results)
 }
 
 // Fig5 regenerates the Fig. 5 timelines on the toy platform for the given
 // nop counts (the paper shows k = 1, 2, 5 and 6: γ decreases with k until
 // the alignment wraps and it jumps back up).
-func Fig5(ks []int) ([]Fig5Scenario, error) {
-	cfg := ToyConfig()
-	return exp.Map(len(ks), func(i int) (Fig5Scenario, error) {
-		k := ks[i]
-		b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
-		scua, err := b.RSKNop(0, isa.OpLoad, k)
-		if err != nil {
-			return Fig5Scenario{}, err
-		}
-		var cont []*isa.Program
-		for c := 1; c < cfg.Cores; c++ {
-			p, err := b.RSK(c, isa.OpLoad)
-			if err != nil {
-				return Fig5Scenario{}, err
-			}
-			cont = append(cont, p)
-		}
-		sys, err := sim.NewSystem(cfg, append([]*isa.Program{scua}, cont...), []uint64{10, 0, 0, 0})
-		if err != nil {
-			return Fig5Scenario{}, err
-		}
-		rec := trace.NewRecorder(4096)
-		rec.Attach(sys.Bus())
-		sys.RunUntil(func() bool { return sys.Core(0).Done() }, 1<<22)
-		evs := rec.PortEvents(0)
-		if len(evs) < 6 {
-			return Fig5Scenario{}, fmt.Errorf("figures: too few events for k=%d", k)
-		}
-		e := evs[len(evs)-4]
-		from := uint64(0)
-		if e.Ready >= 6 {
-			from = e.Ready - 6
-		}
-		return Fig5Scenario{
-			K:        k,
-			Delta:    cfg.DL1.Latency + k,
-			Gamma:    int(e.Gamma),
-			Timeline: trace.Timeline(rec.Events(), cfg.Cores+1, from, e.Grant+uint64(e.Occupancy)+2),
-		}, nil
-	})
+func Fig5(ks []int) ([]report.TimelineFig, error) {
+	jobs, results, err := runGenerator("fig5", scenario.Params{"ks": ks})
+	if err != nil {
+		return nil, err
+	}
+	return report.Fig5From(jobs, results)
 }

@@ -6,6 +6,7 @@ import (
 
 	"rrbus/internal/analytic"
 	"rrbus/internal/isa"
+	"rrbus/internal/report"
 	"rrbus/internal/sim"
 )
 
@@ -40,7 +41,7 @@ func TestFig3MatchesEq2(t *testing.T) {
 			t.Errorf("δ=%d: sim %d ≠ analytic %d", i, r.GammaSim, r.GammaAnalytic)
 		}
 	}
-	out := RenderGammaRows(rows)
+	out := report.RenderGammaRows(rows)
 	if strings.Contains(out, "mismatch") {
 		t.Error("render flags a mismatch")
 	}
@@ -85,7 +86,7 @@ func TestFig5Scenarios(t *testing.T) {
 }
 
 func TestFig6a(t *testing.T) {
-	res, err := Fig6a(sim.NGMPRef(), 4, 1)
+	res, err := Fig6a("ref", 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,8 +98,8 @@ func TestFig6a(t *testing.T) {
 	if low := res.EEMBCFrac[0] + res.EEMBCFrac[1]; low < 0.5 {
 		t.Errorf("EEMBC 0-1 contender share = %.3f, paper says 'most of the times'", low)
 	}
-	if len(res.Workloads) != 4 {
-		t.Errorf("workloads = %d", len(res.Workloads))
+	if len(res.WorkloadNames) != 4 {
+		t.Errorf("workloads = %d", len(res.WorkloadNames))
 	}
 	out := res.Render()
 	if !strings.Contains(out, "ready-contenders") {
@@ -107,7 +108,7 @@ func TestFig6a(t *testing.T) {
 }
 
 func TestFig6b(t *testing.T) {
-	res, err := Fig6b(sim.NGMPRef(), sim.NGMPVar())
+	res, err := Fig6b("ref", "var")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestFig7b(t *testing.T) {
 	// The window must be long enough for the store backlog to reach the
 	// buffer bound near the crossover: with 10 stores per iteration and
 	// an 8-entry buffer, ~30 iterations suffice for k up to 34.
-	res, err := Fig7b(sim.NGMPRef(), 45, 30)
+	res, err := Fig7b("ref", 45, 30)
 	if err != nil {
 		t.Fatal(err)
 	}

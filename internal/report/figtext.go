@@ -1,0 +1,183 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"rrbus/internal/isa"
+	"rrbus/internal/scenario"
+)
+
+// The full-text renderers: one per generator, each producing the
+// complete terminal figure (header included) so a live scenario run and
+// a JSONL replay print identical bytes.
+
+// Fig2 renders the Fig. 2 timeline from the fig2 generator's recorded
+// result.
+func Fig2(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	f, err := Fig2From(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	cfg, err := buildCfg(jobs[0])
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("== Fig 2: request with δ=%d on %s platform (ubd=%d) suffers γ=%d ==\n%s\n",
+		f.Delta, cfg.Name, cfg.UBD(), f.Gamma, f.Timeline), nil
+}
+
+// Fig3 renders the γ(δ) matrix of Fig. 3.
+func Fig3(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	return gammaFig("Fig 3: γ(δ) matrix", jobs, results)
+}
+
+// Fig4 renders the saw-tooth γ(δ) overlay of Fig. 4.
+func Fig4(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	return gammaFig("Fig 4: saw-tooth γ(δ)", jobs, results)
+}
+
+func gammaFig(title string, jobs []scenario.Job, results []scenario.Result) (string, error) {
+	rows, err := GammaRowsFrom(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	cfg, err := buildCfg(jobs[0])
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("== %s on %s platform (ubd=%d) ==\n%s\n", title, cfg.Name, cfg.UBD(), RenderGammaRows(rows)), nil
+}
+
+// Fig5 renders the nop-insertion timelines of Fig. 5.
+func Fig5(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	figs, err := Fig5From(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	cfg, err := buildCfg(jobs[0])
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Fig 5: nop insertion timelines on %s platform ==\n", cfg.Name)
+	for _, f := range figs {
+		fmt.Fprintf(&b, "-- k=%d (δ=%d) → γ=%d --\n%s", f.K, f.Delta, f.Gamma, f.Timeline)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// Fig6a renders the ready-contender comparison of Fig. 6(a).
+func Fig6a(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	d, err := Fig6aFrom(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("== Fig 6a: ready contenders at scua requests (%d workloads) ==\n%s\nworkloads: %s\n\n",
+		len(d.WorkloadNames), d.Render(), strings.Join(d.WorkloadNames, ", ")), nil
+}
+
+// Fig6b renders the contention-delay histograms of Fig. 6(b).
+func Fig6b(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	rows, err := Fig6bFrom(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	cfg, err := buildCfg(jobs[0])
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Fig 6b: contention-delay histograms of rsk vs %d rsk ==\n", cfg.Cores-1)
+	for _, r := range rows {
+		b.WriteString(r.Render())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Fig7 renders a single recorded slowdown sweep (the generic fig7
+// generator).
+func Fig7(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	pts, err := SweepPointsFrom(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	typ, _, err := parseRSKNop(jobs[0].Scenario.Workload.Scua)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("== Fig 7: rsk-nop(%s) slowdown sweep (%s) ==\n%s\n",
+		typ, results[0].Platform, RenderSweep(pts)), nil
+}
+
+// Fig7a renders the two-architecture load sweep of Fig. 7(a).
+func Fig7a(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	d, err := Fig7aFrom(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("== Fig 7a: rsk-nop(load) slowdown sweep (%s & %s) ==\n%s\n",
+		results[0].Platform, results[len(results)-1].Platform, d.Render()), nil
+}
+
+// Fig7b renders the store sweep of Fig. 7(b).
+func Fig7b(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	d, err := Fig7bFrom(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("== Fig 7b: rsk-nop(store) slowdown sweep (%s) ==\n%s\n",
+		results[0].Platform, d.Render()), nil
+}
+
+// Derive renders the derivation report of a recorded derive block: the
+// paper's methodology outcome next to Eq. 1 ground truth.
+func Derive(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	d, err := DerivationFrom(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	typ := "load"
+	if d.Type == isa.OpStore {
+		typ = "store"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "platform            %s (%d cores, lbus=%d)\n", d.Cfg.Name, d.Cfg.Cores, d.Cfg.BusLatency())
+	fmt.Fprintf(&b, "access type         %s\n", typ)
+	fmt.Fprintf(&b, "actual ubd (Eq.1)   %d cycles\n", d.Cfg.UBD())
+	if d.Err != nil {
+		fmt.Fprintf(&b, "derivation FAILED: %s\n", d.Err)
+	} else if d.Res != nil {
+		b.WriteString(d.Res.Report())
+	}
+	return b.String(), nil
+}
+
+// AblArb renders the E9a arbitration-policy ablation.
+func AblArb(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	rows, err := ArbitersFrom(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("== Ablation: arbitration policies ==\n%s\n", RenderArbiters(rows)), nil
+}
+
+// AblDeltaNop renders the E9b δnop-sampling ablation.
+func AblDeltaNop(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	rows, err := DeltaNopsFrom(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("== Ablation: δnop > 1 sampling ==\n%s\n", RenderDeltaNop(rows)), nil
+}
+
+// AblScaling renders the E9c geometry ablation.
+func AblScaling(jobs []scenario.Job, results []scenario.Result) (string, error) {
+	rows, err := ScalingFrom(jobs, results)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("== Ablation: Eq. 1 recovery across geometries ==\n%s\n", RenderScaling(rows)), nil
+}

@@ -1,0 +1,376 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rrbus/internal/analytic"
+	"rrbus/internal/scenario"
+	"rrbus/internal/stats"
+	"rrbus/internal/trace"
+)
+
+// parseRSKNop decodes an "rsknop:<load|store>:<k>" task spec.
+func parseRSKNop(spec string) (typ string, k int, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 || parts[0] != "rsknop" {
+		return "", 0, fmt.Errorf("report: scua %q is not an rsknop spec", spec)
+	}
+	k, err = strconv.Atoi(parts[2])
+	if err != nil {
+		return "", 0, fmt.Errorf("report: scua %q: bad nop count: %w", spec, err)
+	}
+	return parts[1], k, nil
+}
+
+// deltaOf maps a job's rsknop scua spec to its injection time δ:
+// rsknop:store:0 realizes δ = 0 via the store buffer's back-to-back
+// drains; otherwise δ = DL1lat + k.
+func deltaOf(j scenario.Job) (int, error) {
+	cfg, err := buildCfg(j)
+	if err != nil {
+		return 0, err
+	}
+	typ, k, err := parseRSKNop(j.Scenario.Workload.Scua)
+	if err != nil {
+		return 0, err
+	}
+	if typ == "store" && k == 0 {
+		return 0, nil
+	}
+	return cfg.DL1.Latency + k, nil
+}
+
+// GammaRowsFrom rebuilds the δ→γ rows of the gamma-table figures
+// (Figs. 3 and 4) from recorded γ histograms: the measured γ is the mode
+// of each job's histogram, the prediction is Eq. 2 at the job's δ.
+func GammaRowsFrom(jobs []scenario.Job, results []scenario.Result) ([]GammaRow, error) {
+	rows := make([]GammaRow, 0, len(results))
+	for i, r := range results {
+		delta, err := deltaOf(jobs[i])
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := buildCfg(jobs[i])
+		if err != nil {
+			return nil, err
+		}
+		mode, _, ok := stats.FromDense(r.GammaHist).Mode()
+		if !ok {
+			return nil, fmt.Errorf("report: job %q recorded no requests", r.ID)
+		}
+		rows = append(rows, GammaRow{Delta: delta, GammaSim: mode, GammaAnalytic: analytic.Gamma(delta, cfg.UBD())})
+	}
+	return rows, nil
+}
+
+// timelineFrom renders one trace-bearing result as a timeline figure: a
+// steady-state scua request (the fourth-from-last captured grant of the
+// scua's port) and the Gantt chart from `back` cycles before it became
+// ready until its transaction completes.
+func timelineFrom(j scenario.Job, r scenario.Result, back uint64) (TimelineFig, error) {
+	_, k, err := parseRSKNop(j.Scenario.Workload.Scua)
+	if err != nil {
+		return TimelineFig{}, err
+	}
+	cfg, err := buildCfg(j)
+	if err != nil {
+		return TimelineFig{}, err
+	}
+	scuaCore := j.Scenario.Workload.ScuaCore
+	var evs []trace.Event
+	for _, e := range r.Trace {
+		if e.Port == scuaCore {
+			evs = append(evs, e)
+		}
+	}
+	if len(evs) < 6 {
+		return TimelineFig{}, fmt.Errorf("report: job %q recorded too few scua events (%d) — was Protocol.Trace set?", r.ID, len(evs))
+	}
+	// Steady state: a late event, clear of the window boundary.
+	e := evs[len(evs)-4]
+	from := uint64(0)
+	if e.Ready >= back {
+		from = e.Ready - back
+	}
+	return TimelineFig{
+		K:        k,
+		Delta:    cfg.DL1.Latency + k,
+		Gamma:    int(e.Gamma),
+		Timeline: trace.Timeline(r.Trace, cfg.Cores+1, from, e.Grant+uint64(e.Occupancy)+2),
+	}, nil
+}
+
+// Fig2From rebuilds the Fig. 2 timeline from the fig2 generator's one
+// recorded trace-bearing result.
+func Fig2From(jobs []scenario.Job, results []scenario.Result) (TimelineFig, error) {
+	if len(results) != 1 {
+		return TimelineFig{}, fmt.Errorf("report: fig2 expects 1 result, have %d", len(results))
+	}
+	return timelineFrom(jobs[0], results[0], 4)
+}
+
+// Fig5From rebuilds the Fig. 5 nop-insertion timelines, one per recorded
+// trace-bearing result.
+func Fig5From(jobs []scenario.Job, results []scenario.Result) ([]TimelineFig, error) {
+	figs := make([]TimelineFig, 0, len(results))
+	for i, r := range results {
+		f, err := timelineFrom(jobs[i], r, 6)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}
+
+// Fig6aFrom rebuilds the Fig. 6(a) ready-contender comparison from the
+// fig6a generator's recorded histograms: the first rows are the random
+// EEMBC-like workloads, the final row is the rsk reference. The fold
+// follows job order, so the floating-point accumulation matches a live
+// streamed run bit for bit.
+func Fig6aFrom(jobs []scenario.Job, results []scenario.Result) (*Fig6aData, error) {
+	if len(results) < 2 {
+		return nil, fmt.Errorf("report: fig6a expects EEMBC rows plus the rsk row, have %d", len(results))
+	}
+	nsets := len(results) - 1
+	// The core count comes from the declarative platform spec, not the
+	// recorded row, so recordings made before Result carried Cores still
+	// render correctly.
+	cfg, err := buildCfg(jobs[len(jobs)-1])
+	if err != nil {
+		return nil, err
+	}
+	nports := cfg.Cores + 1
+	d := &Fig6aData{
+		EEMBCFrac: make([]float64, nports),
+		RSKFrac:   make([]float64, nports),
+	}
+	for _, r := range results[:nsets] {
+		var total uint64
+		for _, c := range r.ContendersHist {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		for i, c := range r.ContendersHist {
+			if i < len(d.EEMBCFrac) {
+				d.EEMBCFrac[i] += float64(c) / float64(total) / float64(nsets)
+			}
+		}
+	}
+	rsk := results[len(results)-1]
+	var total uint64
+	for _, c := range rsk.ContendersHist {
+		total += c
+	}
+	for i, c := range rsk.ContendersHist {
+		if i < len(d.RSKFrac) && total > 0 {
+			d.RSKFrac[i] = float64(c) / float64(total)
+		}
+	}
+	for _, j := range jobs[:nsets] {
+		names := append([]string{j.Scenario.Workload.Scua}, j.Scenario.Workload.Contenders...)
+		d.WorkloadNames = append(d.WorkloadNames, strings.Join(names, "+"))
+	}
+	return d, nil
+}
+
+// Fig6bFrom rebuilds the per-architecture contention-delay histograms of
+// Fig. 6(b) from recorded γ histograms.
+func Fig6bFrom(jobs []scenario.Job, results []scenario.Result) ([]Fig6bData, error) {
+	rows := make([]Fig6bData, 0, len(results))
+	for i, r := range results {
+		cfg, err := buildCfg(jobs[i])
+		if err != nil {
+			return nil, err
+		}
+		h := stats.FromDense(r.GammaHist)
+		if h.Total() == 0 {
+			return nil, fmt.Errorf("report: job %q recorded no requests — was Protocol.Gammas set?", r.ID)
+		}
+		mode, frac, _ := h.Mode()
+		maxG, _ := h.Max()
+		rows = append(rows, Fig6bData{
+			Arch:      r.Platform,
+			Hist:      h,
+			UBDm:      maxG,
+			ModeGamma: mode,
+			ModeFrac:  frac,
+			ActualUBD: cfg.UBD(),
+			SimCycles: r.TotalCycles,
+		})
+	}
+	return rows, nil
+}
+
+// SweepPointsFrom rebuilds a slowdown sweep from isolation-paired
+// recorded results: one point per job, k taken from the job's rsknop
+// spec.
+func SweepPointsFrom(jobs []scenario.Job, results []scenario.Result) ([]SweepPoint, error) {
+	pts := make([]SweepPoint, 0, len(results))
+	for i, r := range results {
+		_, k, err := parseRSKNop(jobs[i].Scenario.Workload.Scua)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, SweepPoint{K: k, Slowdown: r.Slowdown, Utilization: r.Utilization})
+	}
+	return pts, nil
+}
+
+// groupByPrefix splits a job list into runs of consecutive jobs sharing
+// the ID prefix before the final "/" segment ("fig7a/ref/k=12" →
+// "fig7a/ref"), pairing each run with its results.
+type group struct {
+	prefix  string
+	jobs    []scenario.Job
+	results []scenario.Result
+}
+
+func groupByPrefix(jobs []scenario.Job, results []scenario.Result) []group {
+	var out []group
+	for i := range jobs {
+		prefix := jobs[i].ID
+		if cut := strings.LastIndex(prefix, "/"); cut >= 0 {
+			prefix = prefix[:cut]
+		}
+		if n := len(out); n > 0 && out[n-1].prefix == prefix {
+			out[n-1].jobs = append(out[n-1].jobs, jobs[i])
+			out[n-1].results = append(out[n-1].results, results[i])
+			continue
+		}
+		// Full-capacity re-slices would let append clobber the caller's
+		// next element; cap both views at one.
+		out = append(out, group{prefix: prefix, jobs: jobs[i : i+1 : i+1], results: results[i : i+1 : i+1]})
+	}
+	return out
+}
+
+// Fig7aFrom rebuilds the two-architecture load sweep of Fig. 7(a) from
+// the fig7a generator's recorded results (the ref sweep followed by the
+// var sweep).
+func Fig7aFrom(jobs []scenario.Job, results []scenario.Result) (*Fig7aData, error) {
+	gs := groupByPrefix(jobs, results)
+	if len(gs) != 2 || len(gs[0].jobs) != len(gs[1].jobs) {
+		return nil, fmt.Errorf("report: fig7a expects two equal-length sweeps, have %d groups", len(gs))
+	}
+	ref, err := SweepPointsFrom(gs[0].jobs, gs[0].results)
+	if err != nil {
+		return nil, err
+	}
+	vr, err := SweepPointsFrom(gs[1].jobs, gs[1].results)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7aData{Ref: ref, Var: vr, RefPeaks: PeaksOf(ref), VarPeaks: PeaksOf(vr)}, nil
+}
+
+// Fig7bFrom rebuilds the store sweep of Fig. 7(b), locating where the
+// slowdown becomes identically zero (the store buffer hiding all
+// contention).
+func Fig7bFrom(jobs []scenario.Job, results []scenario.Result) (*Fig7bData, error) {
+	pts, err := SweepPointsFrom(jobs, results)
+	if err != nil {
+		return nil, err
+	}
+	d := &Fig7bData{Points: pts, ZeroFromK: -1}
+	for i := len(pts) - 1; i >= 0; i-- {
+		if pts[i].Slowdown != 0 {
+			if i+1 < len(pts) {
+				d.ZeroFromK = pts[i+1].K
+			}
+			break
+		}
+		if i == 0 {
+			d.ZeroFromK = pts[0].K
+		}
+	}
+	return d, nil
+}
+
+// ArbitersFrom rebuilds the E9a arbitration ablation: one derivation per
+// recorded policy block.
+func ArbitersFrom(jobs []scenario.Job, results []scenario.Result) ([]ArbiterRow, error) {
+	blocks := groupByPrefix(jobs, results)
+	rows := make([]ArbiterRow, 0, len(blocks))
+	for _, b := range blocks {
+		d, err := DerivationFrom(b.jobs, b.results)
+		if err != nil {
+			return nil, fmt.Errorf("report: block %q: %w", b.prefix, err)
+		}
+		arb := string(d.Cfg.Arbiter)
+		row := ArbiterRow{Arbiter: arb, ActualUBD: d.Cfg.UBD()}
+		if d.Err != nil {
+			row.Err = d.Err.Error()
+		}
+		if d.Res != nil {
+			row.DerivedUBDm = d.Res.UBDm
+			row.PeriodK = d.Res.PeriodK
+		}
+		switch d.Cfg.Arbiter {
+		case "rr":
+			row.Note = "methodology applies: period = ubd"
+		case "tdma":
+			row.Note = "TDMA is time-composable: contended == isolation, flat slowdown, derivation refuses"
+		case "fp":
+			row.Note = fmt.Sprintf("high-priority scua waits only for the in-service transaction: period reads lbus=%d, not ubd", d.Cfg.BusLatency())
+		case "lottery":
+			row.Note = "random grants: no exact period, estimate is low-confidence"
+		case "wrr":
+			row.Note = "MBBA-like weights: single-outstanding cores cannot use extra slots (fall-through), " +
+				"so saturation degenerates to plain RR and the period correctly reads (Nc-1)*lbus for loads; " +
+				"multi-outstanding contenders (e.g. store buffers) could consume whole weight blocks and raise the true bound"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DeltaNopsFrom rebuilds the E9b δnop ablation: one derivation per
+// recorded nop-latency block.
+func DeltaNopsFrom(jobs []scenario.Job, results []scenario.Result) ([]DeltaNopRow, error) {
+	blocks := groupByPrefix(jobs, results)
+	rows := make([]DeltaNopRow, 0, len(blocks))
+	for _, b := range blocks {
+		d, err := DerivationFrom(b.jobs, b.results)
+		if err != nil {
+			return nil, fmt.Errorf("report: block %q: %w", b.prefix, err)
+		}
+		row := DeltaNopRow{NopLatency: d.Cfg.NopLatency, ActualUBD: d.Cfg.UBD()}
+		if d.Err != nil {
+			row.Err = d.Err.Error()
+		}
+		if d.Res != nil {
+			row.DeltaNop = d.Res.DeltaNop
+			row.DerivedUBDm = d.Res.UBDm
+			row.PeriodTimesDnop = int(float64(d.Res.PeriodK)*d.Res.DeltaNop + 0.5)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ScalingFrom rebuilds the E9c geometry ablation: one derivation per
+// recorded (cores, lbus) block.
+func ScalingFrom(jobs []scenario.Job, results []scenario.Result) ([]ScalingRow, error) {
+	blocks := groupByPrefix(jobs, results)
+	rows := make([]ScalingRow, 0, len(blocks))
+	for _, b := range blocks {
+		d, err := DerivationFrom(b.jobs, b.results)
+		if err != nil {
+			return nil, fmt.Errorf("report: block %q: %w", b.prefix, err)
+		}
+		row := ScalingRow{Cores: d.Cfg.Cores, LBus: d.Cfg.BusLatency(), ActualUBD: d.Cfg.UBD()}
+		if d.Err != nil {
+			row.Err = d.Err.Error()
+		}
+		if d.Res != nil {
+			row.DerivedUBDm = d.Res.UBDm
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

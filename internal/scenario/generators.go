@@ -3,6 +3,7 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 
@@ -12,7 +13,10 @@ import (
 
 // Params are generator knobs: a free-form JSON object with typed getters
 // that fall back to generator defaults, so scenario files only spell the
-// knobs they change.
+// knobs they change. The getters also accept natively typed Go values
+// (int, uint64, []int, []string), so in-process callers — the figures
+// package parameterizing a generator programmatically — use the same
+// expansion path as scenario files.
 type Params map[string]any
 
 // Int reads an integer parameter (JSON numbers arrive as float64).
@@ -26,6 +30,10 @@ func (p Params) Int(key string, def int) int {
 		return int(n)
 	case int:
 		return n
+	case int64:
+		return int(n)
+	case uint64:
+		return int(n)
 	case json.Number:
 		i, _ := n.Int64()
 		return int(i)
@@ -33,8 +41,13 @@ func (p Params) Int(key string, def int) int {
 	return def
 }
 
-// Uint64 reads an unsigned parameter.
+// Uint64 reads an unsigned parameter. Native uint64 values pass through
+// unclamped (seeds may exceed 2^63); other numeric forms fall back to
+// the default when negative.
 func (p Params) Uint64(key string, def uint64) uint64 {
+	if n, ok := p[key].(uint64); ok {
+		return n
+	}
 	if n := p.Int(key, -1); n >= 0 {
 		return uint64(n)
 	}
@@ -49,8 +62,32 @@ func (p Params) String(key, def string) string {
 	return def
 }
 
+// Strings reads a string-list parameter.
+func (p Params) Strings(key string, def []string) []string {
+	if ss, ok := p[key].([]string); ok && len(ss) > 0 {
+		return ss
+	}
+	v, ok := p[key].([]any)
+	if !ok {
+		return def
+	}
+	out := make([]string, 0, len(v))
+	for _, e := range v {
+		if s, ok := e.(string); ok {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
+}
+
 // Ints reads an integer-list parameter.
 func (p Params) Ints(key string, def []int) []int {
+	if is, ok := p[key].([]int); ok && len(is) > 0 {
+		return is
+	}
 	v, ok := p[key].([]any)
 	if !ok {
 		return def
@@ -136,6 +173,90 @@ func coresOf(arch string) (int, error) {
 	return cfg.Cores, nil
 }
 
+// sweepJobs expands the Fig. 7-shaped rsk-nop(typ, k) slowdown sweep on
+// arch: one isolation-paired job per k, IDs "<prefix>/k=<k>", at the
+// SimRunner protocol (unroll 2 so the loop structure is constant across
+// the sweep).
+func sweepJobs(prefix, arch, typ string, kmin, kmax int, warmup, iters uint64) ([]Job, error) {
+	if typ != "load" && typ != "store" {
+		return nil, fmt.Errorf("type %q (want load|store)", typ)
+	}
+	if kmin < 1 || kmax < kmin {
+		return nil, fmt.Errorf("bad k range %d..%d", kmin, kmax)
+	}
+	nc, err := coresOf(arch)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]Job, 0, kmax-kmin+1)
+	for k := kmin; k <= kmax; k++ {
+		jobs = append(jobs, Job{
+			ID:        fmt.Sprintf("%s/k=%d", prefix, k),
+			Isolation: true,
+			Scenario: Scenario{
+				Platform: PlatformSpec{Arch: arch},
+				Workload: WorkloadSpec{
+					Scua:       fmt.Sprintf("rsknop:%s:%d", typ, k),
+					Contenders: rskContenders(nc, typ),
+					Unroll:     2,
+				},
+				Protocol: Protocol{Warmup: warmup, Iters: iters},
+			},
+		})
+	}
+	return jobs, nil
+}
+
+// deriveBlock expands one self-contained derivation block: the δnop
+// calibration job ("<prefix>/dnop") followed by the isolation-paired
+// rsk-nop(typ, k) jobs for k = 1..kmax on the given platform, all at the
+// SimRunner protocol. Renderers that re-derive bounds from recorded
+// results (derive, abl-arb, abl-dnop, abl-scaling) need the calibration
+// row in-band: δnop is a measured quantity, not a constant.
+func deriveBlock(prefix string, platform PlatformSpec, typ string, kmin, kmax int) ([]Job, error) {
+	if typ != "load" && typ != "store" {
+		return nil, fmt.Errorf("type %q (want load|store)", typ)
+	}
+	if kmin < 1 || kmax < kmin {
+		return nil, fmt.Errorf("bad k range %d..%d", kmin, kmax)
+	}
+	nc := platform.Cores
+	if nc == 0 {
+		var err error
+		if nc, err = coresOf(platform.Arch); err != nil {
+			return nil, err
+		}
+	}
+	// The δnop calibration has no contenders, so its one run IS the
+	// isolation run — no Isolation pairing, which would simulate the same
+	// kernel twice.
+	jobs := make([]Job, 0, kmax-kmin+2)
+	jobs = append(jobs, Job{
+		ID: prefix + "/dnop",
+		Scenario: Scenario{
+			Platform: platform,
+			Workload: WorkloadSpec{Scua: "nop", Unroll: 2},
+			Protocol: Protocol{Warmup: 3, Iters: 20},
+		},
+	})
+	for k := kmin; k <= kmax; k++ {
+		jobs = append(jobs, Job{
+			ID:        fmt.Sprintf("%s/k=%d", prefix, k),
+			Isolation: true,
+			Scenario: Scenario{
+				Platform: platform,
+				Workload: WorkloadSpec{
+					Scua:       fmt.Sprintf("rsknop:%s:%d", typ, k),
+					Contenders: rskContenders(nc, typ),
+					Unroll:     2,
+				},
+				Protocol: Protocol{Warmup: 3, Iters: 20},
+			},
+		})
+	}
+	return jobs, nil
+}
+
 func init() {
 	// fig3: the γ(δ) matrix on the toy platform. δ = 0 is the store
 	// buffer's back-to-back drains; δ >= 1 is rsk-nop(load, δ-1) since
@@ -199,6 +320,63 @@ func init() {
 		},
 	})
 
+	// fig2: the illustrative Fig. 2 request on the toy platform — one
+	// trace-bearing job; the timeline is rendered from the recorded
+	// events (δ = 9 suffers γ = 3 < ubd = 6).
+	Register(Generator{
+		Name: "fig2",
+		Desc: "Fig. 2 timeline: one δ=9 request vs 3 saturating rsk on the toy platform",
+		Expand: func(p Params) ([]Job, error) {
+			cfg, err := sim.ByName("toy")
+			if err != nil {
+				return nil, err
+			}
+			// δ = DL1lat + k; the paper's example is δ = 9.
+			k := p.Int("k", 9-cfg.DL1.Latency)
+			return []Job{{
+				ID: fmt.Sprintf("fig2/delta=%d", cfg.DL1.Latency+k),
+				Scenario: Scenario{
+					Platform: PlatformSpec{Arch: "toy"},
+					Workload: WorkloadSpec{
+						Scua:       fmt.Sprintf("rsknop:load:%d", k),
+						Contenders: rskContenders(cfg.Cores, "load"),
+					},
+					Protocol: Protocol{Warmup: 3, Iters: 20, Trace: p.Int("trace", 512)},
+				},
+			}}, nil
+		},
+	})
+
+	// fig5: the nop-insertion timelines — one trace-bearing job per k
+	// (the paper shows k = 1, 2, 5, 6: γ decreases until the alignment
+	// wraps and jumps back up).
+	Register(Generator{
+		Name: "fig5",
+		Desc: "Fig. 5 nop-insertion timelines on the toy platform, one job per k",
+		Expand: func(p Params) ([]Job, error) {
+			ks := p.Ints("ks", []int{1, 2, 5, 6})
+			nc, err := coresOf("toy")
+			if err != nil {
+				return nil, err
+			}
+			jobs := make([]Job, 0, len(ks))
+			for _, k := range ks {
+				jobs = append(jobs, Job{
+					ID: fmt.Sprintf("fig5/k=%d", k),
+					Scenario: Scenario{
+						Platform: PlatformSpec{Arch: "toy"},
+						Workload: WorkloadSpec{
+							Scua:       fmt.Sprintf("rsknop:load:%d", k),
+							Contenders: rskContenders(nc, "load"),
+						},
+						Protocol: Protocol{Warmup: 3, Iters: 10, Trace: p.Int("trace", 512)},
+					},
+				})
+			}
+			return jobs, nil
+		},
+	})
+
 	// fig6a: random EEMBC-like task sets plus the 4xRSK reference row.
 	Register(Generator{
 		Name: "fig6a",
@@ -241,7 +419,8 @@ func init() {
 		Desc: "contention-delay histograms of rsk vs Nc-1 rsk (Fig. 6b)",
 		Expand: func(p Params) ([]Job, error) {
 			var jobs []Job
-			for _, arch := range []string{p.String("arch", "ref"), p.String("arch2", "var")} {
+			archs := p.Strings("archs", []string{p.String("arch", "ref"), p.String("arch2", "var")})
+			for _, arch := range archs {
 				nc, err := coresOf(arch)
 				if err != nil {
 					return nil, err
@@ -268,37 +447,41 @@ func init() {
 		Expand: func(p Params) ([]Job, error) {
 			arch := p.String("arch", "ref")
 			typ := p.String("type", "load")
-			if typ != "load" && typ != "store" {
-				return nil, fmt.Errorf("type %q (want load|store)", typ)
-			}
+			return sweepJobs(fmt.Sprintf("fig7/%s/%s", arch, typ), arch, typ,
+				p.Int("kmin", 1), p.Int("kmax", 60), p.Uint64("warmup", 3), p.Uint64("iters", 20))
+		},
+	})
+
+	// fig7a: the Fig. 7(a) pair of load sweeps — the ref sweep followed by
+	// the var sweep in one job list, so one recorded file holds the whole
+	// two-architecture figure.
+	Register(Generator{
+		Name: "fig7a",
+		Desc: "rsk-nop(load,k) slowdown sweeps on ref and var (Fig. 7a)",
+		Expand: func(p Params) ([]Job, error) {
 			kmax := p.Int("kmax", 60)
-			kmin := p.Int("kmin", 1)
-			if kmin < 1 || kmax < kmin {
-				return nil, fmt.Errorf("bad k range %d..%d", kmin, kmax)
-			}
-			iters := p.Uint64("iters", 20)
-			warmup := p.Uint64("warmup", 3)
-			nc, err := coresOf(arch)
-			if err != nil {
-				return nil, err
-			}
-			jobs := make([]Job, 0, kmax-kmin+1)
-			for k := kmin; k <= kmax; k++ {
-				jobs = append(jobs, Job{
-					ID:        fmt.Sprintf("fig7/%s/%s/k=%d", arch, typ, k),
-					Isolation: true,
-					Scenario: Scenario{
-						Platform: PlatformSpec{Arch: arch},
-						Workload: WorkloadSpec{
-							Scua:       fmt.Sprintf("rsknop:%s:%d", typ, k),
-							Contenders: rskContenders(nc, typ),
-							Unroll:     2,
-						},
-						Protocol: Protocol{Warmup: warmup, Iters: iters},
-					},
-				})
+			warmup, iters := p.Uint64("warmup", 3), p.Uint64("iters", 20)
+			var jobs []Job
+			for _, arch := range []string{p.String("arch", "ref"), p.String("arch2", "var")} {
+				part, err := sweepJobs("fig7a/"+arch, arch, "load", 1, kmax, warmup, iters)
+				if err != nil {
+					return nil, err
+				}
+				jobs = append(jobs, part...)
 			}
 			return jobs, nil
+		},
+	})
+
+	// fig7b: the Fig. 7(b) store sweep — a fig7-shaped list whose renderer
+	// reports where the store buffer starts hiding all contention.
+	Register(Generator{
+		Name: "fig7b",
+		Desc: "rsk-nop(store,k) slowdown sweep (Fig. 7b)",
+		Expand: func(p Params) ([]Job, error) {
+			arch := p.String("arch", "ref")
+			return sweepJobs("fig7b/"+arch, arch, "store",
+				1, p.Int("kmax", 60), p.Uint64("warmup", 3), p.Uint64("iters", 20))
 		},
 	})
 
@@ -312,61 +495,21 @@ func init() {
 		Expand: func(p Params) ([]Job, error) {
 			arch := p.String("arch", "ref")
 			typ := p.String("type", "load")
-			if typ != "load" && typ != "store" {
-				return nil, fmt.Errorf("type %q (want load|store)", typ)
-			}
-			kmin := p.Int("kmin", 1)
-			// The fixed range cannot auto-extend like the in-process
-			// Derive, so the default must already cover the >= 2 full
-			// periods detection needs (ubd = 27 on the stock platforms).
-			kmax := p.Int("kmax", 80)
-			if kmin < 1 || kmax < kmin {
-				return nil, fmt.Errorf("bad k range %d..%d", kmin, kmax)
-			}
 			platform := PlatformSpec{
 				Arch:     arch,
 				Cores:    p.Int("cores", 0),
 				Transfer: p.Int("transfer", 0),
 				L2Hit:    p.Int("l2hit", 0),
 			}
-			nc := platform.Cores
-			if nc == 0 {
-				var err error
-				if nc, err = coresOf(arch); err != nil {
-					return nil, err
-				}
-			}
-			// The δnop calibration has no contenders, so its one run IS
-			// the isolation run — no Isolation pairing, which would
-			// simulate the same kernel twice.
-			jobs := []Job{{
-				ID: fmt.Sprintf("derive/%s/%s/dnop", arch, typ),
-				Scenario: Scenario{
-					Platform: platform,
-					Workload: WorkloadSpec{Scua: "nop", Unroll: 2},
-					Protocol: Protocol{Warmup: 3, Iters: 20},
-				},
-			}}
-			for k := kmin; k <= kmax; k++ {
-				jobs = append(jobs, Job{
-					ID:        fmt.Sprintf("derive/%s/%s/k=%d", arch, typ, k),
-					Isolation: true,
-					Scenario: Scenario{
-						Platform: platform,
-						Workload: WorkloadSpec{
-							Scua:       fmt.Sprintf("rsknop:%s:%d", typ, k),
-							Contenders: rskContenders(nc, typ),
-							Unroll:     2,
-						},
-						Protocol: Protocol{Warmup: 3, Iters: 20},
-					},
-				})
-			}
-			return jobs, nil
+			// The fixed range cannot auto-extend like the in-process
+			// Derive, so the default must already cover the >= 2 full
+			// periods detection needs (ubd = 27 on the stock platforms).
+			return deriveBlock(fmt.Sprintf("derive/%s/%s", arch, typ), platform, typ,
+				p.Int("kmin", 1), p.Int("kmax", 80))
 		},
 	})
 
-	// abl-scaling: the Eq. 1 recovery grid — a derive-shaped sweep per
+	// abl-scaling: the Eq. 1 recovery grid — a derivation block per
 	// (cores, l2hit) geometry, flattened into one shardable job list.
 	Register(Generator{
 		Name: "abl-scaling",
@@ -384,56 +527,133 @@ func init() {
 						// Cover >= 2 periods of ubd = (nc-1)*(3+l2).
 						km = 2*(nc-1)*(3+l2) + 8
 					}
-					for k := 1; k <= km; k++ {
-						jobs = append(jobs, Job{
-							ID:        fmt.Sprintf("abl-scaling/n%d-l%d/k=%d", nc, 3+l2, k),
-							Isolation: true,
-							Scenario: Scenario{
-								Platform: PlatformSpec{Arch: arch, Cores: nc, Transfer: 3, L2Hit: l2},
-								Workload: WorkloadSpec{
-									Scua:       fmt.Sprintf("rsknop:load:%d", k),
-									Contenders: rskContenders(nc, "load"),
-									Unroll:     2,
-								},
-								Protocol: Protocol{Warmup: 3, Iters: 20},
-							},
-						})
+					block, err := deriveBlock(fmt.Sprintf("abl-scaling/n%d-l%d", nc, 3+l2),
+						PlatformSpec{Arch: arch, Cores: nc, Transfer: 3, L2Hit: l2}, "load", 1, km)
+					if err != nil {
+						return nil, err
 					}
+					jobs = append(jobs, block...)
 				}
 			}
 			return jobs, nil
 		},
 	})
 
-	// abl-arb: the arbitration-policy ablation as raw sweeps — one
-	// fig7-shaped k range per policy.
+	// abl-arb: the arbitration-policy ablation — one derivation block per
+	// policy, so the per-policy bounds re-derive from the recorded rows.
 	Register(Generator{
 		Name: "abl-arb",
-		Desc: "slowdown sweeps under each arbitration policy (ablation E9a)",
+		Desc: "derivation sweeps under each arbitration policy (ablation E9a)",
 		Expand: func(p Params) ([]Job, error) {
 			arch := p.String("arch", "ref")
 			kmax := p.Int("kmax", 60)
-			nc, err := coresOf(arch)
+			var jobs []Job
+			for _, arb := range []string{"rr", "tdma", "fp", "lottery", "wrr"} {
+				block, err := deriveBlock("abl-arb/"+arb,
+					PlatformSpec{Arch: arch, Arbiter: arb}, "load", 1, kmax)
+				if err != nil {
+					return nil, err
+				}
+				jobs = append(jobs, block...)
+			}
+			return jobs, nil
+		},
+	})
+
+	// abl-dnop: the E9b ablation — a derivation block per nop latency.
+	// Platforms whose nop costs more than one cycle sample the saw-tooth
+	// sparsely; the naive period×δnop reading aliases, the model fit does
+	// not.
+	Register(Generator{
+		Name: "abl-dnop",
+		Desc: "derivation sweeps across nop latencies 1..max_nop (ablation E9b)",
+		Expand: func(p Params) ([]Job, error) {
+			arch := p.String("arch", "ref")
+			maxNop := p.Int("max_nop", 3)
+			if maxNop < 1 {
+				return nil, fmt.Errorf("max_nop %d (want >= 1)", maxNop)
+			}
+			// ExactPeriod reads the repeat distance in k steps: sampling
+			// γ(δ) every δnop cycles repeats after lcm(ubd, δnop)/δnop
+			// steps — at most ubd — so the stock default must cover two
+			// full ubd-step periods.
+			kmax := p.Int("kmax", 80)
+			var jobs []Job
+			for n := 1; n <= maxNop; n++ {
+				block, err := deriveBlock(fmt.Sprintf("abl-dnop/nop%d", n),
+					PlatformSpec{Arch: arch, NopLatency: n}, "load", 1, kmax)
+				if err != nil {
+					return nil, err
+				}
+				jobs = append(jobs, block...)
+			}
+			return jobs, nil
+		},
+	})
+
+	// mix: seeded random workload mixes — scuas of varying injection
+	// periods against mixed EEMBC-like/rsk/idle contenders under randomly
+	// parameterized arbitration policies. This stresses the WRR/TDMA
+	// arbiters far beyond the paper's five ablation points while staying
+	// fully deterministic: the same seed always expands to the identical
+	// job list.
+	Register(Generator{
+		Name: "mix",
+		Desc: "seeded random workload mixes across arbitration policies",
+		Expand: func(p Params) ([]Job, error) {
+			arch := p.String("arch", "ref")
+			count := p.Int("count", 8)
+			if count < 1 {
+				return nil, fmt.Errorf("count %d (want >= 1)", count)
+			}
+			seed := p.Uint64("seed", 1)
+			arbs := p.Strings("arbiters", []string{"rr", "wrr", "tdma"})
+			kmax := p.Int("kmax", 40)
+			cfg, err := sim.ByName(arch)
 			if err != nil {
 				return nil, err
 			}
-			var jobs []Job
-			for _, arb := range []string{"rr", "tdma", "fp", "lottery", "wrr"} {
-				for k := 1; k <= kmax; k++ {
-					jobs = append(jobs, Job{
-						ID:        fmt.Sprintf("abl-arb/%s/k=%d", arb, k),
-						Isolation: true,
-						Scenario: Scenario{
-							Platform: PlatformSpec{Arch: arch, Arbiter: arb},
-							Workload: WorkloadSpec{
-								Scua:       fmt.Sprintf("rsknop:load:%d", k),
-								Contenders: rskContenders(nc, "load"),
-								Unroll:     2,
-							},
-							Protocol: Protocol{Warmup: 3, Iters: 20},
-						},
-					})
+			// One fixed-seed stream drives every draw, so the expansion
+			// is a pure function of (params); job i's draws depend only
+			// on the draws before it, never on wall clock or map order.
+			rng := rand.New(rand.NewSource(int64(seed)))
+			contenderPool := append([]string{"rsk:load", "rsk:store", IdleSpec}, workload.Names()...)
+			jobs := make([]Job, 0, count)
+			for i := 0; i < count; i++ {
+				arb := arbs[rng.Intn(len(arbs))]
+				plat := PlatformSpec{Arch: arch, Arbiter: arb}
+				switch arb {
+				case "wrr":
+					w := make([]int, cfg.Cores)
+					for c := range w {
+						w[c] = 1 + rng.Intn(3)
+					}
+					plat.WRRWeights = w
+				case "tdma":
+					// Slots from one transfer up to ~2 full transactions.
+					plat.TDMASlot = cfg.BusTransferLat + rng.Intn(2*cfg.BusLatency())
 				}
+				typ := "load"
+				if rng.Intn(4) == 0 {
+					typ = "store"
+				}
+				contenders := make([]string, cfg.Cores-1)
+				for c := range contenders {
+					contenders[c] = contenderPool[rng.Intn(len(contenderPool))]
+				}
+				jobs = append(jobs, Job{
+					ID:        fmt.Sprintf("mix/%03d/%s", i, arb),
+					Isolation: true,
+					Scenario: Scenario{
+						Platform: plat,
+						Workload: WorkloadSpec{
+							Scua:       fmt.Sprintf("rsknop:%s:%d", typ, 1+rng.Intn(kmax)),
+							Contenders: contenders,
+							Seed:       seed + uint64(i)*7919,
+						},
+						Protocol: Protocol{Warmup: 2, Iters: 10, Gammas: true},
+					},
+				})
 			}
 			return jobs, nil
 		},

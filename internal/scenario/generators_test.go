@@ -2,6 +2,7 @@ package scenario_test
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"rrbus/internal/figures"
@@ -24,7 +25,8 @@ func expand(t *testing.T, gen string, p scenario.Params) []scenario.Job {
 }
 
 func TestGeneratorRegistry(t *testing.T) {
-	for _, name := range []string{"fig3", "fig4", "fig6a", "fig6b", "fig7", "derive", "abl-scaling", "abl-arb"} {
+	for _, name := range []string{"fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig7", "fig7a", "fig7b",
+		"derive", "abl-scaling", "abl-arb", "abl-dnop", "mix"} {
 		if _, ok := scenario.Lookup(name); !ok {
 			t.Errorf("generator %q missing (have %v)", name, scenario.Names())
 		}
@@ -92,21 +94,80 @@ func TestDeriveGeneratorShape(t *testing.T) {
 }
 
 func TestAblationGeneratorsCoverGrid(t *testing.T) {
+	// Every ablation block is a self-contained derivation: a δnop
+	// calibration job followed by the k sweep.
 	jobs := expand(t, "abl-scaling", scenario.Params{
 		"cores": []any{float64(2), float64(3)}, "l2hits": []any{float64(3)}, "kmax": float64(4),
 	})
-	if len(jobs) != 8 {
-		t.Fatalf("2x1 grid with kmax=4 expanded to %d jobs, want 8", len(jobs))
+	if len(jobs) != 10 {
+		t.Fatalf("2x1 grid with kmax=4 expanded to %d jobs, want 10 (2 x (dnop + 4 ks))", len(jobs))
 	}
-	if jobs[0].ID != "abl-scaling/n2-l6/k=1" {
-		t.Errorf("first job id %q", jobs[0].ID)
+	if jobs[0].ID != "abl-scaling/n2-l6/dnop" || jobs[0].Scenario.Workload.Scua != "nop" {
+		t.Errorf("first job is not the δnop calibration: %+v", jobs[0])
+	}
+	if jobs[1].ID != "abl-scaling/n2-l6/k=1" {
+		t.Errorf("second job id %q", jobs[1].ID)
 	}
 
 	arb := expand(t, "abl-arb", scenario.Params{"kmax": float64(2)})
-	if len(arb) != 10 {
-		t.Fatalf("5 policies x 2 ks expanded to %d jobs", len(arb))
+	if len(arb) != 15 {
+		t.Fatalf("5 policies x (dnop + 2 ks) expanded to %d jobs", len(arb))
 	}
-	if arb[2].Scenario.Platform.Arbiter != "tdma" {
-		t.Errorf("job 2 arbiter %q, want tdma", arb[2].Scenario.Platform.Arbiter)
+	if arb[3].ID != "abl-arb/tdma/dnop" || arb[3].Scenario.Platform.Arbiter != "tdma" {
+		t.Errorf("job 3 = %q arbiter %q, want the tdma block's dnop", arb[3].ID, arb[3].Scenario.Platform.Arbiter)
+	}
+
+	dnop := expand(t, "abl-dnop", scenario.Params{"max_nop": float64(2), "kmax": float64(3)})
+	if len(dnop) != 8 {
+		t.Fatalf("2 nop latencies x (dnop + 3 ks) expanded to %d jobs", len(dnop))
+	}
+	if dnop[4].ID != "abl-dnop/nop2/dnop" || dnop[4].Scenario.Platform.NopLatency != 2 {
+		t.Errorf("job 4 = %q nop latency %d", dnop[4].ID, dnop[4].Scenario.Platform.NopLatency)
+	}
+}
+
+func TestTimelineGeneratorsCarryTrace(t *testing.T) {
+	fig2 := expand(t, "fig2", nil)
+	if len(fig2) != 1 || fig2[0].ID != "fig2/delta=9" || fig2[0].Scenario.Protocol.Trace == 0 {
+		t.Errorf("fig2 expansion %+v", fig2)
+	}
+	fig5 := expand(t, "fig5", nil)
+	if len(fig5) != 4 || fig5[2].ID != "fig5/k=5" || fig5[2].Scenario.Protocol.Trace == 0 {
+		t.Errorf("fig5 expansion %+v", fig5)
+	}
+}
+
+// TestMixGeneratorDeterministic pins the mix generator's contract: the
+// same seed always expands to the identical job list (IDs, platforms,
+// workloads), and different seeds diverge.
+func TestMixGeneratorDeterministic(t *testing.T) {
+	p := scenario.Params{"count": float64(12), "seed": float64(42)}
+	a := expand(t, "mix", p)
+	b := expand(t, "mix", p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("mix expansion is not deterministic for a fixed seed")
+	}
+	if len(a) != 12 {
+		t.Fatalf("count=12 expanded to %d jobs", len(a))
+	}
+	seen := map[string]bool{}
+	for i, j := range a {
+		if !j.Isolation {
+			t.Errorf("job %d not isolation-paired", i)
+		}
+		if j.Scenario.Platform.Arbiter == "" {
+			t.Errorf("job %d has no arbiter", i)
+		}
+		seen[j.Scenario.Platform.Arbiter] = true
+		if len(j.Scenario.Workload.Contenders) != 3 {
+			t.Errorf("job %d has %d contenders, want 3", i, len(j.Scenario.Workload.Contenders))
+		}
+	}
+	if len(seen) < 2 {
+		t.Errorf("12 mixes drew only arbiters %v, want variety", seen)
+	}
+	c := expand(t, "mix", scenario.Params{"count": float64(12), "seed": float64(43)})
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical mixes")
 	}
 }

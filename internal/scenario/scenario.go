@@ -39,6 +39,7 @@ import (
 	"rrbus/internal/exp"
 	"rrbus/internal/kernel"
 	"rrbus/internal/sim"
+	"rrbus/internal/trace"
 	"rrbus/internal/workload"
 )
 
@@ -140,10 +141,15 @@ type Protocol struct {
 	// Gammas enables the per-request contention and ready-contender
 	// histograms.
 	Gammas bool `json:"gammas,omitempty"`
+	// Trace captures the most recent Trace bus grant events of the
+	// measurement window into the result (0 = off). The timeline figures
+	// (fig2/fig5) request a bounded window here, so their renderers can
+	// replay the Gantt charts from recorded results alone.
+	Trace int `json:"trace,omitempty"`
 }
 
 func (p Protocol) opts() sim.RunOpts {
-	return sim.RunOpts{WarmupIters: p.Warmup, MeasureIters: p.Iters, CollectGammas: p.Gammas}
+	return sim.RunOpts{WarmupIters: p.Warmup, MeasureIters: p.Iters, CollectGammas: p.Gammas, TraceLimit: p.Trace}
 }
 
 // Scenario is one fully-described measurement run.
@@ -207,10 +213,16 @@ func contenderCore(scuaCore, i int) int {
 type Result struct {
 	// ID names the job ("fig7a/ref/k=12").
 	ID string `json:"id,omitempty"`
-	// Platform echoes the materialized platform name.
+	// Platform echoes the materialized platform name; Cores its core
+	// count (so renderers can size per-port artifacts like timelines and
+	// ready-contender histograms from the row alone).
 	Platform string `json:"platform,omitempty"`
+	Cores    int    `json:"cores,omitempty"`
 	// Cycles is the contended (or only) run's measured window length.
 	Cycles uint64 `json:"cycles"`
+	// TotalCycles is the full simulated length including warmup —
+	// the simulated-work denominator of throughput accounting.
+	TotalCycles uint64 `json:"total_cycles,omitempty"`
 	// Iters is the number of measured iterations.
 	Iters uint64 `json:"iters,omitempty"`
 	// Requests, MaxGamma, AvgGamma, Utilization mirror sim.Measurement.
@@ -226,6 +238,9 @@ type Result struct {
 	// runs only; trailing zeros trimmed).
 	GammaHist      []uint64 `json:"gamma_hist,omitempty"`
 	ContendersHist []uint64 `json:"contenders_hist,omitempty"`
+	// Trace is the captured bus-event window (Protocol.Trace runs only):
+	// the most recent Protocol.Trace grants, all ports, in grant order.
+	Trace []trace.Event `json:"trace,omitempty"`
 }
 
 // Job is the unit of streaming and sharding: one scenario, optionally
@@ -253,12 +268,15 @@ func (j Job) Run() (Result, error) {
 	res := Result{
 		ID:          j.ID,
 		Platform:    cfg.Name,
+		Cores:       cfg.Cores,
 		Cycles:      m.Cycles,
+		TotalCycles: m.TotalCycles,
 		Iters:       m.Iters,
 		Requests:    m.Requests,
 		MaxGamma:    m.MaxGamma,
 		AvgGamma:    m.AvgGamma,
 		Utilization: m.Utilization,
+		Trace:       m.Trace,
 	}
 	if j.Scenario.Protocol.Gammas {
 		res.GammaHist = trimZeros(m.GammaHist)
@@ -422,6 +440,40 @@ func MergeFiles(w io.Writer, files []string) (idx []int, results []Result, err e
 	}
 	go func() { pw.CloseWithError(exp.MergeJSONL(dst, readers...)) }()
 	return exp.ReadJSONL[Result](pr)
+}
+
+// ReadResults decodes a complete (unsharded or merged) JSONL results
+// stream back into job order: one Result per job, indices contiguous
+// from 0. A gap or duplicate means the reader was handed a lone shard
+// file instead of a merged run — an error here, because every analysis
+// over the rows (figure rendering, period detection) needs the full
+// series. Like the merge, a truncated tail is undetectable from the
+// stream alone; callers that know the job list must compare counts.
+func ReadResults(r io.Reader) ([]Result, error) {
+	idx, results, err := exp.ReadJSONL[Result](r)
+	if err != nil {
+		return nil, err
+	}
+	for i, got := range idx {
+		if got != i {
+			return nil, fmt.Errorf("scenario: results row %d has job index %d — a shard file rather than a merged run?", i, got)
+		}
+	}
+	return results, nil
+}
+
+// ReadResultsFile reads a complete JSONL results file (see ReadResults).
+func ReadResultsFile(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	results, err := ReadResults(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
 }
 
 // RunAll executes every job and collects the results (an unsharded,

@@ -9,6 +9,7 @@ import (
 	"rrbus/internal/isa"
 	"rrbus/internal/mem"
 	"rrbus/internal/pmc"
+	"rrbus/internal/trace"
 )
 
 // Workload describes one measurement scenario: the software component under
@@ -44,6 +45,14 @@ type RunOpts struct {
 	// OnGrant, if non-nil, observes every grant during the measurement
 	// window (tracing).
 	OnGrant func(r *bus.Request)
+	// TraceLimit enables capture of the measurement window's bus grant
+	// events into Measurement.Trace (0 = no capture). The recorder keeps
+	// the most recent TraceLimit events (ring semantics), bounding the
+	// memory a long window can pin. This is what the timeline figures
+	// (Figs. 2 and 5) record declaratively: a trace-bearing run is
+	// measured once and the timeline is rendered from the events — live
+	// or replayed from a results file — without re-simulating.
+	TraceLimit int
 	// DisableFastForward forces cycle-by-cycle execution instead of the
 	// idle-cycle fast path. Results are identical either way (the
 	// equivalence tests prove it); the switch exists for debugging and
@@ -103,6 +112,10 @@ type Measurement struct {
 	// ContendersHist[i] counts scua submissions that found i other
 	// requests pending or in service (CollectGammas only).
 	ContendersHist []uint64
+	// Trace is the captured window of bus grant events (TraceLimit runs
+	// only): the most recent TraceLimit grants of the measurement window,
+	// all ports, in grant order.
+	Trace []trace.Event
 	// PMC exposes the window as an NGMP-style counter snapshot for the
 	// scua core (the view a real platform would offer the methodology).
 	PMC pmc.Set
@@ -159,6 +172,9 @@ func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The system is private to this run and every returned quantity below
+	// is a copy, so its pooled allocations can be recycled on exit.
+	defer sys.Release()
 	sys.SetFastForward(!opt.DisableFastForward)
 	scua := sys.Core(w.ScuaCore)
 
@@ -178,8 +194,15 @@ func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 		m.GammaHist = make([]uint64, cfg.UBD()+2)
 		m.ContendersHist = make([]uint64, cfg.Cores+1)
 	}
-	if opt.CollectGammas || opt.OnGrant != nil {
+	var rec *trace.Recorder
+	if opt.TraceLimit > 0 {
+		rec = trace.NewRecorder(opt.TraceLimit)
+	}
+	if opt.CollectGammas || opt.OnGrant != nil || rec != nil {
 		sys.Bus().OnGrant = func(r *bus.Request) {
+			if rec != nil {
+				rec.Record(r)
+			}
 			if opt.CollectGammas && r.Port == w.ScuaCore && r.Kind != bus.KindResp {
 				g := int(r.Gamma())
 				if g >= len(m.GammaHist) {
@@ -212,6 +235,9 @@ func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 			opt.MaxCycles, w.Scua.Name, scua.Iters(), target)
 	}
 
+	if rec != nil {
+		m.Trace = rec.Events()
+	}
 	window := sys.Cycle() - startCycle
 	bs := sys.Bus().Stats()
 	m.Cycles = window

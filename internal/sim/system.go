@@ -350,6 +350,21 @@ func (s *System) nextEvent() uint64 {
 	return next
 }
 
+// Release returns the system's pooled resources — every cache's line
+// arrays — to their shape-keyed pools for reuse by the next System of the
+// same configuration. The system is unusable afterwards. Harnesses that
+// build and discard Systems in bulk (sim.Run, and through it every sweep
+// of the experiment engine) call it once the measurement is extracted;
+// long-lived Systems (examples, interactive exploration) may simply not
+// call it and let the garbage collector reclaim everything.
+func (s *System) Release() {
+	s.l2.Release()
+	for _, c := range s.cores {
+		c.DL1().Release()
+		c.IL1().Release()
+	}
+}
+
 // ResetStats clears every statistic (bus, caches, memory, core counters) so
 // a measurement window excludes warmup effects. Architectural state (cache
 // contents, store buffers, in-flight transactions) is preserved.

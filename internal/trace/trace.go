@@ -10,20 +10,23 @@ import (
 	"rrbus/internal/bus"
 )
 
-// Event is one granted bus transaction.
+// Event is one granted bus transaction. The JSON field names are part of
+// the scenario.Result wire format: trace-bearing results serialize their
+// captured window to JSONL and replay renderers decode it back.
 type Event struct {
 	// Port is the bus master that was granted.
-	Port int
+	Port int `json:"port"`
 	// Kind is the transaction type.
-	Kind bus.Kind
+	Kind bus.Kind `json:"kind"`
 	// Ready, Grant are the submission and grant cycles; Gamma is their
 	// difference (the contention delay γ).
-	Ready, Grant uint64
-	Gamma        uint64
+	Ready uint64 `json:"ready"`
+	Grant uint64 `json:"grant"`
+	Gamma uint64 `json:"gamma"`
 	// Occupancy is the cycles the bus was held.
-	Occupancy int
+	Occupancy int `json:"occ"`
 	// Addr is the transaction address.
-	Addr uint64
+	Addr uint64 `json:"addr,omitempty"`
 }
 
 // Recorder captures grant events from a bus, optionally bounded to the most
@@ -32,6 +35,9 @@ type Recorder struct {
 	// Cap bounds the number of retained events (0 = unbounded).
 	Cap    int
 	events []Event
+	// start indexes the oldest retained event once the ring is full, so
+	// recording stays O(1) per event instead of memmoving Cap entries.
+	start int
 	// dropped counts events discarded by the ring bound.
 	dropped uint64
 }
@@ -52,14 +58,10 @@ func (rec *Recorder) Attach(b *bus.Bus) {
 	}
 }
 
-// Record appends the grant event of r.
+// Record appends the grant event of r, evicting the oldest retained
+// event in O(1) when the ring bound is reached.
 func (rec *Recorder) Record(r *bus.Request) {
-	if rec.Cap > 0 && len(rec.events) >= rec.Cap {
-		copy(rec.events, rec.events[1:])
-		rec.events = rec.events[:len(rec.events)-1]
-		rec.dropped++
-	}
-	rec.events = append(rec.events, Event{
+	e := Event{
 		Port:      r.Port,
 		Kind:      r.Kind,
 		Ready:     r.Ready,
@@ -67,11 +69,29 @@ func (rec *Recorder) Record(r *bus.Request) {
 		Gamma:     r.Gamma(),
 		Occupancy: r.Occupancy,
 		Addr:      r.Addr,
-	})
+	}
+	if rec.Cap > 0 && len(rec.events) >= rec.Cap {
+		rec.events[rec.start] = e
+		rec.start++
+		if rec.start == len(rec.events) {
+			rec.start = 0
+		}
+		rec.dropped++
+		return
+	}
+	rec.events = append(rec.events, e)
 }
 
-// Events returns the retained events in grant order.
-func (rec *Recorder) Events() []Event { return rec.events }
+// Events returns the retained events in grant order. When the ring bound
+// has wrapped, the events are rebuilt into a fresh ordered slice.
+func (rec *Recorder) Events() []Event {
+	if rec.start == 0 {
+		return rec.events
+	}
+	out := make([]Event, 0, len(rec.events))
+	out = append(out, rec.events[rec.start:]...)
+	return append(out, rec.events[:rec.start]...)
+}
 
 // Dropped returns how many events the ring bound discarded.
 func (rec *Recorder) Dropped() uint64 { return rec.dropped }
@@ -79,13 +99,14 @@ func (rec *Recorder) Dropped() uint64 { return rec.dropped }
 // Reset discards all retained events.
 func (rec *Recorder) Reset() {
 	rec.events = rec.events[:0]
+	rec.start = 0
 	rec.dropped = 0
 }
 
-// PortEvents returns the retained events of one port.
+// PortEvents returns the retained events of one port in grant order.
 func (rec *Recorder) PortEvents(port int) []Event {
 	var out []Event
-	for _, e := range rec.events {
+	for _, e := range rec.Events() {
 		if e.Port == port {
 			out = append(out, e)
 		}
