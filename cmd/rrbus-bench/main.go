@@ -33,6 +33,8 @@ import (
 	"strings"
 	"time"
 
+	"rrbus"
+
 	"rrbus/internal/exp"
 	"rrbus/internal/figures"
 	"rrbus/internal/sim"
@@ -120,6 +122,15 @@ func main() {
 			_, err := figures.AblationScaling("ref", []int{3, 4, 6, 8}, []int{3, 6, 12})
 			return 0, err
 		}},
+		// fig7-store-warm measures the analysis-only cost of the
+		// Plan→Run→Store→Render pipeline: a fig7 sweep whose rows are
+		// all served from a warm results store, then rendered. No
+		// simulation runs (asserted), so this tracks the overhead of
+		// hashing, store reads and rendering — the floor a repeated
+		// sweep pays. Wall-time only: simcycles/s would be meaningless
+		// for a run that simulates nothing, and wall-only benchmarks are
+		// excluded from the -compare regression gate.
+		{"fig7-store-warm", warmStoreBench()},
 	}
 
 	for _, b := range benchmarks {
@@ -189,6 +200,36 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "rrbus-bench:", err)
 		os.Exit(1)
+	}
+}
+
+// warmStoreBench builds the fig7-store-warm benchmark. The cold fill of
+// the in-memory store happens here, at construction — outside the timed
+// region — so every timed invocation, including a -repeat 1 run, measures
+// only the store-served re-run plus render, asserting zero simulations.
+func warmStoreBench() func() (uint64, error) {
+	plan, err := rrbus.GeneratorPlan("fig7", rrbus.Params{"arch": "ref", "type": "load", "kmax": 40, "iters": 10})
+	if err != nil {
+		return func() (uint64, error) { return 0, err }
+	}
+	st := rrbus.NewMemStore()
+	cold := &rrbus.Session{Store: st}
+	if _, err := cold.RunAll(plan); err != nil {
+		return func() (uint64, error) { return 0, err }
+	}
+	return func() (uint64, error) {
+		warm := &rrbus.Session{Store: st}
+		results, err := warm.RunAll(plan)
+		if err != nil {
+			return 0, err
+		}
+		if n := warm.Simulated(); n != 0 {
+			return 0, fmt.Errorf("warm store run simulated %d jobs (want 0)", n)
+		}
+		if _, err := rrbus.Render(plan, results); err != nil {
+			return 0, err
+		}
+		return 0, nil
 	}
 }
 

@@ -3,20 +3,24 @@
 // its confidence assessment, next to the naive det/nr baseline and Eq. 1
 // ground truth.
 //
-// The measurement sweep can also run declaratively, sharded, and be
-// replayed: a scenario file with the "derive" generator fixes the k
-// range, -shard streams this machine's share of the (δnop + per-k) jobs
-// to JSONL, -merge recombines the shard files and runs the period
-// detection over the reassembled series, and -from re-derives from an
-// already-merged results file without simulating at all — the recorded
-// measurements are the single source of truth, so a replayed derivation
-// is byte-identical to the live one.
+// The measurement sweep can also run declaratively through the library's
+// Plan→Run→Store→Render pipeline: a scenario file with the "derive"
+// generator compiles to a content-addressed plan fixing the k range,
+// -shard streams this machine's share of the (δnop + per-k) jobs to
+// JSONL, -merge recombines the shard files and runs the period detection
+// over the reassembled series, -from re-derives from an already-merged
+// results file without simulating at all, and -store serves any job a
+// previous run already recorded — a derivation over a k range that
+// overlaps an earlier fig7 sweep simulates only the delta. The recorded
+// measurements are the single source of truth, so a replayed or
+// store-served derivation is byte-identical to the live one.
 //
 // Usage:
 //
 //	rrbus-derive -arch ref
 //	rrbus-derive -arch var -type store -kmax 80
 //	rrbus-derive -cores 6 -l2hit 12 -json
+//	rrbus-derive -scenario derive.json -store results/
 //	rrbus-derive -scenario derive.json -shard 0/2 -out shard0.jsonl
 //	rrbus-derive -scenario derive.json -merge shard0.jsonl shard1.jsonl
 //	rrbus-derive -scenario derive.json -from merged.jsonl
@@ -29,27 +33,22 @@ import (
 	"io"
 	"os"
 
-	"rrbus/internal/core"
-	"rrbus/internal/exp"
-	"rrbus/internal/isa"
-	"rrbus/internal/report"
-	"rrbus/internal/scenario"
-	"rrbus/internal/sim"
+	"rrbus"
 )
 
 type jsonReport struct {
-	Arch       string                    `json:"arch"`
-	Type       string                    `json:"type"`
-	ActualUBD  int                       `json:"actual_ubd"`
-	UBDm       int                       `json:"ubdm"`
-	PeriodK    int                       `json:"period_k"`
-	DeltaNop   float64                   `json:"delta_nop"`
-	Methods    map[core.PeriodMethod]int `json:"methods"`
-	Confidence float64                   `json:"confidence"`
-	Notes      []string                  `json:"notes,omitempty"`
-	NaiveUBDm  int                       `json:"naive_ubdm"`
-	Slowdowns  []float64                 `json:"slowdowns,omitempty"`
-	Err        string                    `json:"error,omitempty"`
+	Arch       string                     `json:"arch"`
+	Type       string                     `json:"type"`
+	ActualUBD  int                        `json:"actual_ubd"`
+	UBDm       int                        `json:"ubdm"`
+	PeriodK    int                        `json:"period_k"`
+	DeltaNop   float64                    `json:"delta_nop"`
+	Methods    map[rrbus.PeriodMethod]int `json:"methods"`
+	Confidence float64                    `json:"confidence"`
+	Notes      []string                   `json:"notes,omitempty"`
+	NaiveUBDm  int                        `json:"naive_ubdm"`
+	Slowdowns  []float64                  `json:"slowdowns,omitempty"`
+	Err        string                     `json:"error,omitempty"`
 }
 
 func main() {
@@ -68,20 +67,21 @@ func main() {
 	out := flag.String("out", "", "stream the sweep's per-job results as JSONL to this file (\"-\" = stdout)")
 	merge := flag.Bool("merge", false, "merge mode: recombine shard JSONL files (args), then detect the period over the merged series")
 	from := flag.String("from", "", "replay mode: re-derive from this recorded JSONL results file instead of simulating")
+	storeDir := flag.String("store", "", "content-addressed results store directory: serve recorded jobs, record fresh ones (needs -scenario)")
 	flag.Parse()
-	exp.SetWorkers(*workers)
+	rrbus.SetWorkers(*workers)
 
 	if *scenarioFile != "" || *merge {
 		rejectWithScenario("rrbus-derive", "arch", "type", "cores", "transfer", "l2hit", "kmin", "kmax")
-		runScenario(*scenarioFile, *shardSpec, *out, *from, *merge, *jsonOut, *series, flag.Args())
+		runScenario(*scenarioFile, *shardSpec, *out, *from, *storeDir, *merge, *jsonOut, *series, flag.Args())
 		return
 	}
-	if *shardSpec != "" || *out != "" || *from != "" {
-		fmt.Fprintln(os.Stderr, "rrbus-derive: -shard/-out/-from need -scenario")
+	if *shardSpec != "" || *out != "" || *from != "" || *storeDir != "" {
+		fmt.Fprintln(os.Stderr, "rrbus-derive: -shard/-out/-from/-store need -scenario")
 		os.Exit(2)
 	}
 
-	cfg, err := sim.ByName(*arch)
+	cfg, err := rrbus.PlatformByName(*arch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrbus-derive:", err)
 		os.Exit(2)
@@ -97,27 +97,27 @@ func main() {
 		if *l2hit > 0 {
 			l2 = *l2hit
 		}
-		cfg = sim.Scaled(cfg, nc, tr, l2)
+		cfg = rrbus.ScaledConfig(cfg, nc, tr, l2)
 	}
 
-	t := isa.OpLoad
+	t := rrbus.OpLoad
 	if *typ == "store" {
-		t = isa.OpStore
+		t = rrbus.OpStore
 	} else if *typ != "load" {
 		fmt.Fprintf(os.Stderr, "rrbus-derive: unknown type %q (load|store)\n", *typ)
 		os.Exit(2)
 	}
 
-	r, err := core.NewSimRunner(cfg)
+	r, err := rrbus.NewRunner(cfg)
 	fail(err)
 
 	rep := jsonReport{Arch: cfg.Name, Type: *typ, ActualUBD: cfg.UBD()}
-	res, derr := core.Derive(r, core.Options{Type: t, KMin: *kmin, KMax: *kmax, AutoExtend: true})
+	res, derr := rrbus.Derive(r, rrbus.DeriveOptions{Type: t, KMin: *kmin, KMax: *kmax, AutoExtend: true})
 	if derr != nil {
 		rep.Err = derr.Error()
 	}
 	fillReport(&rep, res, *series)
-	nv, err := core.NaiveUBDM(r, t)
+	nv, err := rrbus.NaiveUBDMFor(r, t)
 	fail(err)
 	rep.NaiveUBDm = nv.UBDm
 
@@ -140,35 +140,38 @@ func main() {
 	}
 }
 
-// runScenario is the declarative path: a scenario file (the "derive"
-// generator) fixes the job list; -out streams this shard's measurements
-// as JSONL, -merge recombines shard files, -from replays a merged file,
-// and in every case the detection half (report.DerivationFrom →
-// core.DeriveFromSeries) runs over recorded results only. -json/-series
-// apply to the detection report exactly as on the classic path.
-func runScenario(path, shardSpec, out, from string, merge, jsonOut, series bool, args []string) {
+// runScenario is the declarative pipeline path: a scenario file (the
+// "derive" generator) compiles to the plan; -out streams this shard's
+// measurements as JSONL, -merge recombines shard files, -from replays a
+// merged file, -store serves and records rows by content hash, and in
+// every case the detection half (DeriveFromResults) runs over recorded
+// results only. -json/-series apply to the detection report exactly as
+// on the classic path.
+func runScenario(path, shardSpec, out, from, storeDir string, merge, jsonOut, series bool, args []string) {
 	if path == "" {
 		fail(fmt.Errorf("-merge needs -scenario (the plan defines the k range and platform)"))
 	}
-	plan, err := scenario.Load(path)
+	plan, err := rrbus.LoadPlan(path)
 	fail(err)
-	if plan.Generator != "derive" {
-		fail(fmt.Errorf("scenario %s uses generator %q; rrbus-derive needs \"derive\"", path, plan.Generator))
+	if plan.Generator() != "derive" {
+		fail(fmt.Errorf("scenario %s uses generator %q; rrbus-derive needs \"derive\"", path, plan.Generator()))
 	}
-	jobs, err := plan.Expand()
-	fail(err)
+	var st rrbus.Store
+	if storeDir != "" {
+		ds, err := rrbus.OpenDirStore(storeDir)
+		fail(err)
+		st = ds
+	}
 
-	var results []scenario.Result
+	var results []rrbus.Result
 	switch {
 	case from != "":
-		if merge || out != "" || shardSpec != "" {
-			fail(fmt.Errorf("-from replays an existing recording; it cannot be combined with -merge/-out/-shard"))
+		if merge || out != "" || shardSpec != "" || st != nil {
+			fail(fmt.Errorf("-from replays an existing recording; it cannot be combined with -merge/-out/-shard/-store"))
 		}
-		results, err = scenario.ReadResultsFile(from)
+		results, err = rrbus.ReadResultsFile(from)
 		fail(err)
-		if err := report.Check(jobs, results); err != nil {
-			fail(err)
-		}
+		fail(rrbus.CheckResults(plan, results))
 	case merge:
 		if len(args) == 0 {
 			fail(fmt.Errorf("-merge needs shard JSONL files as arguments"))
@@ -176,32 +179,54 @@ func runScenario(path, shardSpec, out, from string, merge, jsonOut, series bool,
 		if shardSpec != "" {
 			fail(fmt.Errorf("-shard applies to measuring, not merging"))
 		}
-		results = mergeResults(jobs, args, out)
+		results = mergeResults(plan, args, out)
+		if st != nil {
+			fail(rrbus.ImportResults(st, plan, results))
+			fmt.Fprintf(os.Stderr, "rrbus-derive: store: imported %d rows\n", len(results))
+		}
+		if out == "-" {
+			// The merged JSONL rows went to stdout; the derivation
+			// report would corrupt the parseable stream (replay it
+			// later with -from, like the other CLIs' stdout modes).
+			return
+		}
 	case out != "":
-		shard, err := exp.ParseShard(shardSpec)
+		shard, err := rrbus.ParseShard(shardSpec)
 		fail(err)
-		fail(scenario.StreamToFile(jobs, shard, out))
+		sess := &rrbus.Session{Store: st, Shard: shard}
+		err = sess.RunToFile(plan, out)
+		reportStore(sess, st)
+		fail(err)
 		return
 	default:
 		if shardSpec != "" {
 			fail(fmt.Errorf("-shard needs -out (a shard alone cannot detect the period)"))
 		}
-		results, err = scenario.RunAll(jobs)
+		sess := &rrbus.Session{Store: st}
+		results, err = sess.RunAll(plan)
+		reportStore(sess, st)
 		fail(err)
 	}
 
-	deriveFromResults(jobs, results, jsonOut, series)
+	deriveFromResults(plan, results, jsonOut, series)
+}
+
+// reportStore prints the session's reuse accounting to stderr.
+func reportStore(sess *rrbus.Session, st rrbus.Store) {
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "rrbus-derive: store: %d hits, %d simulated\n", sess.StoreHits(), sess.Simulated())
+	}
 }
 
 // mergeResults recombines shard JSONL files (optionally saving the
 // merged rows to out) and checks the reassembled job list is complete:
 // the merge enforces contiguous indices from 0, and the count check
 // catches a tail-truncated final shard.
-func mergeResults(jobs []scenario.Job, files []string, out string) []scenario.Result {
+func mergeResults(plan *rrbus.Plan, files []string, out string) []rrbus.Result {
 	var w io.Writer
 	if out != "" && out != "-" {
 		for _, f := range files {
-			if scenario.SamePath(out, f) {
+			if rrbus.SameFilePath(out, f) {
 				fail(fmt.Errorf("-out %s is also a merge input; os.Create would truncate it before reading", out))
 			}
 		}
@@ -216,27 +241,27 @@ func mergeResults(jobs []scenario.Job, files []string, out string) []scenario.Re
 		}
 		w = f
 	}
-	_, results, err := scenario.MergeFiles(w, files)
+	results, err := rrbus.MergeResults(w, files)
 	fail(err)
-	if len(results) != len(jobs) {
-		fail(fmt.Errorf("merged %d results for %d jobs — truncated or missing shard files?", len(results), len(jobs)))
+	if len(results) != len(plan.Jobs) {
+		fail(fmt.Errorf("merged %d results for %d jobs — truncated or missing shard files?", len(results), len(plan.Jobs)))
 	}
 	return results
 }
 
 // deriveFromResults runs the detection half of the methodology on the
 // recorded job results (job 0 is the δnop calibration, jobs 1.. the k
-// sweep) and prints the report — the shared report.Derive text (so
-// rrbus-derive and rrbus-figures render a recording identically), or
-// the classic -json shape. The naive det/nr baseline is omitted: it
-// needs measurements the sweep does not take.
-func deriveFromResults(jobs []scenario.Job, results []scenario.Result, jsonOut, series bool) {
-	d, err := report.DerivationFrom(jobs, results)
+// sweep) and prints the report — the shared Render text (so rrbus-derive
+// and rrbus-figures render a recording identically), or the classic
+// -json shape. The naive det/nr baseline is omitted: it needs
+// measurements the sweep does not take.
+func deriveFromResults(plan *rrbus.Plan, results []rrbus.Result, jsonOut, series bool) {
+	d, err := rrbus.DeriveFromResults(plan, results)
 	fail(err)
 
 	if jsonOut {
 		typ := "load"
-		if d.Type == isa.OpStore {
+		if d.Type == rrbus.OpStore {
 			typ = "store"
 		}
 		rep := jsonReport{Arch: d.Cfg.Name, Type: typ, ActualUBD: d.Cfg.UBD()}
@@ -248,7 +273,7 @@ func deriveFromResults(jobs []scenario.Job, results []scenario.Result, jsonOut, 
 		return
 	}
 
-	text, err := report.Derive(jobs, results)
+	text, err := rrbus.Render(plan, results)
 	fail(err)
 	fmt.Print(text)
 	if d.Err != nil {
@@ -257,7 +282,7 @@ func deriveFromResults(jobs []scenario.Job, results []scenario.Result, jsonOut, 
 }
 
 // fillReport copies a derivation result into the JSON report shape.
-func fillReport(rep *jsonReport, res *core.Result, series bool) {
+func fillReport(rep *jsonReport, res *rrbus.DeriveResult, series bool) {
 	if res == nil {
 		return
 	}

@@ -1,14 +1,18 @@
 // Command rrbus-figures regenerates the paper's figures and prints them
-// as terminal tables/plots. Since the results-first refactor every
-// figure is produced in two decoupled stages: a scenario generator
-// expands into a job list, the jobs run on the experiment engine
-// (recording one result per job), and an internal/report renderer
-// rebuilds the figure text from the recorded results alone. That makes
-// measurement and analysis independent:
+// as terminal tables/plots. It is a thin caller of the library's public
+// Plan→Run→Store→Render pipeline: a figure name or scenario file compiles
+// to a content-addressed Plan, a Session runs its jobs (serving any job
+// the results store has already recorded instead of re-simulating it),
+// and a Render pass rebuilds the figure text from the recorded rows
+// alone:
 //
 //   - -fig runs the named figure's generator live and renders it;
 //   - -scenario runs a declarative scenario file (optionally sharded
 //     across machines with -shard/-out, recombined with -merge);
+//   - -store names a results store directory: jobs already recorded
+//     there are served without simulating, fresh rows are recorded, and
+//     a warm re-run of a sweep simulates nothing while rendering
+//     byte-identical output;
 //   - -from replays a recorded JSONL results file through the same
 //     renderer, byte-identical to the live run — simulate once,
 //     analyze forever.
@@ -19,6 +23,8 @@
 //	rrbus-figures -fig 7a -kmax 60 -iters 2000
 //	rrbus-figures -fig 6a -count 8 -seed 1
 //	rrbus-figures -scenario examples/scenarios/wrr.json
+//	rrbus-figures -scenario sweep.json -store results/   # cold: simulates
+//	rrbus-figures -scenario sweep.json -store results/   # warm: serves
 //	rrbus-figures -scenario sweep.json -shard 0/2 -out shard0.jsonl
 //	rrbus-figures -merge -out merged.jsonl shard0.jsonl shard1.jsonl
 //	rrbus-figures -scenario sweep.json -from merged.jsonl   # replay
@@ -34,11 +40,7 @@ import (
 	"io"
 	"os"
 
-	"rrbus/internal/exp"
-	"rrbus/internal/figures"
-	"rrbus/internal/report"
-	"rrbus/internal/scenario"
-	"rrbus/internal/sim"
+	"rrbus"
 )
 
 func main() {
@@ -53,8 +55,10 @@ func main() {
 	out := flag.String("out", "", "stream results as JSONL to this file (\"-\" = stdout)")
 	merge := flag.Bool("merge", false, "merge mode: recombine shard JSONL files (args) into -out and render")
 	from := flag.String("from", "", "replay mode: render from this recorded JSONL results file instead of simulating")
+	storeDir := flag.String("store", "", "content-addressed results store directory: serve recorded jobs, record fresh ones")
 	flag.Parse()
-	exp.SetWorkers(*workers)
+	rrbus.SetWorkers(*workers)
+	st := openStore(*storeDir)
 
 	if *merge || *scenarioFile != "" {
 		rejectWithScenario("rrbus-figures", "fig", "kmax", "iters", "count", "seed")
@@ -63,11 +67,11 @@ func main() {
 		if *from != "" {
 			fail(fmt.Errorf("-from replays one complete file; -merge recombines shards — use one or the other"))
 		}
-		mergeShards(*out, *scenarioFile, flag.Args())
+		mergeShards(*out, *scenarioFile, st, flag.Args())
 		return
 	}
 	if *scenarioFile != "" {
-		runScenario(*scenarioFile, *shardSpec, *out, *from)
+		runScenario(*scenarioFile, *shardSpec, *out, *from, st)
 		return
 	}
 	if *shardSpec != "" || *out != "" {
@@ -78,23 +82,25 @@ func main() {
 	// Classic figure names, each backed by a scenario generator (so -fig
 	// and -scenario render through the same report code), except the
 	// summary table, whose derivation sweep auto-extends in-process.
+	ref, err := rrbus.PlatformByName("ref")
+	fail(err)
 	type figSpec struct {
 		name      string
 		generator string
-		params    scenario.Params
+		params    rrbus.Params
 	}
 	specs := []figSpec{
 		{"2", "fig2", nil},
-		{"3", "fig3", scenario.Params{"max_delta": 13}},
-		{"4", "fig4", scenario.Params{"max_delta": 3 * sim.NGMPRef().UBD()}},
-		{"5", "fig5", scenario.Params{"ks": []int{1, 2, 5, 6}}},
-		{"6a", "fig6a", scenario.Params{"count": *count, "seed": *seed}},
+		{"3", "fig3", rrbus.Params{"max_delta": 13}},
+		{"4", "fig4", rrbus.Params{"max_delta": 3 * ref.UBD()}},
+		{"5", "fig5", rrbus.Params{"ks": []int{1, 2, 5, 6}}},
+		{"6a", "fig6a", rrbus.Params{"count": *count, "seed": *seed}},
 		{"6b", "fig6b", nil},
-		{"7a", "fig7a", scenario.Params{"kmax": *kmax, "iters": *iters}},
-		{"7b", "fig7b", scenario.Params{"kmax": *kmax, "iters": *iters}},
+		{"7a", "fig7a", rrbus.Params{"kmax": *kmax, "iters": *iters}},
+		{"7b", "fig7b", rrbus.Params{"kmax": *kmax, "iters": *iters}},
 		{"table", "", nil},
 		{"abl-arb", "abl-arb", nil},
-		{"abl-dnop", "abl-dnop", scenario.Params{"max_nop": 3}},
+		{"abl-dnop", "abl-dnop", rrbus.Params{"max_nop": 3}},
 		{"abl-scaling", "abl-scaling", nil},
 	}
 
@@ -108,23 +114,24 @@ func main() {
 			if *from != "" {
 				fail(fmt.Errorf("-fig table derives in-process and cannot replay from JSONL"))
 			}
-			rows, err := figures.Summary(sim.NGMPRef(), sim.NGMPVar())
+			vr, err := rrbus.PlatformByName("var")
 			fail(err)
-			fmt.Printf("== Headline summary: derived vs naive vs actual ==\n%s\n", figures.RenderSummary(rows))
+			rows, err := rrbus.Summary(ref, vr)
+			fail(err)
+			fmt.Printf("== Headline summary: derived vs naive vs actual ==\n%s\n", rrbus.RenderSummary(rows))
 			continue
 		}
 		if *from != "" && *fig == "all" {
 			fail(fmt.Errorf("-from needs a single -fig (one recording holds one job list)"))
 		}
-		g, ok := scenario.Lookup(s.generator)
-		if !ok {
-			fail(fmt.Errorf("generator %q not registered", s.generator))
+		if *from != "" && st != nil {
+			fail(fmt.Errorf("-from renders an existing recording; it cannot be combined with -store"))
 		}
-		jobs, err := g.Expand(s.params)
+		plan, err := rrbus.GeneratorPlan(s.generator, s.params)
 		fail(err)
-		results, err := obtainResults(jobs, *from)
+		results, err := obtainResults(plan, st, *from)
 		fail(err)
-		text, err := report.Render(s.generator, jobs, results)
+		text, err := rrbus.Render(plan, results)
 		fail(err)
 		fmt.Print(text)
 	}
@@ -135,58 +142,87 @@ func main() {
 	}
 }
 
-// obtainResults produces one result per job: replayed from a recorded
-// JSONL file when path is set, simulated live otherwise. Either way the
-// renderers downstream see the same thing — recorded results.
-func obtainResults(jobs []scenario.Job, path string) ([]scenario.Result, error) {
-	if path == "" {
-		return scenario.RunAll(jobs)
+// openStore opens the results store named by -store ("" = none).
+func openStore(dir string) rrbus.Store {
+	if dir == "" {
+		return nil
 	}
-	return scenario.ReadResultsFile(path)
+	st, err := rrbus.OpenDirStore(dir)
+	fail(err)
+	return st
 }
 
-// runScenario expands a scenario file and either streams this shard's
+// reportStore prints the session's reuse accounting to stderr — the line
+// the CI cache-reuse smoke greps to prove a warm run simulated nothing.
+func reportStore(sess *rrbus.Session, st rrbus.Store) {
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "rrbus-figures: store: %d hits, %d simulated\n", sess.StoreHits(), sess.Simulated())
+	}
+}
+
+// obtainResults produces one result per job of the plan: replayed from a
+// recorded JSONL file when path is set, run through a (store-aware)
+// session otherwise. Either way the renderers downstream see the same
+// thing — recorded results.
+func obtainResults(plan *rrbus.Plan, st rrbus.Store, path string) ([]rrbus.Result, error) {
+	if path != "" {
+		return rrbus.ReadResultsFile(path)
+	}
+	sess := &rrbus.Session{Store: st}
+	results, err := sess.RunAll(plan)
+	reportStore(sess, st)
+	return results, err
+}
+
+// runScenario compiles a scenario file and either streams this shard's
 // share of its jobs as JSONL to -out, or renders the plan's figure from
-// results — simulated live, or replayed from -from.
-func runScenario(path, shardSpec, out, from string) {
-	plan, err := scenario.Load(path)
+// results — run through the session, or replayed from -from.
+func runScenario(path, shardSpec, out, from string, st rrbus.Store) {
+	plan, err := rrbus.LoadPlan(path)
 	fail(err)
-	jobs, err := plan.Expand()
-	fail(err)
-	shard, err := exp.ParseShard(shardSpec)
+	shard, err := rrbus.ParseShard(shardSpec)
 	fail(err)
 
 	if from != "" {
-		if out != "" || !shard.All() {
-			fail(fmt.Errorf("-from renders an existing recording; it cannot be combined with -out/-shard"))
+		if out != "" || !shard.All() || st != nil {
+			fail(fmt.Errorf("-from renders an existing recording; it cannot be combined with -out/-shard/-store"))
 		}
-		results, err := scenario.ReadResultsFile(from)
+		results, err := rrbus.ReadResultsFile(from)
 		fail(err)
-		renderPlan(plan, path, jobs, results)
+		renderPlan(plan, path, results)
 		return
 	}
 	if out == "" {
 		if !shard.All() {
 			fail(fmt.Errorf("-shard %s without -out would drop the shard rows; add -out", shard))
 		}
-		results, err := scenario.RunAll(jobs)
+		sess := &rrbus.Session{Store: st}
+		results, err := sess.RunAll(plan)
+		reportStore(sess, st)
 		fail(err)
-		renderPlan(plan, path, jobs, results)
+		renderPlan(plan, path, results)
 		return
 	}
 
-	fail(scenario.StreamToFile(jobs, shard, out))
+	sess := &rrbus.Session{Store: st, Shard: shard}
+	err = sess.RunToFile(plan, out)
+	reportStore(sess, st)
+	fail(err)
 }
 
 // renderPlan renders a plan's recorded results: the generator's figure
 // renderer when one exists, the generic results table otherwise. Live
-// runs, -from replays and -merge all funnel through here, which is what
-// makes their output byte-identical.
-func renderPlan(plan *scenario.Plan, path string, jobs []scenario.Job, results []scenario.Result) {
-	text, err := report.Render(plan.Generator, jobs, results)
+// runs, store-served runs, -from replays and -merge all funnel through
+// here, which is what makes their output byte-identical.
+func renderPlan(plan *rrbus.Plan, path string, results []rrbus.Result) {
+	text, err := rrbus.Render(plan, results)
 	fail(err)
-	if _, figRender := report.For(plan.Generator); !figRender {
-		fmt.Printf("== scenario %s: %d jobs ==\n", planName(plan, path), len(jobs))
+	if !rrbus.HasRenderer(plan.Generator()) {
+		name := plan.Name()
+		if plan.Spec.Name == "" && plan.Spec.Generator == "" {
+			name = path // an unnamed explicit job list: the file is the only label
+		}
+		fmt.Printf("== scenario %s: %d jobs ==\n", name, len(plan.Jobs))
 	}
 	fmt.Print(text)
 }
@@ -195,15 +231,19 @@ func renderPlan(plan *scenario.Plan, path string, jobs []scenario.Job, results [
 // stream and renders the reassembled results to stdout (when the merged
 // rows go to a file) so a sharded sweep ends with the same artifact an
 // unsharded run prints. Passing the plan via -scenario additionally
-// validates the merged rows against the expanded job list — the only way
-// to catch a tail-truncated final shard — and selects the plan's figure
-// renderer.
-func mergeShards(out, scenarioFile string, files []string) {
+// validates the merged rows against the compiled job list — the only way
+// to catch a tail-truncated final shard — selects the plan's figure
+// renderer, and, with -store, imports the merged rows into the store so
+// a sweep measured elsewhere becomes servable here.
+func mergeShards(out, scenarioFile string, st rrbus.Store, files []string) {
 	if len(files) == 0 {
 		fail(fmt.Errorf("-merge needs shard JSONL files as arguments"))
 	}
+	if st != nil && scenarioFile == "" {
+		fail(fmt.Errorf("-merge -store needs -scenario (job hashes come from the plan)"))
+	}
 	for _, f := range files {
-		if out != "" && out != "-" && scenario.SamePath(out, f) {
+		if out != "" && out != "-" && rrbus.SameFilePath(out, f) {
 			fail(fmt.Errorf("-out %s is also a merge input; os.Create would truncate it before reading", out))
 		}
 	}
@@ -216,38 +256,29 @@ func mergeShards(out, scenarioFile string, files []string) {
 		defer f.Close()
 		w = f
 	}
-	_, results, err := scenario.MergeFiles(w, files)
+	results, err := rrbus.MergeResults(w, files)
 	fail(err)
 
-	var plan *scenario.Plan
-	var jobs []scenario.Job
+	var plan *rrbus.Plan
 	if scenarioFile != "" {
-		plan, err = scenario.Load(scenarioFile)
+		plan, err = rrbus.LoadPlan(scenarioFile)
 		fail(err)
-		jobs, err = plan.Expand()
-		fail(err)
-		if len(results) != len(jobs) {
-			fail(fmt.Errorf("merged %d rows for %d jobs — truncated or missing shard files?", len(results), len(jobs)))
+		if len(results) != len(plan.Jobs) {
+			fail(fmt.Errorf("merged %d rows for %d jobs — truncated or missing shard files?", len(results), len(plan.Jobs)))
+		}
+		if st != nil {
+			fail(rrbus.ImportResults(st, plan, results))
+			fmt.Fprintf(os.Stderr, "rrbus-figures: store: imported %d rows\n", len(results))
 		}
 	}
 	if toStdout {
 		return
 	}
 	if plan != nil {
-		renderPlan(plan, scenarioFile, jobs, results)
+		renderPlan(plan, scenarioFile, results)
 		return
 	}
-	fmt.Printf("== merged %d shards: %d jobs ==\n%s", len(files), len(results), scenario.RenderResults(results))
-}
-
-func planName(p *scenario.Plan, path string) string {
-	if p.Name != "" {
-		return p.Name
-	}
-	if p.Generator != "" {
-		return p.Generator
-	}
-	return path
+	fmt.Printf("== merged %d shards: %d jobs ==\n%s", len(files), len(results), rrbus.RenderResultsTable(results))
 }
 
 func fail(err error) {

@@ -3,11 +3,20 @@
 // NGMP-style PMC snapshot. Tasks are named EEMBC-like profiles or kernel
 // specs; -scenario runs a declarative scenario file's jobs instead.
 //
+// Single runs participate in the same Plan→Run→Store→Render pipeline as
+// the batch CLIs: -out records the run as a self-describing JSONL
+// Result row (replayable and mergeable like any sweep's), and -store
+// consults the content-addressed results store first — a run whose
+// scenario was already recorded (by any CLI) is served from the store
+// without simulating.
+//
 // Usage:
 //
 //	rrbus-sim -scua canrdr -contenders matrix,tblook,pntrch
 //	rrbus-sim -arch var -scua rsk:load -contenders rsk:load,rsk:load,rsk:load -gammas
 //	rrbus-sim -scua rsknop:store:12 -contenders rsk:store,rsk:store,rsk:store
+//	rrbus-sim -scua rsk:load -contenders rsk:load,rsk:load,rsk:load -out run.jsonl
+//	rrbus-sim -scua rsk:load -contenders rsk:load,rsk:load,rsk:load -store results/
 //	rrbus-sim -scenario examples/scenarios/tdma.json
 package main
 
@@ -17,13 +26,7 @@ import (
 	"os"
 	"strings"
 
-	"rrbus/internal/exp"
-	"rrbus/internal/isa"
-	"rrbus/internal/kernel"
-	"rrbus/internal/scenario"
-	"rrbus/internal/sim"
-	"rrbus/internal/stats"
-	"rrbus/internal/workload"
+	"rrbus"
 )
 
 func main() {
@@ -36,61 +39,143 @@ func main() {
 	gammas := flag.Bool("gammas", false, "print the per-request contention histogram")
 	workers := flag.Int("workers", 0, "simulation worker goroutines for scenario batches (0 = GOMAXPROCS; output is identical for any value)")
 	scenarioFile := flag.String("scenario", "", "run a scenario file's jobs and print the results table")
+	out := flag.String("out", "", "record the run as a self-describing JSONL Result row to this file (\"-\" = stdout)")
+	storeDir := flag.String("store", "", "content-addressed results store directory: serve recorded runs, record fresh ones")
 	flag.Parse()
-	exp.SetWorkers(*workers)
+	rrbus.SetWorkers(*workers)
+
+	var st rrbus.Store
+	if *storeDir != "" {
+		ds, err := rrbus.OpenDirStore(*storeDir)
+		fail(err)
+		st = ds
+	}
 
 	if *scenarioFile != "" {
 		rejectWithScenario("rrbus-sim", "arch", "scua", "contenders", "warmup", "iters", "seed", "gammas")
-		plan, err := scenario.Load(*scenarioFile)
+		plan, err := rrbus.LoadPlan(*scenarioFile)
 		fail(err)
-		jobs, err := plan.Expand()
+		sess := &rrbus.Session{Store: st}
+		if *out != "" {
+			err = sess.RunToFile(plan, *out)
+			reportStore(sess, st)
+			fail(err)
+			return
+		}
+		results, err := sess.RunAll(plan)
+		reportStore(sess, st)
 		fail(err)
-		results, err := scenario.RunAll(jobs)
-		fail(err)
-		fmt.Print(scenario.RenderResults(results))
+		fmt.Print(rrbus.RenderResultsTable(results))
 		return
 	}
 
-	cfg, err := sim.ByName(*arch)
-	fail(err)
-
-	b := kernel.NewBuilder(cfg.DL1, cfg.IL1, cfg.L2)
-	scua, err := workload.BuildSpec(b, *scuaSpec, 0, *seed)
-	fail(err)
-	var cont []*isa.Program
+	// Classic single run, expressed as a one-job plan so the row it
+	// records, the store key it reuses and the plan manifest it leaves
+	// behind are exactly what a batch CLI would produce for the same
+	// scenario. (The scenario name is labeling only — it becomes the
+	// job ID without entering the content hash.)
+	var contenders []string
 	if *contSpec != "" {
-		for i, spec := range strings.Split(*contSpec, ",") {
-			p, err := workload.BuildSpec(b, strings.TrimSpace(spec), i+1, *seed)
-			fail(err)
-			cont = append(cont, p)
+		for _, spec := range strings.Split(*contSpec, ",") {
+			contenders = append(contenders, strings.TrimSpace(spec))
 		}
 	}
-
-	m, err := sim.Run(cfg, sim.Workload{Scua: scua, Contenders: cont},
-		sim.RunOpts{WarmupIters: *warmup, MeasureIters: *iters, CollectGammas: *gammas})
+	sc := rrbus.Scenario{
+		Name:     *scuaSpec,
+		Platform: rrbus.PlatformSpec{Arch: *arch},
+		Workload: rrbus.WorkloadSpec{Scua: *scuaSpec, Contenders: contenders, Seed: *seed},
+		Protocol: rrbus.Protocol{Warmup: *warmup, Iters: *iters, Gammas: *gammas},
+	}
+	plan, err := rrbus.CompilePlan(&rrbus.PlanSpec{Scenario: &sc})
 	fail(err)
+	job := plan.Jobs[0]
+	// Construction-only platform build for the report header; programs
+	// are built once, inside RunFull, and only when the run simulates.
+	cfg, err := sc.Platform.Build()
+	fail(err)
+
+	var res rrbus.Result
+	var m *rrbus.Measurement
+	scuaName := *scuaSpec
+	served := false
+	if st != nil {
+		// A Session would serve the same hash, but it returns only the
+		// Result row; the single-run report wants the full Measurement
+		// on a miss, so the read side is inlined while the record side
+		// goes through the same ImportResults the batch merge uses —
+		// row plus plan manifest, on hits too, so every single run is
+		// auditable in the store's plan index.
+		if got, ok, err := st.Get(plan.JobHashes()[0]); err != nil {
+			fail(err)
+		} else if ok {
+			got.ID = job.ID
+			res, served = got, true
+		}
+	}
+	if !served {
+		var w rrbus.Workload
+		res, m, w, err = job.RunFull()
+		fail(err)
+		scuaName = w.Scua.Name
+	}
+	if st != nil {
+		fail(rrbus.ImportResults(st, plan, []rrbus.Result{res}))
+	}
+
+	if *out == "-" {
+		// Row-to-stdout mode: emit only the parseable JSONL stream (the
+		// human report would corrupt it); batch consumers read it like
+		// any sweep recording.
+		fail(rrbus.WriteResults(os.Stdout, []rrbus.Result{res}))
+		return
+	}
 
 	fmt.Printf("platform       %s (%d cores, lbus=%d, ubd=%d)\n", cfg.Name, cfg.Cores, cfg.BusLatency(), cfg.UBD())
-	fmt.Printf("scua           %s (%d measured iterations)\n", scua.Name, m.Iters)
-	fmt.Printf("cycles         %d\n", m.Cycles)
-	fmt.Printf("bus requests   %d (max γ %d, mean γ %.2f)\n", m.Requests, m.MaxGamma, m.AvgGamma)
-	fmt.Printf("bus util       %.1f%% total", m.Utilization*100)
-	for p, u := range m.PerCoreUtilization {
-		if p < cfg.Cores {
-			fmt.Printf("  c%d=%.1f%%", p, u*100)
-		} else {
-			fmt.Printf("  mem=%.1f%%", u*100)
+	fmt.Printf("scua           %s (%d measured iterations)\n", scuaName, res.Iters)
+	if served {
+		// A store-served run carries the recorded row, not the full
+		// Measurement; print the row's summary (the PMC snapshot and
+		// cache statistics are not recorded).
+		fmt.Printf("cycles         %d  (served from store %s)\n", res.Cycles, *storeDir)
+		fmt.Printf("bus requests   %d (max γ %d, mean γ %.2f)\n", res.Requests, res.MaxGamma, res.AvgGamma)
+		fmt.Printf("bus util       %.1f%% total\n", res.Utilization*100)
+		if *gammas {
+			fmt.Println("\ncontention-delay histogram (scua requests):")
+			fmt.Print(rrbus.HistogramFromDense(res.GammaHist).String())
+		}
+	} else {
+		fmt.Printf("cycles         %d\n", m.Cycles)
+		fmt.Printf("bus requests   %d (max γ %d, mean γ %.2f)\n", m.Requests, m.MaxGamma, m.AvgGamma)
+		fmt.Printf("bus util       %.1f%% total", m.Utilization*100)
+		for p, u := range m.PerCoreUtilization {
+			if p < cfg.Cores {
+				fmt.Printf("  c%d=%.1f%%", p, u*100)
+			} else {
+				fmt.Printf("  mem=%.1f%%", u*100)
+			}
+		}
+		fmt.Println()
+		fmt.Printf("DL1 hit rate   %.1f%% (%d accesses)\n", m.DL1.HitRate()*100, m.DL1.Accesses())
+		fmt.Printf("L2 accesses    %d (hit rate %.1f%%)\n", m.L2.Accesses(), m.L2.HitRate()*100)
+		fmt.Printf("DRAM           %d reads, %d writes\n", m.Mem.Reads, m.Mem.Writes)
+		fmt.Println("\nPMC snapshot (scua core):")
+		fmt.Print(m.PMC.String())
+		if *gammas {
+			fmt.Println("\ncontention-delay histogram (scua requests):")
+			fmt.Print(rrbus.HistogramFromDense(m.GammaHist).String())
 		}
 	}
-	fmt.Println()
-	fmt.Printf("DL1 hit rate   %.1f%% (%d accesses)\n", m.DL1.HitRate()*100, m.DL1.Accesses())
-	fmt.Printf("L2 accesses    %d (hit rate %.1f%%)\n", m.L2.Accesses(), m.L2.HitRate()*100)
-	fmt.Printf("DRAM           %d reads, %d writes\n", m.Mem.Reads, m.Mem.Writes)
-	fmt.Println("\nPMC snapshot (scua core):")
-	fmt.Print(m.PMC.String())
-	if *gammas {
-		fmt.Println("\ncontention-delay histogram (scua requests):")
-		fmt.Print(stats.FromDense(m.GammaHist).String())
+
+	if *out != "" {
+		fail(rrbus.WriteResultsFile(*out, []rrbus.Result{res}))
+		fmt.Fprintf(os.Stderr, "rrbus-sim: recorded result row to %s\n", *out)
+	}
+}
+
+// reportStore prints the session's reuse accounting to stderr.
+func reportStore(sess *rrbus.Session, st rrbus.Store) {
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "rrbus-sim: store: %d hits, %d simulated\n", sess.StoreHits(), sess.Simulated())
 	}
 }
 

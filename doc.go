@@ -6,7 +6,34 @@
 // delay ubd from the saw-tooth period of rsk-nop slowdowns — without
 // knowing any bus latency.
 //
-// # Quick start
+// # Quick start: Plan → Run → Store → Render
+//
+// The public API is the measurement pipeline itself. A Plan compiles a
+// declarative experiment into a content-addressed job list; a Session
+// runs it, serving any job the results Store has already recorded
+// instead of re-simulating it; Render rebuilds the paper's figures,
+// tables and bounds from the recorded rows alone:
+//
+//	plan, err := rrbus.GeneratorPlan("fig7", rrbus.Params{"arch": "ref", "kmax": 60})
+//	if err != nil { ... }
+//	store, err := rrbus.OpenDirStore("results")   // shareable, integrity-checked
+//	if err != nil { ... }
+//
+//	sess := &rrbus.Session{Store: store}
+//	results, err := sess.RunAll(plan)             // cold: simulates and records
+//	if err != nil { ... }
+//	text, err := rrbus.Render(plan, results)      // the Fig. 7 sweep, from rows alone
+//
+// Running the same plan again — or any plan whose jobs overlap it, like
+// a derivation sweep over the same k range — simulates only the delta:
+//
+//	warm := &rrbus.Session{Store: store}
+//	results, err = warm.RunAll(plan)              // warm: zero simulations
+//	fmt.Println(warm.Simulated(), warm.StoreHits())   // 0 60
+//
+// and renders byte-identical output, because every renderer consumes
+// only recorded rows. One-call derivation is still there for the common
+// case:
 //
 //	cfg := rrbus.ReferenceNGMP()            // 4-core NGMP, ubd = 27
 //	res, err := rrbus.DeriveUBD(cfg, rrbus.DeriveOptions{})
@@ -32,7 +59,9 @@
 //   - internal/exp: the experiment engine that fans independent
 //     simulations out across a worker pool
 //   - internal/scenario: the declarative measurement layer (JSON
-//     scenarios, generators, JSONL recording)
+//     scenarios, generators, canonical content hashing, JSONL recording)
+//   - internal/store: the content-addressed results store (in-memory
+//     and directory-backed) and the store-aware Session runner
 //   - internal/report: the analysis layer — every figure/table/bound
 //     rendered from recorded results
 //   - internal/figures: generation — expands generators, runs them,
@@ -131,4 +160,24 @@
 // (internal/figures, the -fig flags, the benchmarks) run through exactly
 // the same path — expand generator, record results, render — so the
 // live artifacts and the archived ones can never drift apart.
+//
+// # The results store: measure once, reuse everywhere
+//
+// Recorded rows are also reusable across runs and plans. Every Job has
+// a content hash — a sha256 over the canonicalized scenario (labels
+// stripped, build defaults made explicit) plus the isolation pairing —
+// and a compiled Plan hashes its ordered job list. A Store keys rows by
+// job hash: the in-memory MemStore for in-process pipelines, the
+// directory-backed DirStore (integrity-checked entries under
+// jobs/<hh>/<hash>.json plus per-plan manifests under plans/) for
+// sharing across processes and machines. A Session consults the store
+// before simulating, records fresh rows as they stream, and counts
+// hits vs simulations; since job hashes ignore labeling, a derivation
+// sweep reuses the rows a Fig. 7 sweep recorded even though their job
+// IDs differ. Stored entries carry a checksum and a schema version: a
+// bit-flipped entry or an archive written by a newer build surfaces as
+// an error, never as a silently wrong bound. The CLIs expose all of
+// this as -store <dir>; CI re-runs a sweep against a warm store every
+// push and asserts it simulates nothing while rendering identical
+// bytes.
 package rrbus

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// collect gathers emitted (index, value) pairs in delivery order.
+type collect struct {
+	idx  []int
+	vals []int
+}
+
+func (c *collect) Emit(i, v int) error {
+	c.idx = append(c.idx, i)
+	c.vals = append(c.vals, v)
+	return nil
+}
+
+// TestStreamShardCachedServesHits checks the core read-through contract:
+// cached indices never run, fresh indices run exactly once and are
+// saved, and the emitted stream is identical either way.
+func TestStreamShardCachedServesHits(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 20
+			cache := map[int]int{3: 103, 0: 100, 19: 119}
+			var mu sync.Mutex
+			saved := map[int]int{}
+			var ran atomic.Int64
+			sink := &collect{}
+			err := StreamShardCached(Shard{}, workers, n,
+				func(i int) (int, bool, error) {
+					v, ok := cache[i]
+					return v, ok, nil
+				},
+				func(i int) (int, error) {
+					ran.Add(1)
+					return 100 + i, nil
+				},
+				func(i, v int) error {
+					mu.Lock()
+					saved[i] = v
+					mu.Unlock()
+					return nil
+				},
+				sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := int(ran.Load()); got != n-len(cache) {
+				t.Errorf("ran %d jobs, want %d", got, n-len(cache))
+			}
+			if len(saved) != n-len(cache) {
+				t.Errorf("saved %d results, want %d", len(saved), n-len(cache))
+			}
+			for i := range cache {
+				if _, resaved := saved[i]; resaved {
+					t.Errorf("cache hit %d was re-saved", i)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if sink.idx[i] != i || sink.vals[i] != 100+i {
+					t.Fatalf("row %d = (%d, %d)", i, sink.idx[i], sink.vals[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStreamShardCachedNilHooks checks the pass-through cases.
+func TestStreamShardCachedNilHooks(t *testing.T) {
+	sink := &collect{}
+	if err := StreamShardCached(Shard{}, 2, 5, nil, func(i int) (int, error) { return i, nil }, nil, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.vals) != 5 {
+		t.Fatalf("emitted %d rows", len(sink.vals))
+	}
+
+	// save without lookup: everything is fresh and everything is saved.
+	saved := 0
+	sink2 := &collect{}
+	err := StreamShardCached(Shard{}, 1, 4, nil,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error { saved++; return nil }, sink2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved != 4 {
+		t.Errorf("saved %d rows, want 4", saved)
+	}
+}
+
+// TestStreamShardCachedLookupError checks that a failing lookup aborts
+// the stream like a job failure — a corrupt cache entry must not be
+// silently recomputed.
+func TestStreamShardCachedLookupError(t *testing.T) {
+	bad := errors.New("integrity: checksum mismatch")
+	err := StreamShardCached(Shard{}, 1, 5,
+		func(i int) (int, bool, error) {
+			if i == 2 {
+				return 0, false, bad
+			}
+			return 0, false, nil
+		},
+		func(i int) (int, error) { return i, nil },
+		nil, &collect{})
+	if !errors.Is(err, bad) {
+		t.Fatalf("lookup error not surfaced: %v", err)
+	}
+}
+
+// TestStreamShardCachedSaveError checks that a failing save aborts the
+// stream.
+func TestStreamShardCachedSaveError(t *testing.T) {
+	err := StreamShardCached(Shard{}, 1, 5, nil,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			if i == 1 {
+				return errors.New("disk full")
+			}
+			return nil
+		}, &collect{})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("save error not surfaced: %v", err)
+	}
+}
+
+// TestStreamShardCachedSharded checks the cache composes with shard
+// selection: only owned indices are looked up, run, or emitted.
+func TestStreamShardCachedSharded(t *testing.T) {
+	const n = 10
+	shard := Shard{Index: 1, Count: 3}
+	sink := &collect{}
+	var looked []int
+	err := StreamShardCached(shard, 1, n,
+		func(i int) (int, bool, error) {
+			looked = append(looked, i)
+			return 0, false, nil
+		},
+		func(i int) (int, error) { return i, nil },
+		nil, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range append(append([]int{}, looked...), sink.idx...) {
+		if !shard.Owns(i) {
+			t.Errorf("index %d not owned by shard %s", i, shard)
+		}
+	}
+	if len(sink.idx) != 3 { // 1, 4, 7
+		t.Errorf("emitted %d rows, want 3", len(sink.idx))
+	}
+}

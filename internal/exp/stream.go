@@ -98,6 +98,81 @@ func StreamN[T any](workers, n int, fn func(i int) (T, error), sink Sink[T]) err
 	return StreamShard(Shard{}, workers, n, fn, sink)
 }
 
+// StreamShardCached is StreamShard with a read-through cache wrapped
+// around the job function: before job i runs, lookup(i) is consulted —
+// a hit serves the cached value and skips run(i) entirely; a miss runs
+// the job and, once the result is emitted into the ordered stream,
+// save(i, v) records it. Either hook may be nil (no lookup / no
+// recording). The contract:
+//
+//   - lookup runs on the worker goroutines (concurrently, like run), so
+//     it must be safe for concurrent use; save runs on the streaming
+//     goroutine only, in ascending emit order, just before sink.Emit —
+//     a crash leaves the cache holding exactly the emitted prefix.
+//   - save is called only for values run produced, never for cache hits
+//     (re-recording a hit would be a wasted write at best).
+//   - a lookup or save error aborts the stream like a job failure: a
+//     corrupt cache entry must surface as an error, not as a silently
+//     recomputed — or worse, wrong — value.
+//
+// The delivery order and byte-for-byte output of a fully-cached, partly
+// cached and uncached stream are identical, which is what lets a
+// results store serve repeated sweeps without breaking the merged-file
+// byte-identity contract.
+func StreamShardCached[T any](shard Shard, workers, n int,
+	lookup func(i int) (T, bool, error), run func(i int) (T, error),
+	save func(i int, v T) error, sink Sink[T]) error {
+	if lookup == nil && save == nil {
+		return StreamShard(shard, workers, n, run, sink)
+	}
+	if n <= 0 {
+		return nil
+	}
+	// fresh[i] marks results produced by run (vs served by lookup). A
+	// worker writes its own index before the result enters the delivery
+	// channel and the streaming goroutine reads it after, so the channel
+	// orders the accesses.
+	fresh := make([]bool, n)
+	fn := run
+	if lookup != nil {
+		fn = func(i int) (T, error) {
+			v, ok, err := lookup(i)
+			if err != nil {
+				var zero T
+				return zero, err
+			}
+			if ok {
+				return v, nil
+			}
+			v, err = run(i)
+			if err == nil {
+				fresh[i] = true
+			}
+			return v, err
+		}
+	} else {
+		fn = func(i int) (T, error) {
+			v, err := run(i)
+			if err == nil {
+				fresh[i] = true
+			}
+			return v, err
+		}
+	}
+	out := sink
+	if save != nil {
+		out = SinkFunc[T](func(i int, v T) error {
+			if fresh[i] {
+				if err := save(i, v); err != nil {
+					return err
+				}
+			}
+			return sink.Emit(i, v)
+		})
+	}
+	return StreamShard(shard, workers, n, fn, out)
+}
+
 // StreamShard runs this shard's subset of the jobs fn(0..n-1) across at
 // most workers goroutines and streams the results to sink. The contract
 // extends MapN's determinism to incremental delivery:

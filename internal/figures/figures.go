@@ -19,29 +19,29 @@ import (
 	"rrbus/internal/report"
 	"rrbus/internal/scenario"
 	"rrbus/internal/sim"
+	"rrbus/internal/store"
 )
 
 // ToyConfig returns the small platform used by the paper's illustrative
 // figures (Figs. 2, 3, 5): 4 cores, lbus = 2, so ubd = 6.
 func ToyConfig() sim.Config { return sim.Toy() }
 
-// runGenerator expands a registered scenario generator with params and
-// runs the resulting jobs on the experiment engine, returning the job
-// list and the recorded results the report converters consume.
+// runGenerator compiles a registered scenario generator with params into
+// a content-addressed plan and runs it through a (storeless) pipeline
+// session, returning the job list and the recorded results the report
+// converters consume. Funneling the in-process figures through the same
+// session the CLIs use keeps the two paths from drifting apart.
 func runGenerator(name string, params scenario.Params) ([]scenario.Job, []scenario.Result, error) {
-	g, ok := scenario.Lookup(name)
-	if !ok {
-		return nil, nil, fmt.Errorf("figures: generator %q not registered", name)
-	}
-	jobs, err := g.Expand(params)
+	c, err := scenario.CompileGenerator(name, params)
 	if err != nil {
 		return nil, nil, fmt.Errorf("figures: %s: %w", name, err)
 	}
-	results, err := scenario.RunAll(jobs)
+	var sess store.Session
+	results, err := sess.RunAll(c)
 	if err != nil {
 		return nil, nil, fmt.Errorf("figures: %s: %w", name, err)
 	}
-	return jobs, results, nil
+	return c.Jobs, results, nil
 }
 
 // Fig2 regenerates the Fig. 2 scenario on the toy platform: a request

@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ResultSchema is the current version of the Result JSONL row format.
+// Rows written by this build carry it in their "schema" field; readers
+// accept any row whose schema is at most ResultSchema (absence, i.e. 0,
+// marks pre-versioned archives, which are forward-compatible by
+// construction: fields have only ever been added). A row with a higher
+// schema comes from a newer build whose semantics this one cannot know,
+// so readers and the store reject it instead of silently mis-rendering.
+const ResultSchema = 1
+
+// CheckResultSchema validates that every decoded row is readable by this
+// build (see ResultSchema).
+func CheckResultSchema(rs []Result) error {
+	for i, r := range rs {
+		if r.Schema > ResultSchema {
+			return fmt.Errorf("scenario: results row %d has schema %d but this build reads <= %d — archive written by a newer version?",
+				i, r.Schema, ResultSchema)
+		}
+	}
+	return nil
+}
+
+// canonical returns the scenario with build-time defaults made explicit
+// and pure labeling removed, so equivalent scenarios hash equal:
+//
+//   - Name is cleared: it labels the run and never reaches a Result row.
+//   - Workload.Seed 0 becomes 1 (build substitutes 1).
+//   - Protocol zeros become the sim defaults (warmup 2, 10 iters).
+//   - Contender specs are trimmed and "" becomes "idle" (Build treats
+//     both as the idle core at that position).
+//
+// The contender *count* is preserved even for trailing idles: sim.Run
+// validates len(Contenders) <= cores-1 before placement, so a list
+// padded with idles past that bound is a build error, not an equivalent
+// spelling — dropping the tail would give an invalid scenario the hash
+// of a valid one, and a warm store would then serve a run that a cold
+// run rejects.
+//
+// Platform fields are NOT normalized: overrides change the materialized
+// Config.Name (e.g. "ref"+"rr" builds "ngmp-ref-rr", not "ngmp-ref"),
+// which Result rows echo, so spelling a default explicitly is a
+// different — byte-observable — measurement.
+func (s Scenario) canonical() Scenario {
+	s.Name = ""
+	if s.Workload.Seed == 0 {
+		s.Workload.Seed = 1
+	}
+	if s.Protocol.Warmup == 0 {
+		s.Protocol.Warmup = 2
+	}
+	if s.Protocol.Iters == 0 {
+		s.Protocol.Iters = 10
+	}
+	var cont []string
+	for _, c := range s.Workload.Contenders {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			c = IdleSpec
+		}
+		cont = append(cont, c)
+	}
+	s.Workload.Contenders = cont
+	return s
+}
+
+// Hash is the job's content address: a sha256 over the canonical JSON of
+// everything that determines its measurement — the canonicalized
+// scenario and the isolation pairing — and nothing that merely labels it
+// (the job ID). Jobs from different plans that measure the same thing
+// therefore share a hash, which is what lets a derivation sweep reuse
+// the rows a figure sweep recorded. The current ResultSchema is part of
+// the hashed preamble, so a schema bump retires every old address at
+// once.
+func (j Job) Hash() string {
+	c := struct {
+		Scenario  Scenario `json:"scenario"`
+		Isolation bool     `json:"isolation,omitempty"`
+	}{j.Scenario.canonical(), j.Isolation}
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Scenario is plain data (strings, ints, bools); Marshal cannot
+		// fail on it. A failure means the struct grew an unmarshalable
+		// field — a programming error, not a runtime condition.
+		panic(fmt.Sprintf("scenario: job hash marshal: %v", err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "rrbus job schema=%d\n", ResultSchema)
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Compiled is a plan resolved to its canonical, content-addressed form:
+// the concrete job list plus the per-job and whole-plan hashes. It is
+// the unit the pipeline's later stages consume — a Session runs it, a
+// Store keys recorded rows by its job hashes, Render checks results
+// against its job list.
+type Compiled struct {
+	// Spec is the plan this was compiled from.
+	Spec *Plan
+	// Jobs is the expanded job list, in job-index order.
+	Jobs []Job
+
+	jobHashes []string
+	hash      string
+}
+
+// Compile expands a plan into its job list and content-addresses it.
+// Expansion is pure and deterministic, so compiling the same plan on any
+// machine yields the same jobs and the same hashes.
+func Compile(spec *Plan) (*Compiled, error) {
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	hashes := make([]string, len(jobs))
+	h := sha256.New()
+	fmt.Fprintf(h, "rrbus plan schema=%d jobs=%d\n", ResultSchema, len(jobs))
+	for i := range jobs {
+		hashes[i] = jobs[i].Hash()
+		io.WriteString(h, hashes[i])
+		h.Write([]byte{'\n'})
+	}
+	return &Compiled{
+		Spec:      spec,
+		Jobs:      jobs,
+		jobHashes: hashes,
+		hash:      hex.EncodeToString(h.Sum(nil)),
+	}, nil
+}
+
+// CompileGenerator compiles a one-off plan invoking a registered
+// generator — the programmatic twin of a {"generator": ..., "params":
+// ...} scenario file.
+func CompileGenerator(generator string, params Params) (*Compiled, error) {
+	return Compile(&Plan{Generator: generator, Params: params})
+}
+
+// LoadCompiled loads and compiles a scenario file.
+func LoadCompiled(path string) (*Compiled, error) {
+	spec, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(spec)
+}
+
+// Hash is the plan's content address: a sha256 over the ordered job
+// hashes. Plans that expand to the same measurements share it regardless
+// of how they were spelled (generator vs explicit job list, plan name).
+func (c *Compiled) Hash() string { return c.hash }
+
+// JobHashes returns the per-job content addresses, index-aligned with
+// Jobs. The slice is owned by the Compiled; do not mutate it.
+func (c *Compiled) JobHashes() []string { return c.jobHashes }
+
+// Generator names the plan's generator ("" for explicit job lists).
+func (c *Compiled) Generator() string { return c.Spec.Generator }
+
+// Name returns the plan's display name: the spec's name, else its
+// generator, else "plan".
+func (c *Compiled) Name() string {
+	if c.Spec.Name != "" {
+		return c.Spec.Name
+	}
+	if c.Spec.Generator != "" {
+		return c.Spec.Generator
+	}
+	return "plan"
+}

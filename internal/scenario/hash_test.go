@@ -1,0 +1,182 @@
+package scenario_test
+
+import (
+	"strings"
+	"testing"
+
+	"rrbus/internal/scenario"
+)
+
+func sweepScenario(k int) scenario.Scenario {
+	return scenario.Scenario{
+		Platform: scenario.PlatformSpec{Arch: "toy"},
+		Workload: scenario.WorkloadSpec{
+			Scua:       "rsknop:load:3",
+			Contenders: []string{"rsk:load", "rsk:load", "rsk:load"},
+			Unroll:     k,
+		},
+		Protocol: scenario.Protocol{Warmup: 3, Iters: 20},
+	}
+}
+
+func TestJobHashDeterministic(t *testing.T) {
+	a := scenario.Job{ID: "a", Scenario: sweepScenario(2), Isolation: true}
+	b := scenario.Job{ID: "b", Scenario: sweepScenario(2), Isolation: true}
+	if a.Hash() != b.Hash() {
+		t.Error("job IDs must not affect the content hash")
+	}
+	if a.Hash() != a.Hash() {
+		t.Error("hash must be stable")
+	}
+	c := a
+	c.Isolation = false
+	if c.Hash() == a.Hash() {
+		t.Error("isolation pairing must affect the hash")
+	}
+	d := scenario.Job{Scenario: sweepScenario(4)}
+	if d.Hash() == a.Hash() {
+		t.Error("different scenarios must hash differently")
+	}
+}
+
+func TestJobHashCanonicalization(t *testing.T) {
+	base := scenario.Job{Scenario: sweepScenario(2)}
+
+	// Scenario names are labeling, not measurement.
+	named := base
+	named.Scenario.Name = "some label"
+	if named.Hash() != base.Hash() {
+		t.Error("scenario name must not affect the hash")
+	}
+
+	// Explicit sim defaults hash like the zero protocol.
+	zeroProto := base
+	zeroProto.Scenario.Protocol = scenario.Protocol{}
+	explicit := base
+	explicit.Scenario.Protocol = scenario.Protocol{Warmup: 2, Iters: 10}
+	if zeroProto.Hash() != explicit.Hash() {
+		t.Error("explicit sim defaults must hash like the zero protocol")
+	}
+
+	// Seed 0 builds with seed 1.
+	s0, s1 := base, base
+	s0.Scenario.Workload.Seed = 0
+	s1.Scenario.Workload.Seed = 1
+	if s0.Hash() != s1.Hash() {
+		t.Error("seed 0 must hash like the default seed 1")
+	}
+
+	// Idle spellings at the same position are equivalent.
+	spelled := base
+	spelled.Scenario.Workload.Contenders = []string{" rsk:load ", "", "rsk:load"}
+	quoted := base
+	quoted.Scenario.Workload.Contenders = []string{"rsk:load", "idle", "rsk:load"}
+	if spelled.Hash() != quoted.Hash() {
+		t.Error("'' and 'idle' at the same position must hash identically")
+	}
+
+	// But the contender count is part of the hash even when the tail is
+	// idle: sim.Run rejects more than cores-1 contenders outright, so a
+	// padded list must not collide with the valid short one (a warm
+	// store would otherwise serve a scenario a cold run errors on).
+	trimmed := base
+	trimmed.Scenario.Workload.Contenders = []string{"rsk:load"}
+	padded := base
+	padded.Scenario.Workload.Contenders = []string{"rsk:load", "idle", "idle"}
+	if padded.Hash() == trimmed.Hash() {
+		t.Error("trailing idles change the contender count; hashes must differ")
+	}
+
+	// A leading idle shifts later contenders to other cores — a
+	// different measurement.
+	shifted := base
+	shifted.Scenario.Workload.Contenders = []string{"idle", "rsk:load"}
+	if shifted.Hash() == trimmed.Hash() {
+		t.Error("a leading idle places the contender on another core; hashes must differ")
+	}
+
+	// Platform overrides are byte-observable (they rename the platform),
+	// so spelling a default explicitly IS a different measurement.
+	arb := base
+	arb.Scenario.Platform.Arbiter = "rr"
+	if arb.Hash() == base.Hash() {
+		t.Error("explicit arbiter override changes the materialized platform name; hashes must differ")
+	}
+}
+
+func TestCompilePlan(t *testing.T) {
+	c, err := scenario.CompileGenerator("fig7", scenario.Params{"arch": "toy", "kmax": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Jobs) != 5 || len(c.JobHashes()) != 5 {
+		t.Fatalf("jobs=%d hashes=%d", len(c.Jobs), len(c.JobHashes()))
+	}
+	for i, h := range c.JobHashes() {
+		if h != c.Jobs[i].Hash() {
+			t.Errorf("job %d hash mismatch", i)
+		}
+		if len(h) != 64 {
+			t.Errorf("job %d hash %q is not sha256 hex", i, h)
+		}
+	}
+	c2, err := scenario.CompileGenerator("fig7", scenario.Params{"arch": "toy", "kmax": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash() != c2.Hash() {
+		t.Error("plan hash must be deterministic")
+	}
+	c3, err := scenario.CompileGenerator("fig7", scenario.Params{"arch": "toy", "kmax": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash() == c3.Hash() {
+		t.Error("different job lists must produce different plan hashes")
+	}
+
+	// The fig7 sweep and the derive sweep share their per-k jobs (the
+	// cross-scenario reuse the store is designed around): derive jobs
+	// 1..kmax are the fig7 jobs.
+	d, err := scenario.CompileGenerator("derive", scenario.Params{"arch": "toy", "kmax": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Jobs) != 6 {
+		t.Fatalf("derive jobs = %d", len(d.Jobs))
+	}
+	for i, h := range c.JobHashes() {
+		if d.JobHashes()[i+1] != h {
+			t.Errorf("derive job %d does not share the fig7 job hash", i+1)
+		}
+	}
+}
+
+func TestCheckResultSchema(t *testing.T) {
+	ok := []scenario.Result{{Schema: 0}, {Schema: scenario.ResultSchema}}
+	if err := scenario.CheckResultSchema(ok); err != nil {
+		t.Fatalf("compatible rows rejected: %v", err)
+	}
+	bad := []scenario.Result{{Schema: scenario.ResultSchema + 1}}
+	err := scenario.CheckResultSchema(bad)
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("newer schema not rejected: %v", err)
+	}
+}
+
+func TestReadResultsToleratesAbsentSchema(t *testing.T) {
+	// A pre-versioned archive row: no schema field at all.
+	rows := `{"i":0,"v":{"id":"old/k=1","cycles":100}}` + "\n"
+	rs, err := scenario.ReadResults(strings.NewReader(rows))
+	if err != nil {
+		t.Fatalf("pre-versioned row rejected: %v", err)
+	}
+	if len(rs) != 1 || rs[0].Schema != 0 || rs[0].Cycles != 100 {
+		t.Fatalf("decoded %+v", rs)
+	}
+	// A row from the future is refused.
+	future := `{"i":0,"v":{"schema":99,"id":"new/k=1","cycles":100}}` + "\n"
+	if _, err := scenario.ReadResults(strings.NewReader(future)); err == nil {
+		t.Fatal("future-schema row accepted")
+	}
+}

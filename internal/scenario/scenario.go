@@ -160,8 +160,10 @@ type Scenario struct {
 	Protocol Protocol     `json:"protocol,omitempty"`
 }
 
-// build materializes the platform and programs of the scenario.
-func (s Scenario) build() (sim.Config, sim.Workload, error) {
+// Build materializes the scenario: the validated platform configuration
+// and the per-core programs, ready for sim.Run. Construction only — no
+// simulation happens here.
+func (s Scenario) Build() (sim.Config, sim.Workload, error) {
 	cfg, err := s.Platform.Build()
 	if err != nil {
 		return sim.Config{}, sim.Workload{}, err
@@ -211,6 +213,10 @@ func contenderCore(scuaCore, i int) int {
 // fields the methodology and the figures consume, plus the isolation
 // pairing when the job requested one.
 type Result struct {
+	// Schema versions the row format (see ResultSchema). Readers
+	// tolerate its absence — rows from pre-versioned archives decode as
+	// 0 — and reject rows newer than they understand.
+	Schema int `json:"schema,omitempty"`
 	// ID names the job ("fig7a/ref/k=12").
 	ID string `json:"id,omitempty"`
 	// Platform echoes the materialized platform name; Cores its core
@@ -256,16 +262,28 @@ type Job struct {
 // Run executes the job: the scenario's run, plus the isolation pairing
 // when requested.
 func (j Job) Run() (Result, error) {
-	cfg, w, err := j.Scenario.build()
+	res, _, _, err := j.RunFull()
+	return res, err
+}
+
+// RunFull is Run, additionally returning the contended run's complete
+// Measurement — the PMC snapshot, cache and DRAM counters the Result row
+// does not retain — and the built workload (program names for report
+// headers). Single-run tooling (rrbus-sim) uses it to print the full
+// platform detail from one build while still emitting the
+// self-describing row.
+func (j Job) RunFull() (Result, *sim.Measurement, sim.Workload, error) {
+	cfg, w, err := j.Scenario.Build()
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, sim.Workload{}, err
 	}
 	opts := j.Scenario.Protocol.opts()
 	m, err := sim.Run(cfg, w, opts)
 	if err != nil {
-		return Result{}, fmt.Errorf("job %q: %w", j.ID, err)
+		return Result{}, nil, sim.Workload{}, fmt.Errorf("job %q: %w", j.ID, err)
 	}
 	res := Result{
+		Schema:      ResultSchema,
 		ID:          j.ID,
 		Platform:    cfg.Name,
 		Cores:       cfg.Cores,
@@ -285,12 +303,12 @@ func (j Job) Run() (Result, error) {
 	if j.Isolation {
 		isol, err := sim.RunIsolation(cfg, w.Scua, opts)
 		if err != nil {
-			return Result{}, fmt.Errorf("job %q isolation: %w", j.ID, err)
+			return Result{}, nil, sim.Workload{}, fmt.Errorf("job %q isolation: %w", j.ID, err)
 		}
 		res.IsolationCycles = isol.Cycles
 		res.Slowdown = int64(m.Cycles) - int64(isol.Cycles)
 	}
-	return res, nil
+	return res, m, w, nil
 }
 
 func trimZeros(h []uint64) []uint64 {
@@ -382,25 +400,6 @@ func Stream(jobs []Job, shard exp.Shard, sink exp.Sink[Result]) error {
 	}, sink)
 }
 
-// StreamToFile streams this shard's share of the jobs as JSONL rows to
-// path ("-" = stdout) — the shared sharded-output path of the CLIs.
-func StreamToFile(jobs []Job, shard exp.Shard, path string) error {
-	w := os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	sink := exp.NewJSONLSink[Result](w)
-	if err := Stream(jobs, shard, sink); err != nil {
-		return err
-	}
-	return sink.Flush()
-}
-
 // SamePath reports whether two paths refer to the same file: same
 // cleaned absolute path, or same inode when both exist (symlinks, hard
 // links). The CLIs use it to refuse a merge -out that aliases one of the
@@ -416,8 +415,8 @@ func SamePath(a, b string) bool {
 	return errA == nil && errB == nil && os.SameFile(sa, sb)
 }
 
-// MergeFiles recombines shard JSONL files (each written by StreamToFile
-// for a disjoint shard of one job list) into w — nil discards the merged
+// MergeFiles recombines shard JSONL files (each streamed by a sharded
+// session for a disjoint shard of one job list) into w — nil discards the merged
 // bytes — and returns the decoded rows in job order, in one pass.
 // exp.MergeJSONL enforces byte-identity with an unsharded run (sorted
 // inputs, contiguous indices from 0); callers that know the expected job
@@ -439,7 +438,14 @@ func MergeFiles(w io.Writer, files []string) (idx []int, results []Result, err e
 		dst = io.MultiWriter(w, pw)
 	}
 	go func() { pw.CloseWithError(exp.MergeJSONL(dst, readers...)) }()
-	return exp.ReadJSONL[Result](pr)
+	idx, results, err = exp.ReadJSONL[Result](pr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := CheckResultSchema(results); err != nil {
+		return nil, nil, err
+	}
+	return idx, results, nil
 }
 
 // ReadResults decodes a complete (unsharded or merged) JSONL results
@@ -459,7 +465,37 @@ func ReadResults(r io.Reader) ([]Result, error) {
 			return nil, fmt.Errorf("scenario: results row %d has job index %d — a shard file rather than a merged run?", i, got)
 		}
 	}
+	if err := CheckResultSchema(results); err != nil {
+		return nil, err
+	}
 	return results, nil
+}
+
+// WriteResults writes results as the JSONL row stream a streaming run
+// produces: row i carries job index i. It is the batch-collecting
+// counterpart of the streaming sinks — rrbus-sim uses it so a single
+// run's row is indistinguishable from a one-job batch's.
+func WriteResults(w io.Writer, rs []Result) error {
+	sink := exp.NewJSONLSink[Result](w)
+	for i, r := range rs {
+		if err := sink.Emit(i, r); err != nil {
+			return err
+		}
+	}
+	return sink.Flush()
+}
+
+// WriteResultsFile writes results as a JSONL file (see WriteResults).
+func WriteResultsFile(path string, rs []Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteResults(f, rs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // ReadResultsFile reads a complete JSONL results file (see ReadResults).

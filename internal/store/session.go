@@ -1,0 +1,125 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"rrbus/internal/exp"
+	"rrbus/internal/scenario"
+)
+
+// Session is the Run stage of the Plan→Run→Store→Render pipeline: it
+// executes a compiled plan's jobs on the experiment engine's streaming
+// worker pool, serving any job whose content hash already has a recorded
+// row from the Store instead of simulating it. Results are delivered to
+// the sink in job-index order either way, so a store-served stream is
+// byte-identical to a freshly simulated one — repeated sweeps, and new
+// plans that overlap old ones, simulate only the delta.
+//
+// The zero value is a valid session: no store (every job simulates),
+// default worker count, unsharded.
+type Session struct {
+	// Store serves recorded rows and receives fresh ones; nil disables
+	// reuse. If the store also implements PlanRecorder, every plan the
+	// session runs is recorded in it.
+	Store Store
+	// Workers bounds the simulation goroutines (0 = the engine default,
+	// exp.Workers()). Output is identical for any value.
+	Workers int
+	// Shard selects this machine's share of the jobs (the zero Shard
+	// runs them all).
+	Shard exp.Shard
+
+	simulated atomic.Int64
+	hits      atomic.Int64
+}
+
+// Run streams the session's share of the plan's jobs to sink in job
+// order. Jobs found in the store are served without simulating; fresh
+// results are recorded into the store as they are emitted.
+func (s *Session) Run(c *scenario.Compiled, sink exp.Sink[scenario.Result]) error {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = exp.Workers()
+	}
+	var lookup func(i int) (scenario.Result, bool, error)
+	var save func(i int, r scenario.Result) error
+	if s.Store != nil {
+		if pr, ok := s.Store.(PlanRecorder); ok {
+			if err := pr.PutPlan(c); err != nil {
+				return err
+			}
+		}
+		hashes := c.JobHashes()
+		lookup = func(i int) (scenario.Result, bool, error) {
+			r, ok, err := s.Store.Get(hashes[i])
+			if err != nil {
+				return r, false, fmt.Errorf("job %q: %w", c.Jobs[i].ID, err)
+			}
+			if ok {
+				// Stored rows are content-addressed and carry no ID;
+				// relabel with this plan's job ID so a served row is
+				// indistinguishable from a fresh one.
+				r.ID = c.Jobs[i].ID
+				s.hits.Add(1)
+			}
+			return r, ok, nil
+		}
+		save = func(i int, r scenario.Result) error {
+			return s.Store.Put(hashes[i], r)
+		}
+	}
+	run := func(i int) (scenario.Result, error) {
+		s.simulated.Add(1)
+		return c.Jobs[i].Run()
+	}
+	return exp.StreamShardCached(s.Shard, workers, len(c.Jobs), lookup, run, save, sink)
+}
+
+// RunAll runs the full plan and collects the results in job order. It
+// refuses a sharded session: a collected shard is missing rows by
+// construction, and every renderer needs the complete series — stream
+// shards to a file with RunToFile and merge instead.
+func (s *Session) RunAll(c *scenario.Compiled) ([]scenario.Result, error) {
+	if !s.Shard.All() {
+		return nil, fmt.Errorf("store: RunAll on shard %s would collect a partial series; use RunToFile and merge", s.Shard)
+	}
+	out := make([]scenario.Result, 0, len(c.Jobs))
+	err := s.Run(c, exp.SinkFunc[scenario.Result](func(_ int, r scenario.Result) error {
+		out = append(out, r)
+		return nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunToFile streams the session's share of the plan's jobs as JSONL rows
+// to path ("-" = stdout) — the sharded-output path of the CLIs, now
+// store-aware.
+func (s *Session) RunToFile(c *scenario.Compiled, path string) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	sink := exp.NewJSONLSink[scenario.Result](w)
+	if err := s.Run(c, sink); err != nil {
+		return err
+	}
+	return sink.Flush()
+}
+
+// Simulated reports how many jobs this session actually simulated,
+// accumulated across Run calls. A warm re-run of a fully recorded plan
+// reports 0 — the property the CI cache-reuse smoke asserts.
+func (s *Session) Simulated() int64 { return s.simulated.Load() }
+
+// StoreHits reports how many jobs were served from the store.
+func (s *Session) StoreHits() int64 { return s.hits.Load() }

@@ -1,0 +1,304 @@
+// Package store is the content-addressed results store of the
+// Plan→Run→Store→Render pipeline: recorded scenario.Result rows keyed by
+// the content hash of the job that measured them (scenario.Job.Hash),
+// plus per-plan manifests keyed by the plan hash.
+//
+// The store is what turns measurements from a transient byproduct into
+// the asset the methodology is built around ("measure once, derive
+// bounds with confidence"): a Session consults it before simulating, so
+// a repeated sweep — or a different plan whose jobs overlap a previous
+// one, like a derivation sweep over a k range a figure already measured —
+// simulates only the delta while rendering byte-identical output.
+//
+// Two implementations ship: Mem (per-process, for pipelines and tests)
+// and Dir (a directory of integrity-checked entry files, shareable
+// across runs and machines). Both are content-addressed: a stored row's
+// ID is cleared on Put — labeling belongs to the plan replaying the row,
+// not to the measurement — and callers relabel on Get.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"rrbus/internal/scenario"
+)
+
+// Store holds recorded measurement rows keyed by job content hash.
+type Store interface {
+	// Get returns the row recorded under a job hash. A missing entry is
+	// (zero, false, nil); a present-but-unreadable entry (corruption,
+	// incompatible schema) is an error — serving a damaged row as a miss
+	// would silently re-simulate, and serving it as a hit would derive a
+	// wrong bound.
+	Get(jobHash string) (scenario.Result, bool, error)
+	// Put records a row under a job hash, clearing its ID first (the
+	// store is content-addressed; see the package comment). Recording
+	// the same hash again overwrites — rows are deterministic functions
+	// of the job, so any honest writer stores the same bytes.
+	Put(jobHash string, r scenario.Result) error
+}
+
+// PlanRecorder is optionally implemented by stores that additionally
+// index plans: a manifest per plan hash, recording which job hashes the
+// plan expands to. Sessions record every plan they run, so a store
+// doubles as an audit log of the sweeps that filled it.
+type PlanRecorder interface {
+	PutPlan(c *scenario.Compiled) error
+}
+
+// normalize strips the labeling and pins the schema of a row about to be
+// stored.
+func normalize(r scenario.Result) scenario.Result {
+	r.ID = ""
+	if r.Schema == 0 {
+		r.Schema = scenario.ResultSchema
+	}
+	return r
+}
+
+// Mem is an in-process Store: a map guarded by a mutex. The zero value
+// is not usable; call NewMem.
+type Mem struct {
+	mu   sync.RWMutex
+	rows map[string]scenario.Result
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{rows: map[string]scenario.Result{}} }
+
+// Get implements Store.
+func (m *Mem) Get(jobHash string) (scenario.Result, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r, ok := m.rows[jobHash]
+	return r, ok, nil
+}
+
+// Put implements Store. The row's slices (histograms, trace) are stored
+// by reference; callers must not mutate them after Put.
+func (m *Mem) Put(jobHash string, r scenario.Result) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rows[jobHash] = normalize(r)
+	return nil
+}
+
+// Len reports the number of stored rows.
+func (m *Mem) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.rows)
+}
+
+// entry is the on-disk envelope of one stored row: the row bytes plus
+// enough redundancy to verify them on read. Sum covers the job hash and
+// the row bytes together, so a bit flip anywhere — the row, the sum, the
+// hash, or an entry filed under the wrong name — fails verification.
+type entry struct {
+	Schema int             `json:"schema"`
+	Hash   string          `json:"hash"`
+	Sum    string          `json:"sum"`
+	Result json.RawMessage `json:"result"`
+}
+
+// planManifest is the on-disk record of one plan: its identity and the
+// job hashes it expands to, in job order.
+type planManifest struct {
+	Schema    int      `json:"schema"`
+	Name      string   `json:"name,omitempty"`
+	Generator string   `json:"generator,omitempty"`
+	Hash      string   `json:"hash"`
+	Jobs      []string `json:"jobs"`
+}
+
+// sumOf is the integrity checksum of a stored row: sha256 over the job
+// hash and the row's canonical bytes.
+func sumOf(jobHash string, row []byte) string {
+	h := sha256.New()
+	h.Write([]byte(jobHash))
+	h.Write([]byte{'\n'})
+	h.Write(row)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Dir is a directory-backed Store:
+//
+//	<root>/jobs/<hh>/<hash>.json    one integrity-checked entry per row
+//	<root>/plans/<hash>.json        one manifest per recorded plan
+//
+// Entries are written atomically (temp file + rename), so concurrent
+// sessions — even separate processes sharding one sweep — can share a
+// root; at worst two writers race to create the identical entry.
+type Dir struct {
+	root string
+}
+
+// OpenDir opens (creating if needed) a directory store rooted at root.
+func OpenDir(root string) (*Dir, error) {
+	for _, sub := range []string{"jobs", "plans"} {
+		if err := os.MkdirAll(filepath.Join(root, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Dir{root: root}, nil
+}
+
+// Root returns the store's directory.
+func (d *Dir) Root() string { return d.root }
+
+func (d *Dir) jobPath(jobHash string) string {
+	prefix := jobHash
+	if len(prefix) > 2 {
+		prefix = prefix[:2]
+	}
+	return filepath.Join(d.root, "jobs", prefix, jobHash+".json")
+}
+
+// Get implements Store, verifying the entry's integrity before trusting
+// it: the envelope must parse, carry a readable schema, be filed under
+// its own hash, and its checksum must match the stored row bytes.
+func (d *Dir) Get(jobHash string) (scenario.Result, bool, error) {
+	var zero scenario.Result
+	data, err := os.ReadFile(d.jobPath(jobHash))
+	if errors.Is(err, fs.ErrNotExist) {
+		return zero, false, nil
+	}
+	if err != nil {
+		return zero, false, fmt.Errorf("store: %w", err)
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return zero, false, fmt.Errorf("store: %s: integrity: entry does not parse: %v", jobHash, err)
+	}
+	if e.Schema > scenario.ResultSchema {
+		return zero, false, fmt.Errorf("store: %s: entry schema %d but this build reads <= %d — store written by a newer version?",
+			jobHash, e.Schema, scenario.ResultSchema)
+	}
+	if e.Hash != jobHash {
+		return zero, false, fmt.Errorf("store: %s: integrity: entry claims hash %s", jobHash, e.Hash)
+	}
+	if got := sumOf(jobHash, e.Result); got != e.Sum {
+		return zero, false, fmt.Errorf("store: %s: integrity: checksum mismatch (stored %s, computed %s) — corrupted entry", jobHash, e.Sum, got)
+	}
+	var r scenario.Result
+	if err := json.Unmarshal(e.Result, &r); err != nil {
+		return zero, false, fmt.Errorf("store: %s: integrity: row does not parse: %v", jobHash, err)
+	}
+	if r.Schema > scenario.ResultSchema {
+		return zero, false, fmt.Errorf("store: %s: row schema %d but this build reads <= %d", jobHash, r.Schema, scenario.ResultSchema)
+	}
+	return r, true, nil
+}
+
+// Put implements Store.
+func (d *Dir) Put(jobHash string, r scenario.Result) error {
+	row, err := json.Marshal(normalize(r))
+	if err != nil {
+		return fmt.Errorf("store: marshal row %s: %w", jobHash, err)
+	}
+	e := entry{
+		Schema: scenario.ResultSchema,
+		Hash:   jobHash,
+		Sum:    sumOf(jobHash, row),
+		Result: row,
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: marshal entry %s: %w", jobHash, err)
+	}
+	return d.writeAtomic(d.jobPath(jobHash), append(data, '\n'))
+}
+
+// PutPlan implements PlanRecorder.
+func (d *Dir) PutPlan(c *scenario.Compiled) error {
+	m := planManifest{
+		Schema:    scenario.ResultSchema,
+		Name:      c.Name(),
+		Generator: c.Generator(),
+		Hash:      c.Hash(),
+		Jobs:      c.JobHashes(),
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal plan %s: %w", c.Hash(), err)
+	}
+	return d.writeAtomic(filepath.Join(d.root, "plans", c.Hash()+".json"), append(data, '\n'))
+}
+
+// Plans lists the plan hashes recorded in the store, in lexical order.
+func (d *Dir) Plans() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(d.root, "plans"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []string
+	for _, e := range ents {
+		if name, ok := strings.CutSuffix(e.Name(), ".json"); ok && name != "" {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
+
+// Len reports the number of stored rows (a directory walk; diagnostics
+// and tests, not hot paths).
+func (d *Dir) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(filepath.Join(d.root, "jobs"), func(_ string, de fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !de.IsDir() {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	return n, nil
+}
+
+// writeAtomic writes data to path via a temp file in the same directory
+// plus a rename, so readers never observe a half-written entry.
+func (d *Dir) writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// CreateTemp creates 0600; the store is documented as shareable
+	// across users and processes, so widen to the usual 0644 (the
+	// process umask still applies at the OS level for stricter setups).
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -141,6 +141,10 @@ func NaiveUBDM(cfg Config, t Op) (*NaiveResult, error) {
 	return core.NaiveUBDM(r, t)
 }
 
+// NaiveUBDMFor measures the naive det/nr estimate on an existing Runner
+// (reusing the runner a derivation already built).
+func NaiveUBDMFor(r Runner, t Op) (*NaiveResult, error) { return core.NaiveUBDM(r, t) }
+
 // Run executes a workload on cfg and measures the scua.
 func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) { return sim.Run(cfg, w, opt) }
 

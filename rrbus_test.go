@@ -1,6 +1,7 @@
 package rrbus_test
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -198,6 +199,100 @@ func TestFacadeETBWorkflow(t *testing.T) {
 	rep.Validations[task.Name] = []rrbus.Validation{v}
 	if !rep.AllHold() || !strings.Contains(rep.String(), "tblook") {
 		t.Error("report assembly failed")
+	}
+}
+
+// TestFacadePipeline exercises the public Plan→Run→Store→Render
+// pipeline end to end: compile a plan, run it cold through a
+// directory-backed store, re-run warm (zero simulations), render both
+// byte-identically, round-trip the rows through a JSONL file, and reuse
+// the recorded rows from an overlapping derivation plan.
+func TestFacadePipeline(t *testing.T) {
+	plan, err := rrbus.GeneratorPlan("fig7", rrbus.Params{"arch": "toy", "kmax": 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Jobs) != 14 || len(plan.JobHashes()) != 14 || plan.Hash() == "" {
+		t.Fatalf("compiled plan: %d jobs, %d hashes", len(plan.Jobs), len(plan.JobHashes()))
+	}
+
+	st, err := rrbus.OpenDirStore(filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := &rrbus.Session{Store: st}
+	coldResults, err := cold.RunAll(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Simulated() != 14 || cold.StoreHits() != 0 {
+		t.Errorf("cold: simulated=%d hits=%d", cold.Simulated(), cold.StoreHits())
+	}
+	coldText, err := rrbus.Render(plan, coldResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := &rrbus.Session{Store: st}
+	warmResults, err := warm.RunAll(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Simulated() != 0 || warm.StoreHits() != 14 {
+		t.Errorf("warm: simulated=%d hits=%d", warm.Simulated(), warm.StoreHits())
+	}
+	warmText, err := rrbus.Render(plan, warmResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmText != coldText {
+		t.Error("warm render differs from cold render")
+	}
+
+	// Rows round-trip through a JSONL file and re-render identically.
+	path := filepath.Join(t.TempDir(), "rows.jsonl")
+	if err := rrbus.WriteResultsFile(path, coldResults); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := rrbus.ReadResultsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rrbus.CheckResults(plan, replayed); err != nil {
+		t.Fatal(err)
+	}
+	replayText, err := rrbus.Render(plan, replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayText != coldText {
+		t.Error("replayed render differs from live render")
+	}
+
+	// An overlapping derivation plan reuses the recorded k jobs and
+	// simulates only the δnop calibration.
+	derive, err := rrbus.GeneratorPlan("derive", rrbus.Params{"arch": "toy", "kmax": 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := &rrbus.Session{Store: st}
+	deriveResults, err := overlap.RunAll(derive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlap.Simulated() != 1 || overlap.StoreHits() != 14 {
+		t.Errorf("overlap: simulated=%d hits=%d", overlap.Simulated(), overlap.StoreHits())
+	}
+	d, err := rrbus.DeriveFromResults(derive, deriveResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Err != nil {
+		t.Fatalf("derivation from store-served rows failed: %v", d.Err)
+	}
+	if d.Res.UBDm != 6 {
+		t.Errorf("derived ubdm = %d from store-served rows, want 6 (toy)", d.Res.UBDm)
 	}
 }
 
