@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -132,6 +133,14 @@ func main() {
 		// excluded from the -compare regression gate.
 		{"fig7-store-warm", warmStoreBench()},
 	}
+	// The render-path microbenchmarks: Document build plus one backend
+	// encode over a fig7-sized recorded result set, 100 rounds per timed
+	// run so the sub-millisecond path registers. Wall-time only, so
+	// backend work is trend-tracked in BENCH_sim.json without entering
+	// the simcycles/s regression gate.
+	for _, rb := range renderBenches() {
+		benchmarks = append(benchmarks, rb)
+	}
 
 	for _, b := range benchmarks {
 		best := result{Name: b.name, WallNanos: 1<<63 - 1}
@@ -231,6 +240,54 @@ func warmStoreBench() func() (uint64, error) {
 		}
 		return 0, nil
 	}
+}
+
+// renderBenches builds the render-doc-{text,html,json} benchmarks. The
+// fig7-sized result set is measured once here, at construction — outside
+// every timed region — so the benchmarks time only Document build +
+// backend encode.
+func renderBenches() []struct {
+	name string
+	run  func() (simCycles uint64, err error)
+} {
+	type bench = struct {
+		name string
+		run  func() (simCycles uint64, err error)
+	}
+	failAll := func(err error) []bench {
+		f := func() (uint64, error) { return 0, err }
+		return []bench{{"render-doc-text", f}, {"render-doc-html", f}, {"render-doc-json", f}}
+	}
+	plan, err := rrbus.GeneratorPlan("fig7", rrbus.Params{"arch": "ref", "type": "load", "kmax": 40, "iters": 10})
+	if err != nil {
+		return failAll(err)
+	}
+	sess := &rrbus.Session{}
+	results, err := sess.RunAll(plan)
+	if err != nil {
+		return failAll(err)
+	}
+	const rounds = 100
+	out := make([]bench, 0, 3)
+	for _, name := range rrbus.Backends() {
+		backend, err := rrbus.BackendByName(name)
+		if err != nil {
+			return failAll(err)
+		}
+		out = append(out, bench{"render-doc-" + name, func() (uint64, error) {
+			for i := 0; i < rounds; i++ {
+				doc, err := rrbus.DocumentFor(plan, results)
+				if err != nil {
+					return 0, err
+				}
+				if err := rrbus.RenderTo(io.Discard, doc, backend); err != nil {
+					return 0, err
+				}
+			}
+			return 0, nil
+		}})
+	}
+	return out
 }
 
 // loadBaseline reads a previously written report file.

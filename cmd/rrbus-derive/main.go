@@ -24,6 +24,7 @@
 //	rrbus-derive -scenario derive.json -shard 0/2 -out shard0.jsonl
 //	rrbus-derive -scenario derive.json -merge shard0.jsonl shard1.jsonl
 //	rrbus-derive -scenario derive.json -from merged.jsonl
+//	rrbus-derive -scenario derive.json -format html > derive.html
 package main
 
 import (
@@ -68,16 +69,30 @@ func main() {
 	merge := flag.Bool("merge", false, "merge mode: recombine shard JSONL files (args), then detect the period over the merged series")
 	from := flag.String("from", "", "replay mode: re-derive from this recorded JSONL results file instead of simulating")
 	storeDir := flag.String("store", "", "content-addressed results store directory: serve recorded jobs, record fresh ones (needs -scenario)")
+	format := flag.String("format", "text", "render backend for the scenario derivation report: text, html or json (needs -scenario)")
 	flag.Parse()
 	rrbus.SetWorkers(*workers)
+	backend, err := rrbus.BackendByName(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-derive:", err)
+		os.Exit(2)
+	}
+	if *jsonOut && *format != "text" {
+		fmt.Fprintln(os.Stderr, "rrbus-derive: -json is the classic flat report; -format renders the document — use one or the other")
+		os.Exit(2)
+	}
 
 	if *scenarioFile != "" || *merge {
 		rejectWithScenario("rrbus-derive", "arch", "type", "cores", "transfer", "l2hit", "kmin", "kmax")
-		runScenario(*scenarioFile, *shardSpec, *out, *from, *storeDir, *merge, *jsonOut, *series, flag.Args())
+		runScenario(*scenarioFile, *shardSpec, *out, *from, *storeDir, *merge, *jsonOut, *series, backend, flag.Args())
 		return
 	}
 	if *shardSpec != "" || *out != "" || *from != "" || *storeDir != "" {
 		fmt.Fprintln(os.Stderr, "rrbus-derive: -shard/-out/-from/-store need -scenario")
+		os.Exit(2)
+	}
+	if *format != "text" {
+		fmt.Fprintln(os.Stderr, "rrbus-derive: -format needs -scenario (the classic path prints the flat report; use -json for machine output)")
 		os.Exit(2)
 	}
 
@@ -147,7 +162,7 @@ func main() {
 // every case the detection half (DeriveFromResults) runs over recorded
 // results only. -json/-series apply to the detection report exactly as
 // on the classic path.
-func runScenario(path, shardSpec, out, from, storeDir string, merge, jsonOut, series bool, args []string) {
+func runScenario(path, shardSpec, out, from, storeDir string, merge, jsonOut, series bool, backend rrbus.Backend, args []string) {
 	if path == "" {
 		fail(fmt.Errorf("-merge needs -scenario (the plan defines the k range and platform)"))
 	}
@@ -208,7 +223,7 @@ func runScenario(path, shardSpec, out, from, storeDir string, merge, jsonOut, se
 		fail(err)
 	}
 
-	deriveFromResults(plan, results, jsonOut, series)
+	deriveFromResults(plan, results, jsonOut, series, backend)
 }
 
 // reportStore prints the session's reuse accounting to stderr.
@@ -255,7 +270,7 @@ func mergeResults(plan *rrbus.Plan, files []string, out string) []rrbus.Result {
 // and rrbus-figures render a recording identically), or the classic
 // -json shape. The naive det/nr baseline is omitted: it needs
 // measurements the sweep does not take.
-func deriveFromResults(plan *rrbus.Plan, results []rrbus.Result, jsonOut, series bool) {
+func deriveFromResults(plan *rrbus.Plan, results []rrbus.Result, jsonOut, series bool, backend rrbus.Backend) {
 	d, err := rrbus.DeriveFromResults(plan, results)
 	fail(err)
 
@@ -273,9 +288,9 @@ func deriveFromResults(plan *rrbus.Plan, results []rrbus.Result, jsonOut, series
 		return
 	}
 
-	text, err := rrbus.Render(plan, results)
+	doc, err := rrbus.DocumentFor(plan, results)
 	fail(err)
-	fmt.Print(text)
+	fail(rrbus.RenderTo(os.Stdout, doc, backend))
 	if d.Err != nil {
 		os.Exit(1)
 	}

@@ -1,10 +1,12 @@
 // Command rrbus-figures regenerates the paper's figures and prints them
-// as terminal tables/plots. It is a thin caller of the library's public
-// Plan→Run→Store→Render pipeline: a figure name or scenario file compiles
-// to a content-addressed Plan, a Session runs its jobs (serving any job
-// the results store has already recorded instead of re-simulating it),
-// and a Render pass rebuilds the figure text from the recorded rows
-// alone:
+// as terminal tables/plots, HTML pages or JSON documents. It is a thin
+// caller of the library's public Plan→Run→Store→Document→Backend
+// pipeline: a figure name or scenario file compiles to a
+// content-addressed Plan, a Session runs its jobs (serving any job the
+// results store has already recorded instead of re-simulating it), a
+// Render pass rebuilds the figure as a typed Document from the recorded
+// rows alone, and a Backend encodes the Document in the -format of your
+// choice:
 //
 //   - -fig runs the named figure's generator live and renders it;
 //   - -scenario runs a declarative scenario file (optionally sharded
@@ -15,20 +17,27 @@
 //     byte-identical output;
 //   - -from replays a recorded JSONL results file through the same
 //     renderer, byte-identical to the live run — simulate once,
-//     analyze forever.
+//     analyze forever;
+//   - -format selects the backend: text (default, byte-identical to the
+//     classic output), html (self-contained page with inline SVG
+//     timelines and sweep charts) or json (schema-versioned document);
+//   - -doc re-renders a saved JSON document through any backend without
+//     touching the original results.
 //
 // Usage:
 //
 //	rrbus-figures -fig all
 //	rrbus-figures -fig 7a -kmax 60 -iters 2000
 //	rrbus-figures -fig 6a -count 8 -seed 1
+//	rrbus-figures -fig 7b -format html > fig7b.html
 //	rrbus-figures -scenario examples/scenarios/wrr.json
 //	rrbus-figures -scenario sweep.json -store results/   # cold: simulates
 //	rrbus-figures -scenario sweep.json -store results/   # warm: serves
 //	rrbus-figures -scenario sweep.json -shard 0/2 -out shard0.jsonl
 //	rrbus-figures -merge -out merged.jsonl shard0.jsonl shard1.jsonl
 //	rrbus-figures -scenario sweep.json -from merged.jsonl   # replay
-//	rrbus-figures -fig 6b -from fig6b.jsonl                 # replay
+//	rrbus-figures -scenario sweep.json -format json > doc.json
+//	rrbus-figures -doc doc.json -format html > page.html
 //
 // Figures: 2, 3, 4, 5, 6a, 6b, 7a, 7b, table, abl-arb, abl-dnop,
 // abl-scaling.
@@ -56,10 +65,30 @@ func main() {
 	merge := flag.Bool("merge", false, "merge mode: recombine shard JSONL files (args) into -out and render")
 	from := flag.String("from", "", "replay mode: render from this recorded JSONL results file instead of simulating")
 	storeDir := flag.String("store", "", "content-addressed results store directory: serve recorded jobs, record fresh ones")
+	format := flag.String("format", "text", "render backend: text, html or json")
+	docFile := flag.String("doc", "", "re-render this saved JSON document through -format (no simulation, no scenario)")
 	flag.Parse()
 	rrbus.SetWorkers(*workers)
-	st := openStore(*storeDir)
+	backend, err := rrbus.BackendByName(*format)
+	fail(err)
 
+	if *docFile != "" {
+		// Reject conflicting modes before touching the filesystem:
+		// openStore would create the -store directory tree even though
+		// the invocation is about to be refused.
+		if *scenarioFile != "" || *merge || *from != "" || *storeDir != "" || *out != "" || *shardSpec != "" {
+			fail(fmt.Errorf("-doc re-renders a saved document; it cannot be combined with -scenario/-merge/-from/-store/-out/-shard"))
+		}
+		rejectWithScenario("rrbus-figures", "fig", "kmax", "iters", "count", "seed")
+		f, err := os.Open(*docFile)
+		fail(err)
+		doc, err := rrbus.DecodeDocument(f)
+		f.Close()
+		fail(err)
+		fail(rrbus.RenderTo(os.Stdout, doc, backend))
+		return
+	}
+	st := openStore(*storeDir)
 	if *merge || *scenarioFile != "" {
 		rejectWithScenario("rrbus-figures", "fig", "kmax", "iters", "count", "seed")
 	}
@@ -67,11 +96,11 @@ func main() {
 		if *from != "" {
 			fail(fmt.Errorf("-from replays one complete file; -merge recombines shards — use one or the other"))
 		}
-		mergeShards(*out, *scenarioFile, st, flag.Args())
+		mergeShards(*out, *scenarioFile, st, backend, flag.Args())
 		return
 	}
 	if *scenarioFile != "" {
-		runScenario(*scenarioFile, *shardSpec, *out, *from, st)
+		runScenario(*scenarioFile, *shardSpec, *out, *from, st, backend)
 		return
 	}
 	if *shardSpec != "" || *out != "" {
@@ -104,6 +133,11 @@ func main() {
 		{"abl-scaling", "abl-scaling", nil},
 	}
 
+	// Multiple figures combine into ONE document rendered once at the
+	// end: text concatenates block-sequentially (bytes unchanged vs.
+	// per-figure printing), while html stays a single valid page and
+	// json a single decodable document.
+	combined := &rrbus.Document{Title: "rrbus figures"}
 	did := false
 	for _, s := range specs {
 		if *fig != "all" && *fig != s.name {
@@ -118,7 +152,7 @@ func main() {
 			fail(err)
 			rows, err := rrbus.Summary(ref, vr)
 			fail(err)
-			fmt.Printf("== Headline summary: derived vs naive vs actual ==\n%s\n", rrbus.RenderSummary(rows))
+			appendDoc(combined, *fig, rrbus.SummaryDocument(rows))
 			continue
 		}
 		if *from != "" && *fig == "all" {
@@ -131,15 +165,27 @@ func main() {
 		fail(err)
 		results, err := obtainResults(plan, st, *from)
 		fail(err)
-		text, err := rrbus.Render(plan, results)
+		doc, err := rrbus.DocumentFor(plan, results)
 		fail(err)
-		fmt.Print(text)
+		appendDoc(combined, *fig, doc)
 	}
 	if !did {
 		fmt.Fprintf(os.Stderr, "rrbus-figures: unknown figure %q\n", *fig)
 		flag.Usage()
 		os.Exit(2)
 	}
+	fail(rrbus.RenderTo(os.Stdout, combined, backend))
+}
+
+// appendDoc folds one figure's document into the combined output. A
+// single -fig run keeps the figure's own title and generator labeling;
+// -fig all keeps the combined document's.
+func appendDoc(combined *rrbus.Document, fig string, doc *rrbus.Document) {
+	if fig != "all" {
+		combined.Title = doc.Title
+		combined.Generator = doc.Generator
+	}
+	combined.Add(doc.Blocks...)
 }
 
 // openStore opens the results store named by -store ("" = none).
@@ -177,7 +223,7 @@ func obtainResults(plan *rrbus.Plan, st rrbus.Store, path string) ([]rrbus.Resul
 // runScenario compiles a scenario file and either streams this shard's
 // share of its jobs as JSONL to -out, or renders the plan's figure from
 // results — run through the session, or replayed from -from.
-func runScenario(path, shardSpec, out, from string, st rrbus.Store) {
+func runScenario(path, shardSpec, out, from string, st rrbus.Store, backend rrbus.Backend) {
 	plan, err := rrbus.LoadPlan(path)
 	fail(err)
 	shard, err := rrbus.ParseShard(shardSpec)
@@ -189,7 +235,7 @@ func runScenario(path, shardSpec, out, from string, st rrbus.Store) {
 		}
 		results, err := rrbus.ReadResultsFile(from)
 		fail(err)
-		renderPlan(plan, path, results)
+		renderPlan(plan, path, results, backend)
 		return
 	}
 	if out == "" {
@@ -200,7 +246,7 @@ func runScenario(path, shardSpec, out, from string, st rrbus.Store) {
 		results, err := sess.RunAll(plan)
 		reportStore(sess, st)
 		fail(err)
-		renderPlan(plan, path, results)
+		renderPlan(plan, path, results, backend)
 		return
 	}
 
@@ -211,20 +257,27 @@ func runScenario(path, shardSpec, out, from string, st rrbus.Store) {
 }
 
 // renderPlan renders a plan's recorded results: the generator's figure
-// renderer when one exists, the generic results table otherwise. Live
-// runs, store-served runs, -from replays and -merge all funnel through
-// here, which is what makes their output byte-identical.
-func renderPlan(plan *rrbus.Plan, path string, results []rrbus.Result) {
-	text, err := rrbus.Render(plan, results)
+// renderer when one exists, the generic results table (behind a
+// scenario heading) otherwise. Live runs, store-served runs, -from
+// replays and -merge all funnel through here, which is what makes their
+// output byte-identical.
+func renderPlan(plan *rrbus.Plan, path string, results []rrbus.Result, backend rrbus.Backend) {
+	doc, err := rrbus.DocumentFor(plan, results)
 	fail(err)
 	if !rrbus.HasRenderer(plan.Generator()) {
+		if gen := plan.Generator(); gen != "" {
+			// A figure-shaped plan quietly degrading to the generic table
+			// would be indistinguishable from the intended rendering;
+			// name the fallback.
+			fmt.Fprintf(os.Stderr, "rrbus-figures: note: generator %q has no figure renderer; rendering the generic results table\n", gen)
+		}
 		name := plan.Name()
 		if plan.Spec.Name == "" && plan.Spec.Generator == "" {
 			name = path // an unnamed explicit job list: the file is the only label
 		}
-		fmt.Printf("== scenario %s: %d jobs ==\n", name, len(plan.Jobs))
+		doc.Prepend(rrbus.HeadingBlock{Level: 1, Text: fmt.Sprintf("scenario %s: %d jobs", name, len(plan.Jobs))})
 	}
-	fmt.Print(text)
+	fail(rrbus.RenderTo(os.Stdout, doc, backend))
 }
 
 // mergeShards recombines shard JSONL files into the unsharded byte
@@ -235,7 +288,7 @@ func renderPlan(plan *rrbus.Plan, path string, results []rrbus.Result) {
 // to catch a tail-truncated final shard — selects the plan's figure
 // renderer, and, with -store, imports the merged rows into the store so
 // a sweep measured elsewhere becomes servable here.
-func mergeShards(out, scenarioFile string, st rrbus.Store, files []string) {
+func mergeShards(out, scenarioFile string, st rrbus.Store, backend rrbus.Backend, files []string) {
 	if len(files) == 0 {
 		fail(fmt.Errorf("-merge needs shard JSONL files as arguments"))
 	}
@@ -275,10 +328,12 @@ func mergeShards(out, scenarioFile string, st rrbus.Store, files []string) {
 		return
 	}
 	if plan != nil {
-		renderPlan(plan, scenarioFile, results)
+		renderPlan(plan, scenarioFile, results, backend)
 		return
 	}
-	fmt.Printf("== merged %d shards: %d jobs ==\n%s", len(files), len(results), rrbus.RenderResultsTable(results))
+	doc := rrbus.ResultsTableDocument(results)
+	doc.Prepend(rrbus.HeadingBlock{Level: 1, Text: fmt.Sprintf("merged %d shards: %d jobs", len(files), len(results))})
+	fail(rrbus.RenderTo(os.Stdout, doc, backend))
 }
 
 func fail(err error) {
@@ -289,9 +344,9 @@ func fail(err error) {
 }
 
 // rejectWithScenario refuses classic figure flags alongside
-// -scenario/-merge: the scenario file defines the sweep, and silently
-// ignoring an explicitly passed flag would run something other than what
-// the user asked for.
+// -scenario/-merge/-doc: the scenario file (or saved document) defines
+// the content, and silently ignoring an explicitly passed flag would
+// render something other than what the user asked for.
 func rejectWithScenario(prog string, names ...string) {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })

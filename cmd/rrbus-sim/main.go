@@ -18,6 +18,7 @@
 //	rrbus-sim -scua rsk:load -contenders rsk:load,rsk:load,rsk:load -out run.jsonl
 //	rrbus-sim -scua rsk:load -contenders rsk:load,rsk:load,rsk:load -store results/
 //	rrbus-sim -scenario examples/scenarios/tdma.json
+//	rrbus-sim -scenario examples/scenarios/tdma.json -format json
 package main
 
 import (
@@ -41,8 +42,11 @@ func main() {
 	scenarioFile := flag.String("scenario", "", "run a scenario file's jobs and print the results table")
 	out := flag.String("out", "", "record the run as a self-describing JSONL Result row to this file (\"-\" = stdout)")
 	storeDir := flag.String("store", "", "content-addressed results store directory: serve recorded runs, record fresh ones")
+	format := flag.String("format", "text", "render backend for the -scenario results table: text, html or json")
 	flag.Parse()
 	rrbus.SetWorkers(*workers)
+	backend, err := rrbus.BackendByName(*format)
+	fail(err)
 
 	var st rrbus.Store
 	if *storeDir != "" {
@@ -65,8 +69,12 @@ func main() {
 		results, err := sess.RunAll(plan)
 		reportStore(sess, st)
 		fail(err)
-		fmt.Print(rrbus.RenderResultsTable(results))
+		fail(rrbus.RenderTo(os.Stdout, rrbus.ResultsTableDocument(results), backend))
 		return
+	}
+	if *format != "text" {
+		fmt.Fprintln(os.Stderr, "rrbus-sim: -format needs -scenario (single runs print the measurement report)")
+		os.Exit(2)
 	}
 
 	// Classic single run, expressed as a one-job plan so the row it

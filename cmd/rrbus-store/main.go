@@ -1,0 +1,157 @@
+// Command rrbus-store audits a content-addressed results store — the
+// directory the other CLIs fill via -store. Archived measurements are
+// the asset the whole methodology is built on ("simulate once, analyze
+// forever"), so the store ships with tooling to see what a directory
+// holds and to prove it still verifies:
+//
+//	rrbus-store ls <dir>       list recorded plans: name, generator,
+//	                           job count and hit coverage (how many of
+//	                           the plan's job hashes have a row today)
+//	rrbus-store verify <dir>   walk every jobs/<hh>/<hash>.json entry
+//	                           and plans/<hash>.json manifest, re-check
+//	                           integrity checksums, filing and schema
+//	                           versions; exit 1 on any corruption
+//
+// Both subcommands render through the report backends: -format text
+// (default), html or json.
+//
+// Usage:
+//
+//	rrbus-store ls results/
+//	rrbus-store ls -format json results/
+//	rrbus-store verify results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rrbus"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rrbus-store <ls|verify> [-format text|html|json] <store-dir>")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet("rrbus-store "+cmd, flag.ExitOnError)
+	format := fs.String("format", "text", "render backend: text, html or json")
+	switch cmd {
+	case "ls", "verify":
+	default:
+		fmt.Fprintf(os.Stderr, "rrbus-store: unknown command %q\n", cmd)
+		usage()
+	}
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		usage()
+	}
+	backend, err := rrbus.BackendByName(*format)
+	fail(err)
+	dir := fs.Arg(0)
+	if _, err := os.Stat(dir); err != nil {
+		// OpenDirStore would create an empty store; auditing a
+		// non-existent directory is a mistake, not an empty result.
+		fail(fmt.Errorf("store %s: %w", dir, err))
+	}
+	st, err := rrbus.OpenDirStore(dir)
+	fail(err)
+
+	switch cmd {
+	case "ls":
+		ls(st, dir, backend)
+	case "verify":
+		verify(st, dir, backend)
+	}
+}
+
+// ls lists the store's recorded plan manifests with their current row
+// coverage.
+func ls(st *rrbus.DirStore, dir string, backend rrbus.Backend) {
+	infos, err := st.PlanInfos()
+	fail(err)
+	rows, err := st.Len()
+	fail(err)
+
+	doc := &rrbus.Document{Title: "store " + dir}
+	doc.Add(rrbus.HeadingBlock{Level: 1, Text: fmt.Sprintf("store %s: %d plans, %d rows", dir, len(infos), rows)})
+	t := rrbus.TableBlock{
+		Name:   "plans",
+		Header: "plan          name                  generator    jobs  present  coverage",
+		Columns: []rrbus.Column{
+			{Key: "hash", Label: "plan", Format: "%-12.12s"},
+			{Key: "name", Label: "name", Format: "  %-20s"},
+			{Key: "generator", Label: "generator", Format: "  %-11s"},
+			{Key: "jobs", Label: "jobs", Format: "  %4d"},
+			{Key: "present", Label: "present", Format: "  %7d"},
+			{Key: "coverage_pct", Label: "coverage", Format: "  %7.1f%%"},
+		},
+	}
+	for _, p := range infos {
+		coverage := 0.0
+		if p.Jobs > 0 {
+			coverage = 100 * float64(p.Present) / float64(p.Jobs)
+		}
+		name, gen := p.Name, p.Generator
+		if name == "" {
+			name = "-"
+		}
+		if gen == "" {
+			gen = "-"
+		}
+		row := rrbus.RowBlock{Cells: []rrbus.Value{
+			rrbus.StringV(p.Hash), rrbus.StringV(name), rrbus.StringV(gen),
+			rrbus.IntV(p.Jobs), rrbus.IntV(p.Present), rrbus.FloatV(coverage),
+		}}
+		if p.Err != "" {
+			row.Note = "  ERR: " + p.Err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	doc.Add(t)
+	fail(rrbus.RenderTo(os.Stdout, doc, backend))
+}
+
+// verify re-checks every entry and manifest, prints the audit and exits
+// nonzero on any corruption.
+func verify(st *rrbus.DirStore, dir string, backend rrbus.Backend) {
+	rep, err := st.Verify()
+	fail(err)
+
+	doc := &rrbus.Document{Title: "verify " + dir}
+	doc.Add(rrbus.HeadingBlock{Level: 1,
+		Text: fmt.Sprintf("store %s: verified %d job entries, %d plan manifests: %d issues", dir, rep.Jobs, rep.Plans, len(rep.Issues))})
+	if !rep.OK() {
+		t := rrbus.TableBlock{
+			Name:   "issues",
+			Header: "path  error",
+			Columns: []rrbus.Column{
+				{Key: "path", Label: "path", Format: "%s"},
+				{Key: "error", Label: "error", Format: "  %s"},
+			},
+		}
+		for _, is := range rep.Issues {
+			t.Rows = append(t.Rows, rrbus.RowBlock{Cells: []rrbus.Value{rrbus.StringV(is.Path), rrbus.StringV(is.Err)}})
+		}
+		doc.Add(t)
+	}
+	fail(rrbus.RenderTo(os.Stdout, doc, backend))
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-store:", err)
+		os.Exit(1)
+	}
+}

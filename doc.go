@@ -6,13 +6,18 @@
 // delay ubd from the saw-tooth period of rsk-nop slowdowns — without
 // knowing any bus latency.
 //
-// # Quick start: Plan → Run → Store → Render
+// # Quick start: Plan → Run → Store → Document → Backend
 //
 // The public API is the measurement pipeline itself. A Plan compiles a
 // declarative experiment into a content-addressed job list; a Session
 // runs it, serving any job the results Store has already recorded
-// instead of re-simulating it; Render rebuilds the paper's figures,
-// tables and bounds from the recorded rows alone:
+// instead of re-simulating it; DocumentFor rebuilds the paper's
+// figures, tables and bounds from the recorded rows alone as a typed
+// Document — an ordered list of blocks (headings, typed-column tables,
+// sweep series, trace-event timelines, γ histograms, derived-bound
+// summaries) — and a Backend encodes the Document as terminal text,
+// a self-contained HTML page with inline SVG charts, or
+// schema-versioned JSON:
 //
 //	plan, err := rrbus.GeneratorPlan("fig7", rrbus.Params{"arch": "ref", "kmax": 60})
 //	if err != nil { ... }
@@ -22,18 +27,27 @@
 //	sess := &rrbus.Session{Store: store}
 //	results, err := sess.RunAll(plan)             // cold: simulates and records
 //	if err != nil { ... }
-//	text, err := rrbus.Render(plan, results)      // the Fig. 7 sweep, from rows alone
+//	doc, err := rrbus.DocumentFor(plan, results)  // the Fig. 7 sweep, from rows alone
+//	if err != nil { ... }
 //
-// Running the same plan again — or any plan whose jobs overlap it, like
-// a derivation sweep over the same k range — simulates only the delta:
+//	err = rrbus.RenderTo(os.Stdout, doc, rrbus.TextBackend{})  // classic terminal bytes
+//	err = rrbus.RenderTo(htmlFile, doc, rrbus.HTMLBackend{})   // single-file page, SVG charts
+//	err = rrbus.RenderTo(jsonFile, doc, rrbus.JSONBackend{})   // machine-readable, versioned
+//
+// The JSON encoding is lossless: DecodeDocument reads it back into an
+// identical Document, so an archived document re-renders through any
+// backend without touching the original results. Running the same plan
+// again — or any plan whose jobs overlap it, like a derivation sweep
+// over the same k range — simulates only the delta:
 //
 //	warm := &rrbus.Session{Store: store}
 //	results, err = warm.RunAll(plan)              // warm: zero simulations
 //	fmt.Println(warm.Simulated(), warm.StoreHits())   // 0 60
 //
-// and renders byte-identical output, because every renderer consumes
-// only recorded rows. One-call derivation is still there for the common
-// case:
+// and builds byte-identical output, because every renderer consumes
+// only recorded rows — the text backend is golden-tested to reproduce
+// the pre-Document renderers byte for byte. One-call derivation is
+// still there for the common case:
 //
 //	cfg := rrbus.ReferenceNGMP()            // 4-core NGMP, ubd = 27
 //	res, err := rrbus.DeriveUBD(cfg, rrbus.DeriveOptions{})
@@ -63,7 +77,8 @@
 //   - internal/store: the content-addressed results store (in-memory
 //     and directory-backed) and the store-aware Session runner
 //   - internal/report: the analysis layer — every figure/table/bound
-//     rendered from recorded results
+//     rebuilt from recorded results as a typed Document, plus the
+//     text/HTML/JSON render backends
 //   - internal/figures: generation — expands generators, runs them,
 //     hands the records to internal/report
 //
@@ -146,11 +161,23 @@
 // bounded bus-event trace window (Protocol.Trace → sim.RunOpts.
 // TraceLimit → Measurement.Trace) for the timeline figures. The
 // analysis side (internal/report) is a set of pure renderers over
-// (jobs, results): gamma tables, timelines, histograms, sweeps,
-// ablation tables and derived bounds are all rebuilt from the records
-// alone — report never calls sim.Run, and bound derivation re-runs only
-// core.DeriveFromSeries with δnop taken from the in-band calibration
-// row every derivation-shaped generator emits.
+// (jobs, results) that build typed Documents: gamma tables, timelines,
+// histograms, sweeps, ablation tables and derived bounds are all
+// rebuilt from the records alone — report never calls sim.Run, and
+// bound derivation re-runs only core.DeriveFromSeries with δnop taken
+// from the in-band calibration row every derivation-shaped generator
+// emits.
+//
+// Presentation is a separate, final stage: a Backend encodes a
+// Document, and the CLIs expose the choice as -format text|html|json
+// (rrbus-figures, rrbus-derive, and rrbus-sim's scenario table). The
+// text backend reproduces the pre-Document output byte for byte —
+// golden tests pin every generator — so the byte-identity contract
+// survives the redesign; the HTML backend draws fig2/fig5 timelines
+// and fig7* sweeps as inline SVG in one self-contained file; the JSON
+// backend carries a document schema version mirroring the Result row's,
+// and rrbus-figures -doc re-renders a saved JSON document through any
+// backend.
 //
 // Because the job list is a pure function of the plan and every
 // renderer consumes only records, rendering is replayable: rrbus-figures
@@ -180,4 +207,10 @@
 // this as -store <dir>; CI re-runs a sweep against a warm store every
 // push and asserts it simulates nothing while rendering identical
 // bytes.
+//
+// The store is auditable: cmd/rrbus-store lists a directory's recorded
+// plan manifests with their current row coverage (`rrbus-store ls`) and
+// re-verifies every entry's integrity checksum, filing and schema
+// (`rrbus-store verify`, nonzero exit on corruption) — the audit the
+// "measure once" contract rests on.
 package rrbus

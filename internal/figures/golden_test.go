@@ -1,0 +1,40 @@
+package figures
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rrbus/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
+
+// TestSummaryGolden pins the headline summary table's text rendering to
+// the bytes recorded before the Document redesign (on the toy platform,
+// whose derivation sweep is cheap).
+func TestSummaryGolden(t *testing.T) {
+	rows, err := Summary(sim.Toy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RenderSummary(rows)
+	path := filepath.Join("testdata", "summary.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to record): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("summary table drifted from the pre-redesign golden\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

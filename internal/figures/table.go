@@ -1,12 +1,12 @@
 package figures
 
 import (
-	"fmt"
 	"strings"
 
 	"rrbus/internal/core"
 	"rrbus/internal/exp"
 	"rrbus/internal/isa"
+	"rrbus/internal/report"
 	"rrbus/internal/sim"
 )
 
@@ -60,17 +60,52 @@ func Summary(cfgs ...sim.Config) ([]SummaryRow, error) {
 	})
 }
 
-// RenderSummary formats the headline table.
+// summaryTable builds the typed headline table block.
+func summaryTable(rows []SummaryRow) report.Table {
+	t := report.Table{
+		Name:   "summary",
+		Header: "arch       type   actual-ubd  derived-ubdm  naive-ubdm  periodK  δnop   confidence",
+		Columns: []report.Column{
+			{Key: "arch", Label: "arch", Format: "%-10s"},
+			{Key: "type", Label: "type", Format: " %-6s"},
+			{Key: "actual_ubd", Label: "actual-ubd", Format: " %10d"},
+			{Key: "derived_ubdm", Label: "derived-ubdm", Format: "  %12d"},
+			{Key: "naive_ubdm", Label: "naive-ubdm", Format: "  %10d"},
+			{Key: "period_k", Label: "periodK", Format: "  %7d"},
+			{Key: "delta_nop", Label: "δnop", Format: "  %5.2f"},
+			{Key: "confidence", Label: "confidence", Format: "  %10.2f"},
+		},
+	}
+	for _, r := range rows {
+		row := report.Row{Cells: []report.Value{
+			report.StringV(r.Arch), report.StringV(r.Type), report.IntV(r.ActualUBD),
+			report.IntV(r.DerivedUBDm), report.IntV(r.NaiveUBDm), report.IntV(r.PeriodK),
+			report.FloatV(r.DeltaNop), report.FloatV(r.Confidence),
+		}}
+		if r.Err != "" {
+			row.Note = "  ERR: " + r.Err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// SummaryDocument builds the headline table as a complete document
+// (heading included) — what rrbus-figures -fig table renders through
+// any backend.
+func SummaryDocument(rows []SummaryRow) *report.Document {
+	d := &report.Document{Title: "Headline summary"}
+	return d.Add(
+		report.Heading{Level: 1, Text: "Headline summary: derived vs naive vs actual"},
+		summaryTable(rows),
+		report.Spacer{},
+	)
+}
+
+// RenderSummary formats the headline table (text encoding, table only).
 func RenderSummary(rows []SummaryRow) string {
 	var b strings.Builder
-	b.WriteString("arch       type   actual-ubd  derived-ubdm  naive-ubdm  periodK  δnop   confidence\n")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %-6s %10d  %12d  %10d  %7d  %5.2f  %10.2f",
-			r.Arch, r.Type, r.ActualUBD, r.DerivedUBDm, r.NaiveUBDm, r.PeriodK, r.DeltaNop, r.Confidence)
-		if r.Err != "" {
-			fmt.Fprintf(&b, "  ERR: %s", r.Err)
-		}
-		b.WriteByte('\n')
-	}
+	// Rendering into memory cannot fail.
+	_ = (report.TextBackend{}).Render(&b, (&report.Document{}).Add(summaryTable(rows)))
 	return b.String()
 }

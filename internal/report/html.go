@@ -1,0 +1,349 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rrbus/internal/stats"
+)
+
+// HTMLBackend encodes a Document as one self-contained HTML file: no
+// external assets, charts as inline SVG (timelines render as Gantt
+// charts, sweeps and histograms as bar/line charts). The output is
+// XML-well-formed (void elements self-closed, all text escaped), which
+// the backend tests verify with encoding/xml at full strictness.
+type HTMLBackend struct{}
+
+// Name implements Backend.
+func (HTMLBackend) Name() string { return "html" }
+
+const htmlStyle = `body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:60rem;padding:0 1rem;color:#1a1a2e;background:#fcfcfd}
+h1{font-size:1.3rem;border-bottom:2px solid #1a1a2e;padding-bottom:.3rem}
+h2{font-size:1.05rem;margin-top:1.5rem}
+table{border-collapse:collapse;margin:1rem 0;font-size:.9rem}
+th,td{border:1px solid #c8c8d0;padding:.25rem .6rem;text-align:left}
+td.num{text-align:right;font-variant-numeric:tabular-nums}
+td.note{color:#a33;font-size:.85rem}
+thead th{background:#ecedf2}
+figure{margin:1rem 0}
+figcaption{font-size:.85rem;color:#555}
+dl{display:grid;grid-template-columns:max-content auto;gap:.2rem 1rem}
+dt{font-weight:600}
+svg text{font-family:ui-monospace,monospace;font-size:10px;fill:#333}
+.wait{fill:#e4b363}
+.busy{fill:#4a6fa5}
+.bar{fill:#4a6fa5}
+.s0{stroke:#4a6fa5}
+.s1{stroke:#b3543e}
+.s2{stroke:#3e8e5a}
+svg text.t0{fill:#4a6fa5}
+svg text.t1{fill:#b3543e}
+svg text.t2{fill:#3e8e5a}`
+
+// seriesColors must stay in sync with the .sN stroke / text.tN fill
+// class pairs.
+const seriesColors = 3
+
+// Render implements Backend.
+func (HTMLBackend) Render(w io.Writer, d *Document) error {
+	var b strings.Builder
+	title := d.Title
+	if title == "" {
+		title = "rrbus report"
+	}
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/><title>")
+	b.WriteString(esc(title))
+	b.WriteString("</title><style>\n")
+	b.WriteString(htmlStyle)
+	b.WriteString("\n</style></head>\n<body>\n")
+	for _, blk := range d.Blocks {
+		renderBlockHTML(&b, blk)
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func esc(s string) string { return html.EscapeString(s) }
+
+func fnum(f float64) string { return strconv.FormatFloat(f, 'f', 1, 64) }
+
+func renderBlockHTML(b *strings.Builder, blk Block) {
+	switch t := blk.(type) {
+	case Heading:
+		lvl := "h1"
+		if t.Level >= 2 {
+			lvl = "h2"
+		}
+		fmt.Fprintf(b, "<%s>%s</%s>\n", lvl, esc(t.Text), lvl)
+	case Paragraph:
+		if t.Text != "" {
+			fmt.Fprintf(b, "<p>%s</p>\n", esc(t.Text))
+		}
+	case Spacer:
+		// spacing belongs to the stylesheet
+	case Table:
+		renderTableHTML(b, t)
+	case Series:
+		renderSeriesHTML(b, t)
+	case Timeline:
+		renderTimelineHTML(b, t)
+	case Histogram:
+		renderHistogramHTML(b, t)
+	case Bounds:
+		renderBoundsHTML(b, t)
+	}
+}
+
+func renderTableHTML(b *strings.Builder, t Table) {
+	b.WriteString("<table><thead><tr>")
+	for _, c := range t.Columns {
+		fmt.Fprintf(b, "<th>%s</th>", esc(c.Label))
+	}
+	b.WriteString("</tr></thead><tbody>\n")
+	for _, row := range t.Rows {
+		b.WriteString("<tr>")
+		for i, cell := range row.Cells {
+			if i >= len(t.Columns) {
+				break
+			}
+			class := "num"
+			if cell.K == KindString {
+				class = "txt"
+			}
+			fmt.Fprintf(b, "<td class=\"%s\">%s</td>", class,
+				esc(strings.TrimSpace(formatCell(t.Columns[i].Format, cell))))
+		}
+		if row.Note != "" {
+			fmt.Fprintf(b, "<td class=\"note\">%s</td>", esc(strings.TrimSpace(row.Note)))
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</tbody></table>\n")
+}
+
+// renderSeriesHTML draws the sweep as an inline SVG: one polyline per
+// integer-valued line, scaled to the common maximum, with a data table
+// nowhere — the JSON backend is the machine path.
+func renderSeriesHTML(b *strings.Builder, s Series) {
+	const w, h, padL, padB, padT = 640, 220, 48, 24, 10
+	maxV := int64(1)
+	var lines []int // indices of chartable (integer) lines
+	for li, line := range s.Lines {
+		integral := len(line.Values) > 0
+		for _, v := range line.Values {
+			if v.K != KindInt {
+				integral = false
+				break
+			}
+			if v.Int > maxV {
+				maxV = v.Int
+			}
+		}
+		if integral {
+			lines = append(lines, li)
+		}
+	}
+	b.WriteString("<figure class=\"series\">")
+	fmt.Fprintf(b, "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" role=\"img\">", w, h, w, h)
+	// axes
+	fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#888\"/>", padL, h-padB, w-8, h-padB)
+	fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#888\"/>", padL, padT, padL, h-padB)
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%d</text>", padL-4, padT+8, maxV)
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">0</text>", padL-4, h-padB)
+	if n := len(s.X); n > 0 {
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\">%s=%d</text>", padL, h-6, esc(s.XKey), s.X[0])
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%s=%d</text>", w-8, h-6, esc(s.XKey), s.X[n-1])
+	}
+	plotW := float64(w - padL - 16)
+	plotH := float64(h - padB - padT)
+	for ci, li := range lines {
+		line := s.Lines[li]
+		var pts strings.Builder
+		for i, v := range line.Values {
+			x := float64(padL)
+			if len(line.Values) > 1 {
+				x += plotW * float64(i) / float64(len(line.Values)-1)
+			}
+			y := float64(h-padB) - plotH*float64(v.Int)/float64(maxV)
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			pts.WriteString(fnum(x) + "," + fnum(y))
+		}
+		fmt.Fprintf(b, "<polyline class=\"s%d\" fill=\"none\" stroke-width=\"1.5\" points=\"%s\"/>", ci%seriesColors, pts.String())
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" class=\"t%d\">%s</text>", w-120, padT+12+14*ci, ci%seriesColors, esc(line.Key))
+	}
+	b.WriteString("</svg>")
+	for _, f := range s.Footer {
+		fmt.Fprintf(b, "<figcaption>%s</figcaption>", esc(f))
+	}
+	b.WriteString("</figure>\n")
+}
+
+// renderTimelineHTML draws the recorded bus-event window as an SVG Gantt
+// chart: one row per port, a light rect while a request waits and a dark
+// rect while it occupies the bus.
+func renderTimelineHTML(b *strings.Builder, t Timeline) {
+	if t.To <= t.From || t.NPorts <= 0 {
+		return
+	}
+	const rowH, padL, padT = 22, 52, 16
+	cycles := int(t.To - t.From)
+	pxPerCyc := 720.0 / float64(cycles)
+	if pxPerCyc > 28 {
+		pxPerCyc = 28
+	}
+	if pxPerCyc < 4 {
+		pxPerCyc = 4
+	}
+	w := padL + int(pxPerCyc*float64(cycles)) + 8
+	h := padT + rowH*t.NPorts + 18
+	xOf := func(cyc uint64) float64 {
+		if cyc < t.From {
+			cyc = t.From
+		}
+		if cyc > t.To {
+			cyc = t.To
+		}
+		return float64(padL) + pxPerCyc*float64(cyc-t.From)
+	}
+	b.WriteString("<figure class=\"timeline\">")
+	fmt.Fprintf(b, "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" role=\"img\">", w, h, w, h)
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\">cycles %d..%d</text>", padL, 10, t.From, t.To)
+	for p := 0; p < t.NPorts; p++ {
+		y := padT + rowH*p
+		fmt.Fprintf(b, "<text x=\"4\" y=\"%d\">port%d</text>", y+14, p)
+		fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#ddd\"/>", padL, y+rowH-2, w-8, y+rowH-2)
+	}
+	for _, e := range t.Events {
+		if e.Port < 0 || e.Port >= t.NPorts {
+			continue
+		}
+		end := e.Grant + uint64(e.Occupancy)
+		if end <= t.From || e.Ready >= t.To {
+			continue
+		}
+		y := padT + rowH*e.Port + 2
+		if e.Grant > e.Ready {
+			fmt.Fprintf(b, "<rect class=\"wait\" x=\"%s\" y=\"%d\" width=\"%s\" height=\"%d\"/>",
+				fnum(xOf(e.Ready)), y, fnum(xOf(e.Grant)-xOf(e.Ready)), rowH-8)
+		}
+		fmt.Fprintf(b, "<rect class=\"busy\" x=\"%s\" y=\"%d\" width=\"%s\" height=\"%d\"/>",
+			fnum(xOf(e.Grant)), y, fnum(xOf(end)-xOf(e.Grant)), rowH-8)
+	}
+	b.WriteString("</svg>")
+	fmt.Fprintf(b, "<figcaption>δ=%d γ=%d (amber: waiting, blue: bus busy)</figcaption>", t.Delta, t.Gamma)
+	b.WriteString("</figure>\n")
+}
+
+func renderHistogramHTML(b *strings.Builder, hg Histogram) {
+	fmt.Fprintf(b, "<p><strong>%s</strong>: ubdm(observed max)=%d, actual ubd=%d, mode γ=%d (%s%% of requests)</p>\n",
+		esc(hg.Arch), hg.UBDm, hg.ActualUBD, hg.ModeGamma, fnum(hg.ModeFrac*100))
+	h := stats.FromDense(hg.Counts)
+	total := h.Total()
+	if total == 0 {
+		return
+	}
+	values := h.Values()
+	const barH, padL, padT = 14, 44, 6
+	width, height := 560, padT+barH*len(values)+6
+	_, maxFrac, _ := h.Mode()
+	b.WriteString("<figure class=\"hist\">")
+	fmt.Fprintf(b, "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" role=\"img\">", width, height, width, height)
+	for i, v := range values {
+		frac := float64(h.Count(v)) / float64(total)
+		y := padT + barH*i
+		bw := 0.0
+		if maxFrac > 0 {
+			bw = 380 * frac / maxFrac
+		}
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">γ=%d</text>", padL-4, y+barH-4, v)
+		fmt.Fprintf(b, "<rect class=\"bar\" x=\"%d\" y=\"%d\" width=\"%s\" height=\"%d\"/>", padL, y+2, fnum(bw), barH-4)
+		fmt.Fprintf(b, "<text x=\"%s\" y=\"%d\">%d (%s%%)</text>", fnum(float64(padL)+bw+4), y+barH-4, h.Count(v), fnum(frac*100))
+	}
+	b.WriteString("</svg></figure>\n")
+}
+
+func renderBoundsHTML(b *strings.Builder, d Bounds) {
+	b.WriteString("<dl>")
+	pair := func(k, v string) { fmt.Fprintf(b, "<dt>%s</dt><dd>%s</dd>", esc(k), esc(v)) }
+	pair("platform", fmt.Sprintf("%s (%d cores, lbus=%d)", d.Platform, d.Cores, d.LBus))
+	pair("access type", d.AccessType)
+	pair("actual ubd (Eq.1)", fmt.Sprintf("%d cycles", d.ActualUBD))
+	if d.Err != "" {
+		pair("derivation", "FAILED: "+d.Err)
+	} else if r := d.Res; r != nil {
+		pair("derived ubdm", fmt.Sprintf("%d cycles", r.UBDm))
+		pair("saw-tooth period", fmt.Sprintf("%d nop steps", r.PeriodK))
+		pair("δnop", fmt.Sprintf("%.3f cycles", r.DeltaNop))
+		var ms []string
+		for _, m := range sortedKeys(r.Methods) {
+			ms = append(ms, fmt.Sprintf("%s=%d", m, r.Methods[m]))
+		}
+		pair("detection methods", strings.Join(ms, " "))
+		pair("confidence", fmt.Sprintf("%.2f (utilization %.0f%% ok=%v, methods agree=%v, periods=%.1f)",
+			r.Confidence, r.MinUtilization*100, r.UtilizationOK, r.MethodsAgree, r.PeriodsObserved))
+	}
+	b.WriteString("</dl>\n")
+	if d.Err == "" && d.Res != nil {
+		for _, n := range d.Res.Notes {
+			fmt.Fprintf(b, "<p class=\"note\">note: %s</p>\n", esc(n))
+		}
+		renderSlowdownsSVG(b, d.Res)
+	}
+}
+
+// renderSlowdownsSVG draws the derivation's per-request slowdown series
+// (the saw-tooth the period was read from) as a small line chart.
+func renderSlowdownsSVG(b *strings.Builder, r *BoundsResult) {
+	d := r.Slowdowns
+	if len(d) < 2 {
+		return
+	}
+	lo, hi := d[0], d[0]
+	for _, v := range d {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return
+	}
+	const w, h, padL, padB, padT = 640, 180, 48, 22, 8
+	plotW, plotH := float64(w-padL-12), float64(h-padB-padT)
+	b.WriteString("<figure class=\"sawtooth\">")
+	fmt.Fprintf(b, "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" role=\"img\">", w, h, w, h)
+	fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#888\"/>", padL, h-padB, w-8, h-padB)
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%s</text>", padL-4, padT+8, fnum(hi))
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%s</text>", padL-4, h-padB, fnum(lo))
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\">k=%d</text>", padL, h-6, r.KMin)
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">k=%d</text>", w-8, h-6, r.KMin+len(d)-1)
+	var pts strings.Builder
+	for i, v := range d {
+		x := float64(padL) + plotW*float64(i)/float64(len(d)-1)
+		y := float64(h-padB) - plotH*(v-lo)/(hi-lo)
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		pts.WriteString(fnum(x) + "," + fnum(y))
+	}
+	fmt.Fprintf(b, "<polyline class=\"s0\" fill=\"none\" stroke-width=\"1.5\" points=\"%s\"/>", pts.String())
+	b.WriteString("</svg><figcaption>per-request slowdown vs k</figcaption></figure>\n")
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

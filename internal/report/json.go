@@ -1,0 +1,148 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DocumentSchema is the current version of the JSON document encoding.
+// Like scenario.ResultSchema, readers accept any document whose schema
+// is at most DocumentSchema and reject newer ones instead of silently
+// mis-rendering them.
+const DocumentSchema = 1
+
+// JSONBackend encodes a Document as schema-versioned JSON. The encoding
+// is stable and lossless: DecodeDocument reads it back into an
+// identical Document, so a machine consumer can archive the JSON form
+// and re-render any other encoding later.
+type JSONBackend struct{}
+
+// Name implements Backend.
+func (JSONBackend) Name() string { return "json" }
+
+// jsonDoc is the top-level wire shape.
+type jsonDoc struct {
+	Schema    int         `json:"schema"`
+	Title     string      `json:"title,omitempty"`
+	Generator string      `json:"generator,omitempty"`
+	Blocks    []jsonBlock `json:"blocks"`
+}
+
+// jsonBlock is the tagged-union envelope of one block: the kind
+// discriminator plus exactly one populated payload field.
+type jsonBlock struct {
+	Kind      string     `json:"kind"`
+	Heading   *Heading   `json:"heading,omitempty"`
+	Paragraph *Paragraph `json:"paragraph,omitempty"`
+	Table     *Table     `json:"table,omitempty"`
+	Series    *Series    `json:"series,omitempty"`
+	Timeline  *Timeline  `json:"timeline,omitempty"`
+	Histogram *Histogram `json:"histogram,omitempty"`
+	Bounds    *Bounds    `json:"bounds,omitempty"`
+}
+
+// Render implements Backend.
+func (JSONBackend) Render(w io.Writer, d *Document) error {
+	out := jsonDoc{Schema: DocumentSchema, Title: d.Title, Generator: d.Generator, Blocks: make([]jsonBlock, 0, len(d.Blocks))}
+	for _, blk := range d.Blocks {
+		jb := jsonBlock{Kind: blk.Kind()}
+		switch t := blk.(type) {
+		case Heading:
+			jb.Heading = &t
+		case Paragraph:
+			jb.Paragraph = &t
+		case Spacer:
+			// kind alone carries it
+		case Table:
+			jb.Table = &t
+		case Series:
+			jb.Series = &t
+		case Timeline:
+			jb.Timeline = &t
+		case Histogram:
+			jb.Histogram = &t
+		case Bounds:
+			jb.Bounds = &t
+		default:
+			return fmt.Errorf("report: cannot encode block kind %q", blk.Kind())
+		}
+		out.Blocks = append(out.Blocks, jb)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeDocument reads a JSON-encoded document back into a Document,
+// rejecting encodings written by a newer build (schema > DocumentSchema)
+// and blocks of unknown kind.
+func DecodeDocument(r io.Reader) (*Document, error) {
+	var in jsonDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("report: document does not parse: %w", err)
+	}
+	// A document file holds exactly one document; trailing content means
+	// a concatenated or corrupted file, and silently dropping it would
+	// render an incomplete report with a clean exit.
+	if dec.More() {
+		return nil, fmt.Errorf("report: trailing data after the document — concatenated documents or a corrupted file?")
+	}
+	if in.Schema > DocumentSchema {
+		return nil, fmt.Errorf("report: document schema %d but this build reads <= %d — written by a newer version?",
+			in.Schema, DocumentSchema)
+	}
+	d := &Document{Title: in.Title, Generator: in.Generator}
+	for i, jb := range in.Blocks {
+		blk, err := jb.block()
+		if err != nil {
+			return nil, fmt.Errorf("report: document block %d: %w", i, err)
+		}
+		d.Blocks = append(d.Blocks, blk)
+	}
+	return d, nil
+}
+
+func (jb jsonBlock) block() (Block, error) {
+	switch jb.Kind {
+	case "heading":
+		if jb.Heading == nil {
+			return nil, fmt.Errorf("heading block without payload")
+		}
+		return *jb.Heading, nil
+	case "paragraph":
+		if jb.Paragraph == nil {
+			return nil, fmt.Errorf("paragraph block without payload")
+		}
+		return *jb.Paragraph, nil
+	case "spacer":
+		return Spacer{}, nil
+	case "table":
+		if jb.Table == nil {
+			return nil, fmt.Errorf("table block without payload")
+		}
+		return *jb.Table, nil
+	case "series":
+		if jb.Series == nil {
+			return nil, fmt.Errorf("series block without payload")
+		}
+		return *jb.Series, nil
+	case "timeline":
+		if jb.Timeline == nil {
+			return nil, fmt.Errorf("timeline block without payload")
+		}
+		return *jb.Timeline, nil
+	case "histogram":
+		if jb.Histogram == nil {
+			return nil, fmt.Errorf("histogram block without payload")
+		}
+		return *jb.Histogram, nil
+	case "bounds":
+		if jb.Bounds == nil {
+			return nil, fmt.Errorf("bounds block without payload")
+		}
+		return *jb.Bounds, nil
+	}
+	return nil, fmt.Errorf("unknown block kind %q", jb.Kind)
+}

@@ -11,6 +11,14 @@
 // list is itself a pure function of the plan, a replayed rendering is
 // byte-identical to the live run's: simulate once, analyze forever.
 //
+// Renderers produce a typed Document — an ordered list of blocks
+// (headings, typed-column tables, sweep series, trace-event timelines,
+// γ histograms, derived-bound summaries) — and a Backend encodes the
+// Document: TextBackend reproduces the legacy terminal output byte for
+// byte (golden-tested per generator), HTMLBackend emits a self-contained
+// page with inline SVG charts, JSONBackend a schema-versioned
+// machine-readable encoding that decodes back into the same Document.
+//
 // Renderers may rebuild pure artifacts from the declarative inputs —
 // platform configs (PlatformSpec.Build) for Eq. 1 ground truth, kernel
 // programs for instruction counts, Eq. 2 closed forms — but never run a
@@ -27,9 +35,9 @@ import (
 	"rrbus/internal/sim"
 )
 
-// Renderer rebuilds one figure/table text from a generator's recorded
-// results.
-type Renderer func(jobs []scenario.Job, results []scenario.Result) (string, error)
+// Renderer rebuilds one figure/table document from a generator's
+// recorded results.
+type Renderer func(jobs []scenario.Job, results []scenario.Result) (*Document, error)
 
 // For returns the renderer for a generator's job lists.
 func For(generator string) (Renderer, bool) {
@@ -81,17 +89,35 @@ func Check(jobs []scenario.Job, results []scenario.Result) error {
 	return nil
 }
 
-// Render validates results against the job list and renders them with
-// the generator's renderer; generators without a dedicated figure (mix,
-// explicit job lists) fall back to the generic results table.
-func Render(generator string, jobs []scenario.Job, results []scenario.Result) (string, error) {
+// DocumentFor validates results against the job list and builds the
+// generator's Document; generators without a dedicated figure (mix,
+// explicit job lists) fall back to the generic results table — callers
+// that must not fall back silently can distinguish via For.
+func DocumentFor(generator string, jobs []scenario.Job, results []scenario.Result) (*Document, error) {
 	if err := Check(jobs, results); err != nil {
-		return "", err
+		return nil, err
 	}
 	if r, ok := For(generator); ok {
-		return r(jobs, results)
+		doc, err := r(jobs, results)
+		if err != nil {
+			return nil, err
+		}
+		doc.Generator = generator
+		return doc, nil
 	}
-	return scenario.RenderResults(results), nil
+	doc := ResultsTable(results)
+	doc.Generator = generator
+	return doc, nil
+}
+
+// Render is the text-backend convenience over DocumentFor: the legacy
+// terminal rendering, byte-identical to the pre-Document renderers.
+func Render(generator string, jobs []scenario.Job, results []scenario.Result) (string, error) {
+	doc, err := DocumentFor(generator, jobs, results)
+	if err != nil {
+		return "", err
+	}
+	return doc.Text(), nil
 }
 
 // buildCfg rebuilds a job's platform configuration from its declarative

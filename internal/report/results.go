@@ -1,0 +1,48 @@
+package report
+
+import (
+	"rrbus/internal/scenario"
+)
+
+// ResultsTable builds the generic one-row-per-job results document —
+// the fallback for plans without a dedicated figure renderer. Its text
+// rendering is pinned byte-identical to the pre-Document table by the
+// results-table golden.
+func ResultsTable(results []scenario.Result) *Document {
+	return (&Document{}).Add(resultsTable(results))
+}
+
+func resultsTable(rs []scenario.Result) Table {
+	t := Table{
+		Name:   "results",
+		Header: "job                             platform      cycles   isolation    slowdown  requests  maxγ  util",
+		Columns: []Column{
+			{Key: "job", Label: "job", Format: "%-30s"},
+			{Key: "platform", Label: "platform", Format: "  %-10s"},
+			{Key: "cycles", Label: "cycles", Format: " %9d"},
+			{Key: "isolation_cycles", Label: "isolation", Format: "  %10d"},
+			{Key: "slowdown", Label: "slowdown", Format: "  %10d"},
+			{Key: "requests", Label: "requests", Format: "  %8d"},
+			{Key: "max_gamma", Label: "maxγ", Format: "  %4d"},
+			{Key: "util_pct", Label: "util", Format: "  %4.1f%%"},
+		},
+	}
+	for _, r := range rs {
+		isolation, slowdown := StringV("-"), StringV("-")
+		if r.IsolationCycles > 0 || r.Slowdown != 0 {
+			isolation = Int64(int64(r.IsolationCycles))
+			slowdown = Int64(r.Slowdown)
+		}
+		t.Rows = append(t.Rows, Row{Cells: []Value{
+			StringV(r.ID),
+			StringV(r.Platform),
+			Int64(int64(r.Cycles)),
+			isolation,
+			slowdown,
+			Int64(int64(r.Requests)),
+			Int64(int64(r.MaxGamma)),
+			FloatV(r.Utilization * 100),
+		}})
+	}
+	return t
+}

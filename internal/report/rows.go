@@ -7,6 +7,17 @@ import (
 	"rrbus/internal/stats"
 )
 
+// blockText renders blocks with the text backend into a string — the
+// implementation behind the legacy per-figure string helpers, so there
+// is exactly one source of truth for the terminal format.
+func blockText(blks ...Block) string {
+	var b strings.Builder
+	for _, blk := range blks {
+		renderBlockText(&b, blk)
+	}
+	return b.String()
+}
+
 // GammaRow is one δ→γ pair with the simulator measurement and the Eq. 2
 // prediction (Figs. 3 and 4).
 type GammaRow struct {
@@ -15,19 +26,29 @@ type GammaRow struct {
 	GammaAnalytic int
 }
 
-// RenderGammaRows formats GammaRow tables.
-func RenderGammaRows(rows []GammaRow) string {
-	var b strings.Builder
-	b.WriteString("delta  gamma(sim)  gamma(eq2)\n")
-	for _, r := range rows {
-		mark := ""
-		if r.GammaSim != r.GammaAnalytic {
-			mark = "  <- mismatch"
-		}
-		fmt.Fprintf(&b, "%5d  %10d  %10d%s\n", r.Delta, r.GammaSim, r.GammaAnalytic, mark)
+// gammaTable builds the typed δ→γ table block.
+func gammaTable(rows []GammaRow) Table {
+	t := Table{
+		Name:   "gamma",
+		Header: "delta  gamma(sim)  gamma(eq2)",
+		Columns: []Column{
+			{Key: "delta", Label: "delta", Format: "%5d"},
+			{Key: "gamma_sim", Label: "gamma(sim)", Format: "  %10d"},
+			{Key: "gamma_eq2", Label: "gamma(eq2)", Format: "  %10d"},
+		},
 	}
-	return b.String()
+	for _, r := range rows {
+		row := Row{Cells: []Value{IntV(r.Delta), IntV(r.GammaSim), IntV(r.GammaAnalytic)}}
+		if r.GammaSim != r.GammaAnalytic {
+			row.Note = "  <- mismatch"
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
 }
+
+// RenderGammaRows formats GammaRow tables.
+func RenderGammaRows(rows []GammaRow) string { return blockText(gammaTable(rows)) }
 
 // TimelineFig is one rendered bus timeline (Figs. 2 and 5): the scua's
 // steady-state request at injection time δ and the Gantt chart around it.
@@ -51,15 +72,27 @@ type Fig6aData struct {
 	WorkloadNames []string
 }
 
-// Render formats the Fig. 6(a) histograms side by side.
-func (r *Fig6aData) Render() string {
-	var b strings.Builder
-	b.WriteString("ready-contenders  EEMBC-workloads  4xRSK\n")
-	for i := range r.EEMBCFrac {
-		fmt.Fprintf(&b, "%16d  %14.1f%%  %5.1f%%\n", i, r.EEMBCFrac[i]*100, r.RSKFrac[i]*100)
+// table builds the side-by-side ready-contender table block.
+func (r *Fig6aData) table() Table {
+	t := Table{
+		Name:   "ready-contenders",
+		Header: "ready-contenders  EEMBC-workloads  4xRSK",
+		Columns: []Column{
+			{Key: "ready_contenders", Label: "ready-contenders", Format: "%16d"},
+			{Key: "eembc_pct", Label: "EEMBC-workloads", Format: "  %14.1f%%"},
+			{Key: "rsk_pct", Label: "4xRSK", Format: "  %5.1f%%"},
+		},
 	}
-	return b.String()
+	for i := range r.EEMBCFrac {
+		t.Rows = append(t.Rows, Row{Cells: []Value{
+			IntV(i), FloatV(r.EEMBCFrac[i] * 100), FloatV(r.RSKFrac[i] * 100),
+		}})
+	}
+	return t
 }
+
+// Render formats the Fig. 6(a) histograms side by side.
+func (r *Fig6aData) Render() string { return blockText(r.table()) }
 
 // Fig6bData is the Fig. 6(b) contention-delay histogram for one
 // architecture.
@@ -79,16 +112,35 @@ type Fig6bData struct {
 	// measurement window), used by the throughput benchmarks to report
 	// simcycles/s against the run's wall time.
 	SimCycles uint64
+	// counts is the dense γ histogram the block encoding carries.
+	counts []uint64
+}
+
+// histogram builds the typed distribution block.
+func (r Fig6bData) histogram() Histogram {
+	counts := r.counts
+	if counts == nil && r.Hist != nil {
+		// Hand-built rows (tests): densify the sparse histogram.
+		if max, ok := r.Hist.Max(); ok {
+			counts = make([]uint64, max+1)
+			for _, v := range r.Hist.Values() {
+				counts[v] = r.Hist.Count(v)
+			}
+		}
+	}
+	return Histogram{
+		Arch:      r.Arch,
+		UBDm:      r.UBDm,
+		ActualUBD: r.ActualUBD,
+		ModeGamma: r.ModeGamma,
+		ModeFrac:  r.ModeFrac,
+		SimCycles: r.SimCycles,
+		Counts:    counts,
+	}
 }
 
 // Render formats one Fig. 6(b) histogram.
-func (r Fig6bData) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s: ubdm(observed max)=%d actual ubd=%d mode γ=%d (%.1f%% of requests)\n",
-		r.Arch, r.UBDm, r.ActualUBD, r.ModeGamma, r.ModeFrac*100)
-	b.WriteString(r.Hist.String())
-	return b.String()
-}
+func (r Fig6bData) Render() string { return blockText(r.histogram()) }
 
 // SweepPoint is one k of a Fig. 7 sweep.
 type SweepPoint struct {
@@ -112,22 +164,28 @@ func PeaksOf(pts []SweepPoint) []int {
 	return out
 }
 
-// RenderSweep formats one slowdown sweep as an aligned column with bars.
-func RenderSweep(pts []SweepPoint) string {
-	var b strings.Builder
-	b.WriteString("  k   slowdown   util\n")
-	maxS := int64(1)
-	for _, p := range pts {
-		if p.Slowdown > maxS {
-			maxS = p.Slowdown
-		}
+// sweepSeries builds the single-sweep series block (generic Fig. 7).
+func sweepSeries(pts []SweepPoint) Series {
+	s := Series{
+		Name:    "slowdown-sweep",
+		Header:  "  k   slowdown   util",
+		XKey:    "k",
+		BarLine: 0,
+		Lines: []SeriesLine{
+			{Key: "slowdown", Format: "  %9d"},
+			{Key: "util_pct", Format: "  %4.1f%%"},
+		},
 	}
 	for _, p := range pts {
-		bar := strings.Repeat("#", int(p.Slowdown*30/maxS))
-		fmt.Fprintf(&b, "%3d  %9d  %4.1f%%  %s\n", p.K, p.Slowdown, p.Utilization*100, bar)
+		s.X = append(s.X, p.K)
+		s.Lines[0].Values = append(s.Lines[0].Values, Int64(p.Slowdown))
+		s.Lines[1].Values = append(s.Lines[1].Values, FloatV(p.Utilization*100))
 	}
-	return b.String()
+	return s
 }
+
+// RenderSweep formats one slowdown sweep as an aligned column with bars.
+func RenderSweep(pts []SweepPoint) string { return blockText(sweepSeries(pts)) }
 
 // Fig7aData is the Fig. 7(a) pair of load sweeps.
 type Fig7aData struct {
@@ -137,23 +195,30 @@ type Fig7aData struct {
 	RefPeaks, VarPeaks []int
 }
 
-// Render formats the two sweeps as aligned columns with a bar for ref.
-func (r *Fig7aData) Render() string {
-	var b strings.Builder
-	b.WriteString("  k  slowdown(ref)  slowdown(var)\n")
-	maxS := int64(1)
-	for _, p := range r.Ref {
-		if p.Slowdown > maxS {
-			maxS = p.Slowdown
-		}
+// series builds the two-architecture series block with structured peaks.
+func (r *Fig7aData) series() Series {
+	s := Series{
+		Name:    "fig7a",
+		Header:  "  k  slowdown(ref)  slowdown(var)",
+		XKey:    "k",
+		BarLine: 0,
+		Lines: []SeriesLine{
+			{Key: "ref", Format: "  %13d"},
+			{Key: "var", Format: "  %13d"},
+		},
+		Footer: []string{fmt.Sprintf("ref peaks at k=%v, var peaks at k=%v", r.RefPeaks, r.VarPeaks)},
+		Peaks:  map[string][]int{"ref": r.RefPeaks, "var": r.VarPeaks},
 	}
 	for i := range r.Ref {
-		bar := strings.Repeat("#", int(r.Ref[i].Slowdown*30/maxS))
-		fmt.Fprintf(&b, "%3d  %13d  %13d  %s\n", r.Ref[i].K, r.Ref[i].Slowdown, r.Var[i].Slowdown, bar)
+		s.X = append(s.X, r.Ref[i].K)
+		s.Lines[0].Values = append(s.Lines[0].Values, Int64(r.Ref[i].Slowdown))
+		s.Lines[1].Values = append(s.Lines[1].Values, Int64(r.Var[i].Slowdown))
 	}
-	fmt.Fprintf(&b, "ref peaks at k=%v, var peaks at k=%v\n", r.RefPeaks, r.VarPeaks)
-	return b.String()
+	return s
 }
+
+// Render formats the two sweeps as aligned columns with a bar for ref.
+func (r *Fig7aData) Render() string { return blockText(r.series()) }
 
 // Fig7bData is the Fig. 7(b) store sweep.
 type Fig7bData struct {
@@ -166,23 +231,28 @@ type Fig7bData struct {
 	ZeroFromK int
 }
 
-// Render formats the store sweep.
-func (r *Fig7bData) Render() string {
-	var b strings.Builder
-	b.WriteString("  k  slowdown(store)\n")
-	maxS := int64(1)
-	for _, p := range r.Points {
-		if p.Slowdown > maxS {
-			maxS = p.Slowdown
-		}
+// series builds the store-sweep series block with the structured
+// crossover point.
+func (r *Fig7bData) series() Series {
+	zero := r.ZeroFromK
+	s := Series{
+		Name:      "fig7b",
+		Header:    "  k  slowdown(store)",
+		XKey:      "k",
+		BarLine:   0,
+		Lines:     []SeriesLine{{Key: "store", Format: "  %15d"}},
+		Footer:    []string{fmt.Sprintf("slowdown identically zero from k=%d (store buffer hides contention)", r.ZeroFromK)},
+		ZeroFromK: &zero,
 	}
 	for _, p := range r.Points {
-		bar := strings.Repeat("#", int(p.Slowdown*30/maxS))
-		fmt.Fprintf(&b, "%3d  %15d  %s\n", p.K, p.Slowdown, bar)
+		s.X = append(s.X, p.K)
+		s.Lines[0].Values = append(s.Lines[0].Values, Int64(p.Slowdown))
 	}
-	fmt.Fprintf(&b, "slowdown identically zero from k=%d (store buffer hides contention)\n", r.ZeroFromK)
-	return b.String()
+	return s
 }
+
+// Render formats the store sweep.
+func (r *Fig7bData) Render() string { return blockText(r.series()) }
 
 // ArbiterRow reports how the methodology behaves under one arbitration
 // policy — the E9a ablation: the Eq. 3 period→ubd mapping is specific to
@@ -200,19 +270,33 @@ type ArbiterRow struct {
 	Note string
 }
 
-// RenderArbiters formats the arbiter ablation.
-func RenderArbiters(rows []ArbiterRow) string {
-	var b strings.Builder
-	b.WriteString("arbiter   eq1-ubd  derived  periodK  outcome\n")
+// arbitersTable builds the arbiter-ablation table block.
+func arbitersTable(rows []ArbiterRow) Table {
+	t := Table{
+		Name:   "abl-arb",
+		Header: "arbiter   eq1-ubd  derived  periodK  outcome",
+		Columns: []Column{
+			{Key: "arbiter", Label: "arbiter", Format: "%-9s"},
+			{Key: "eq1_ubd", Label: "eq1-ubd", Format: " %7d"},
+			{Key: "derived", Label: "derived", Format: "  %7d"},
+			{Key: "period_k", Label: "periodK", Format: "  %7d"},
+			{Key: "outcome", Label: "outcome", Format: "  %s"},
+		},
+	}
 	for _, r := range rows {
 		out := r.Note
 		if r.Err != "" {
 			out = "refused: " + r.Err
 		}
-		fmt.Fprintf(&b, "%-9s %7d  %7d  %7d  %s\n", r.Arbiter, r.ActualUBD, r.DerivedUBDm, r.PeriodK, out)
+		t.Rows = append(t.Rows, Row{Cells: []Value{
+			StringV(r.Arbiter), IntV(r.ActualUBD), IntV(r.DerivedUBDm), IntV(r.PeriodK), StringV(out),
+		}})
 	}
-	return b.String()
+	return t
 }
+
+// RenderArbiters formats the arbiter ablation.
+func RenderArbiters(rows []ArbiterRow) string { return blockText(arbitersTable(rows)) }
 
 // DeltaNopRow reports the E9b ablation: platforms where a nop costs more
 // than one cycle sample the saw-tooth sparsely; period-based reading
@@ -228,19 +312,33 @@ type DeltaNopRow struct {
 	Err             string
 }
 
-// RenderDeltaNop formats the δnop ablation.
-func RenderDeltaNop(rows []DeltaNopRow) string {
-	var b strings.Builder
-	b.WriteString("nop-lat  actual-ubd  δnop   derived  period×δnop\n")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%7d  %10d  %5.2f  %7d  %11d", r.NopLatency, r.ActualUBD, r.DeltaNop, r.DerivedUBDm, r.PeriodTimesDnop)
-		if r.Err != "" {
-			fmt.Fprintf(&b, "  ERR: %s", r.Err)
-		}
-		b.WriteByte('\n')
+// deltaNopTable builds the δnop-ablation table block.
+func deltaNopTable(rows []DeltaNopRow) Table {
+	t := Table{
+		Name:   "abl-dnop",
+		Header: "nop-lat  actual-ubd  δnop   derived  period×δnop",
+		Columns: []Column{
+			{Key: "nop_latency", Label: "nop-lat", Format: "%7d"},
+			{Key: "actual_ubd", Label: "actual-ubd", Format: "  %10d"},
+			{Key: "delta_nop", Label: "δnop", Format: "  %5.2f"},
+			{Key: "derived", Label: "derived", Format: "  %7d"},
+			{Key: "period_x_dnop", Label: "period×δnop", Format: "  %11d"},
+		},
 	}
-	return b.String()
+	for _, r := range rows {
+		row := Row{Cells: []Value{
+			IntV(r.NopLatency), IntV(r.ActualUBD), FloatV(r.DeltaNop), IntV(r.DerivedUBDm), IntV(r.PeriodTimesDnop),
+		}}
+		if r.Err != "" {
+			row.Note = "  ERR: " + r.Err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
 }
+
+// RenderDeltaNop formats the δnop ablation.
+func RenderDeltaNop(rows []DeltaNopRow) string { return blockText(deltaNopTable(rows)) }
 
 // ScalingRow reports the E9c ablation: the methodology recovers Eq. 1
 // across platform geometries.
@@ -252,20 +350,30 @@ type ScalingRow struct {
 	Err         string
 }
 
-// RenderScaling formats the scaling ablation.
-func RenderScaling(rows []ScalingRow) string {
-	var b strings.Builder
-	b.WriteString("cores  lbus  actual-ubd  derived-ubdm\n")
-	for _, r := range rows {
-		mark := ""
-		if r.DerivedUBDm != r.ActualUBD {
-			mark = "  <- mismatch"
-		}
-		fmt.Fprintf(&b, "%5d  %4d  %10d  %12d%s", r.Cores, r.LBus, r.ActualUBD, r.DerivedUBDm, mark)
-		if r.Err != "" {
-			fmt.Fprintf(&b, "  ERR: %s", r.Err)
-		}
-		b.WriteByte('\n')
+// scalingTable builds the geometry-ablation table block.
+func scalingTable(rows []ScalingRow) Table {
+	t := Table{
+		Name:   "abl-scaling",
+		Header: "cores  lbus  actual-ubd  derived-ubdm",
+		Columns: []Column{
+			{Key: "cores", Label: "cores", Format: "%5d"},
+			{Key: "lbus", Label: "lbus", Format: "  %4d"},
+			{Key: "actual_ubd", Label: "actual-ubd", Format: "  %10d"},
+			{Key: "derived_ubdm", Label: "derived-ubdm", Format: "  %12d"},
+		},
 	}
-	return b.String()
+	for _, r := range rows {
+		row := Row{Cells: []Value{IntV(r.Cores), IntV(r.LBus), IntV(r.ActualUBD), IntV(r.DerivedUBDm)}}
+		if r.DerivedUBDm != r.ActualUBD {
+			row.Note = "  <- mismatch"
+		}
+		if r.Err != "" {
+			row.Note += "  ERR: " + r.Err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
 }
+
+// RenderScaling formats the scaling ablation.
+func RenderScaling(rows []ScalingRow) string { return blockText(scalingTable(rows)) }

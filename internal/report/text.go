@@ -1,0 +1,249 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rrbus/internal/core"
+	"rrbus/internal/stats"
+	"rrbus/internal/trace"
+)
+
+// TextBackend is the legacy terminal encoding: it reproduces the
+// pre-Document renderers byte for byte (golden tests pin every
+// generator's output), so replacing string renderers with Documents
+// cannot perturb the pipeline's byte-identity contract.
+type TextBackend struct{}
+
+// Name implements Backend.
+func (TextBackend) Name() string { return "text" }
+
+// Render implements Backend.
+func (TextBackend) Render(w io.Writer, d *Document) error {
+	var b strings.Builder
+	for _, blk := range d.Blocks {
+		renderBlockText(&b, blk)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderBlockText(b *strings.Builder, blk Block) {
+	switch t := blk.(type) {
+	case Heading:
+		if t.Level >= 2 {
+			fmt.Fprintf(b, "-- %s --\n", t.Text)
+		} else {
+			fmt.Fprintf(b, "== %s ==\n", t.Text)
+		}
+	case Paragraph:
+		b.WriteString(t.Text)
+		b.WriteByte('\n')
+	case Spacer:
+		b.WriteByte('\n')
+	case Table:
+		renderTableText(b, t)
+	case Series:
+		renderSeriesText(b, t)
+	case Timeline:
+		b.WriteString(trace.Timeline(t.Events, t.NPorts, t.From, t.To))
+	case Histogram:
+		renderHistogramText(b, t)
+	case Bounds:
+		renderBoundsText(b, t)
+	}
+}
+
+func renderTableText(b *strings.Builder, t Table) {
+	b.WriteString(t.Header)
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row.Cells {
+			if i >= len(t.Columns) {
+				break
+			}
+			b.WriteString(formatCell(t.Columns[i].Format, cell))
+		}
+		b.WriteString(row.Note)
+		b.WriteByte('\n')
+	}
+}
+
+func renderSeriesText(b *strings.Builder, s Series) {
+	b.WriteString(s.Header)
+	b.WriteByte('\n')
+	// The '#' bar scales to the bar line's maximum, floor 1 — exactly
+	// the legacy int64 arithmetic, so bar lengths cannot drift.
+	maxS := int64(1)
+	if s.BarLine >= 0 && s.BarLine < len(s.Lines) {
+		for _, v := range s.Lines[s.BarLine].Values {
+			if v.K == KindInt && v.Int > maxS {
+				maxS = v.Int
+			}
+		}
+	}
+	for i, x := range s.X {
+		fmt.Fprintf(b, "%3d", x)
+		for _, line := range s.Lines {
+			if i < len(line.Values) {
+				b.WriteString(formatCell(line.Format, line.Values[i]))
+			}
+		}
+		if s.BarLine >= 0 && s.BarLine < len(s.Lines) && i < len(s.Lines[s.BarLine].Values) {
+			n := int(s.Lines[s.BarLine].Values[i].Int * 30 / maxS)
+			if n < 0 {
+				n = 0
+			}
+			b.WriteString("  ")
+			b.WriteString(strings.Repeat("#", n))
+		}
+		b.WriteByte('\n')
+	}
+	for _, f := range s.Footer {
+		b.WriteString(f)
+		b.WriteByte('\n')
+	}
+}
+
+func renderHistogramText(b *strings.Builder, h Histogram) {
+	fmt.Fprintf(b, "%s: ubdm(observed max)=%d actual ubd=%d mode γ=%d (%.1f%% of requests)\n",
+		h.Arch, h.UBDm, h.ActualUBD, h.ModeGamma, h.ModeFrac*100)
+	b.WriteString(stats.FromDense(h.Counts).String())
+}
+
+func renderBoundsText(b *strings.Builder, d Bounds) {
+	fmt.Fprintf(b, "platform            %s (%d cores, lbus=%d)\n", d.Platform, d.Cores, d.LBus)
+	fmt.Fprintf(b, "access type         %s\n", d.AccessType)
+	fmt.Fprintf(b, "actual ubd (Eq.1)   %d cycles\n", d.ActualUBD)
+	if d.Err != "" {
+		fmt.Fprintf(b, "derivation FAILED: %s\n", d.Err)
+	} else if d.Res != nil {
+		b.WriteString(d.Res.toCore().Report())
+	}
+}
+
+// toCore rebuilds the core.Result the wire shape was flattened from, so
+// the text backend reuses core's Report() verbatim instead of
+// duplicating its format.
+func (r *BoundsResult) toCore() *core.Result {
+	res := &core.Result{
+		UBDm:      r.UBDm,
+		PeriodK:   r.PeriodK,
+		DeltaNop:  r.DeltaNop,
+		KMin:      r.KMin,
+		Slowdowns: r.Slowdowns,
+		Methods:   make(map[core.PeriodMethod]int, len(r.Methods)),
+		Confidence: core.Confidence{
+			UtilizationOK:   r.UtilizationOK,
+			MinUtilization:  r.MinUtilization,
+			PeriodsObserved: r.PeriodsObserved,
+			MethodsAgree:    r.MethodsAgree,
+			Notes:           r.Notes,
+		},
+	}
+	for m, v := range r.Methods {
+		res.Methods[core.PeriodMethod(m)] = v
+	}
+	return res
+}
+
+// boundsResult flattens a core.Result into the Bounds wire shape.
+func boundsResult(res *core.Result) *BoundsResult {
+	if res == nil {
+		return nil
+	}
+	out := &BoundsResult{
+		UBDm:            res.UBDm,
+		PeriodK:         res.PeriodK,
+		DeltaNop:        res.DeltaNop,
+		KMin:            res.KMin,
+		Slowdowns:       res.Slowdowns,
+		Methods:         make(map[string]int, len(res.Methods)),
+		UtilizationOK:   res.Confidence.UtilizationOK,
+		MinUtilization:  res.Confidence.MinUtilization,
+		PeriodsObserved: res.Confidence.PeriodsObserved,
+		MethodsAgree:    res.Confidence.MethodsAgree,
+		Notes:           res.Confidence.Notes,
+		Confidence:      res.Confidence.Score(),
+	}
+	for m, v := range res.Methods {
+		out.Methods[string(m)] = v
+	}
+	return out
+}
+
+// formatCell renders one cell with its column's fmt verb. String cells
+// in a numeric column (the results table's "-" placeholders) render at
+// the same width with the verb rewritten to %s; string columns keep
+// their format untouched (width, precision and all).
+func formatCell(format string, v Value) string {
+	switch v.K {
+	case KindString:
+		if verbOf(format) != 's' {
+			format = stringFormat(format)
+		}
+		return fmt.Sprintf(format, v.Str)
+	case KindFloat:
+		return fmt.Sprintf(format, v.Float)
+	default:
+		return fmt.Sprintf(format, v.Int)
+	}
+}
+
+// verbOf returns the conversion letter of the format's (single) verb,
+// or 0 if there is none.
+func verbOf(format string) byte {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if i+1 < len(format) && format[i+1] == '%' {
+			i++
+			continue
+		}
+		for i++; i < len(format); i++ {
+			c := format[i]
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				return c
+			}
+		}
+	}
+	return 0
+}
+
+// stringFormat rewrites a numeric fmt verb to %s, preserving flags and
+// width and dropping the precision ("  %10d" → "  %10s").
+func stringFormat(format string) string {
+	var b strings.Builder
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+1 < len(format) && format[i+1] == '%' {
+			b.WriteString("%%")
+			i++
+			continue
+		}
+		b.WriteByte('%')
+		i++
+		for i < len(format) && strings.IndexByte("-+ #0", format[i]) >= 0 {
+			b.WriteByte(format[i])
+			i++
+		}
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			b.WriteByte(format[i])
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		b.WriteByte('s') // format[i] was the numeric verb
+	}
+	return b.String()
+}

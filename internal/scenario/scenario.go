@@ -526,19 +526,3 @@ func RunAll(jobs []Job) ([]Result, error) {
 	return out, nil
 }
 
-// RenderResults formats results as the final table: one row per job in
-// job order.
-func RenderResults(rs []Result) string {
-	var b strings.Builder
-	b.WriteString("job                             platform      cycles   isolation    slowdown  requests  maxγ  util\n")
-	for _, r := range rs {
-		fmt.Fprintf(&b, "%-30s  %-10s %9d", r.ID, r.Platform, r.Cycles)
-		if r.IsolationCycles > 0 || r.Slowdown != 0 {
-			fmt.Fprintf(&b, "  %10d  %10d", r.IsolationCycles, r.Slowdown)
-		} else {
-			fmt.Fprintf(&b, "  %10s  %10s", "-", "-")
-		}
-		fmt.Fprintf(&b, "  %8d  %4d  %4.1f%%\n", r.Requests, r.MaxGamma, r.Utilization*100)
-	}
-	return b.String()
-}

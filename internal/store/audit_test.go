@@ -1,0 +1,189 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rrbus/internal/store"
+)
+
+// buildStore fills a fresh Dir store with a small recorded fig7 plan
+// and returns the store and its root.
+func buildStore(t *testing.T) (*store.Dir, string) {
+	t.Helper()
+	root := filepath.Join(t.TempDir(), "st")
+	d, err := store.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compileFig7(t, 3)
+	if _, _, sess := runAll(t, d, c); sess.Simulated() != 3 {
+		t.Fatalf("cold fill simulated %d", sess.Simulated())
+	}
+	return d, root
+}
+
+// oneEntry returns the path of one stored job entry.
+func oneEntry(t *testing.T, root string) string {
+	t.Helper()
+	var entry string
+	err := filepath.WalkDir(filepath.Join(root, "jobs"), func(path string, de os.DirEntry, err error) error {
+		if err == nil && !de.IsDir() && entry == "" {
+			entry = path
+		}
+		return err
+	})
+	if err != nil || entry == "" {
+		t.Fatalf("no job entries found: %v", err)
+	}
+	return entry
+}
+
+// TestPlanInfos pins the ls data: the recorded plan manifest reports
+// its identity, job count and full row coverage — and loses coverage
+// when a row entry disappears.
+func TestPlanInfos(t *testing.T) {
+	d, root := buildStore(t)
+	infos, err := d.PlanInfos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("plans = %d, want 1", len(infos))
+	}
+	p := infos[0]
+	if p.Generator != "fig7" || p.Jobs != 3 || p.Present != 3 || p.Err != "" {
+		t.Errorf("plan info %+v", p)
+	}
+	if err := os.Remove(oneEntry(t, root)); err != nil {
+		t.Fatal(err)
+	}
+	infos, err = d.PlanInfos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infos[0].Present != 2 {
+		t.Errorf("coverage after removal: present = %d, want 2", infos[0].Present)
+	}
+}
+
+// TestVerifyClean: a freshly recorded store verifies with zero issues.
+func TestVerifyClean(t *testing.T) {
+	d, _ := buildStore(t)
+	rep, err := d.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Jobs != 3 || rep.Plans != 1 {
+		t.Errorf("clean store audit: %+v", rep)
+	}
+}
+
+// TestVerifyDetectsCorruption is the acceptance criterion: an
+// intentionally corrupted row surfaces as a checksum issue.
+func TestVerifyDetectsCorruption(t *testing.T) {
+	d, root := buildStore(t)
+	entry := oneEntry(t, root)
+	data, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the row payload.
+	idx := strings.Index(string(data), `"cycles"`)
+	if idx < 0 {
+		t.Fatalf("entry has no cycles field: %s", data)
+	}
+	data[idx+1] ^= 0x01
+	if err := os.WriteFile(entry, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Issues) != 1 {
+		t.Fatalf("issues = %+v, want exactly the corrupted entry", rep.Issues)
+	}
+	if !strings.Contains(rep.Issues[0].Err, "integrity") {
+		t.Errorf("issue does not name integrity: %+v", rep.Issues[0])
+	}
+	if !strings.HasPrefix(rep.Issues[0].Path, "jobs"+string(os.PathSeparator)) {
+		t.Errorf("issue path is not store-relative: %q", rep.Issues[0].Path)
+	}
+}
+
+// TestVerifyDetectsMisfiledAndStray: an entry copied under the wrong
+// prefix directory and a leftover temp file both surface.
+func TestVerifyDetectsMisfiledAndStray(t *testing.T) {
+	d, root := buildStore(t)
+	entry := oneEntry(t, root)
+	data, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := filepath.Join(root, "jobs", "zz", filepath.Base(entry))
+	if err := os.MkdirAll(filepath.Dir(wrong), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wrong, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "jobs", ".tmp-leftover"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var misfiled, stray bool
+	for _, is := range rep.Issues {
+		if strings.Contains(is.Err, "misfiled") {
+			misfiled = true
+		}
+		if strings.Contains(is.Err, "stray") {
+			stray = true
+		}
+	}
+	if !misfiled || !stray || len(rep.Issues) != 2 {
+		t.Errorf("issues = %+v, want one misfiled + one stray", rep.Issues)
+	}
+}
+
+// TestVerifyDetectsBadManifest: a future-schema plan manifest is an
+// issue, not a silent skip.
+func TestVerifyDetectsBadManifest(t *testing.T) {
+	d, root := buildStore(t)
+	plans, err := d.Plans()
+	if err != nil || len(plans) != 1 {
+		t.Fatalf("plans: %v %v", plans, err)
+	}
+	path := filepath.Join(root, "plans", plans[0]+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), `"schema": 1`, `"schema": 99`, 1)
+	if mutated == string(data) {
+		t.Fatalf("manifest has no schema field to mutate:\n%s", data)
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Issues) != 1 || !strings.Contains(rep.Issues[0].Err, "newer") {
+		t.Errorf("issues = %+v, want the future-schema manifest", rep.Issues)
+	}
+	// ls degrades gracefully: the broken manifest is reported per-plan.
+	infos, err := d.PlanInfos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Err == "" {
+		t.Errorf("plan infos = %+v, want the manifest error surfaced", infos)
+	}
+}

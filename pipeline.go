@@ -20,6 +20,7 @@ package rrbus
 // callers of exactly this API.
 
 import (
+	"fmt"
 	"io"
 
 	"rrbus/internal/core"
@@ -74,6 +75,47 @@ type (
 	// ResultSinkFunc adapts a function to ResultSink.
 	ResultSinkFunc = exp.SinkFunc[scenario.Result]
 
+	// Document is the typed output of the Render stage: an ordered list
+	// of blocks a Backend encodes as text, HTML or JSON.
+	Document = report.Document
+	// DocBlock is one typed element of a Document.
+	DocBlock = report.Block
+	// Backend encodes a Document into one output format.
+	Backend = report.Backend
+	// TextBackend is the legacy terminal encoding (byte-identical to the
+	// pre-Document renderers).
+	TextBackend = report.TextBackend
+	// HTMLBackend is the self-contained single-file HTML encoding with
+	// inline SVG charts.
+	HTMLBackend = report.HTMLBackend
+	// JSONBackend is the schema-versioned machine-readable encoding
+	// (decode with DecodeDocument).
+	JSONBackend = report.JSONBackend
+
+	// The Document block types, for assembling or post-processing
+	// documents programmatically.
+	HeadingBlock   = report.Heading
+	ParagraphBlock = report.Paragraph
+	SpacerBlock    = report.Spacer
+	TableBlock     = report.Table
+	SeriesBlock    = report.Series
+	TimelineBlock  = report.Timeline
+	HistogramBlock = report.Histogram
+	BoundsBlock    = report.Bounds
+	// Column and RowBlock are a TableBlock's typed pieces; Value is one
+	// typed cell.
+	Column   = report.Column
+	RowBlock = report.Row
+	Value    = report.Value
+
+	// StorePlanInfo summarizes one recorded plan manifest (rrbus-store ls).
+	StorePlanInfo = store.PlanInfo
+	// StoreAuditReport is the outcome of DirStore.Verify (rrbus-store
+	// verify).
+	StoreAuditReport = store.AuditReport
+	// StoreIssue is one store-verification failure.
+	StoreIssue = store.Issue
+
 	// Derivation is the detection half of the methodology re-run over a
 	// recorded derivation block.
 	Derivation = report.Derivation
@@ -123,14 +165,61 @@ func ParseShard(spec string) (Shard, error) { return exp.ParseShard(spec) }
 // value.
 func SetWorkers(n int) { exp.SetWorkers(n) }
 
-// Render rebuilds the plan's figure/table/bound text from recorded
-// results: the plan generator's renderer when one exists, the generic
-// results table otherwise. Results are validated against the plan's job
-// list first, so replaying a recording against the wrong plan fails
-// instead of mislabeling rows.
-func Render(p *Plan, results []Result) (string, error) {
-	return report.Render(p.Generator(), p.Jobs, results)
+// DocumentFor rebuilds the plan's figure/table/bound Document from
+// recorded results: the plan generator's renderer when one exists, the
+// generic results table otherwise. Results are validated against the
+// plan's job list first, so replaying a recording against the wrong plan
+// fails — with the plan hash and generator named in the error — instead
+// of mislabeling rows.
+func DocumentFor(p *Plan, results []Result) (*Document, error) {
+	doc, err := report.DocumentFor(p.Generator(), p.Jobs, results)
+	if err != nil {
+		return nil, fmt.Errorf("render plan %s (%s): %w", p.Name(), planLabel(p), err)
+	}
+	if doc.Title == "" {
+		doc.Title = p.Name()
+	}
+	return doc, nil
 }
+
+// planLabel names a plan for error messages: its generator (or job-list
+// shape) plus its content hash, so a mismatched replay pinpoints which
+// plan the renderer was holding.
+func planLabel(p *Plan) string {
+	gen := "explicit job list"
+	if g := p.Generator(); g != "" {
+		gen = "generator " + g
+	}
+	return fmt.Sprintf("%s, hash %.12s", gen, p.Hash())
+}
+
+// Render rebuilds the plan's figure/table/bound text from recorded
+// results — the text-backend convenience over DocumentFor, byte-identical
+// to the pre-Document pipeline.
+func Render(p *Plan, results []Result) (string, error) {
+	doc, err := DocumentFor(p, results)
+	if err != nil {
+		return "", err
+	}
+	return doc.Text(), nil
+}
+
+// RenderTo encodes a document to w with the given backend (nil selects
+// text).
+func RenderTo(w io.Writer, doc *Document, b Backend) error { return report.RenderTo(w, doc, b) }
+
+// Backends lists the available render-backend names ("text", "html",
+// "json") in CLI order.
+func Backends() []string { return report.Backends() }
+
+// BackendByName returns the render backend with the given CLI name (""
+// selects text).
+func BackendByName(name string) (Backend, error) { return report.BackendFor(name) }
+
+// DecodeDocument reads a JSONBackend encoding back into a Document —
+// archived documents re-render through any backend without touching the
+// original results.
+func DecodeDocument(r io.Reader) (*Document, error) { return report.DecodeDocument(r) }
 
 // HasRenderer reports whether a generator has a dedicated figure
 // renderer (false means Render falls back to the generic results table).
@@ -139,9 +228,13 @@ func HasRenderer(generator string) bool {
 	return ok
 }
 
+// ResultsTableDocument builds the generic one-row-per-job results table
+// as a Document.
+func ResultsTableDocument(results []Result) *Document { return report.ResultsTable(results) }
+
 // RenderResultsTable formats results as the generic one-row-per-job
-// table.
-func RenderResultsTable(results []Result) string { return scenario.RenderResults(results) }
+// table (text encoding).
+func RenderResultsTable(results []Result) string { return report.ResultsTable(results).Text() }
 
 // CheckResults validates recorded results against a plan's job list
 // (count and IDs) without rendering.
@@ -208,8 +301,28 @@ func ImportResults(st Store, p *Plan, results []Result) error {
 // headline table.
 func Summary(cfgs ...Config) ([]SummaryRow, error) { return figures.Summary(cfgs...) }
 
-// RenderSummary formats the headline table.
+// RenderSummary formats the headline table (text encoding, table only).
 func RenderSummary(rows []SummaryRow) string { return figures.RenderSummary(rows) }
+
+// SummaryDocument builds the headline table as a complete document
+// (heading included), renderable through any backend.
+func SummaryDocument(rows []SummaryRow) *Document { return figures.SummaryDocument(rows) }
+
+// DocumentSchema is the version of the JSON document encoding this
+// build reads and writes (DecodeDocument rejects newer ones).
+const DocumentSchema = report.DocumentSchema
+
+// IntV wraps an int table/series cell.
+func IntV(v int) Value { return report.IntV(v) }
+
+// Int64V wraps an int64 cell.
+func Int64V(v int64) Value { return report.Int64(v) }
+
+// FloatV wraps a float cell.
+func FloatV(v float64) Value { return report.FloatV(v) }
+
+// StringV wraps a string cell.
+func StringV(v string) Value { return report.StringV(v) }
 
 // PlatformByName returns a stock platform by its CLI spelling
 // ("ref", "var", "toy"; "" is ref).

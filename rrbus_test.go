@@ -296,6 +296,81 @@ func TestFacadePipeline(t *testing.T) {
 	}
 }
 
+// TestFacadeDocumentAPI exercises the Plan→Run→Store→Document→Backend
+// redesign end to end at the facade: the same plan renders through all
+// three backends, the JSON encoding decodes back into a document that
+// re-renders the identical text, and replay mismatches name the plan.
+func TestFacadeDocumentAPI(t *testing.T) {
+	plan, err := rrbus.GeneratorPlan("fig7", rrbus.Params{"arch": "toy", "kmax": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &rrbus.Session{}
+	results, err := sess.RunAll(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc, err := rrbus.DocumentFor(plan, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := rrbus.Render(plan, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range rrbus.Backends() {
+		backend, err := rrbus.BackendByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := rrbus.RenderTo(&buf, doc, backend); err != nil {
+			t.Fatalf("%s backend: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s backend produced nothing", name)
+		}
+		if name == "text" && buf.String() != legacy {
+			t.Error("text backend differs from Render")
+		}
+	}
+
+	var enc strings.Builder
+	jsonBackend, err := rrbus.BackendByName("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rrbus.RenderTo(&enc, doc, jsonBackend); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rrbus.DecodeDocument(strings.NewReader(enc.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay strings.Builder
+	if err := rrbus.RenderTo(&replay, back, rrbus.TextBackend{}); err != nil {
+		t.Fatal(err)
+	}
+	if replay.String() != legacy {
+		t.Error("JSON round trip perturbed the text rendering")
+	}
+
+	// A mismatched replay names the plan: generator and content hash.
+	_, err = rrbus.Render(plan, results[:3])
+	if err == nil {
+		t.Fatal("truncated replay accepted")
+	}
+	if !strings.Contains(err.Error(), "fig7") || !strings.Contains(err.Error(), plan.Hash()[:12]) {
+		t.Errorf("replay error does not name the plan: %v", err)
+	}
+
+	// The generic results table renders identically via both spellings.
+	if rrbus.RenderResultsTable(results) != rrbus.ResultsTableDocument(results).Text() {
+		t.Error("results table spellings diverge")
+	}
+}
+
 func TestFacadeNoisyRunner(t *testing.T) {
 	inner, err := rrbus.NewRunner(rrbus.ReferenceNGMP())
 	if err != nil {
