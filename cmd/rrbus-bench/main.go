@@ -10,6 +10,7 @@
 //	rrbus-bench -workers 8 -repeat 3
 //	rrbus-bench -compare BENCH_sim.json   # exit 1 on >10% simcycles/s regression
 //	rrbus-bench -out BENCH_sim.json -append  # accumulate a trend entry
+//	rrbus-bench -repeat 1 -faults get=5,corrupt=7,latency=200us  # chaos dev run
 //
 // Each benchmark reports the best (fastest) of -repeat runs, minimizing
 // scheduler noise; sim_cycles counts simulated platform cycles, so
@@ -31,6 +32,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -80,6 +82,7 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 	compare := flag.String("compare", "", "baseline JSON to compare against; exit 1 on >10% simcycles/s regression")
 	appendTrend := flag.Bool("append", false, "carry the baseline's trend forward and append this run to it (needs -out)")
+	faults := flag.String("faults", "", "dev: add a fig7-store-faulty benchmark injecting store faults; spec get=N,put=N,corrupt=N,latency=DURATION")
 	flag.Parse()
 	if *repeat < 1 {
 		fmt.Fprintf(os.Stderr, "rrbus-bench: -repeat must be >= 1, got %d\n", *repeat)
@@ -141,8 +144,26 @@ func main() {
 	for _, rb := range renderBenches() {
 		benchmarks = append(benchmarks, rb)
 	}
+	if *faults != "" {
+		// The chaos benchmark: a warm store run with deterministic fault
+		// injection, asserting the resilience layer keeps the output
+		// identical while retries and quarantine-healing absorb the
+		// faults. Wall-time only (dev tool, not a regression gate).
+		benchmarks = append(benchmarks, struct {
+			name string
+			run  func() (simCycles uint64, err error)
+		}{"fig7-store-faulty", faultyStoreBench(*faults)})
+	}
 
+	// The first SIGINT/SIGTERM finishes the benchmark in flight and skips
+	// the rest (a second one kills the process).
+	ctx, stop := rrbus.SignalContext()
+	defer stop()
 	for _, b := range benchmarks {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "rrbus-bench: interrupted; skipping remaining benchmarks")
+			os.Exit(130)
+		}
 		best := result{Name: b.name, WallNanos: 1<<63 - 1}
 		for r := 0; r < *repeat; r++ {
 			start := time.Now()
@@ -240,6 +261,85 @@ func warmStoreBench() func() (uint64, error) {
 		}
 		return 0, nil
 	}
+}
+
+// faultyStoreBench builds the fig7-store-faulty chaos benchmark: a Mem
+// store filled cold at construction (outside every timed region), then
+// each timed run re-runs the sweep through a FaultyStore wrapper with
+// the spec'd fault schedule and a retrying session, checking the faults
+// were absorbed — rows byte-identical via RunAll equality is implied by
+// the session contract; what the benchmark asserts cheaply is that the
+// run completed and every injected corruption healed.
+func faultyStoreBench(spec string) func() (uint64, error) {
+	knobs, err := parseFaults(spec)
+	if err != nil {
+		return func() (uint64, error) { return 0, err }
+	}
+	plan, err := rrbus.GeneratorPlan("fig7", rrbus.Params{"arch": "ref", "type": "load", "kmax": 40, "iters": 10})
+	if err != nil {
+		return func() (uint64, error) { return 0, err }
+	}
+	st := rrbus.NewMemStore()
+	cold := &rrbus.Session{Store: st}
+	if _, err := cold.RunAll(plan); err != nil {
+		return func() (uint64, error) { return 0, err }
+	}
+	return func() (uint64, error) {
+		f := &rrbus.FaultyStore{Under: st,
+			EveryGet: knobs.get, EveryPut: knobs.put, EveryCorrupt: knobs.corrupt, Latency: knobs.latency}
+		sess := &rrbus.Session{Store: f, Retry: rrbus.DefaultRetry}
+		if _, err := sess.RunAll(plan); err != nil {
+			return 0, err
+		}
+		if sess.Quarantined() != sess.Repaired() {
+			return 0, fmt.Errorf("quarantined %d but repaired %d", sess.Quarantined(), sess.Repaired())
+		}
+		fmt.Fprintf(os.Stderr, "rrbus-bench: faults: injected %d (%d gets, %d puts), retried %d, healed %d\n",
+			f.Stats().Injected, f.Stats().Gets, f.Stats().Puts, sess.Retried(), sess.Repaired())
+		return 0, nil
+	}
+}
+
+// faultKnobs is a parsed -faults spec.
+type faultKnobs struct {
+	get, put, corrupt int64
+	latency           time.Duration
+}
+
+// parseFaults parses the -faults spec: comma-separated get=N, put=N,
+// corrupt=N (inject every Nth operation) and latency=DURATION.
+func parseFaults(spec string) (faultKnobs, error) {
+	var k faultKnobs
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return k, fmt.Errorf("-faults %q: %q is not key=value", spec, part)
+		}
+		switch key {
+		case "latency":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return k, fmt.Errorf("-faults latency: %w", err)
+			}
+			k.latency = d
+		case "get", "put", "corrupt":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return k, fmt.Errorf("-faults %s: %q is not a non-negative integer", key, val)
+			}
+			switch key {
+			case "get":
+				k.get = n
+			case "put":
+				k.put = n
+			case "corrupt":
+				k.corrupt = n
+			}
+		default:
+			return k, fmt.Errorf("-faults: unknown knob %q (get, put, corrupt, latency)", key)
+		}
+	}
+	return k, nil
 }
 
 // renderBenches builds the render-doc-{text,html,json} benchmarks. The

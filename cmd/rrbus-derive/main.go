@@ -28,7 +28,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -208,29 +210,59 @@ func runScenario(path, shardSpec, out, from, storeDir string, merge, jsonOut, se
 	case out != "":
 		shard, err := rrbus.ParseShard(shardSpec)
 		fail(err)
-		sess := &rrbus.Session{Store: st, Shard: shard}
-		err = sess.RunToFile(plan, out)
+		ctx, stop := rrbus.SignalContext()
+		defer stop()
+		sess := &rrbus.Session{Store: st, Shard: shard, Retry: rrbus.DefaultRetry}
+		err = sess.RunToFileContext(ctx, plan, out)
 		reportStore(sess, st)
+		exitIfInterrupted(err, st)
 		fail(err)
 		return
 	default:
 		if shardSpec != "" {
 			fail(fmt.Errorf("-shard needs -out (a shard alone cannot detect the period)"))
 		}
-		sess := &rrbus.Session{Store: st}
-		results, err = sess.RunAll(plan)
+		ctx, stop := rrbus.SignalContext()
+		defer stop()
+		sess := &rrbus.Session{Store: st, Retry: rrbus.DefaultRetry}
+		results, err = sess.RunAllContext(ctx, plan)
 		reportStore(sess, st)
+		exitIfInterrupted(err, st)
 		fail(err)
 	}
 
 	deriveFromResults(plan, results, jsonOut, series, backend)
 }
 
-// reportStore prints the session's reuse accounting to stderr.
+// reportStore prints the session's reuse accounting to stderr, plus the
+// resilience accounting (healed corruption, retried transients) when the
+// run needed any.
 func reportStore(sess *rrbus.Session, st rrbus.Store) {
-	if st != nil {
-		fmt.Fprintf(os.Stderr, "rrbus-derive: store: %d hits, %d simulated\n", sess.StoreHits(), sess.Simulated())
+	if st == nil {
+		return
 	}
+	fmt.Fprintf(os.Stderr, "rrbus-derive: store: %d hits, %d simulated\n", sess.StoreHits(), sess.Simulated())
+	if q := sess.Quarantined(); q > 0 {
+		fmt.Fprintf(os.Stderr, "rrbus-derive: store: quarantined %d corrupt entries, repaired %d\n", q, sess.Repaired())
+	}
+	if r := sess.Retried(); r > 0 {
+		fmt.Fprintf(os.Stderr, "rrbus-derive: store: retried %d transient errors\n", r)
+	}
+}
+
+// exitIfInterrupted turns a drained cancellation into the partial-
+// progress exit (130): completed rows were flushed, so re-running the
+// same command resumes warm.
+func exitIfInterrupted(err error, st rrbus.Store) {
+	if !errors.Is(err, context.Canceled) {
+		return
+	}
+	if st != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-derive: interrupted; completed rows are flushed — re-run the same command to resume warm")
+	} else {
+		fmt.Fprintln(os.Stderr, "rrbus-derive: interrupted (add -store to make interrupted sweeps resumable)")
+	}
+	os.Exit(130)
 }
 
 // mergeResults recombines shard JSONL files (optionally saving the

@@ -44,6 +44,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -99,8 +101,13 @@ func main() {
 		mergeShards(*out, *scenarioFile, st, backend, flag.Args())
 		return
 	}
+	// Every path below may run a Session; the first SIGINT/SIGTERM drains
+	// it gracefully (in-flight jobs finish, completed rows flush to the
+	// store) and a second one kills the process.
+	ctx, stop := rrbus.SignalContext()
+	defer stop()
 	if *scenarioFile != "" {
-		runScenario(*scenarioFile, *shardSpec, *out, *from, st, backend)
+		runScenario(ctx, *scenarioFile, *shardSpec, *out, *from, st, backend)
 		return
 	}
 	if *shardSpec != "" || *out != "" {
@@ -163,7 +170,7 @@ func main() {
 		}
 		plan, err := rrbus.GeneratorPlan(s.generator, s.params)
 		fail(err)
-		results, err := obtainResults(plan, st, *from)
+		results, err := obtainResults(ctx, plan, st, *from)
 		fail(err)
 		doc, err := rrbus.DocumentFor(plan, results)
 		fail(err)
@@ -199,31 +206,56 @@ func openStore(dir string) rrbus.Store {
 }
 
 // reportStore prints the session's reuse accounting to stderr — the line
-// the CI cache-reuse smoke greps to prove a warm run simulated nothing.
+// the CI cache-reuse smoke greps to prove a warm run simulated nothing —
+// plus, when the run had to heal or retry, the resilience accounting the
+// chaos smoke greps.
 func reportStore(sess *rrbus.Session, st rrbus.Store) {
-	if st != nil {
-		fmt.Fprintf(os.Stderr, "rrbus-figures: store: %d hits, %d simulated\n", sess.StoreHits(), sess.Simulated())
+	if st == nil {
+		return
 	}
+	fmt.Fprintf(os.Stderr, "rrbus-figures: store: %d hits, %d simulated\n", sess.StoreHits(), sess.Simulated())
+	if q := sess.Quarantined(); q > 0 {
+		fmt.Fprintf(os.Stderr, "rrbus-figures: store: quarantined %d corrupt entries, repaired %d\n", q, sess.Repaired())
+	}
+	if r := sess.Retried(); r > 0 {
+		fmt.Fprintf(os.Stderr, "rrbus-figures: store: retried %d transient errors\n", r)
+	}
+}
+
+// exitIfInterrupted turns a drained cancellation into the partial-
+// progress exit: completed rows were flushed (store and -out file), so a
+// re-run of the same command resumes warm. Conventional 130 = SIGINT.
+func exitIfInterrupted(err error, st rrbus.Store) {
+	if !errors.Is(err, context.Canceled) {
+		return
+	}
+	if st != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-figures: interrupted; completed rows are flushed — re-run the same command to resume warm")
+	} else {
+		fmt.Fprintln(os.Stderr, "rrbus-figures: interrupted (add -store to make interrupted sweeps resumable)")
+	}
+	os.Exit(130)
 }
 
 // obtainResults produces one result per job of the plan: replayed from a
 // recorded JSONL file when path is set, run through a (store-aware)
 // session otherwise. Either way the renderers downstream see the same
 // thing — recorded results.
-func obtainResults(plan *rrbus.Plan, st rrbus.Store, path string) ([]rrbus.Result, error) {
+func obtainResults(ctx context.Context, plan *rrbus.Plan, st rrbus.Store, path string) ([]rrbus.Result, error) {
 	if path != "" {
 		return rrbus.ReadResultsFile(path)
 	}
-	sess := &rrbus.Session{Store: st}
-	results, err := sess.RunAll(plan)
+	sess := &rrbus.Session{Store: st, Retry: rrbus.DefaultRetry}
+	results, err := sess.RunAllContext(ctx, plan)
 	reportStore(sess, st)
+	exitIfInterrupted(err, st)
 	return results, err
 }
 
 // runScenario compiles a scenario file and either streams this shard's
 // share of its jobs as JSONL to -out, or renders the plan's figure from
 // results — run through the session, or replayed from -from.
-func runScenario(path, shardSpec, out, from string, st rrbus.Store, backend rrbus.Backend) {
+func runScenario(ctx context.Context, path, shardSpec, out, from string, st rrbus.Store, backend rrbus.Backend) {
 	plan, err := rrbus.LoadPlan(path)
 	fail(err)
 	shard, err := rrbus.ParseShard(shardSpec)
@@ -242,17 +274,19 @@ func runScenario(path, shardSpec, out, from string, st rrbus.Store, backend rrbu
 		if !shard.All() {
 			fail(fmt.Errorf("-shard %s without -out would drop the shard rows; add -out", shard))
 		}
-		sess := &rrbus.Session{Store: st}
-		results, err := sess.RunAll(plan)
+		sess := &rrbus.Session{Store: st, Retry: rrbus.DefaultRetry}
+		results, err := sess.RunAllContext(ctx, plan)
 		reportStore(sess, st)
+		exitIfInterrupted(err, st)
 		fail(err)
 		renderPlan(plan, path, results, backend)
 		return
 	}
 
-	sess := &rrbus.Session{Store: st, Shard: shard}
-	err = sess.RunToFile(plan, out)
+	sess := &rrbus.Session{Store: st, Shard: shard, Retry: rrbus.DefaultRetry}
+	err = sess.RunToFileContext(ctx, plan, out)
 	reportStore(sess, st)
+	exitIfInterrupted(err, st)
 	fail(err)
 }
 

@@ -22,6 +22,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -59,15 +61,21 @@ func main() {
 		rejectWithScenario("rrbus-sim", "arch", "scua", "contenders", "warmup", "iters", "seed", "gammas")
 		plan, err := rrbus.LoadPlan(*scenarioFile)
 		fail(err)
-		sess := &rrbus.Session{Store: st}
+		// First SIGINT/SIGTERM drains the batch gracefully (completed
+		// rows flush to the store and -out), a second one kills it.
+		ctx, stop := rrbus.SignalContext()
+		defer stop()
+		sess := &rrbus.Session{Store: st, Retry: rrbus.DefaultRetry}
 		if *out != "" {
-			err = sess.RunToFile(plan, *out)
+			err = sess.RunToFileContext(ctx, plan, *out)
 			reportStore(sess, st)
+			exitIfInterrupted(err, st)
 			fail(err)
 			return
 		}
-		results, err := sess.RunAll(plan)
+		results, err := sess.RunAllContext(ctx, plan)
 		reportStore(sess, st)
+		exitIfInterrupted(err, st)
 		fail(err)
 		fail(rrbus.RenderTo(os.Stdout, rrbus.ResultsTableDocument(results), backend))
 		return
@@ -180,11 +188,35 @@ func main() {
 	}
 }
 
-// reportStore prints the session's reuse accounting to stderr.
+// reportStore prints the session's reuse accounting to stderr, plus the
+// resilience accounting (healed corruption, retried transients) when the
+// run needed any.
 func reportStore(sess *rrbus.Session, st rrbus.Store) {
-	if st != nil {
-		fmt.Fprintf(os.Stderr, "rrbus-sim: store: %d hits, %d simulated\n", sess.StoreHits(), sess.Simulated())
+	if st == nil {
+		return
 	}
+	fmt.Fprintf(os.Stderr, "rrbus-sim: store: %d hits, %d simulated\n", sess.StoreHits(), sess.Simulated())
+	if q := sess.Quarantined(); q > 0 {
+		fmt.Fprintf(os.Stderr, "rrbus-sim: store: quarantined %d corrupt entries, repaired %d\n", q, sess.Repaired())
+	}
+	if r := sess.Retried(); r > 0 {
+		fmt.Fprintf(os.Stderr, "rrbus-sim: store: retried %d transient errors\n", r)
+	}
+}
+
+// exitIfInterrupted turns a drained cancellation into the partial-
+// progress exit (130): completed rows were flushed, so re-running the
+// same command resumes warm.
+func exitIfInterrupted(err error, st rrbus.Store) {
+	if !errors.Is(err, context.Canceled) {
+		return
+	}
+	if st != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-sim: interrupted; completed rows are flushed — re-run the same command to resume warm")
+	} else {
+		fmt.Fprintln(os.Stderr, "rrbus-sim: interrupted (add -store to make interrupted batches resumable)")
+	}
+	os.Exit(130)
 }
 
 func fail(err error) {

@@ -1,8 +1,9 @@
-// Command rrbus-store audits a content-addressed results store — the
-// directory the other CLIs fill via -store. Archived measurements are
-// the asset the whole methodology is built on ("simulate once, analyze
-// forever"), so the store ships with tooling to see what a directory
-// holds and to prove it still verifies:
+// Command rrbus-store audits and repairs a content-addressed results
+// store — the directory the other CLIs fill via -store. Archived
+// measurements are the asset the whole methodology is built on
+// ("simulate once, analyze forever"), so the store ships with tooling to
+// see what a directory holds, prove it still verifies, and make it whole
+// again when it does not:
 //
 //	rrbus-store ls <dir>       list recorded plans: name, generator,
 //	                           job count and hit coverage (how many of
@@ -11,8 +12,15 @@
 //	                           and plans/<hash>.json manifest, re-check
 //	                           integrity checksums, filing and schema
 //	                           versions; exit 1 on any corruption
+//	rrbus-store repair <dir>   quarantine every damaged entry, then
+//	                           re-simulate the missing rows from the
+//	                           plan manifests that recorded their spec;
+//	                           exit 1 if anything stays unrepairable
+//	rrbus-store gc <dir>       list the quarantined debris; -rm drops
+//	                           entries whose hash has a healthy row
+//	                           again
 //
-// Both subcommands render through the report backends: -format text
+// All subcommands render through the report backends: -format text
 // (default), html or json.
 //
 // Usage:
@@ -20,9 +28,14 @@
 //	rrbus-store ls results/
 //	rrbus-store ls -format json results/
 //	rrbus-store verify results/
+//	rrbus-store repair results/
+//	rrbus-store repair -workers 8 results/
+//	rrbus-store gc -rm results/
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +44,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rrbus-store <ls|verify> [-format text|html|json] <store-dir>")
+	fmt.Fprintln(os.Stderr, "usage: rrbus-store <ls|verify|repair|gc> [-format text|html|json] [-workers n] [-rm] <store-dir>")
 	os.Exit(2)
 }
 
@@ -42,8 +55,10 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet("rrbus-store "+cmd, flag.ExitOnError)
 	format := fs.String("format", "text", "render backend: text, html or json")
+	workers := fs.Int("workers", 0, "repair: simulation worker goroutines for re-simulated rows (0 = GOMAXPROCS)")
+	rm := fs.Bool("rm", false, "gc: remove quarantined entries whose hash has a healthy row again")
 	switch cmd {
-	case "ls", "verify":
+	case "ls", "verify", "repair", "gc":
 	default:
 		fmt.Fprintf(os.Stderr, "rrbus-store: unknown command %q\n", cmd)
 		usage()
@@ -70,6 +85,10 @@ func main() {
 		ls(st, dir, backend)
 	case "verify":
 		verify(st, dir, backend)
+	case "repair":
+		repair(st, dir, *workers, backend)
+	case "gc":
+		gc(st, dir, *rm, backend)
 	}
 }
 
@@ -147,6 +166,105 @@ func verify(st *rrbus.DirStore, dir string, backend rrbus.Backend) {
 	if !rep.OK() {
 		os.Exit(1)
 	}
+}
+
+// repair quarantines every damaged entry, re-simulates the missing rows
+// from the plan manifests that recorded their spec, prints the repair
+// report, and exits nonzero if the store could not be made whole. The
+// first SIGINT/SIGTERM drains the in-flight re-simulation gracefully
+// (completed rows stay recorded), a second one kills the process.
+func repair(st *rrbus.DirStore, dir string, workers int, backend rrbus.Backend) {
+	ctx, stop := rrbus.SignalContext()
+	defer stop()
+	rep, err := st.Repair(ctx, workers)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "rrbus-store: interrupted; %d rows re-simulated so far stay recorded — re-run repair to finish\n", rep.Resimulated)
+		os.Exit(130)
+	}
+	fail(err)
+
+	doc := &rrbus.Document{Title: "repair " + dir}
+	doc.Add(rrbus.HeadingBlock{Level: 1,
+		Text: fmt.Sprintf("store %s: scanned %d entries: quarantined %d, replayed %d plans, re-simulated %d rows",
+			dir, rep.Scanned, rep.Quarantined, rep.PlansReplayed, rep.Resimulated)})
+	if len(rep.Unrepairable) > 0 {
+		t := rrbus.TableBlock{
+			Name:    "unrepairable",
+			Header:  "missing job hash (manifest has no spec to re-derive it)",
+			Columns: []rrbus.Column{{Key: "hash", Label: "hash", Format: "%s"}},
+		}
+		for _, h := range rep.Unrepairable {
+			t.Rows = append(t.Rows, rrbus.RowBlock{Cells: []rrbus.Value{rrbus.StringV(h)}})
+		}
+		doc.Add(t)
+	}
+	if len(rep.Issues) > 0 {
+		t := rrbus.TableBlock{
+			Name:   "issues",
+			Header: "path  error",
+			Columns: []rrbus.Column{
+				{Key: "path", Label: "path", Format: "%s"},
+				{Key: "error", Label: "error", Format: "  %s"},
+			},
+		}
+		for _, is := range rep.Issues {
+			t.Rows = append(t.Rows, rrbus.RowBlock{Cells: []rrbus.Value{rrbus.StringV(is.Path), rrbus.StringV(is.Err)}})
+		}
+		doc.Add(t)
+	}
+	fail(rrbus.RenderTo(os.Stdout, doc, backend))
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+// gc lists the quarantine directory — hash, healed status, reason — and
+// with -rm drops the entries whose hash holds a healthy row again.
+func gc(st *rrbus.DirStore, dir string, rm bool, backend rrbus.Backend) {
+	infos, err := st.Quarantined()
+	fail(err)
+	removed := 0
+	if rm {
+		for _, q := range infos {
+			if q.Healed {
+				fail(st.RemoveQuarantined(q.Hash))
+				removed++
+			}
+		}
+	}
+
+	doc := &rrbus.Document{Title: "gc " + dir}
+	head := fmt.Sprintf("store %s: %d quarantined entries", dir, len(infos))
+	if rm {
+		head += fmt.Sprintf(", removed %d healed", removed)
+	}
+	doc.Add(rrbus.HeadingBlock{Level: 1, Text: head})
+	if len(infos) > 0 {
+		t := rrbus.TableBlock{
+			Name:   "quarantine",
+			Header: "hash          healed  reason",
+			Columns: []rrbus.Column{
+				{Key: "hash", Label: "hash", Format: "%-12.12s"},
+				{Key: "healed", Label: "healed", Format: "  %-6s"},
+				{Key: "reason", Label: "reason", Format: "  %s"},
+			},
+		}
+		for _, q := range infos {
+			healed := "no"
+			if q.Healed {
+				healed = "yes"
+			}
+			status := healed
+			if rm && q.Healed {
+				status = "rm"
+			}
+			t.Rows = append(t.Rows, rrbus.RowBlock{Cells: []rrbus.Value{
+				rrbus.StringV(q.Hash), rrbus.StringV(status), rrbus.StringV(q.Reason),
+			}})
+		}
+		doc.Add(t)
+	}
+	fail(rrbus.RenderTo(os.Stdout, doc, backend))
 }
 
 func fail(err error) {

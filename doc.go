@@ -213,4 +213,55 @@
 // re-verifies every entry's integrity checksum, filing and schema
 // (`rrbus-store verify`, nonzero exit on corruption) — the audit the
 // "measure once" contract rests on.
+//
+// # Resilience: cancellation, self-healing, retries
+//
+// Long sweeps fail in boring ways — a Ctrl-C, a bit-flipped archive
+// entry, a flaky network filesystem — and because every row is
+// re-derivable from its content-addressed scenario, none of them need
+// to cost more than the rows actually lost.
+//
+// Cancellation is graceful drain. Every pipeline entry point has a
+// context-taking form (Session.RunContext, RunAllContext,
+// RunToFileContext; exp.Stream and friends underneath): when the
+// context is cancelled, no new jobs launch, in-flight jobs finish, and
+// the completed contiguous prefix of rows is delivered to the sink —
+// and recorded in the store — before ctx.Err() is returned. The CLIs
+// wire this to SignalContext: the first SIGINT/SIGTERM drains, prints
+// the partial-progress store summary and exits 130; a second signal
+// kills the process. Because completed rows were flushed, re-running
+// the same command resumes warm and simulates only the unfinished
+// jobs.
+//
+// Corruption heals instead of failing. When a Session reads a store
+// entry whose integrity checksum no longer matches (CorruptError), and
+// the store can quarantine (DirStore, MemStore), the damaged entry is
+// moved to quarantine/<hash>.json alongside a <hash>.reason file, the
+// job re-simulates as if it were a store miss, and the fresh row is
+// recorded in the entry's place — the sweep completes byte-identical
+// to a clean run, with Session.Quarantined and Session.Repaired
+// counting the healings. Entries written by a newer schema are
+// deliberately NOT healed: that data is valid, this build just cannot
+// read it, so it surfaces as an error. rrbus-store repair performs the
+// same healing offline for a whole directory (quarantining damaged and
+// misfiled entries, then re-simulating everything missing from the
+// plan manifests that recorded their spec), and rrbus-store gc lists
+// and drops the quarantined debris once its hashes hold healthy rows
+// again.
+//
+// Transient store I/O errors retry with exponential backoff. A
+// Session with a RetryPolicy ({Max, BaseDelay}; DefaultRetry is
+// 3 × 25ms, the CLIs' setting) retries reads and writes that fail with
+// a TransientError, with deterministic ±25% jitter derived from the
+// job hash — corruption and schema errors are never retried, they have
+// their own paths above. Session.Retried counts the recoveries, and
+// every store error a Session reports names the job ID and the content
+// hash of the entry involved.
+//
+// All of it is testable under injected faults: FaultyStore wraps any
+// Store and deterministically injects transient errors, latency and
+// read-side corruption every Nth operation (counter-based, so a
+// schedule is reproducible); the chaos tests prove sweeps complete
+// byte-identical under faults, and rrbus-bench -faults runs the same
+// harness as a benchmark.
 package rrbus

@@ -1,8 +1,10 @@
 // Store walkthrough: the Plan→Run→Store→Render pipeline end to end —
 // measure a sweep once into a content-addressed results store, re-run it
 // warm (zero simulations), reuse the recorded rows from a *different*
-// plan whose jobs overlap, and render every artifact from recorded rows
-// alone.
+// plan whose jobs overlap, render every artifact from recorded rows
+// alone — then break things on purpose: kill a sweep mid-flight and
+// resume it warm, and corrupt a recorded entry and watch the session
+// quarantine and heal it.
 //
 // Run with:
 //
@@ -10,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -17,6 +21,23 @@ import (
 
 	"rrbus"
 )
+
+// killingStore wraps a Store and cancels a context after serving a fixed
+// number of lookups — a deterministic stand-in for hitting Ctrl-C in the
+// middle of a sweep (the CLIs wire the same cancellation to SIGINT via
+// rrbus.SignalContext).
+type killingStore struct {
+	rrbus.Store
+	after  int
+	cancel context.CancelFunc
+}
+
+func (k *killingStore) Get(jobHash string) (rrbus.Result, bool, error) {
+	if k.after--; k.after < 0 {
+		k.cancel()
+	}
+	return k.Store.Get(jobHash)
+}
 
 func main() {
 	// A content-addressed results store: one integrity-checked entry
@@ -94,4 +115,63 @@ func main() {
 	}
 	fmt.Printf("derived ubdm = %d cycles (actual ubd = %d) — from the store, not the simulator\n",
 		d.Res.UBDm, d.Cfg.UBD())
+
+	// 6. Kill and resume: cancel a cold sweep partway through. The
+	// session drains gracefully — no new jobs launch, in-flight jobs
+	// finish, and every completed row is already recorded — so the error
+	// is context.Canceled, not lost work. Re-running the same plan
+	// resumes warm: only the unfinished jobs simulate.
+	dir2 := filepath.Join(os.TempDir(), "rrbus-store-example-resume")
+	defer os.RemoveAll(dir2)
+	store2, err := rrbus.OpenDirStore(dir2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killed := &rrbus.Session{
+		Store:   &killingStore{Store: store2, after: 6, cancel: cancel},
+		Workers: 1, // serial, so the "kill" lands at a deterministic row
+	}
+	if _, err := killed.RunAllContext(ctx, plan); !errors.Is(err, context.Canceled) {
+		log.Fatalf("expected context.Canceled, got %v", err)
+	}
+	fmt.Printf("\nkilled run: %2d simulated before the interrupt, all of them recorded\n", killed.Simulated())
+	resumed := &rrbus.Session{Store: store2}
+	if _, err := resumed.RunAll(plan); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed:    %2d served from store, %2d simulated — only the unfinished jobs\n",
+		resumed.StoreHits(), resumed.Simulated())
+
+	// 7. Corruption heals: flip a byte in a recorded entry file. The
+	// next session that reads it sees the integrity-checksum mismatch,
+	// quarantines the damaged file (quarantine/<hash>.json + a .reason
+	// note), re-simulates the row as if it were a miss, and records the
+	// fresh result in its place — the sweep completes as if nothing
+	// happened. (rrbus-store repair heals a whole directory offline the
+	// same way; rrbus-store gc lists and drops the quarantined debris.)
+	hash := plan.JobHashes()[0]
+	entry := filepath.Join(dir2, "jobs", hash[:2], hash+".json")
+	data, err := os.ReadFile(entry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data[len(data)/2] ^= 1
+	if err := os.WriteFile(entry, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	healer := &rrbus.Session{Store: store2, Retry: rrbus.DefaultRetry}
+	if _, err := healer.RunAll(plan); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healed:     %2d corrupt entry quarantined, %2d re-simulated, %2d served from store\n",
+		healer.Quarantined(), healer.Repaired(), healer.StoreHits())
+	qs, err := store2.Quarantined()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range qs {
+		fmt.Printf("quarantine: %.12s… healed=%v\n", q.Hash, q.Healed)
+	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -175,7 +176,7 @@ func Derive(r Runner, opt Options) (*Result, error) {
 			utilization float64
 		}
 		kfirst := opt.KMin + len(res.Slowdowns)
-		err := exp.StreamN(runnerWorkers(r), kmax-kfirst+1, func(i int) (point, error) {
+		err := exp.StreamN(context.Background(), runnerWorkers(r), kmax-kfirst+1, func(i int) (point, error) {
 			k := kfirst + i
 			cont, err := r.RunContended(opt.Type, k)
 			if err != nil {

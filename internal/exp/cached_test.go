@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -33,7 +34,7 @@ func TestStreamShardCachedServesHits(t *testing.T) {
 			saved := map[int]int{}
 			var ran atomic.Int64
 			sink := &collect{}
-			err := StreamShardCached(Shard{}, workers, n,
+			err := StreamShardCached(context.Background(), Shard{}, workers, n,
 				func(i int) (int, bool, error) {
 					v, ok := cache[i]
 					return v, ok, nil
@@ -75,7 +76,7 @@ func TestStreamShardCachedServesHits(t *testing.T) {
 // TestStreamShardCachedNilHooks checks the pass-through cases.
 func TestStreamShardCachedNilHooks(t *testing.T) {
 	sink := &collect{}
-	if err := StreamShardCached(Shard{}, 2, 5, nil, func(i int) (int, error) { return i, nil }, nil, sink); err != nil {
+	if err := StreamShardCached(context.Background(), Shard{}, 2, 5, nil, func(i int) (int, error) { return i, nil }, nil, sink); err != nil {
 		t.Fatal(err)
 	}
 	if len(sink.vals) != 5 {
@@ -85,7 +86,7 @@ func TestStreamShardCachedNilHooks(t *testing.T) {
 	// save without lookup: everything is fresh and everything is saved.
 	saved := 0
 	sink2 := &collect{}
-	err := StreamShardCached(Shard{}, 1, 4, nil,
+	err := StreamShardCached(context.Background(), Shard{}, 1, 4, nil,
 		func(i int) (int, error) { return i, nil },
 		func(i, v int) error { saved++; return nil }, sink2)
 	if err != nil {
@@ -101,7 +102,7 @@ func TestStreamShardCachedNilHooks(t *testing.T) {
 // silently recomputed.
 func TestStreamShardCachedLookupError(t *testing.T) {
 	bad := errors.New("integrity: checksum mismatch")
-	err := StreamShardCached(Shard{}, 1, 5,
+	err := StreamShardCached(context.Background(), Shard{}, 1, 5,
 		func(i int) (int, bool, error) {
 			if i == 2 {
 				return 0, false, bad
@@ -118,7 +119,7 @@ func TestStreamShardCachedLookupError(t *testing.T) {
 // TestStreamShardCachedSaveError checks that a failing save aborts the
 // stream.
 func TestStreamShardCachedSaveError(t *testing.T) {
-	err := StreamShardCached(Shard{}, 1, 5, nil,
+	err := StreamShardCached(context.Background(), Shard{}, 1, 5, nil,
 		func(i int) (int, error) { return i, nil },
 		func(i, v int) error {
 			if i == 1 {
@@ -138,7 +139,7 @@ func TestStreamShardCachedSharded(t *testing.T) {
 	shard := Shard{Index: 1, Count: 3}
 	sink := &collect{}
 	var looked []int
-	err := StreamShardCached(shard, 1, n,
+	err := StreamShardCached(context.Background(), shard, 1, n,
 		func(i int) (int, bool, error) {
 			looked = append(looked, i)
 			return 0, false, nil

@@ -31,6 +31,7 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 )
@@ -107,7 +108,7 @@ func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, nil
 	}
 	out := make([]T, n)
-	err := StreamShard(Shard{}, workers, n, fn, SinkFunc[T](func(i int, v T) error {
+	err := StreamShard(context.Background(), Shard{}, workers, n, fn, SinkFunc[T](func(i int, v T) error {
 		out[i] = v
 		return nil
 	}))

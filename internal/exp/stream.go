@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -87,15 +88,15 @@ func (f SinkFunc[T]) Emit(i int, v T) error { return f(i, v) }
 
 // Stream runs fn(0..n-1) across the default worker pool, delivering each
 // result to sink in job-index order as it becomes available. See
-// StreamShard for the full contract.
-func Stream[T any](n int, fn func(i int) (T, error), sink Sink[T]) error {
-	return StreamShard(Shard{}, Workers(), n, fn, sink)
+// StreamShard for the full contract, including cancellation.
+func Stream[T any](ctx context.Context, n int, fn func(i int) (T, error), sink Sink[T]) error {
+	return StreamShard(ctx, Shard{}, Workers(), n, fn, sink)
 }
 
 // StreamN is Stream with an explicit worker bound (further limited by the
 // engine-wide Workers() budget, like MapN).
-func StreamN[T any](workers, n int, fn func(i int) (T, error), sink Sink[T]) error {
-	return StreamShard(Shard{}, workers, n, fn, sink)
+func StreamN[T any](ctx context.Context, workers, n int, fn func(i int) (T, error), sink Sink[T]) error {
+	return StreamShard(ctx, Shard{}, workers, n, fn, sink)
 }
 
 // StreamShardCached is StreamShard with a read-through cache wrapped
@@ -119,11 +120,11 @@ func StreamN[T any](workers, n int, fn func(i int) (T, error), sink Sink[T]) err
 // cached and uncached stream are identical, which is what lets a
 // results store serve repeated sweeps without breaking the merged-file
 // byte-identity contract.
-func StreamShardCached[T any](shard Shard, workers, n int,
+func StreamShardCached[T any](ctx context.Context, shard Shard, workers, n int,
 	lookup func(i int) (T, bool, error), run func(i int) (T, error),
 	save func(i int, v T) error, sink Sink[T]) error {
 	if lookup == nil && save == nil {
-		return StreamShard(shard, workers, n, run, sink)
+		return StreamShard(ctx, shard, workers, n, run, sink)
 	}
 	if n <= 0 {
 		return nil
@@ -170,7 +171,7 @@ func StreamShardCached[T any](shard Shard, workers, n int,
 			return sink.Emit(i, v)
 		})
 	}
-	return StreamShard(shard, workers, n, fn, out)
+	return StreamShard(ctx, shard, workers, n, fn, out)
 }
 
 // StreamShard runs this shard's subset of the jobs fn(0..n-1) across at
@@ -187,7 +188,18 @@ func StreamShardCached[T any](shard Shard, workers, n int,
 //     serial path additionally stops launching jobs at the failure, and
 //     the parallel path skips jobs beyond the lowest known failure.
 //   - a sink error aborts the stream and is returned as-is.
-func StreamShard[T any](shard Shard, workers, n int, fn func(i int) (T, error), sink Sink[T]) error {
+//
+// Cancelling ctx is a graceful drain, not an abort: no new jobs launch,
+// jobs already executing run to completion, and every completed result
+// whose predecessors completed is still emitted (and therefore reaches
+// any save hook / store sink) before ctx.Err() is returned. A stream cut
+// short by cancellation thus leaves behind exactly the prefix-consistent
+// output a shorter batch would have produced — the property that lets a
+// killed sweep resume warm. A nil ctx means "never cancelled".
+func StreamShard[T any](ctx context.Context, shard Shard, workers, n int, fn func(i int) (T, error), sink Sink[T]) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := shard.Validate(); err != nil {
 		return err
 	}
@@ -219,6 +231,11 @@ func StreamShard[T any](shard Shard, workers, n int, fn func(i int) (T, error), 
 	}
 	if workers <= 1 {
 		for j := 0; j < owned; j++ {
+			// Check between jobs, never mid-job: a cancelled serial
+			// stream still finishes (and emits) the job it was running.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			i := index(j)
 			v, err := fn(i)
 			if err != nil {
@@ -250,7 +267,9 @@ func StreamShard[T any](shard Shard, workers, n int, fn func(i int) (T, error), 
 			defer wg.Done()
 			for {
 				j := int(next.Add(1)) - 1
-				if j >= owned || int64(j) > failed.Load() {
+				// A cancelled context stops workers from picking up new
+				// jobs; in-flight fn calls below drain to completion.
+				if j >= owned || int64(j) > failed.Load() || ctx.Err() != nil {
 					return
 				}
 				v, err := fn(index(j))
@@ -319,5 +338,14 @@ func StreamShard[T any](shard Shard, workers, n int, fn func(i int) (T, error), 
 	if sinkErr != nil {
 		return sinkErr
 	}
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	// All completed results were emitted; if the stream stopped short of
+	// the full batch it was the context, and the caller must see that a
+	// prefix — not the whole sweep — was delivered.
+	if err := ctx.Err(); err != nil && emit < owned {
+		return err
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package exp_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -15,7 +16,7 @@ func TestStreamOrderedDelivery(t *testing.T) {
 	const n = 64
 	for _, workers := range []int{1, 3, 8} {
 		var got []int
-		err := exp.StreamN(workers, n, func(i int) (int, error) {
+		err := exp.StreamN(context.Background(), workers, n, func(i int) (int, error) {
 			// Finish out of submission order to force the dispatcher to
 			// buffer and reorder.
 			time.Sleep(time.Duration((n-i)%5) * time.Millisecond)
@@ -45,7 +46,7 @@ func TestStreamErrorSemantics(t *testing.T) {
 	boom := errors.New("boom")
 	for _, workers := range []int{1, 4} {
 		var emitted []int
-		err := exp.StreamN(workers, 20, func(i int) (int, error) {
+		err := exp.StreamN(context.Background(), workers, 20, func(i int) (int, error) {
 			if i == 7 {
 				return 0, fmt.Errorf("job %d: %w", i, boom)
 			}
@@ -69,7 +70,7 @@ func TestStreamSinkErrorAborts(t *testing.T) {
 	abort := errors.New("sink full")
 	for _, workers := range []int{1, 4} {
 		count := 0
-		err := exp.StreamN(workers, 50, func(i int) (int, error) { return i, nil },
+		err := exp.StreamN(context.Background(), workers, 50, func(i int) (int, error) { return i, nil },
 			exp.SinkFunc[int](func(i, v int) error {
 				count++
 				if i == 5 {
@@ -91,7 +92,7 @@ func TestShardOwnership(t *testing.T) {
 	seen := map[int]int{}
 	for idx := 0; idx < 3; idx++ {
 		shard := exp.Shard{Index: idx, Count: 3}
-		err := exp.StreamShard(shard, 4, n, func(i int) (int, error) { return i, nil },
+		err := exp.StreamShard(context.Background(), shard, 4, n, func(i int) (int, error) { return i, nil },
 			exp.SinkFunc[int](func(i, v int) error {
 				if !shard.Owns(i) {
 					t.Errorf("shard %v emitted foreign job %d", shard, i)
@@ -151,7 +152,7 @@ func TestJSONLShardMergeByteIdentical(t *testing.T) {
 	run := func(shard exp.Shard) string {
 		var buf bytes.Buffer
 		sink := exp.NewJSONLSink[row](&buf)
-		err := exp.StreamShard(shard, 4, n, func(i int) (row, error) {
+		err := exp.StreamShard(context.Background(), shard, 4, n, func(i int) (row, error) {
 			return row{K: i + 1, Value: float64(i) * 1.5}, nil
 		}, sink)
 		if err != nil {

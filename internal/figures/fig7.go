@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"rrbus/internal/core"
 	"rrbus/internal/exp"
 	"rrbus/internal/isa"
@@ -42,7 +44,7 @@ func StreamSweep(cfg sim.Config, t isa.Op, kmax int, iters uint64, shard exp.Sha
 	if iters > 0 {
 		r.Iters = iters
 	}
-	return exp.StreamShard(shard, exp.Workers(), kmax, func(i int) (report.SweepPoint, error) {
+	return exp.StreamShard(context.Background(), shard, exp.Workers(), kmax, func(i int) (report.SweepPoint, error) {
 		k := i + 1
 		cont, err := r.RunContended(t, k)
 		if err != nil {

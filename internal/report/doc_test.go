@@ -121,7 +121,6 @@ func TestHTMLWellFormed(t *testing.T) {
 	}
 }
 
-
 // TestValueKindsRoundTrip pins the cell encoding: ints stay ints,
 // integral floats stay floats, strings stay strings.
 func TestValueKindsRoundTrip(t *testing.T) {

@@ -29,6 +29,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -393,9 +394,10 @@ func (p *Plan) Expand() ([]Job, error) {
 
 // Stream runs this shard's share of the jobs on the experiment engine's
 // worker pool, delivering one Result per job to sink in job order as
-// results complete.
-func Stream(jobs []Job, shard exp.Shard, sink exp.Sink[Result]) error {
-	return exp.StreamShard(shard, exp.Workers(), len(jobs), func(i int) (Result, error) {
+// results complete. Cancelling ctx drains in-flight jobs and emits the
+// completed prefix before returning ctx.Err() (see exp.StreamShard).
+func Stream(ctx context.Context, jobs []Job, shard exp.Shard, sink exp.Sink[Result]) error {
+	return exp.StreamShard(ctx, shard, exp.Workers(), len(jobs), func(i int) (Result, error) {
 		return jobs[i].Run()
 	}, sink)
 }
@@ -516,7 +518,7 @@ func ReadResultsFile(path string) ([]Result, error) {
 // batch-collecting convenience over Stream).
 func RunAll(jobs []Job) ([]Result, error) {
 	out := make([]Result, 0, len(jobs))
-	err := Stream(jobs, exp.Shard{}, exp.SinkFunc[Result](func(_ int, r Result) error {
+	err := Stream(context.Background(), jobs, exp.Shard{}, exp.SinkFunc[Result](func(_ int, r Result) error {
 		out = append(out, r)
 		return nil
 	}))
@@ -525,4 +527,3 @@ func RunAll(jobs []Job) ([]Result, error) {
 	}
 	return out, nil
 }
-

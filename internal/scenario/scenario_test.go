@@ -2,6 +2,7 @@ package scenario_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -212,7 +213,7 @@ func TestShardedPlanByteIdentical(t *testing.T) {
 	stream := func(shard exp.Shard) string {
 		var buf bytes.Buffer
 		sink := exp.NewJSONLSink[scenario.Result](&buf)
-		if err := scenario.Stream(jobs, shard, sink); err != nil {
+		if err := scenario.Stream(context.Background(), jobs, shard, sink); err != nil {
 			t.Fatal(err)
 		}
 		if err := sink.Flush(); err != nil {

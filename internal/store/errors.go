@@ -1,0 +1,74 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The store's error taxonomy. A failing store operation is one of three
+// things, and the pipeline reacts differently to each:
+//
+//   - transient (TransientError): the operation itself hiccuped — an I/O
+//     error on a network filesystem, an injected fault. Retrying the
+//     same operation may succeed; Session retries these with bounded
+//     exponential backoff.
+//   - corrupt (CorruptError): the stored entry is damaged — it fails its
+//     integrity checksum, does not parse, or is filed under the wrong
+//     hash. Retrying cannot help, but the entry is reproducible (rows
+//     are deterministic functions of their jobs), so Session quarantines
+//     the entry and re-simulates — the store self-heals.
+//   - fatal (anything else): a schema from a newer build, a refused
+//     configuration. Neither retrying nor re-simulating is safe, so the
+//     run stops.
+
+// TransientError marks a store failure as retryable: the stored data is
+// not suspected to be damaged, the operation just failed to complete.
+// Use Transient to wrap, IsTransient to test (through wrapping).
+type TransientError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string { return "store: transient: " + e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as retryable. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err is (or wraps) a TransientError.
+func IsTransient(err error) bool {
+	var t *TransientError
+	return errors.As(err, &t)
+}
+
+// CorruptError reports a damaged store entry: present but unreadable or
+// failing verification. It is precisely the class of error a Session may
+// safely self-heal — quarantine the entry and re-simulate the job —
+// because retrying cannot fix it and the row is reproducible. Schema
+// errors (an entry written by a newer build) are deliberately NOT
+// CorruptErrors: that data is presumed healthy, just unreadable here,
+// and quarantining it would destroy a newer store's work.
+type CorruptError struct {
+	// Hash is the job content hash the entry is filed under.
+	Hash string
+	// Reason describes what failed verification.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: %s: integrity: %s", e.Hash, e.Reason)
+}
+
+// IsCorrupt reports whether err is (or wraps) a CorruptError.
+func IsCorrupt(err error) bool {
+	var c *CorruptError
+	return errors.As(err, &c)
+}

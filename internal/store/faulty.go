@@ -1,0 +1,109 @@
+package store
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"rrbus/internal/scenario"
+)
+
+// Faulty wraps a Store and injects deterministic faults — the chaos half
+// of the resilience test harness. Faults are counter-based, not random:
+// "error every Nth Get" gives the same failure schedule on every run, so
+// a chaos test asserting byte-identical output is reproducible.
+//
+// Configure with the Every* knobs; zero means "never". Faults compose:
+// a Get can both hit latency and then fail. Transient injections wrap
+// ErrInjected so tests can tell an injected fault from a real one.
+type Faulty struct {
+	// Under is the wrapped store; all successful operations pass through
+	// to it unchanged.
+	Under Store
+
+	// EveryGet makes every Nth Get fail with a TransientError.
+	EveryGet int64
+	// EveryPut makes every Nth Put fail with a TransientError.
+	EveryPut int64
+	// EveryCorrupt makes every Nth Get of an existing entry return a
+	// CorruptError, as if the stored bytes failed verification. Absent
+	// entries never "corrupt" — there is nothing to quarantine.
+	EveryCorrupt int64
+	// Latency is added to every operation before it runs.
+	Latency time.Duration
+
+	gets     atomic.Int64
+	puts     atomic.Int64
+	injected atomic.Int64
+}
+
+// ErrInjected marks a fault as injected by a Faulty wrapper.
+var ErrInjected = errors.New("injected fault")
+
+// FaultStats is a snapshot of the operations a Faulty store saw.
+type FaultStats struct {
+	Gets     int64 // Get calls observed
+	Puts     int64 // Put calls observed
+	Injected int64 // faults injected (transient + corrupt)
+}
+
+// Stats snapshots the operation and injection counters.
+func (f *Faulty) Stats() FaultStats {
+	return FaultStats{Gets: f.gets.Load(), Puts: f.puts.Load(), Injected: f.injected.Load()}
+}
+
+func (f *Faulty) pause() {
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+}
+
+// Get implements Store, injecting transient and corrupt-on-read faults
+// on the configured schedule.
+func (f *Faulty) Get(jobHash string) (scenario.Result, bool, error) {
+	n := f.gets.Add(1)
+	f.pause()
+	if f.EveryGet > 0 && n%f.EveryGet == 0 {
+		f.injected.Add(1)
+		return scenario.Result{}, false, Transient(ErrInjected)
+	}
+	r, ok, err := f.Under.Get(jobHash)
+	// Corrupt only entries that actually exist and read cleanly:
+	// corrupting a miss would inflate heal counts with phantom entries.
+	if err == nil && ok && f.EveryCorrupt > 0 && n%f.EveryCorrupt == 0 {
+		f.injected.Add(1)
+		return scenario.Result{}, false, &CorruptError{Hash: jobHash, Reason: "injected corruption"}
+	}
+	return r, ok, err
+}
+
+// Put implements Store, injecting transient faults on the configured
+// schedule.
+func (f *Faulty) Put(jobHash string, r scenario.Result) error {
+	n := f.puts.Add(1)
+	f.pause()
+	if f.EveryPut > 0 && n%f.EveryPut == 0 {
+		f.injected.Add(1)
+		return Transient(ErrInjected)
+	}
+	return f.Under.Put(jobHash, r)
+}
+
+// PutPlan forwards plan recording when the wrapped store supports it, so
+// a Faulty-wrapped Dir still records manifests.
+func (f *Faulty) PutPlan(c *scenario.Compiled) error {
+	if pr, ok := f.Under.(PlanRecorder); ok {
+		return pr.PutPlan(c)
+	}
+	return nil
+}
+
+// Quarantine forwards to the wrapped store when it supports quarantine;
+// without it injected corruption is not healable and surfaces as an
+// error, which is itself a useful chaos mode.
+func (f *Faulty) Quarantine(jobHash, reason string) error {
+	if q, ok := f.Under.(Quarantiner); ok {
+		return q.Quarantine(jobHash, reason)
+	}
+	return nil
+}

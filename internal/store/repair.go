@@ -1,0 +1,170 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rrbus/internal/exp"
+	"rrbus/internal/scenario"
+)
+
+// Store-wide repair: where a Session heals the entries it happens to
+// touch, Repair heals everything at once — quarantine every damaged
+// entry, then replay every plan manifest that recorded its spec so the
+// rows the quarantine (or an earlier crash) left missing are simulated
+// back into place. cmd/rrbus-store exposes this as the `repair` verb.
+
+// RepairReport is the outcome of a store-wide repair pass.
+type RepairReport struct {
+	// Scanned counts the job entries examined; Quarantined how many of
+	// them were damaged and moved to quarantine/.
+	Scanned     int `json:"scanned"`
+	Quarantined int `json:"quarantined"`
+	// PlansReplayed counts the manifests whose recorded spec was
+	// recompiled and re-run; Resimulated the rows those replays had to
+	// simulate (quarantined above, or missing before repair started).
+	PlansReplayed int   `json:"plans_replayed"`
+	Resimulated   int64 `json:"resimulated"`
+	// Unrepairable lists job hashes that are referenced by a manifest and
+	// missing, but whose manifest predates spec recording — there is
+	// nothing to re-simulate them from.
+	Unrepairable []string `json:"unrepairable,omitempty"`
+	// Issues lists problems repair could not fix (unreadable manifests,
+	// entries from a newer schema, stray files).
+	Issues []Issue `json:"issues,omitempty"`
+}
+
+// OK reports whether the repair left the store whole: nothing
+// unrepairable and no outstanding issues.
+func (r *RepairReport) OK() bool { return len(r.Unrepairable) == 0 && len(r.Issues) == 0 }
+
+// Repair heals the whole store in two passes. First every job entry is
+// re-verified the way Get would, and damaged entries — corrupt, misfiled —
+// are quarantined. Then every plan manifest that recorded its spec is
+// recompiled and replayed through a Session against this store, so each
+// missing row (just quarantined, or lost earlier) is re-simulated and
+// recorded; intact rows are served as hits and cost nothing. Entries
+// written by a newer schema are reported, never quarantined. Cancelling
+// ctx drains the in-flight replay and returns the report so far along
+// with ctx.Err().
+func (d *Dir) Repair(ctx context.Context, workers int) (*RepairReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep := &RepairReport{}
+	if err := d.repairEntries(rep); err != nil {
+		return rep, err
+	}
+	if err := d.replayPlans(ctx, workers, rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// repairEntries is the quarantine pass: every entry under jobs/ is
+// verified and the damaged ones moved aside.
+func (d *Dir) repairEntries(rep *RepairReport) error {
+	jobsRoot := filepath.Join(d.root, "jobs")
+	err := filepath.WalkDir(jobsRoot, func(path string, de fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if de.IsDir() {
+			return nil
+		}
+		rel, rerr := filepath.Rel(d.root, path)
+		if rerr != nil {
+			rel = path
+		}
+		hash, ok := strings.CutSuffix(de.Name(), ".json")
+		if !ok || hash == "" {
+			rep.Issues = append(rep.Issues, Issue{Path: rel, Err: "stray file (not a <hash>.json entry)"})
+			return nil
+		}
+		rep.Scanned++
+		if want := d.jobPath(hash); path != want {
+			// Misfiled: the entry can never be found under its hash, so
+			// it is as good as corrupt. Quarantine it from where it is.
+			if qerr := d.quarantineFile(path, hash, "misfiled entry: found at "+rel); qerr != nil {
+				return qerr
+			}
+			rep.Quarantined++
+			return nil
+		}
+		_, _, gerr := d.Get(hash)
+		if IsCorrupt(gerr) {
+			if qerr := d.Quarantine(hash, gerr.Error()); qerr != nil {
+				return qerr
+			}
+			rep.Quarantined++
+		} else if gerr != nil {
+			// Transient or schema-from-a-newer-build: not safe to
+			// quarantine, surface instead.
+			rep.Issues = append(rep.Issues, Issue{Path: rel, Err: gerr.Error()})
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// replayPlans is the re-simulation pass: manifests with recorded specs
+// are recompiled and re-run against the store.
+func (d *Dir) replayPlans(ctx context.Context, workers int, rep *RepairReport) error {
+	hashes, err := d.Plans()
+	if err != nil {
+		return err
+	}
+	discard := exp.SinkFunc[scenario.Result](func(int, scenario.Result) error { return nil })
+	for _, h := range hashes {
+		m, err := d.readManifest(h)
+		if err != nil {
+			rep.Issues = append(rep.Issues, Issue{Path: filepath.Join("plans", h+".json"), Err: err.Error()})
+			continue
+		}
+		missing := 0
+		for _, jh := range m.Jobs {
+			if _, err := os.Stat(d.jobPath(jh)); err != nil {
+				missing++
+			}
+		}
+		if missing == 0 {
+			continue
+		}
+		if m.Spec == nil {
+			// Pre-resilience manifest: the job hashes are known but not
+			// the jobs, so the rows cannot be re-derived.
+			for _, jh := range m.Jobs {
+				if _, err := os.Stat(d.jobPath(jh)); err != nil {
+					rep.Unrepairable = append(rep.Unrepairable, jh)
+				}
+			}
+			continue
+		}
+		c, err := scenario.Compile(m.Spec)
+		if err != nil {
+			rep.Issues = append(rep.Issues, Issue{Path: filepath.Join("plans", h+".json"),
+				Err: fmt.Sprintf("store: plan %s: recorded spec does not compile: %v", h, err)})
+			continue
+		}
+		if c.Hash() != h {
+			rep.Issues = append(rep.Issues, Issue{Path: filepath.Join("plans", h+".json"),
+				Err: fmt.Sprintf("store: plan %s: recorded spec compiles to %s — manifest is inconsistent", h, c.Hash())})
+			continue
+		}
+		sess := &Session{Store: d, Workers: workers}
+		if err := sess.RunContext(ctx, c, discard); err != nil {
+			rep.Resimulated += sess.Simulated()
+			return err
+		}
+		rep.PlansReplayed++
+		rep.Resimulated += sess.Simulated()
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package store_test
+
+import (
+	"context"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rrbus/internal/store"
+)
+
+// entryPaths walks jobs/ and returns every entry file path in walk
+// order.
+func entryPaths(t *testing.T, root string) []string {
+	t.Helper()
+	var paths []string
+	err := filepath.WalkDir(filepath.Join(root, "jobs"), func(p string, de fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !de.IsDir() {
+			paths = append(paths, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+// TestRepairHealsStore is the store-wide acceptance test: a store with a
+// corrupted entry, a deleted entry and a misfiled entry is made whole by
+// one repair pass — damage quarantined, missing rows re-simulated from
+// the plan manifests, verify clean, warm re-runs hitting everything.
+func TestRepairHealsStore(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "results")
+	d, err := store.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compileFig7(t, 6)
+	_, cleanText, _ := runAll(t, d, c)
+
+	paths := entryPaths(t, root)
+	if len(paths) < 3 {
+		t.Fatalf("need 3 entries to damage, have %d", len(paths))
+	}
+	corrupt(t, root) // bit-flips the first entry in walk order
+	if err := os.Remove(paths[1]); err != nil {
+		t.Fatal(err)
+	}
+	misfiled := filepath.Join(root, "jobs", "zz", filepath.Base(paths[2]))
+	if err := os.MkdirAll(filepath.Dir(misfiled), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(paths[2], misfiled); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := d.Repair(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("repair left issues: %+v unrepairable=%v", rep.Issues, rep.Unrepairable)
+	}
+	if rep.Quarantined != 2 {
+		t.Errorf("quarantined %d entries, want 2 (corrupt + misfiled)", rep.Quarantined)
+	}
+	if rep.PlansReplayed != 1 {
+		t.Errorf("replayed %d plans, want 1", rep.PlansReplayed)
+	}
+	if rep.Resimulated != 3 {
+		t.Errorf("re-simulated %d rows, want 3 (corrupt + deleted + misfiled)", rep.Resimulated)
+	}
+
+	audit, err := d.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.OK() {
+		t.Errorf("store does not verify after repair: %+v", audit.Issues)
+	}
+
+	// The healed store serves everything: no simulations, identical text.
+	_, healedText, warm := runAll(t, d, c)
+	if warm.Simulated() != 0 {
+		t.Errorf("post-repair run simulated %d jobs, want 0", warm.Simulated())
+	}
+	if healedText != cleanText {
+		t.Error("post-repair render differs from the clean run")
+	}
+
+	// gc bookkeeping: both quarantined entries are listed, healed, and
+	// removable.
+	qs, err := d.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("quarantine lists %d entries, want 2: %+v", len(qs), qs)
+	}
+	for _, q := range qs {
+		if !q.Healed {
+			t.Errorf("quarantined %s not marked healed after repair", q.Hash)
+		}
+		if q.Reason == "" {
+			t.Errorf("quarantined %s has no recorded reason", q.Hash)
+		}
+		if err := d.RemoveQuarantined(q.Hash); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if qs, _ = d.Quarantined(); len(qs) != 0 {
+		t.Errorf("quarantine not empty after gc: %+v", qs)
+	}
+}
+
+// TestRepairUnrepairableWithoutSpec checks the pre-resilience manifest
+// path: a manifest that never recorded its spec cannot re-derive a
+// missing row, and repair must say so instead of pretending the store is
+// whole.
+func TestRepairUnrepairableWithoutSpec(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "results")
+	d, err := store.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compileFig7(t, 3)
+	runAll(t, d, c)
+
+	// Strip the recorded spec, simulating a manifest from before the
+	// resilience layer.
+	mpath := filepath.Join(root, "plans", c.Hash()+".json")
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "spec")
+	stripped, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpath, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lost := entryPaths(t, root)[0]
+	if err := os.Remove(lost); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := d.Repair(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("repair claims a store with an underivable missing row is whole")
+	}
+	if len(rep.Unrepairable) != 1 {
+		t.Errorf("unrepairable = %v, want exactly the lost hash", rep.Unrepairable)
+	}
+	if rep.PlansReplayed != 0 || rep.Resimulated != 0 {
+		t.Errorf("repair replayed %d plans / %d rows with nothing to replay from", rep.PlansReplayed, rep.Resimulated)
+	}
+}

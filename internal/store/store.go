@@ -28,6 +28,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"rrbus/internal/scenario"
 )
@@ -68,8 +69,9 @@ func normalize(r scenario.Result) scenario.Result {
 // Mem is an in-process Store: a map guarded by a mutex. The zero value
 // is not usable; call NewMem.
 type Mem struct {
-	mu   sync.RWMutex
-	rows map[string]scenario.Result
+	mu          sync.RWMutex
+	rows        map[string]scenario.Result
+	quarantined map[string]string
 }
 
 // NewMem returns an empty in-memory store.
@@ -110,14 +112,19 @@ type entry struct {
 	Result json.RawMessage `json:"result"`
 }
 
-// planManifest is the on-disk record of one plan: its identity and the
-// job hashes it expands to, in job order.
+// planManifest is the on-disk record of one plan: its identity, the job
+// hashes it expands to in job order, and — since the resilience layer —
+// the declarative spec it was compiled from, so `rrbus-store repair` can
+// recompile the plan and re-simulate any job whose row was quarantined
+// or lost. Manifests written before the spec was recorded stay readable
+// (Spec is simply nil) but their missing rows are not re-derivable.
 type planManifest struct {
-	Schema    int      `json:"schema"`
-	Name      string   `json:"name,omitempty"`
-	Generator string   `json:"generator,omitempty"`
-	Hash      string   `json:"hash"`
-	Jobs      []string `json:"jobs"`
+	Schema    int            `json:"schema"`
+	Name      string         `json:"name,omitempty"`
+	Generator string         `json:"generator,omitempty"`
+	Hash      string         `json:"hash"`
+	Jobs      []string       `json:"jobs"`
+	Spec      *scenario.Plan `json:"spec,omitempty"`
 }
 
 // sumOf is the integrity checksum of a stored row: sha256 over the job
@@ -132,8 +139,10 @@ func sumOf(jobHash string, row []byte) string {
 
 // Dir is a directory-backed Store:
 //
-//	<root>/jobs/<hh>/<hash>.json    one integrity-checked entry per row
-//	<root>/plans/<hash>.json        one manifest per recorded plan
+//	<root>/jobs/<hh>/<hash>.json     one integrity-checked entry per row
+//	<root>/plans/<hash>.json         one manifest per recorded plan
+//	<root>/quarantine/<hash>.json    entries set aside by self-healing
+//	<root>/quarantine/<hash>.reason  why each was quarantined
 //
 // Entries are written atomically (temp file + rename), so concurrent
 // sessions — even separate processes sharding one sweep — can share a
@@ -142,14 +151,51 @@ type Dir struct {
 	root string
 }
 
-// OpenDir opens (creating if needed) a directory store rooted at root.
+// staleTmpAge is how old a leftover writeAtomic temp file must be before
+// OpenDir sweeps it. A crash mid-write strands a `.tmp-*` file forever;
+// a live concurrent writer's temp file exists for milliseconds. The age
+// gate separates the two, so opening a store shared with an active
+// session never yanks a file out from under its rename.
+const staleTmpAge = 10 * time.Minute
+
+// OpenDir opens (creating if needed) a directory store rooted at root,
+// sweeping any stale temp files a crashed writer left behind (see
+// staleTmpAge) so `verify` stays clean after an unclean shutdown.
 func OpenDir(root string) (*Dir, error) {
 	for _, sub := range []string{"jobs", "plans"} {
 		if err := os.MkdirAll(filepath.Join(root, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	return &Dir{root: root}, nil
+	d := &Dir{root: root}
+	if err := d.sweepStaleTmp(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// sweepStaleTmp removes `.tmp-*` files older than staleTmpAge anywhere
+// under the store root — the debris of a writeAtomic interrupted between
+// CreateTemp and Rename.
+func (d *Dir) sweepStaleTmp() error {
+	cutoff := time.Now().Add(-staleTmpAge)
+	return filepath.WalkDir(d.root, func(path string, de fs.DirEntry, err error) error {
+		if err != nil {
+			// A directory vanishing mid-walk (concurrent gc) is not worth
+			// failing an open over.
+			return nil
+		}
+		if de.IsDir() || !strings.HasPrefix(de.Name(), ".tmp-") {
+			return nil
+		}
+		info, err := de.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			return nil
+		}
+		// Best-effort: a racing sweep may have removed it first.
+		os.Remove(path)
+		return nil
+	})
 }
 
 // Root returns the store's directory.
@@ -166,6 +212,9 @@ func (d *Dir) jobPath(jobHash string) string {
 // Get implements Store, verifying the entry's integrity before trusting
 // it: the envelope must parse, carry a readable schema, be filed under
 // its own hash, and its checksum must match the stored row bytes.
+// Verification failures are CorruptErrors (quarantinable, re-derivable);
+// I/O failures are TransientErrors (retryable); schema-from-the-future
+// is neither — see the taxonomy in errors.go.
 func (d *Dir) Get(jobHash string) (scenario.Result, bool, error) {
 	var zero scenario.Result
 	data, err := os.ReadFile(d.jobPath(jobHash))
@@ -173,25 +222,26 @@ func (d *Dir) Get(jobHash string) (scenario.Result, bool, error) {
 		return zero, false, nil
 	}
 	if err != nil {
-		return zero, false, fmt.Errorf("store: %w", err)
+		return zero, false, Transient(err)
 	}
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return zero, false, fmt.Errorf("store: %s: integrity: entry does not parse: %v", jobHash, err)
+		return zero, false, &CorruptError{Hash: jobHash, Reason: fmt.Sprintf("entry does not parse: %v", err)}
 	}
 	if e.Schema > scenario.ResultSchema {
 		return zero, false, fmt.Errorf("store: %s: entry schema %d but this build reads <= %d — store written by a newer version?",
 			jobHash, e.Schema, scenario.ResultSchema)
 	}
 	if e.Hash != jobHash {
-		return zero, false, fmt.Errorf("store: %s: integrity: entry claims hash %s", jobHash, e.Hash)
+		return zero, false, &CorruptError{Hash: jobHash, Reason: fmt.Sprintf("entry claims hash %s", e.Hash)}
 	}
 	if got := sumOf(jobHash, e.Result); got != e.Sum {
-		return zero, false, fmt.Errorf("store: %s: integrity: checksum mismatch (stored %s, computed %s) — corrupted entry", jobHash, e.Sum, got)
+		return zero, false, &CorruptError{Hash: jobHash,
+			Reason: fmt.Sprintf("checksum mismatch (stored %s, computed %s) — corrupted entry", e.Sum, got)}
 	}
 	var r scenario.Result
 	if err := json.Unmarshal(e.Result, &r); err != nil {
-		return zero, false, fmt.Errorf("store: %s: integrity: row does not parse: %v", jobHash, err)
+		return zero, false, &CorruptError{Hash: jobHash, Reason: fmt.Sprintf("row does not parse: %v", err)}
 	}
 	if r.Schema > scenario.ResultSchema {
 		return zero, false, fmt.Errorf("store: %s: row schema %d but this build reads <= %d", jobHash, r.Schema, scenario.ResultSchema)
@@ -218,7 +268,10 @@ func (d *Dir) Put(jobHash string, r scenario.Result) error {
 	return d.writeAtomic(d.jobPath(jobHash), append(data, '\n'))
 }
 
-// PutPlan implements PlanRecorder.
+// PutPlan implements PlanRecorder. The manifest records the plan's
+// declarative spec alongside its job hashes, which is what lets repair
+// re-simulate a quarantined or missing row from the plans that
+// reference it.
 func (d *Dir) PutPlan(c *scenario.Compiled) error {
 	m := planManifest{
 		Schema:    scenario.ResultSchema,
@@ -226,6 +279,7 @@ func (d *Dir) PutPlan(c *scenario.Compiled) error {
 		Generator: c.Generator(),
 		Hash:      c.Hash(),
 		Jobs:      c.JobHashes(),
+		Spec:      c.Spec,
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -269,15 +323,17 @@ func (d *Dir) Len() (int, error) {
 }
 
 // writeAtomic writes data to path via a temp file in the same directory
-// plus a rename, so readers never observe a half-written entry.
+// plus a rename, so readers never observe a half-written entry. Failures
+// are TransientErrors: nothing recorded is damaged (the rename either
+// happened or it did not), so the write is safely retryable.
 func (d *Dir) writeAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return Transient(err)
 	}
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return Transient(err)
 	}
 	// CreateTemp creates 0600; the store is documented as shareable
 	// across users and processes, so widen to the usual 0644 (the
@@ -285,20 +341,20 @@ func (d *Dir) writeAtomic(path string, data []byte) error {
 	if err := tmp.Chmod(0o644); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: %w", err)
+		return Transient(err)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: %w", err)
+		return Transient(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: %w", err)
+		return Transient(err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: %w", err)
+		return Transient(err)
 	}
 	return nil
 }

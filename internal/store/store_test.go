@@ -201,24 +201,28 @@ func corrupt(t *testing.T, root string) string {
 	return target
 }
 
-// TestCorruptionIsAnError checks the integrity contract: a bit-flipped
-// entry surfaces as an error — never as a silent re-simulation, and
-// never as a wrong rendered bound.
-func TestCorruptionIsAnError(t *testing.T) {
+// TestCorruptionHeals checks both halves of the integrity contract. At
+// the store layer a bit-flipped entry is a typed CorruptError — never a
+// silent miss (re-simulating without a trace) and never a hit (deriving
+// a wrong bound from damaged bytes). At the session layer that same
+// corruption self-heals: the entry is quarantined, the job re-simulated,
+// the output byte-identical to an undamaged run, and the store verifies
+// clean afterwards.
+func TestCorruptionHeals(t *testing.T) {
 	root := filepath.Join(t.TempDir(), "results")
 	d, err := store.OpenDir(root)
 	if err != nil {
 		t.Fatal(err)
 	}
 	c := compileFig7(t, 4)
-	runAll(t, d, c)
+	_, cleanText, _ := runAll(t, d, c)
 	corrupt(t, root)
 
 	hit := false
 	for _, h := range c.JobHashes() {
 		if _, _, err := d.Get(h); err != nil {
-			if !strings.Contains(err.Error(), "integrity") {
-				t.Errorf("corruption error does not say integrity: %v", err)
+			if !store.IsCorrupt(err) || !strings.Contains(err.Error(), "integrity") {
+				t.Errorf("corruption error is not a CorruptError naming integrity: %v", err)
 			}
 			hit = true
 		}
@@ -227,10 +231,65 @@ func TestCorruptionIsAnError(t *testing.T) {
 		t.Fatal("no Get reported the corrupted entry")
 	}
 
-	sess := &store.Session{Store: d}
-	if _, err := sess.RunAll(c); err == nil || !strings.Contains(err.Error(), "integrity") {
-		t.Fatalf("session served a corrupted store: err=%v", err)
+	_, healedText, sess := runAll(t, d, c)
+	if healedText != cleanText {
+		t.Error("healed run renders differently from the clean run")
 	}
+	if sess.Quarantined() != 1 || sess.Repaired() != 1 {
+		t.Errorf("healing run quarantined %d / repaired %d entries, want 1/1",
+			sess.Quarantined(), sess.Repaired())
+	}
+	if sess.Simulated() != 1 {
+		t.Errorf("healing run simulated %d jobs, want just the damaged one", sess.Simulated())
+	}
+	if got, want := sess.StoreHits(), int64(len(c.Jobs)-1); got != want {
+		t.Errorf("healing run hit %d jobs, want %d", got, want)
+	}
+
+	// The store is whole again: verify passes and the quarantine records
+	// the damaged entry as healed.
+	rep, err := d.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("store does not verify after healing: %+v", rep.Issues)
+	}
+	qs, err := d.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 || !qs[0].Healed || !strings.Contains(qs[0].Reason, "integrity") {
+		t.Errorf("quarantine listing = %+v, want one healed entry with an integrity reason", qs)
+	}
+
+	// Without a Quarantiner the same corruption must still be fatal —
+	// healing is a capability of the store, not a license to ignore
+	// damage.
+	corrupt(t, root)
+	strict := &store.Session{Store: noQuarantine{d}}
+	if _, err := strict.RunAll(c); err == nil || !strings.Contains(err.Error(), "integrity") {
+		t.Fatalf("session served a corrupted store without quarantine support: err=%v", err)
+	}
+	if !strings.Contains(err2str(strict, c), "hash ") {
+		t.Error("store error does not name the job content hash")
+	}
+}
+
+// noQuarantine hides a Dir's Quarantiner implementation.
+type noQuarantine struct{ d *store.Dir }
+
+func (n noQuarantine) Get(h string) (scenario.Result, bool, error) { return n.d.Get(h) }
+func (n noQuarantine) Put(h string, r scenario.Result) error       { return n.d.Put(h, r) }
+
+// err2str re-runs the plan and formats the error (empty if none) — used
+// to assert the job-ID + content-hash error wrapping.
+func err2str(s *store.Session, c *scenario.Compiled) string {
+	_, err := s.RunAll(c)
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // TestDirStoreSchemaReject checks that entries written by a newer build
