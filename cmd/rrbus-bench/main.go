@@ -11,11 +11,15 @@
 //	rrbus-bench -compare BENCH_sim.json   # exit 1 on >10% simcycles/s regression
 //	rrbus-bench -out BENCH_sim.json -append  # accumulate a trend entry
 //	rrbus-bench -repeat 1 -faults get=5,corrupt=7,latency=200us  # chaos dev run
+//	rrbus-bench -cpuprofile cpu.out -memprofile mem.out  # profile the runs
 //
 // Each benchmark reports the best (fastest) of -repeat runs, minimizing
 // scheduler noise; sim_cycles counts simulated platform cycles, so
 // cycles_per_sec = sim_cycles / wall_seconds is the headline simulation
-// speed.
+// speed. Simulating benchmarks additionally report exec_steps /
+// exec_cycles — the macro-steps the engine actually executed against the
+// platform cycles covered — whose quotient cycles_per_step is the
+// dead-time elimination factor of the event-driven scheduler.
 //
 // -compare guards the performance trajectory: the current run is checked
 // against a baseline file and any benchmark whose simcycles/s drops more
@@ -32,6 +36,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -53,6 +58,15 @@ type result struct {
 	WallNanos int64 `json:"wall_ns"`
 	// CyclesPerSec is SimCycles normalized by the wall time.
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// ExecSteps and ExecCycles are the macro-steps the simulator executed
+	// and the platform cycles it covered during the best run (all systems,
+	// warmup included); CyclesPerStep = ExecCycles / ExecSteps is the
+	// dead-time elimination factor of the event-driven scheduler (1.0 when
+	// every cycle executes a step). Omitted for workloads that simulate
+	// nothing (warm-store and render benchmarks).
+	ExecSteps     uint64  `json:"exec_steps,omitempty"`
+	ExecCycles    uint64  `json:"exec_cycles,omitempty"`
+	CyclesPerStep float64 `json:"cycles_per_step,omitempty"`
 }
 
 // trendEntry is one historical run in the baseline file's trend: enough
@@ -83,6 +97,8 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON to compare against; exit 1 on >10% simcycles/s regression")
 	appendTrend := flag.Bool("append", false, "carry the baseline's trend forward and append this run to it (needs -out)")
 	faults := flag.String("faults", "", "dev: add a fig7-store-faulty benchmark injecting store faults; spec get=N,put=N,corrupt=N,latency=DURATION")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
 	flag.Parse()
 	if *repeat < 1 {
 		fmt.Fprintf(os.Stderr, "rrbus-bench: -repeat must be >= 1, got %d\n", *repeat)
@@ -159,6 +175,19 @@ func main() {
 	// the rest (a second one kills the process).
 	ctx, stop := rrbus.SignalContext()
 	defer stop()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rrbus-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rrbus-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	for _, b := range benchmarks {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "rrbus-bench: interrupted; skipping remaining benchmarks")
@@ -166,9 +195,11 @@ func main() {
 		}
 		best := result{Name: b.name, WallNanos: 1<<63 - 1}
 		for r := 0; r < *repeat; r++ {
+			before := sim.ReadExecStats()
 			start := time.Now()
 			cycles, err := b.run()
 			wall := time.Since(start)
+			after := sim.ReadExecStats()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "rrbus-bench: %s: %v\n", b.name, err)
 				os.Exit(1)
@@ -176,17 +207,38 @@ func main() {
 			if wall.Nanoseconds() < best.WallNanos {
 				best.WallNanos = wall.Nanoseconds()
 				best.SimCycles = cycles
+				best.ExecSteps = after.Steps - before.Steps
+				best.ExecCycles = after.Cycles - before.Cycles
 			}
 		}
 		if best.SimCycles > 0 {
 			best.CyclesPerSec = float64(best.SimCycles) / (float64(best.WallNanos) / 1e9)
+		}
+		if best.ExecSteps > 0 {
+			best.CyclesPerStep = float64(best.ExecCycles) / float64(best.ExecSteps)
 		}
 		rep.Results = append(rep.Results, best)
 		fmt.Fprintf(os.Stderr, "%-22s %12.3fms", best.Name, float64(best.WallNanos)/1e6)
 		if best.CyclesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "  %.2fM simcycles/s", best.CyclesPerSec/1e6)
 		}
+		if best.CyclesPerStep > 0 {
+			fmt.Fprintf(os.Stderr, "  %.2f cycles/step", best.CyclesPerStep)
+		}
 		fmt.Fprintln(os.Stderr)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rrbus-bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rrbus-bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	if *compare != "" {

@@ -19,6 +19,7 @@
 //	rrbus-sim -scua rsk:load -contenders rsk:load,rsk:load,rsk:load -store results/
 //	rrbus-sim -scenario examples/scenarios/tdma.json
 //	rrbus-sim -scenario examples/scenarios/tdma.json -format json
+//	rrbus-sim -no-fast-forward -scenario examples/scenarios/tdma.json -out legacy.jsonl
 package main
 
 import (
@@ -45,8 +46,10 @@ func main() {
 	out := flag.String("out", "", "record the run as a self-describing JSONL Result row to this file (\"-\" = stdout)")
 	storeDir := flag.String("store", "", "content-addressed results store directory: serve recorded runs, record fresh ones")
 	format := flag.String("format", "text", "render backend for the -scenario results table: text, html or json")
+	noFF := flag.Bool("no-fast-forward", false, "execute cycle-by-cycle instead of event-driven (results are identical; CI diffs the two modes)")
 	flag.Parse()
 	rrbus.SetWorkers(*workers)
+	rrbus.SetFastForward(!*noFF)
 	backend, err := rrbus.BackendByName(*format)
 	fail(err)
 

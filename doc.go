@@ -110,15 +110,39 @@
 //
 // Inside each worker the simulator itself is allocation-free in steady
 // state (pooled bus requests and memory transactions, dense histograms)
-// and skips provably idle cycles: when every core is waiting on the bus
-// or on a known-future latency, the clock jumps straight to the next
-// event instead of executing no-op Steps. The fast path is exact — grant
-// traces and measurements are bit-identical to cycle-by-cycle execution
-// (see internal/sim's fast-forward equivalence tests) — and can be
-// disabled per run with RunOpts.DisableFastForward. Runs of consecutive
-// same-latency instructions that cannot touch the bus (nops, IALU and
-// branch stretches) execute as one batched step so the fast path can
-// jump across them; the equivalence tests cover the batching too.
+// and event-driven: instead of ticking every component every cycle,
+// each component reports the next cycle at which its state can change
+// (a core's stall horizon, the bus's next completion or earliest
+// deferred submission, the memory controller's next transaction edge),
+// the scheduler takes the minimum, and the clock jumps straight there —
+// ticking only the components that are actually due. Stalls in between
+// are charged in closed form, and a core that discovers a cache miss
+// while its bus port is free registers the request for its future ready
+// cycle ("deferred submission") rather than burning steps walking up to
+// it. rrbus-bench reports the resulting dead-time elimination as
+// cycles_per_step — simulated cycles per executed step, typically 5–9×
+// on the paper's workloads.
+//
+// The event core is exact, not approximate: grant traces, γ histograms,
+// PMC snapshots, per-core stall counters and every Measurement field
+// are bit-identical to the cycle-by-cycle loop, and the legacy loop is
+// kept as the oracle behind that guarantee. internal/sim's equivalence
+// suite diffs the two modes over seeded random workload mixes under
+// round-robin, WRR and TDMA arbitration, and CI diffs the recorded
+// JSONL rows of a whole scenario run between the modes byte for byte.
+// Fall back to cycle-by-cycle execution when you want it: per run with
+// RunOpts.DisableFastForward, per System with SetFastForward(false),
+// process-wide with the rrbus-sim -no-fast-forward flag. The main
+// reason to fall back is observation granularity — a RunUntil predicate
+// is probed once per executed step, so a predicate that compares
+// Cycle() against a threshold can observe the clock after it has
+// already jumped past that threshold. Express run-until conditions in
+// simulated state (iterations retired, a counter reaching a value) and
+// pass cycle limits as maxCycles; sim.CheckPredicates turns the footgun
+// into a panic in tests. Runs of consecutive same-latency instructions
+// that cannot touch the bus (nops, IALU and branch stretches) execute
+// as one batched step so the jumps compound; the equivalence tests
+// cover the batching too.
 //
 // # Scenarios, streaming and sharding
 //

@@ -20,12 +20,33 @@ type Arbiter interface {
 	// Pick selects a requester among those with pending[i] == true, or
 	// reports ok == false to leave the bus idle this cycle (e.g. TDMA
 	// outside the owner's slot). cycle is the current simulation cycle.
+	//
+	// Pick may mutate arbiter state only on calls that grant (ok ==
+	// true): the event-driven scheduler evaluates declining cycles lazily
+	// (it skips free-and-pending cycles a cycle-by-cycle run would probe
+	// one by one), so state advanced by a declining Pick would diverge
+	// between the two execution modes. Granting calls happen at identical
+	// cycles in both modes. State updates otherwise belong in Granted.
 	Pick(cycle uint64, pending []bool) (port int, ok bool)
 	// Granted informs the arbiter that port was granted at cycle, so it
 	// can update its state (e.g. rotate round-robin priorities).
 	Granted(port int, cycle uint64)
 	// Reset restores the arbiter's initial state.
 	Reset()
+}
+
+// SlotScheduler is an optional Arbiter refinement for policies that can
+// decline pending requests (non-work-conserving arbitration, e.g. TDMA
+// slotting). NextEligible returns the earliest cycle at or after cycle at
+// which Pick could grant, assuming the pending set does not change; the
+// event-driven scheduler uses it to jump a free bus with pending
+// requests straight to the next grant opportunity instead of probing
+// every cycle. New submissions re-query it, so the hint only needs to be
+// exact for the given pending set. Work-conserving arbiters (round-robin,
+// weighted round-robin, fixed priority, lottery) grant whenever anything
+// is pending and need not implement it.
+type SlotScheduler interface {
+	NextEligible(cycle uint64, pending []bool) uint64
 }
 
 // RoundRobin is the paper's arbitration policy. The port returned by the
@@ -171,6 +192,25 @@ func (t *TDMA) Pick(cycle uint64, pending []bool) (int, bool) {
 		return owner, true
 	}
 	return 0, false
+}
+
+// NextEligible implements SlotScheduler: the earliest slot boundary at or
+// after cycle whose owner has a pending request.
+func (t *TDMA) NextEligible(cycle uint64, pending []bool) uint64 {
+	slot := (cycle + t.slotLen - 1) / t.slotLen // first boundary >= cycle
+	n := uint64(t.n)
+	best := ^uint64(0)
+	for p := 0; p < t.n && p < len(pending); p++ {
+		if !pending[p] {
+			continue
+		}
+		// First slot index k >= slot with k % n == p (slot k's owner).
+		k := slot + (uint64(p)+n-slot%n)%n
+		if at := k * t.slotLen; at < best {
+			best = at
+		}
+	}
+	return best
 }
 
 // Granted implements Arbiter.

@@ -98,6 +98,11 @@ func newStats(n int) Stats {
 	}
 }
 
+// portStat is the internal per-port accumulator behind Stats (see Bus.pstats).
+type portStat struct {
+	grants, busy, waitSum, maxGamma uint64
+}
+
 // Utilization returns TotalBusy divided by the window length.
 func (s Stats) Utilization(windowCycles uint64) float64 {
 	if windowCycles == 0 {
@@ -121,6 +126,9 @@ type Bus struct {
 	nports int
 	arb    Arbiter
 	serve  Serve
+	// hinter is arb's SlotScheduler refinement when it has one (cached at
+	// construction so NextEvent avoids a per-call type assertion).
+	hinter SlotScheduler
 
 	heads   []*Request
 	pending []bool
@@ -129,7 +137,35 @@ type Bus struct {
 	current *Request
 	freeAt  uint64
 
-	stats Stats
+	// Deferred submissions (SubmitAt): a client that knows at decision time
+	// that its request becomes ready at a future cycle registers it here
+	// instead of re-attempting every cycle. defReady[port] is the ready
+	// cycle (noDeferred = none), defReq the request, ndef the live count.
+	// Activation — the point the entry joins the pending set and fires
+	// OnSubmit — happens at the registered ready cycle (ActivateAt) or, if
+	// the owning system executed no step at that cycle, at the next
+	// executed step (ActivatePast), in (ready, port) order either way, so
+	// the pending set evolves exactly as if the client had called Submit
+	// at the ready cycle.
+	defReq   []*Request
+	defReady []uint64
+	ndef     int
+	// defMin caches the minimum registered ready cycle (noDeferred when
+	// ndef == 0) so the owning system's per-step activation probes are a
+	// single compare instead of a port scan.
+	defMin uint64
+
+	// submitted is a dirty flag set by Submit/SubmitAt and drained by
+	// TakeSubmitted; the event-driven scheduler uses it to skip the
+	// arbitration phase (and the wake re-registration it performs) on steps
+	// where no new request arrived and no bus wakeup was due.
+	submitted bool
+
+	// Per-port grant statistics accumulate in one flat struct array so the
+	// per-grant bookkeeping touches a single cache line per port; Stats()
+	// assembles the exported slice-of-arrays view on demand.
+	pstats    []portStat
+	totalBusy uint64
 
 	// OnSubmit, if non-nil, is called when a request is submitted;
 	// readyContenders is the number of other ports that currently have a
@@ -149,15 +185,26 @@ func New(nports int, arb Arbiter, serve Serve) (*Bus, error) {
 	if arb == nil || serve == nil {
 		return nil, fmt.Errorf("bus: arbiter and serve callback are required")
 	}
-	return &Bus{
-		nports:  nports,
-		arb:     arb,
-		serve:   serve,
-		heads:   make([]*Request, nports),
-		pending: make([]bool, nports),
-		stats:   newStats(nports),
-	}, nil
+	b := &Bus{
+		nports:   nports,
+		arb:      arb,
+		serve:    serve,
+		heads:    make([]*Request, nports),
+		pending:  make([]bool, nports),
+		defReq:   make([]*Request, nports),
+		defReady: make([]uint64, nports),
+		defMin:   noDeferred,
+		pstats:   make([]portStat, nports),
+	}
+	for i := range b.defReady {
+		b.defReady[i] = noDeferred
+	}
+	b.hinter, _ = arb.(SlotScheduler)
+	return b, nil
 }
+
+// noDeferred marks a port with no deferred submission registered.
+const noDeferred = ^uint64(0)
 
 // Ports returns the number of masters.
 func (b *Bus) Ports() int { return b.nports }
@@ -168,22 +215,28 @@ func (b *Bus) Arbiter() Arbiter { return b.arb }
 // Stats returns a copy of the accumulated statistics.
 func (b *Bus) Stats() Stats {
 	s := newStats(b.nports)
-	copy(s.Grants, b.stats.Grants)
-	copy(s.BusyCycles, b.stats.BusyCycles)
-	copy(s.WaitSum, b.stats.WaitSum)
-	copy(s.MaxGamma, b.stats.MaxGamma)
-	s.TotalBusy = b.stats.TotalBusy
+	for p, ps := range b.pstats {
+		s.Grants[p] = ps.grants
+		s.BusyCycles[p] = ps.busy
+		s.WaitSum[p] = ps.waitSum
+		s.MaxGamma[p] = ps.maxGamma
+	}
+	s.TotalBusy = b.totalBusy
 	return s
 }
 
 // ResetStats zeroes the statistics (in-flight transactions are unaffected),
 // so measurement windows can exclude warmup.
-func (b *Bus) ResetStats() { b.stats = newStats(b.nports) }
+func (b *Bus) ResetStats() {
+	clear(b.pstats)
+	b.totalBusy = 0
+}
 
 // HasPending reports whether port already has an outstanding request
-// (pending or in service).
+// (pending, deferred or in service).
 func (b *Bus) HasPending(port int) bool {
-	return b.pending[port] || (b.current != nil && b.current.Port == port)
+	return b.pending[port] || b.defReady[port] != noDeferred ||
+		(b.current != nil && b.current.Port == port)
 }
 
 // InService returns the transaction currently holding the bus, or nil.
@@ -196,22 +249,123 @@ func (b *Bus) Submit(r *Request, cycle uint64) {
 	if b.HasPending(r.Port) {
 		panic(fmt.Sprintf("bus: port %d submitted %s while busy", r.Port, r.Kind))
 	}
-	r.Ready = cycle
+	b.submitReady(r, cycle)
+}
+
+// submitReady enters r into the pending set with the given ready cycle —
+// the shared tail of Submit and deferred activation.
+func (b *Bus) submitReady(r *Request, ready uint64) {
+	r.Ready = ready
 	b.heads[r.Port] = r
 	b.pending[r.Port] = true
 	b.npend++
+	b.submitted = true
 	if b.OnSubmit != nil {
-		n := 0
-		for p := 0; p < b.nports; p++ {
-			if p != r.Port && b.pending[p] {
-				n++
-			}
-		}
+		// Other ports with a request pending: npend counts them plus the
+		// one just registered; the in-service transaction (no longer in
+		// pending) adds one when it belongs to another port.
+		n := b.npend - 1
 		if b.current != nil && b.current.Port != r.Port {
 			n++
 		}
 		b.OnSubmit(r, n)
 	}
+}
+
+// SubmitAt registers r as port r.Port's outstanding request becoming ready
+// at a future cycle. The caller asserts that nothing can claim the port
+// before then (for a core: the store buffer is empty and the pipeline is
+// blocked on this very miss), so the submission that Submit would perform
+// at the ready cycle is fully determined now. The request joins the
+// pending set — and OnSubmit fires — at activation, which the owning
+// system's step loop performs at the ready cycle or folds into the next
+// executed step; Ready is stamped with the registered ready cycle either
+// way, so grants, gammas and contender counts are identical to a Submit
+// at that cycle. This is what lets the event-driven scheduler skip the
+// issue step entirely.
+func (b *Bus) SubmitAt(r *Request, ready uint64) {
+	if b.HasPending(r.Port) {
+		panic(fmt.Sprintf("bus: port %d deferred %s while busy", r.Port, r.Kind))
+	}
+	b.defReq[r.Port] = r
+	b.defReady[r.Port] = ready
+	b.ndef++
+	if ready < b.defMin {
+		b.defMin = ready
+	}
+	// The dirty flag makes the event scheduler re-register the bus wake
+	// (NextEvent folds the deferred ready in when the bus is free).
+	b.submitted = true
+}
+
+// HasDeferred reports whether any deferred submission is registered.
+func (b *Bus) HasDeferred() bool { return b.ndef > 0 }
+
+// ActivateAt activates port's deferred submission if it becomes ready
+// exactly at cycle. The owning system calls it in its per-core phase, in
+// core id order, immediately before each core's tick slot — the slot in
+// which that core's Submit would have executed — so same-cycle submissions
+// interleave exactly as they would without deferral.
+func (b *Bus) ActivateAt(port int, cycle uint64) {
+	if b.defReady[port] == cycle {
+		b.activate(port, cycle)
+	}
+}
+
+// ActivatePast activates every deferred submission whose ready cycle has
+// already passed, in (ready, port) order — the order the owning Submit
+// calls would have executed in had a step run at each ready cycle. The
+// system calls it at the top of each step (before completions), so an
+// activation the clock jumped over still precedes everything that happens
+// this cycle, exactly as its ready-cycle submission preceded them. The
+// common no-op case (every registered ready is at or past cycle) is a
+// single inlined compare against the cached minimum.
+func (b *Bus) ActivatePast(cycle uint64) {
+	if b.defMin < cycle {
+		b.activatePast(cycle)
+	}
+}
+
+func (b *Bus) activatePast(cycle uint64) {
+	for b.ndef > 0 {
+		best := -1
+		bestReady := noDeferred
+		for p, rdy := range b.defReady {
+			if rdy < cycle && rdy < bestReady {
+				best, bestReady = p, rdy
+			}
+		}
+		if best < 0 {
+			return
+		}
+		b.activate(best, bestReady)
+	}
+}
+
+// DefMin returns the earliest registered deferred-ready cycle (noDeferred
+// when there is none); the owning system uses it to skip the per-port
+// activation probes on steps where no deferred entry can become ready.
+func (b *Bus) DefMin() uint64 { return b.defMin }
+
+func (b *Bus) activate(port int, ready uint64) {
+	r := b.defReq[port]
+	b.defReq[port] = nil
+	b.defReady[port] = noDeferred
+	b.ndef--
+	if ready == b.defMin {
+		// Recompute the cached minimum; ndef is tiny (≤ ports), so a scan
+		// on the rare multi-deferred case beats maintaining a heap.
+		m := noDeferred
+		if b.ndef > 0 {
+			for _, rdy := range b.defReady {
+				if rdy < m {
+					m = rdy
+				}
+			}
+		}
+		b.defMin = m
+	}
+	b.submitReady(r, ready)
 }
 
 // Complete finishes the in-service transaction if its occupancy ends at or
@@ -250,38 +404,74 @@ func (b *Bus) Arbitrate(cycle uint64) *Request {
 	b.arb.Granted(port, cycle)
 
 	g := r.Gamma()
-	b.stats.Grants[port]++
-	b.stats.BusyCycles[port] += uint64(r.Occupancy)
-	b.stats.TotalBusy += uint64(r.Occupancy)
-	b.stats.WaitSum[port] += g
-	if g > b.stats.MaxGamma[port] {
-		b.stats.MaxGamma[port] = g
+	occ := uint64(r.Occupancy)
+	ps := &b.pstats[port]
+	ps.grants++
+	ps.busy += occ
+	ps.waitSum += g
+	if g > ps.maxGamma {
+		ps.maxGamma = g
 	}
+	b.totalBusy += occ
 	if b.OnGrant != nil {
 		b.OnGrant(r)
 	}
 	return r
 }
 
-// Drain reports whether the bus is completely idle: nothing pending and
-// nothing in service.
-func (b *Bus) Drain() bool { return b.current == nil && b.npend == 0 }
+// Drain reports whether the bus is completely idle: nothing pending,
+// nothing deferred and nothing in service.
+func (b *Bus) Drain() bool { return b.current == nil && b.npend == 0 && b.ndef == 0 }
+
+// TakeSubmitted reports whether any request was submitted since the last
+// call, clearing the flag. The event scheduler uses it to decide whether
+// the arbitration phase can be skipped this step.
+func (b *Bus) TakeSubmitted() bool {
+	s := b.submitted
+	b.submitted = false
+	return s
+}
+
+// Idle reports whether no transaction currently holds the bus (requests may
+// still be pending arbitration).
+func (b *Bus) Idle() bool { return b.current == nil }
 
 // NextEvent returns the earliest cycle at or after cycle at which the bus
 // might change state: the in-service transaction's completion, the next
-// cycle while requests are pending (arbitration is cycle-dependent under
-// TDMA/lottery, so pending requests forbid skipping), or ^uint64(0) when
-// the bus is completely idle. Used by the simulator's idle-cycle fast
-// path.
+// grant opportunity while requests are pending, or ^uint64(0) when the
+// bus is completely idle. A free bus with pending requests normally
+// reports the given cycle itself (work-conserving arbiters grant
+// immediately, so that state only persists for one arbitration); when the
+// arbiter schedules slots (SlotScheduler), the hint jumps straight to the
+// next eligible grant cycle for the current pending set. Used by the
+// simulator's event-driven scheduler.
 func (b *Bus) NextEvent(cycle uint64) uint64 {
 	if b.current != nil {
+		// freeAt also covers deferred submissions becoming ready while the
+		// transaction is in service: they could not be granted before the
+		// bus frees, and ActivatePast enters them (with their registered
+		// Ready) before the completion is processed at that step.
 		if b.freeAt < cycle {
 			return cycle
 		}
 		return b.freeAt
 	}
-	if b.npend > 0 {
-		return cycle
+	// A free bus must wake when a deferred submission becomes ready:
+	// activation and grant happen at that cycle.
+	next := b.defMin
+	if next < cycle {
+		next = cycle
 	}
-	return ^uint64(0)
+	if b.npend > 0 {
+		grant := cycle
+		if b.hinter != nil {
+			if h := b.hinter.NextEligible(cycle, b.pending); h > cycle {
+				grant = h
+			}
+		}
+		if grant < next {
+			next = grant
+		}
+	}
+	return next
 }

@@ -146,26 +146,42 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits()) / float64(a)
 }
 
+// line is one cache line's hot state: the tag word ((tag<<1)|1 for a valid
+// line, 0 for an invalid one) and the replacement stamp with the dirty bit
+// folded into its low bit (stamp = tick<<1 | dirty). Keeping the pair
+// adjacent means a whole 4-way set is exactly one 64-byte host cache line:
+// the tag scan, the LRU stamp update/victim search, and the eviction dirty
+// check all touch the same line instead of striding across parallel
+// arrays. Ticks are unique per access, so folding the dirty bit below the
+// shifted tick never reorders two stamps.
 type line struct {
 	tag   uint64
-	valid bool
-	dirty bool
-	// stamp orders lines for LRU (last-touch time) and FIFO (fill time).
 	stamp uint64
-	// owner is the requester that allocated the line (partitioned mode).
-	owner int
 }
 
 // Cache is a set-associative cache. It is not safe for concurrent use; the
 // simulator is single-goroutine by design (determinism).
+//
+// Line state is a flat array of tag/stamp pairs indexed by set*ways+way
+// (see line); owners, read only by cold statistics paths, stays a separate
+// parallel array so the hot set stays within one host cache line.
 type Cache struct {
-	cfg  Config
-	sets [][]line
-	// arrays is the pooled backing storage behind sets; Release returns
-	// it to the shape-keyed pool (see pool.go).
-	arrays  *lineArrays
-	setMask uint64
-	offBits uint
+	cfg    Config
+	ways   int
+	lines  []line
+	owners []int32
+	// arrays is the pooled backing storage behind the line arrays; Release
+	// returns it to the shape-keyed pool (see pool.go).
+	arrays *lineArrays
+	// lru/writeBack/partitioned mirror cfg fields as direct booleans so the
+	// access fast path branches on a byte load instead of pulling the whole
+	// Config struct into the loop.
+	lru         bool
+	writeBack   bool
+	partitioned bool
+	random      bool
+	setMask     uint64
+	offBits     uint
 	// tagShift is offBits plus the set-index width, precomputed so the
 	// per-access Tag extraction is a single shift instead of re-deriving
 	// bits.Len64(setMask) on every lookup.
@@ -187,14 +203,20 @@ func New(cfg Config) (*Cache, error) {
 	idxBits := uint(bits.Len64(uint64(sets - 1)))
 	arrays := acquireLines(sets, cfg.Ways)
 	c := &Cache{
-		cfg:      cfg,
-		sets:     arrays.sets,
-		arrays:   arrays,
-		setMask:  uint64(sets - 1),
-		offBits:  offBits,
-		idxBits:  idxBits,
-		tagShift: offBits + idxBits,
-		rng:      0x9E3779B97F4A7C15,
+		cfg:         cfg,
+		ways:        cfg.Ways,
+		lines:       arrays.lines,
+		owners:      arrays.owners,
+		arrays:      arrays,
+		lru:         cfg.Policy == LRU,
+		writeBack:   cfg.Write == WriteBack,
+		partitioned: cfg.Partitioned,
+		random:      cfg.Policy == Random,
+		setMask:     uint64(sets - 1),
+		offBits:     offBits,
+		idxBits:     idxBits,
+		tagShift:    offBits + idxBits,
+		rng:         0x9E3779B97F4A7C15,
 	}
 	return c, nil
 }
@@ -251,18 +273,21 @@ type Result struct {
 // a write miss; the caller must forward every write to the next level.
 // Write-back caches allocate on both read and write misses.
 func (c *Cache) Access(addr uint64, isWrite bool, requester int) Result {
-	set := c.sets[c.SetIndex(addr)]
-	tag := c.Tag(addr)
+	setIdx := addr >> c.offBits & c.setMask
+	base := int(setIdx) * c.ways
+	want := addr>>c.tagShift<<1 | 1
 	c.tick++
+	set := c.lines[base : base+c.ways]
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			if c.cfg.Policy == LRU {
-				set[i].stamp = c.tick
+		if set[i].tag == want {
+			if c.lru {
+				// Refresh the stamp, preserving the dirty bit.
+				set[i].stamp = c.tick<<1 | set[i].stamp&1
 			}
 			if isWrite {
 				c.stats.WriteHits++
-				if c.cfg.Write == WriteBack {
-					set[i].dirty = true
+				if c.writeBack {
+					set[i].stamp |= 1
 				}
 			} else {
 				c.stats.ReadHits++
@@ -273,89 +298,115 @@ func (c *Cache) Access(addr uint64, isWrite bool, requester int) Result {
 	// Miss.
 	if isWrite {
 		c.stats.WriteMisses++
-		if c.cfg.Write == WriteThrough {
+		if !c.writeBack {
 			// No allocation on write miss.
 			return Result{}
 		}
 	} else {
 		c.stats.ReadMisses++
 	}
-	return c.fill(addr, isWrite, requester)
+	return c.fill(addr, setIdx, isWrite, requester)
 }
 
 // Fill allocates a line for addr without counting an access, for refills
 // that arrive later than the miss was recorded (e.g. DL1 allocation when the
 // bus returns data). It is idempotent for already-present lines.
 func (c *Cache) Fill(addr uint64, requester int) Result {
-	set := c.sets[c.SetIndex(addr)]
-	tag := c.Tag(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	setIdx := addr >> c.offBits & c.setMask
+	base := int(setIdx) * c.ways
+	want := addr>>c.tagShift<<1 | 1
+	for _, v := range c.lines[base : base+c.ways] {
+		if v.tag == want {
 			return Result{Hit: true}
 		}
 	}
 	c.tick++
-	return c.fill(addr, false, requester)
+	return c.fill(addr, setIdx, false, requester)
 }
 
-func (c *Cache) fill(addr uint64, isWrite bool, requester int) Result {
-	setIdx := c.SetIndex(addr)
-	set := c.sets[setIdx]
-	tag := c.Tag(addr)
-	victim := c.victim(set, requester)
+// fill allocates addr into its set, evicting the victim way chosen by the
+// replacement policy (see victim). The victim search is fused in here —
+// one pass over the set's tags for an invalid way, falling back to the
+// policy pick — because the miss path is the hottest non-trivial operation
+// in a full-system run and separate calls cost more than the scans.
+func (c *Cache) fill(addr, setIdx uint64, isWrite bool, requester int) Result {
+	base := int(setIdx) * c.ways
+	set := c.lines[base : base+c.ways : base+c.ways]
+	var w int
+	if c.partitioned {
+		// NGMP-style partitioning pins requester i to way (i mod Ways);
+		// there is never a choice to make.
+		w = requester % c.ways
+		if w < 0 {
+			w += c.ways
+		}
+	} else {
+		w = -1
+		for i := range set {
+			if set[i].tag == 0 {
+				w = i // prefer an invalid way
+				break
+			}
+		}
+		if w < 0 {
+			if c.random {
+				// xorshift64* for determinism.
+				c.rng ^= c.rng << 13
+				c.rng ^= c.rng >> 7
+				c.rng ^= c.rng << 17
+				w = int(c.rng % uint64(c.ways))
+			} else if len(set) == 4 {
+				// LRU and FIFO both evict the oldest stamp; they differ
+				// in whether hits refresh the stamp (see Access). The
+				// dirty bit below the shifted tick never breaks a tie:
+				// ticks are unique. The 4-way platform geometry gets a
+				// branchless tournament: the victim way rotates under
+				// strided rsk access, so a compare-loop mispredicts
+				// nearly every miss — conditional moves over four
+				// register-resident stamps don't.
+				s1, s2, s3 := set[1].stamp, set[2].stamp, set[3].stamp
+				m := set[0].stamp
+				if s1 < m {
+					w = 1
+					m = s1
+				} else {
+					w = 0
+				}
+				if s2 < m {
+					w = 2
+					m = s2
+				}
+				if s3 < m {
+					w = 3
+				}
+			} else {
+				w = 0
+				for i := 1; i < len(set); i++ {
+					if set[i].stamp < set[w].stamp {
+						w = i
+					}
+				}
+			}
+		}
+	}
 	res := Result{}
-	if set[victim].valid {
+	if old := set[w].tag; old != 0 {
 		res.Evicted = true
 		c.stats.Evictions++
-		if set[victim].dirty {
+		if set[w].stamp&1 != 0 {
 			res.NeedsWriteback = true
-			res.WritebackAddr = c.reconstruct(set[victim].tag, setIdx)
+			res.WritebackAddr = c.reconstruct(old>>1, setIdx)
 			c.stats.Writebacks++
 		}
 	}
-	set[victim] = line{
-		tag:   tag,
-		valid: true,
-		dirty: isWrite && c.cfg.Write == WriteBack,
-		stamp: c.tick,
-		owner: requester,
+	set[w].tag = addr>>c.tagShift<<1 | 1
+	var dirty uint64
+	if isWrite && c.writeBack {
+		dirty = 1
 	}
+	set[w].stamp = c.tick<<1 | dirty
+	c.owners[base+w] = int32(requester)
 	return res
-}
-
-// victim selects the way to replace within set for the given requester.
-func (c *Cache) victim(set []line, requester int) int {
-	lo, hi := 0, len(set)
-	if c.cfg.Partitioned {
-		w := requester % len(set)
-		if w < 0 {
-			w += len(set)
-		}
-		lo, hi = w, w+1
-	}
-	// Prefer an invalid way.
-	for i := lo; i < hi; i++ {
-		if !set[i].valid {
-			return i
-		}
-	}
-	switch c.cfg.Policy {
-	case Random:
-		// xorshift64* for determinism.
-		c.rng ^= c.rng << 13
-		c.rng ^= c.rng >> 7
-		c.rng ^= c.rng << 17
-		return lo + int(c.rng%uint64(hi-lo))
-	default: // LRU and FIFO both evict the oldest stamp; they differ in
-		// whether hits refresh the stamp (see Access).
-		best := lo
-		for i := lo + 1; i < hi; i++ {
-			if set[i].stamp < set[best].stamp {
-				best = i
-			}
-		}
-		return best
-	}
 }
 
 func (c *Cache) reconstruct(tag, setIdx uint64) uint64 {
@@ -365,10 +416,10 @@ func (c *Cache) reconstruct(tag, setIdx uint64) uint64 {
 // Contains reports whether addr's line is present, without touching
 // replacement state or statistics.
 func (c *Cache) Contains(addr uint64) bool {
-	set := c.sets[c.SetIndex(addr)]
-	tag := c.Tag(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := int(c.SetIndex(addr)) * c.ways
+	want := addr>>c.tagShift<<1 | 1
+	for _, v := range c.lines[base : base+c.ways] {
+		if v.tag == want {
 			return true
 		}
 	}
@@ -377,21 +428,16 @@ func (c *Cache) Contains(addr uint64) bool {
 
 // InvalidateAll clears every line (statistics are preserved).
 func (c *Cache) InvalidateAll() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = line{}
-		}
-	}
+	clear(c.lines)
+	clear(c.owners)
 }
 
 // ValidLines returns the number of valid lines currently cached.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for _, v := range c.lines {
+		if v.tag != 0 {
+			n++
 		}
 	}
 	return n
@@ -401,11 +447,9 @@ func (c *Cache) ValidLines() int {
 // meaningful for partitioned caches.
 func (c *Cache) OwnerLines(requester int) int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid && set[i].owner == requester {
-				n++
-			}
+	for i, v := range c.lines {
+		if v.tag != 0 && c.owners[i] == int32(requester) {
+			n++
 		}
 	}
 	return n

@@ -5,14 +5,14 @@ import "sync"
 // Line-array pooling.
 //
 // Every sim.System wires 2*Cores+1 caches, and each cache's dominant
-// allocation is its line array: sets*ways line structs plus the per-set
-// slice headers (the shared L2 alone is 8K lines on the reference
-// platform). Sweep workloads build and discard thousands of Systems, so
-// these arrays dominate the allocation profile of every figure and
-// derivation batch. The pool recycles them across runs, keyed by
-// geometry (sets, ways) — the "config shape" — so a k-sweep's thousands
-// of same-shaped Systems reuse a handful of arrays per worker instead of
-// pressuring the garbage collector with ~350KB per run.
+// allocation is its line state: four flat arrays of sets*ways entries
+// (the shared L2 alone is 8K lines on the reference platform). Sweep
+// workloads build and discard thousands of Systems, so these arrays
+// dominate the allocation profile of every figure and derivation batch.
+// The pool recycles them across runs, keyed by geometry (sets, ways) —
+// the "config shape" — so a k-sweep's thousands of same-shaped Systems
+// reuse a handful of arrays per worker instead of pressuring the garbage
+// collector with ~350KB per run.
 //
 // Pooling is strictly opt-out-by-default: New always zeroes the acquired
 // arrays, so a pooled cache is indistinguishable from a freshly
@@ -20,11 +20,12 @@ import "sync"
 // with Release (sim.Run does, via System.Release, once its measurement
 // is extracted).
 
-// lineArrays is one cache's worth of backing storage: the per-set slice
-// headers plus the flat line array they alias.
+// lineArrays is one cache's worth of backing storage: the flat tag/stamp
+// pair array plus the cold owners array (see Cache).
 type lineArrays struct {
-	sets    [][]line
-	backing []line
+	n      int
+	lines  []line
+	owners []int32
 }
 
 var (
@@ -44,35 +45,35 @@ func linePool(sets, ways int) *sync.Pool {
 	return p
 }
 
-// acquireLines returns a zeroed (sets x ways) line matrix, reusing a
-// released one of the same shape when available.
+// acquireLines returns zeroed (sets x ways) line arrays, reusing a
+// released set of the same shape when available.
 func acquireLines(sets, ways int) *lineArrays {
 	pool := linePool(sets, ways)
 	if v := pool.Get(); v != nil {
 		la := v.(*lineArrays)
-		clear(la.backing)
+		// Only the line pairs need zeroing: a line is valid iff its tag
+		// word is non-zero, stamps are never read before fill writes them
+		// for a valid line, and owners is only consulted for valid lines.
+		clear(la.lines)
 		return la
 	}
-	la := &lineArrays{
-		sets:    make([][]line, sets),
-		backing: make([]line, sets*ways),
+	n := sets * ways
+	return &lineArrays{
+		n:      n,
+		lines:  make([]line, n),
+		owners: make([]int32, n),
 	}
-	rest := la.backing
-	for i := range la.sets {
-		la.sets[i], rest = rest[:ways:ways], rest[ways:]
-	}
-	return la
 }
 
 // Release returns the cache's line arrays to the shape-keyed pool and
-// leaves the cache unusable (its sets are gone). Call it only when no
+// leaves the cache unusable (its line state is gone). Call it only when no
 // further accesses can happen — typically when the owning simulated
 // system is torn down after a measurement. Releasing twice is a no-op.
 func (c *Cache) Release() {
 	if c == nil || c.arrays == nil {
 		return
 	}
-	linePool(len(c.arrays.sets), c.cfg.Ways).Put(c.arrays)
+	linePool(c.arrays.n/c.cfg.Ways, c.cfg.Ways).Put(c.arrays)
 	c.arrays = nil
-	c.sets = nil
+	c.lines, c.owners = nil, nil
 }

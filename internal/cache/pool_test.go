@@ -63,12 +63,7 @@ func TestPoolShapeKeying(t *testing.T) {
 	big := poolCfg()
 	big.SizeBytes = 8 << 10
 	d := MustNew(big)
-	if got, want := len(d.sets), big.Sets(); got != want {
-		t.Fatalf("big cache got %d sets, want %d", got, want)
-	}
-	for _, set := range d.sets {
-		if len(set) != big.Ways {
-			t.Fatalf("set with %d ways, want %d", len(set), big.Ways)
-		}
+	if got, want := len(d.lines), big.Sets()*big.Ways; got != want {
+		t.Fatalf("big cache got %d lines, want %d", got, want)
 	}
 }

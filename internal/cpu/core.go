@@ -28,6 +28,13 @@ type Port interface {
 	// Submit registers r as the port's outstanding request, ready at
 	// cycle.
 	Submit(r *bus.Request, cycle uint64)
+	// SubmitAt registers r as the port's outstanding request becoming
+	// ready at a future cycle. The core calls it when the submission at
+	// that cycle is already fully determined (the port is free and nothing
+	// the core does before then can claim it), letting the bus treat the
+	// request exactly as if Submit ran at the ready cycle without the core
+	// being ticked there.
+	SubmitAt(r *bus.Request, ready uint64)
 }
 
 // Config describes one core.
@@ -67,6 +74,13 @@ func (c Config) Validate() error {
 }
 
 type state uint8
+
+// Stall kinds for the span-based stall accounting (see Core.stallKind).
+const (
+	stallNone uint8 = iota
+	stallPort
+	stallSB
+)
 
 const (
 	// sRun: ready to start the instruction at pc once nextFree is reached.
@@ -142,6 +156,16 @@ type Core struct {
 	batchLat uint64
 	now      uint64
 
+	// stallKind/stallFrom implement closed-form stall accounting for the
+	// event-driven scheduler: a blocked attempt charges the whole span of
+	// skipped stall cycles since stallFrom at once instead of relying on
+	// one Tick per cycle. Under cycle-by-cycle execution every span has
+	// length one, so the arithmetic degenerates to the historical
+	// one-increment-per-Tick behavior — the counters are bit-identical
+	// either way.
+	stallKind uint8
+	stallFrom uint64
+
 	// req is the core's reusable bus request. A port has at most one
 	// transaction live at the bus (Port.Free gates every submission), and
 	// the bus drops its reference when the completion is dispatched, so a
@@ -174,6 +198,10 @@ func New(cfg Config, prog *isa.Program, port Port, maxIters uint64) (*Core, erro
 		sb:       NewStoreBuffer(cfg.StoreBufferDepth),
 		lineMask: ^(uint64(cfg.IL1.Config().LineBytes) - 1),
 	}
+	// The reusable request's port never changes; the issue paths only
+	// rewrite Kind and Addr (every other field is set downstream: Ready by
+	// Submit, Grant/Occupancy/Hit at arbitration).
+	c.req.Port = cfg.ID
 	return c, nil
 }
 
@@ -253,15 +281,24 @@ func (c *Core) ResetCounters(cycle uint64) {
 		c.creditBatch(&c.ctr, remaining, false)
 	}
 	c.sb.Pushes, c.sb.FullStalls, c.sb.Drains = 0, 0, 0
+	// A reset landing inside an open stall span discards the uncharged
+	// pre-reset share: stall cycles before the window boundary belong to
+	// the zeroed counters, not the new window.
+	if c.stallKind != stallNone && c.stallFrom < cycle {
+		c.stallFrom = cycle
+	}
 }
 
-// SetNopBatching toggles instruction-run batching (enabled by default):
-// runs of consecutive nops, and of IALU or branch instructions with a
-// uniform latency, execute as one batched step. Disabling it restores
-// strict one-instruction-per-Tick execution; externally observable
-// behavior (bus traffic, iteration boundaries, counters at those
-// boundaries) is identical either way — batching only changes when
-// within a run the activity counters are committed.
+// SetNopBatching toggles instruction-run batching and the deferred-issue
+// shortcut together (both enabled by default): runs of consecutive nops,
+// and of IALU or branch instructions with a uniform latency, execute as
+// one batched step, and miss requests whose issue step is fully
+// determined are registered at the bus ahead of time (Port.SubmitAt).
+// Disabling both restores strict one-instruction-per-Tick execution with
+// every submission performed at its issue step; externally observable
+// behavior (bus traffic and its Ready cycles, iteration boundaries,
+// counters at those boundaries) is identical either way — the reference
+// mode is the oracle the shortcuts' equivalence tests diff against.
 func (c *Core) SetNopBatching(enabled bool) { c.noBatch = !enabled }
 
 // Idle reports whether the core has no in-flight activity: used by the
@@ -320,27 +357,32 @@ func (c *Core) Tick(cycle uint64) {
 			}
 		case sLoadIssue:
 			if !c.port.Free() {
-				c.ctr.PortStallCycles++
+				c.chargePortStall(cycle)
 				return
 			}
-			c.req = bus.Request{Port: c.cfg.ID, Kind: bus.KindLoad, Addr: c.pendingAddr}
+			c.settleStall(cycle)
+			c.req.Kind = bus.KindLoad
+			c.req.Addr = c.pendingAddr
 			c.port.Submit(&c.req, cycle)
 			c.st = sWaitLoad
 			return
 		case sIFetchIssue:
 			if !c.port.Free() {
-				c.ctr.PortStallCycles++
+				c.chargePortStall(cycle)
 				return
 			}
-			c.req = bus.Request{Port: c.cfg.ID, Kind: bus.KindIFetch, Addr: c.pendingAddr}
+			c.settleStall(cycle)
+			c.req.Kind = bus.KindIFetch
+			c.req.Addr = c.pendingAddr
 			c.port.Submit(&c.req, cycle)
 			c.st = sWaitIFetch
 			return
 		case sStoreCommit:
 			if !c.sb.Push(c.commitAddr) {
-				c.ctr.SBStallCycles++
+				c.chargeSBStall(cycle)
 				return
 			}
+			c.settleStall(cycle)
 			c.st = sRun
 			c.advance()
 			// The store committed exactly at nextFree; the next
@@ -354,24 +396,102 @@ func (c *Core) Tick(cycle uint64) {
 }
 
 // NextEvent returns the earliest cycle at or after cycle at which this
-// core might act on its own (as opposed to being woken by a bus
-// completion), or ^uint64(0) when it is entirely event-driven right now.
-// Stalled states that count per-cycle statistics (port stalls, full store
-// buffer) report the very next cycle so the counters stay exact. Used by
-// the simulator's idle-cycle fast path; it must never be later than the
-// core's true next action.
+// core might act on its own, or ^uint64(0) when it is entirely
+// event-driven right now — woken only by a completion dispatched on its
+// bus port. Stalled states (port busy, full store buffer) fall in the
+// event-driven class: the blocking condition clears exclusively when the
+// core's own in-flight transaction completes, which the scheduler
+// delivers as a wake, and the span-based stall accounting (see
+// chargePortStall/chargeSBStall/SyncNow) keeps the per-cycle stall
+// counters exact across the skipped cycles. Used by the simulator's
+// event-driven scheduler; it must never be later than the core's true
+// next self-driven action.
 func (c *Core) NextEvent(cycle uint64) uint64 {
 	switch c.st {
 	case sWaitLoad, sWaitIFetch, sDone:
 		// Woken by completions only. Store-buffer drains also resume on
 		// bus events: if a drainable head is still queued after Tick, the
-		// port is busy, and the bus's own next event covers the wake-up.
+		// port is busy, and the completion dispatch covers the wake-up.
 		return ^uint64(0)
 	default: // sRun, sLoadIssue, sIFetchIssue, sStoreCommit
-		if c.nextFree > cycle {
+		if c.nextFree >= cycle {
 			return c.nextFree
 		}
-		return cycle
+		// nextFree has passed and the core is still in an attempting
+		// state: the attempt at nextFree blocked on the port or store
+		// buffer, and only a completion on the core's own port can
+		// unblock it.
+		return ^uint64(0)
+	}
+}
+
+// chargePortStall accounts a blocked issue attempt at cycle: the current
+// cycle's stall plus every skipped stall cycle since stallFrom (cycles in
+// which a cycle-by-cycle run would have re-attempted and failed).
+func (c *Core) chargePortStall(cycle uint64) {
+	if c.stallKind != stallPort {
+		c.stallKind = stallPort
+		c.stallFrom = cycle
+	}
+	c.ctr.PortStallCycles += cycle - c.stallFrom + 1
+	c.stallFrom = cycle + 1
+}
+
+// chargeSBStall accounts a blocked store-buffer push at cycle. Push has
+// already counted this attempt in sb.FullStalls, so only the skipped
+// span's attempts are mirrored there.
+func (c *Core) chargeSBStall(cycle uint64) {
+	if c.stallKind != stallSB {
+		c.stallKind = stallSB
+		c.stallFrom = cycle
+	}
+	span := cycle - c.stallFrom + 1
+	c.ctr.SBStallCycles += span
+	c.sb.FullStalls += span - 1
+	c.stallFrom = cycle + 1
+}
+
+// settleStall closes an open stall span at an attempt that succeeds at
+// cycle: the skipped cycles before it (each of which would have been a
+// failed attempt under cycle-by-cycle execution) are charged and the
+// marker clears.
+func (c *Core) settleStall(cycle uint64) {
+	if c.stallKind == stallNone {
+		return
+	}
+	if cycle > c.stallFrom {
+		span := cycle - c.stallFrom
+		switch c.stallKind {
+		case stallPort:
+			c.ctr.PortStallCycles += span
+		default:
+			c.ctr.SBStallCycles += span
+			c.sb.FullStalls += span
+		}
+	}
+	c.stallKind = stallNone
+}
+
+// SyncNow advances the core's observation point to cycle without
+// executing anything: the batch-split read point (now) moves forward and
+// any open stall span is charged through cycle, exactly as a
+// cycle-by-cycle run ticking the core at every skipped cycle would have
+// done. The event-driven scheduler calls it when a run stops, so counter
+// readers observe bit-identical values in either execution mode.
+func (c *Core) SyncNow(cycle uint64) {
+	if cycle > c.now {
+		c.now = cycle
+	}
+	if c.stallKind != stallNone && cycle >= c.stallFrom {
+		span := cycle - c.stallFrom + 1
+		switch c.stallKind {
+		case stallPort:
+			c.ctr.PortStallCycles += span
+		default:
+			c.ctr.SBStallCycles += span
+			c.sb.FullStalls += span
+		}
+		c.stallFrom = cycle + 1
 	}
 }
 
@@ -385,8 +505,18 @@ func (c *Core) step(cycle uint64) bool {
 		res := c.cfg.IL1.Access(addr, false, c.cfg.ID)
 		if !res.Hit {
 			c.pendingAddr = line
-			c.st = sIFetchIssue
 			c.nextFree = cycle + uint64(c.cfg.IL1Latency)
+			if !c.noBatch && c.port.Free() {
+				// Same deferred-issue shortcut as the load-miss path:
+				// the submission at nextFree is fully determined, so
+				// register it now and wait for the line directly.
+				c.req.Kind = bus.KindIFetch
+				c.req.Addr = line
+				c.port.SubmitAt(&c.req, c.nextFree)
+				c.st = sWaitIFetch
+			} else {
+				c.st = sIFetchIssue
+			}
 			return true
 		}
 		c.fetchLine = line
@@ -428,7 +558,24 @@ func (c *Core) step(cycle uint64) bool {
 			// Miss known after the DL1 lookup; the bus request
 			// becomes ready at nextFree.
 			c.pendingAddr = c.cfg.DL1.LineAddr(in.Addr)
-			c.st = sLoadIssue
+			if !c.noBatch && c.port.Free() {
+				// The issue step at nextFree is fully determined: the
+				// port is free and nothing can claim it before then
+				// (the store buffer holds no drainable entry — this
+				// Tick's tryDrain would have taken the port — and the
+				// blocked pipeline issues nothing else). Register the
+				// request now, ready at nextFree, and skip straight to
+				// the wait state so the scheduler never has to execute
+				// the issue step. Disabled together with batching: the
+				// strict one-instruction-per-Tick reference mode is
+				// the oracle this shortcut is diffed against.
+				c.req.Kind = bus.KindLoad
+				c.req.Addr = c.pendingAddr
+				c.port.SubmitAt(&c.req, c.nextFree)
+				c.st = sWaitLoad
+			} else {
+				c.st = sLoadIssue
+			}
 		}
 	case isa.OpStore:
 		c.ctr.Stores++
@@ -502,29 +649,35 @@ func (c *Core) tryDrain(cycle uint64) {
 		return
 	}
 	c.sb.MarkInflight()
-	c.req = bus.Request{Port: c.cfg.ID, Kind: bus.KindStore, Addr: addr}
+	c.req.Kind = bus.KindStore
+	c.req.Addr = addr
 	c.port.Submit(&c.req, cycle)
 }
 
-// LoadDone delivers load data at cycle: the DL1 line is filled, the load
-// retires and the next instruction may start in the same cycle.
+// LoadDone delivers load data at cycle: the load retires and the next
+// instruction may start in the same cycle. No DL1 refill happens here: the
+// line was already installed when the miss was looked up (Access allocates
+// on read misses), the cache is private, and the core issues no other data
+// accesses while the load is in flight — so the line is still present and
+// a refill scan would be a guaranteed early-return.
 func (c *Core) LoadDone(cycle uint64) {
 	if c.st != sWaitLoad {
 		panic(fmt.Sprintf("cpu: core %d LoadDone in state %d", c.cfg.ID, c.st))
 	}
-	c.cfg.DL1.Fill(c.pendingAddr, c.cfg.ID)
 	c.st = sRun
 	c.nextFree = cycle
 	c.advance()
 }
 
 // IFetchDone delivers an instruction line at cycle; the stalled instruction
-// restarts (and now hits the fetch buffer fast path).
+// restarts (and now hits the fetch buffer fast path). As with LoadDone, the
+// IL1 line was installed at the miss lookup and cannot have been evicted
+// since (the cache is private and the core fetches nothing else meanwhile),
+// so no refill is performed.
 func (c *Core) IFetchDone(cycle uint64) {
 	if c.st != sWaitIFetch {
 		panic(fmt.Sprintf("cpu: core %d IFetchDone in state %d", c.cfg.ID, c.st))
 	}
-	c.cfg.IL1.Fill(c.pendingAddr, c.cfg.ID)
 	c.fetchLine = c.pendingAddr
 	c.haveFetch = true
 	c.st = sRun

@@ -28,6 +28,19 @@ func (p *fakePort) Submit(r *bus.Request, cycle uint64) {
 	p.history = append(p.history, *r)
 }
 
+// SubmitAt records a deferred submission (see cpu.Port). The fake keeps it
+// directly as the pending request — Ready carries the future ready cycle,
+// and the test harnesses serve requests relative to Ready, never relative
+// to when the call happened.
+func (p *fakePort) SubmitAt(r *bus.Request, ready uint64) {
+	if p.pending != nil {
+		panic("fakePort: double submit")
+	}
+	r.Ready = ready
+	p.pending = r
+	p.history = append(p.history, *r)
+}
+
 func (p *fakePort) complete() *bus.Request {
 	r := p.pending
 	p.pending = nil
@@ -62,13 +75,14 @@ func newTestCore(t *testing.T, prog *isa.Program, maxIters uint64, dl1Lat int) (
 	return c, port
 }
 
-// runCycles ticks the core for n cycles, completing any pending ifetch
-// immediately at the next cycle boundary (tests that want fetch misses use
-// the port directly instead).
+// runCycles ticks the core for n cycles, completing any pending ifetch at
+// the first cycle boundary after its ready cycle (tests that want fetch
+// misses use the port directly instead). Deferred submissions surface in
+// pending ahead of their ready cycle, so the guard is Ready-relative.
 func runCycles(c *Core, p *fakePort, n uint64, serveFetches bool) uint64 {
 	var cyc uint64
 	for ; cyc < n; cyc++ {
-		if serveFetches && p.pending != nil && p.pending.Kind == bus.KindIFetch {
+		if serveFetches && p.pending != nil && p.pending.Kind == bus.KindIFetch && cyc > p.pending.Ready {
 			r := p.complete()
 			_ = r
 			c.IFetchDone(cyc)
@@ -144,8 +158,10 @@ func TestLoadHitTiming(t *testing.T) {
 		if p.pending != nil {
 			switch p.pending.Kind {
 			case bus.KindIFetch:
-				p.complete()
-				c.IFetchDone(cyc)
+				if cyc > p.pending.Ready {
+					p.complete()
+					c.IFetchDone(cyc)
+				}
 			case bus.KindLoad:
 				if cyc >= p.pending.Ready+9 {
 					p.complete()
@@ -198,8 +214,10 @@ func TestLoadMissInjectionTime(t *testing.T) {
 			if p.pending != nil {
 				switch p.pending.Kind {
 				case bus.KindIFetch:
-					p.complete()
-					c.IFetchDone(cyc)
+					if cyc > p.pending.Ready {
+						p.complete()
+						c.IFetchDone(cyc)
+					}
 				case bus.KindLoad:
 					// Serve the load with a fixed 9-cycle
 					// latency.
@@ -261,8 +279,10 @@ func TestStoreBufferedNoStall(t *testing.T) {
 		if p.pending != nil {
 			switch p.pending.Kind {
 			case bus.KindIFetch:
-				p.complete()
-				c.IFetchDone(cyc)
+				if cyc > p.pending.Ready {
+					p.complete()
+					c.IFetchDone(cyc)
+				}
 			case bus.KindStore:
 				if cyc >= p.pending.Ready+9 {
 					p.complete()
@@ -304,8 +324,10 @@ func TestStoreStallsWhenBufferFull(t *testing.T) {
 		if p.pending != nil {
 			switch p.pending.Kind {
 			case bus.KindIFetch:
-				p.complete()
-				c.IFetchDone(cyc)
+				if cyc > p.pending.Ready {
+					p.complete()
+					c.IFetchDone(cyc)
+				}
 			case bus.KindStore:
 				if cyc >= p.pending.Ready+30 { // slow drain
 					p.complete()
@@ -335,7 +357,7 @@ func TestIFetchMissOnNewLine(t *testing.T) {
 	c, p := newTestCore(t, prog, 5, 1)
 	fetches := 0
 	for cyc := uint64(0); cyc < 500 && !c.Done(); cyc++ {
-		if p.pending != nil && p.pending.Kind == bus.KindIFetch {
+		if p.pending != nil && p.pending.Kind == bus.KindIFetch && cyc > p.pending.Ready {
 			fetches++
 			p.complete()
 			c.IFetchDone(cyc)
@@ -370,7 +392,7 @@ func TestIALULatencyOverride(t *testing.T) {
 	c, p := newTestCore(t, prog, 4, 1)
 	var finished uint64
 	for cyc := uint64(0); cyc < 200; cyc++ {
-		if p.pending != nil && p.pending.Kind == bus.KindIFetch {
+		if p.pending != nil && p.pending.Kind == bus.KindIFetch && cyc > p.pending.Ready {
 			p.complete()
 			c.IFetchDone(cyc)
 		}
@@ -445,8 +467,10 @@ func TestLoadWaitsForPortBehindStoreDrain(t *testing.T) {
 		if p.pending != nil {
 			switch p.pending.Kind {
 			case bus.KindIFetch:
-				p.complete()
-				c.IFetchDone(cyc)
+				if cyc > p.pending.Ready {
+					p.complete()
+					c.IFetchDone(cyc)
+				}
 			case bus.KindStore:
 				// Slow drain so the load demonstrably waits.
 				if cyc >= p.pending.Ready+25 {

@@ -392,6 +392,12 @@ func (c *Controller) NextEvent(cycle uint64) uint64 {
 	return next
 }
 
+// HasReady reports whether any completed read is awaiting a bus response
+// slot. It is the event scheduler's cheap gate around the response-routing
+// phase: ready transactions only appear in Tick, so when this is false the
+// phase is provably a no-op.
+func (c *Controller) HasReady() bool { return len(c.ready) > 0 }
+
 // PeekReady returns the oldest completed read without removing it, or nil.
 func (c *Controller) PeekReady() *Txn {
 	if len(c.ready) == 0 {

@@ -43,6 +43,13 @@ const (
 	// MemReads and MemWrites count DRAM transactions.
 	MemReads  ID = 0x103
 	MemWrites ID = 0x104
+	// PortStallCycles counts cycles the pipeline was blocked re-attempting
+	// an issue because the core's bus port was still held by an earlier
+	// transaction (typically a store-buffer drain in flight).
+	PortStallCycles ID = 0x105
+	// SBStallCycles counts cycles a store could not commit because the
+	// store buffer was full.
+	SBStallCycles ID = 0x106
 )
 
 // Name returns a human-readable counter name.
@@ -74,6 +81,10 @@ func (id ID) Name() string {
 		return "mem-reads"
 	case MemWrites:
 		return "mem-writes"
+	case PortStallCycles:
+		return "port-stall-cycles"
+	case SBStallCycles:
+		return "sb-stall-cycles"
 	default:
 		return fmt.Sprintf("pmc(0x%x)", uint16(id))
 	}

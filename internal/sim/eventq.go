@@ -1,0 +1,137 @@
+package sim
+
+// eventQueue is the discrete-event core's wakeup registry: an indexed
+// min-heap of per-component next-state-change cycles. Component ids are
+// dense and fixed at construction (cores 0..n-1, then the bus, then the
+// memory controller), so the queue never grows or shrinks — Update re-keys
+// a component in place and sifts it to its heap position, and Min reads
+// the root without popping.
+//
+// Ties break on the component id, keeping the heap layout a pure function
+// of the registered wakes. The scheduler does not actually depend on tie
+// order for determinism (all components due at the jump target are ticked
+// in fixed id order by eventStep), but a canonical layout keeps the
+// structure reproducible and cheap to reason about.
+//
+// Small queues skip the heap: at the platform's typical component counts
+// (a handful of cores plus bus and memory) a linear scan over the wake
+// array beats the sift bookkeeping — Update becomes a plain store and Min
+// a branch-predictable loop — while the heap keeps Min at O(log n) for
+// many-core configurations. The crossover is linearScanMax; both paths
+// maintain identical wake semantics.
+type eventQueue struct {
+	wake []uint64 // wake[id] = registered next state-changing cycle
+	heap []int    // component ids, min-ordered by (wake, id); nil in scan mode
+	pos  []int    // pos[id] = index of id within heap; nil in scan mode
+}
+
+// infinity marks a component with no self-scheduled wake: it changes state
+// only when another component's completion is dispatched to it.
+const infinity = ^uint64(0)
+
+// linearScanMax is the largest component count served by the scan path.
+const linearScanMax = 16
+
+// init sizes the queue for n components, all initially due at cycle 0.
+func (q *eventQueue) init(n int) {
+	q.wake = make([]uint64, n)
+	if n <= linearScanMax {
+		q.heap, q.pos = nil, nil
+		return
+	}
+	q.heap = make([]int, n)
+	q.pos = make([]int, n)
+	for i := 0; i < n; i++ {
+		q.heap[i] = i
+		q.pos[i] = i
+	}
+}
+
+// Len returns the number of registered components.
+func (q *eventQueue) Len() int { return len(q.wake) }
+
+// Min returns the earliest registered wake (infinity when every component
+// is purely completion-driven).
+func (q *eventQueue) Min() uint64 {
+	if q.heap == nil {
+		min := infinity
+		for _, w := range q.wake {
+			if w < min {
+				min = w
+			}
+		}
+		return min
+	}
+	return q.wake[q.heap[0]]
+}
+
+// Wake returns component id's registered wake.
+func (q *eventQueue) Wake(id int) uint64 { return q.wake[id] }
+
+// Update re-registers component id at the given wake cycle. The scan-mode
+// branch is a plain store kept small enough to inline at every call site in
+// eventStep; the heap re-key lives in updateHeap so its sift loops do not
+// drag the whole method over the inlining budget.
+func (q *eventQueue) Update(id int, wake uint64) {
+	if q.heap == nil {
+		q.wake[id] = wake
+		return
+	}
+	q.updateHeap(id, wake)
+}
+
+func (q *eventQueue) updateHeap(id int, wake uint64) {
+	if q.wake[id] == wake {
+		return
+	}
+	up := wake < q.wake[id]
+	q.wake[id] = wake
+	if up {
+		q.siftUp(q.pos[id])
+	} else {
+		q.siftDown(q.pos[id])
+	}
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if q.wake[a] != q.wake[b] {
+		return q.wake[a] < q.wake[b]
+	}
+	return a < b
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.pos[q.heap[i]] = i
+	q.pos[q.heap[j]] = j
+}
+
+func (q *eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && q.less(r, child) {
+			child = r
+		}
+		if !q.less(child, i) {
+			return
+		}
+		q.swap(i, child)
+		i = child
+	}
+}

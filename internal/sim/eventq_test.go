@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func (q *eventQueue) checkInvariants(t *testing.T) {
+	t.Helper()
+	if q.heap == nil {
+		return // scan mode: the wake array is the whole structure
+	}
+	for i := range q.heap {
+		if q.pos[q.heap[i]] != i {
+			t.Fatalf("pos[heap[%d]=%d] = %d", i, q.heap[i], q.pos[q.heap[i]])
+		}
+		if l := 2*i + 1; l < len(q.heap) && q.less(l, i) {
+			t.Fatalf("heap violation at %d/%d: wakes %v", i, l, q.wake)
+		}
+		if r := 2*i + 2; r < len(q.heap) && q.less(r, i) {
+			t.Fatalf("heap violation at %d/%d: wakes %v", i, r, q.wake)
+		}
+	}
+}
+
+// testQueueSizes exercises both structural regimes: a platform-sized queue
+// on the linear-scan path and a many-core queue on the indexed min-heap.
+var testQueueSizes = []int{6, linearScanMax + 2}
+
+func TestEventQueueBasic(t *testing.T) {
+	for _, n := range testQueueSizes {
+		var q eventQueue
+		q.init(n)
+		if q.Len() != n {
+			t.Fatalf("Len = %d", q.Len())
+		}
+		if q.Min() != 0 {
+			t.Fatalf("fresh queue Min = %d, want 0", q.Min())
+		}
+		q.checkInvariants(t)
+
+		for i := 6; i < n; i++ {
+			q.Update(i, infinity)
+		}
+		q.Update(0, 40)
+		q.Update(1, 7)
+		q.Update(2, infinity)
+		q.Update(3, 7)
+		q.Update(4, 19)
+		q.Update(5, infinity)
+		q.checkInvariants(t)
+		if q.Min() != 7 {
+			t.Fatalf("n=%d: Min = %d, want 7", n, q.Min())
+		}
+		if q.heap != nil {
+			// Deterministic tie-break: of the two components at 7, the
+			// lower id sits at the root.
+			if root := q.heap[0]; root != 1 {
+				t.Fatalf("root = component %d, want 1 (lowest id among ties)", root)
+			}
+		}
+
+		q.Update(1, 100)
+		q.Update(3, 100)
+		q.checkInvariants(t)
+		if q.Min() != 19 {
+			t.Fatalf("n=%d: Min = %d after raising the 7s, want 19", n, q.Min())
+		}
+		q.Update(5, 3)
+		if q.Min() != 3 {
+			t.Fatalf("n=%d: Min = %d after waking 5 at 3, want 3", n, q.Min())
+		}
+		if q.Wake(5) != 3 || q.Wake(2) != infinity {
+			t.Fatalf("Wake readback: %d, %d", q.Wake(5), q.Wake(2))
+		}
+	}
+}
+
+func TestEventQueueAllInfinite(t *testing.T) {
+	for _, n := range testQueueSizes {
+		var q eventQueue
+		q.init(n)
+		for i := 0; i < n; i++ {
+			q.Update(i, infinity)
+		}
+		if q.Min() != infinity {
+			t.Fatalf("n=%d: Min = %d, want infinity", n, q.Min())
+		}
+	}
+	var empty eventQueue
+	empty.init(0)
+	if empty.Min() != infinity {
+		t.Fatal("empty queue Min must be infinity")
+	}
+}
+
+func TestEventQueueRandomized(t *testing.T) {
+	// Exercise Update against a brute-force min over many random re-keys,
+	// including no-op updates and infinity transitions, on both the
+	// linear-scan and the heap regime.
+	for _, n := range testQueueSizes {
+		rng := rand.New(rand.NewSource(42))
+		var q eventQueue
+		q.init(n)
+		ref := make([]uint64, n)
+		for step := 0; step < 5000; step++ {
+			id := rng.Intn(n)
+			var w uint64
+			switch rng.Intn(4) {
+			case 0:
+				w = infinity
+			case 1:
+				w = ref[id] // no-op update
+			default:
+				w = uint64(rng.Intn(1000))
+			}
+			ref[id] = w
+			q.Update(id, w)
+			min := infinity
+			for _, v := range ref {
+				if v < min {
+					min = v
+				}
+			}
+			if got := q.Min(); got != min {
+				t.Fatalf("n=%d step %d: Min = %d, want %d (ref %v)", n, step, got, min, ref)
+			}
+		}
+		q.checkInvariants(t)
+	}
+}

@@ -134,6 +134,9 @@ func (m *Measurement) SlowdownVs(isol *Measurement) (int64, error) {
 // Run executes the workload on cfg and measures the scua over opt's window.
 func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 	opt.fill()
+	if ForceCycleByCycle {
+		opt.DisableFastForward = true
+	}
 	if w.Scua == nil {
 		return nil, fmt.Errorf("sim: workload has no scua")
 	}
@@ -273,6 +276,11 @@ func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 		pmc.SBFullStalls:  scua.StoreBuffer().FullStalls,
 		pmc.MemReads:      m.Mem.Reads,
 		pmc.MemWrites:     m.Mem.Writes,
+		// The span-accounted pipeline stalls: charged in closed form by the
+		// event-driven scheduler, per-cycle by the legacy loop — identical
+		// either way (the equivalence suite diffs them).
+		pmc.PortStallCycles: m.Scua.PortStallCycles,
+		pmc.SBStallCycles:   m.Scua.SBStallCycles,
 	}
 	return m, nil
 }

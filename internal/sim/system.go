@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rrbus/internal/bus"
 	"rrbus/internal/cache"
@@ -35,9 +36,68 @@ type System struct {
 	// allocation per L2 miss.
 	respReq bus.Request
 
-	// noFastForward disables the idle-cycle skip in RunUntil; the
-	// equivalence test uses it to check skipping never changes results.
+	// noFastForward disables the event-driven scheduler in RunUntil,
+	// forcing the historical tick-everything loop; the equivalence tests
+	// use it as the oracle the event core is diffed against.
 	noFastForward bool
+
+	// Event scheduler state (event-driven RunUntil only). eq registers
+	// each component's next self-scheduled cycle (cores by index, then
+	// busID, then memID); dueCore marks cores woken by a completion
+	// dispatched on their port this macro-step; memPushed marks a memory
+	// transaction pushed during dispatch, which the controller must see
+	// in the same cycle (as the legacy phase order does).
+	eq        eventQueue
+	dueCore   []bool
+	busID     int
+	memID     int
+	memPushed bool
+
+	// steps counts executed macro-steps (either mode) and lastExec the
+	// last cycle one executed at; the steps-vs-cycles ratio is the
+	// dead-time elimination the event core achieves.
+	steps    uint64
+	lastExec uint64
+}
+
+// CheckPredicates enables a debug assertion in RunUntil that catches
+// predicates reading raw Cycle() thresholds: the event-driven clock jumps
+// between events, so such a predicate can be observed later than under
+// cycle-by-cycle execution (RunUntil's documented footgun). The check
+// probes the predicate once per RunUntil call with a temporarily offset
+// clock and panics when the result depends on it. Off by default (it
+// costs two extra predicate calls and legitimately cycle-gated harnesses
+// exist under SetFastForward(false)); tests enable it.
+var CheckPredicates = false
+
+// ForceCycleByCycle disables the event-driven scheduler for every Run in
+// the process, as if each had set RunOpts.DisableFastForward. Results are
+// identical either way; the switch exists for the CLI-level equivalence
+// smoke (`rrbus-sim -no-fast-forward`), which diffs the recorded bytes of
+// the two execution modes end to end.
+var ForceCycleByCycle = false
+
+// execSteps/execCycles tally macro-steps executed and cycles simulated
+// across every System in the process (RunUntil accumulates on exit).
+// Deliberately package-level atomics rather than Measurement fields: the
+// ratio is an execution-engine property, not a simulated quantity, and
+// measurements must stay bit-identical between execution modes.
+var execSteps, execCycles atomic.Uint64
+
+// ExecStats is a process-wide tally of simulator execution effort.
+type ExecStats struct {
+	// Steps is the number of macro-steps executed (cycles in which at
+	// least one component was actually ticked).
+	Steps uint64
+	// Cycles is the number of simulated platform cycles covered.
+	Cycles uint64
+}
+
+// ReadExecStats returns the cumulative process-wide execution tally.
+// Cycles/Steps is the dead-time elimination factor of the event-driven
+// scheduler (1.0 under SetFastForward(false)).
+func ReadExecStats() ExecStats {
+	return ExecStats{Steps: execSteps.Load(), Cycles: execCycles.Load()}
 }
 
 // port adapts the shared bus to the cpu.Port interface for one core.
@@ -51,6 +111,9 @@ func (p port) Free() bool { return !p.s.bus.HasPending(p.id) }
 
 // Submit implements cpu.Port.
 func (p port) Submit(r *bus.Request, cycle uint64) { p.s.bus.Submit(r, cycle) }
+
+// SubmitAt implements cpu.Port (deferred submission; see bus.SubmitAt).
+func (p port) SubmitAt(r *bus.Request, ready uint64) { p.s.bus.SubmitAt(r, ready) }
 
 // NewSystem wires a platform from cfg running the given programs. programs
 // must have between 1 and cfg.Cores entries; cores beyond len(programs)
@@ -117,6 +180,10 @@ func NewSystem(cfg Config, programs []*isa.Program, maxIters []uint64) (*System,
 		}
 		s.cores = append(s.cores, core)
 	}
+	s.busID = len(s.cores)
+	s.memID = len(s.cores) + 1
+	s.eq.init(len(s.cores) + 2)
+	s.dueCore = make([]bool, len(s.cores))
 	return s, nil
 }
 
@@ -192,25 +259,39 @@ func (s *System) pushTxn(addr uint64, write bool, origPort int, tag uint64, cycl
 	t.Tag = tag
 	if !s.mc.Push(t, cycle) {
 		s.mc.Recycle(t)
+		return
 	}
+	// A push during completion dispatch must reach the controller's Tick
+	// in this same cycle (the legacy phase order runs dispatch before
+	// mc.Tick); the event scheduler honors that via this flag.
+	s.memPushed = true
 }
 
 // dispatch applies the completion effects of a finished bus transaction.
+// The completion also marks the affected core due in dueCore so the event
+// scheduler ticks exactly the cores it can unblock: every completed
+// core-side transaction frees the core's bus port (even an L2 miss whose
+// data is still in memory — the port is free for a store-buffer drain the
+// moment the front-bus phase ends), and data returns / drained stores /
+// refill responses additionally advance the pipeline.
 func (s *System) dispatch(r *bus.Request, cycle uint64) {
 	switch r.Kind {
 	case bus.KindLoad:
+		s.dueCore[r.Port] = true
 		if r.Hit {
 			s.cores[r.Port].LoadDone(cycle)
 			return
 		}
 		s.pushTxn(r.Addr, false, r.Port, tagLoad, cycle)
 	case bus.KindIFetch:
+		s.dueCore[r.Port] = true
 		if r.Hit {
 			s.cores[r.Port].IFetchDone(cycle)
 			return
 		}
 		s.pushTxn(r.Addr, false, r.Port, tagIFetch, cycle)
 	case bus.KindStore:
+		s.dueCore[r.Port] = true
 		s.cores[r.Port].StoreDrained(cycle)
 	case bus.KindResp:
 		// Refill the L2 (idempotent: the line was pre-installed at the
@@ -221,63 +302,196 @@ func (s *System) dispatch(r *bus.Request, cycle uint64) {
 		} else {
 			s.cores[r.OrigPort].LoadDone(cycle)
 		}
+		s.dueCore[r.OrigPort] = true
 	}
 }
 
-// Step advances the platform by one cycle.
+// routeResponses routes at most one completed memory read back over the
+// bus; reads without a waiting core (OrigPort < 0, background fills)
+// finish off the front bus.
+func (s *System) routeResponses(c uint64) {
+	if s.bus.HasPending(s.memPort) {
+		return
+	}
+	for {
+		t := s.mc.PeekReady()
+		if t == nil {
+			break
+		}
+		if t.OrigPort < 0 {
+			s.mc.PopReady()
+			s.mc.Recycle(t)
+			continue
+		}
+		s.mc.PopReady()
+		s.respReq = bus.Request{
+			Port:     s.memPort,
+			Kind:     bus.KindResp,
+			Addr:     t.Addr,
+			OrigPort: t.OrigPort,
+			Tag:      t.Tag,
+		}
+		s.mc.Recycle(t)
+		s.bus.Submit(&s.respReq, c)
+		break
+	}
+}
+
+// Step advances the platform by one cycle, ticking every component — the
+// legacy cycle-by-cycle loop, kept as the oracle the event-driven
+// scheduler's equivalence tests diff against (see SetFastForward).
 func (s *System) Step() {
 	c := s.cycle
+	// Deferred submissions activate at their registered ready cycle, in
+	// the same slot a direct Submit would have run in: ready cycles the
+	// clock passed over (possible when mixing modes) at the very top,
+	// ready == c entries just before their core's tick slot below.
+	s.bus.ActivatePast(c)
+	// After ActivatePast nothing deferred is ready before c, so per-core
+	// activation probes only matter on steps where the earliest registered
+	// ready is exactly c.
+	actNow := s.bus.DefMin() == c
 	if done := s.bus.Complete(c); done != nil {
 		s.dispatch(done, c)
 	}
 	s.mc.Tick(c)
-	// Route at most one completed memory read back over the bus; reads
-	// without a waiting core (OrigPort < 0, background fills) finish off
-	// the front bus.
-	if !s.bus.HasPending(s.memPort) {
-		for {
-			t := s.mc.PeekReady()
-			if t == nil {
-				break
-			}
-			if t.OrigPort < 0 {
-				s.mc.PopReady()
-				s.mc.Recycle(t)
-				continue
-			}
-			s.mc.PopReady()
-			s.respReq = bus.Request{
-				Port:     s.memPort,
-				Kind:     bus.KindResp,
-				Addr:     t.Addr,
-				OrigPort: t.OrigPort,
-				Tag:      t.Tag,
-			}
-			s.mc.Recycle(t)
-			s.bus.Submit(&s.respReq, c)
-			break
+	s.routeResponses(c)
+	for i, core := range s.cores {
+		if actNow {
+			s.bus.ActivateAt(i, c)
 		}
-	}
-	for _, core := range s.cores {
+		s.dueCore[i] = false
 		core.Tick(c)
 	}
 	s.bus.Arbitrate(c)
+	s.memPushed = false
 	s.cycle = c + 1
+	s.lastExec = c
+	s.steps++
+}
+
+// eventStep executes one macro-step at the current cycle: the same five
+// phases as Step, in the same order, but ticking only the components that
+// are due — cores whose registered wake arrived or that a completion
+// dispatched to, the controller at its wake (or when dispatch pushed a
+// transaction it must see this cycle). Components whose model tolerates
+// being ticked on any cycle (the bus's Complete/Arbitrate guards, the
+// controller's retire/issue guards) run unconditionally; extra ticks are
+// exactly what the legacy loop does every cycle, so conservatively early
+// wakes can never change simulated state.
+func (s *System) eventStep() {
+	c := s.cycle
+	// Deferred submissions whose ready cycle the clock jumped over enter
+	// the pending set first, before the completion they may be contending
+	// with is processed — the bus state they observe is exactly what a
+	// Submit at their ready cycle observed (the bus stayed busy or idle
+	// across the skipped span, or a step would have executed).
+	s.bus.ActivatePast(c)
+	// After ActivatePast nothing deferred is ready before c; per-core
+	// activation probes are needed only when the earliest registered ready
+	// is exactly c.
+	actNow := s.bus.DefMin() == c
+	// The bus wake is always <= freeAt while a transaction is in service
+	// (NextEvent reports freeAt and nothing moves it while busy), so a
+	// completion can only fall on a step where the bus is due.
+	busDue := s.eq.wake[s.busID] <= c
+	if busDue {
+		if done := s.bus.Complete(c); done != nil {
+			s.dispatch(done, c)
+		}
+	}
+	memTicked := false
+	if s.memPushed || s.eq.wake[s.memID] <= c {
+		s.memPushed = false
+		s.mc.Tick(c)
+		memTicked = true
+	}
+	// Ready responses only appear in mc.Tick and persist until routed, so
+	// the routing phase is provably a no-op while HasReady is false.
+	if s.mc.HasReady() {
+		s.routeResponses(c)
+	}
+	for i, core := range s.cores {
+		// A deferred submission becoming ready exactly now activates in
+		// its core's tick slot — where its Submit would have run.
+		if actNow {
+			s.bus.ActivateAt(i, c)
+		}
+		if s.dueCore[i] || s.eq.wake[i] <= c {
+			s.dueCore[i] = false
+			core.Tick(c)
+			s.eq.Update(i, core.NextEvent(c+1))
+		}
+	}
+	// Arbitration can only change state when the bus was due (completion
+	// freed it, or a scheduled grant opportunity arrived) or a request was
+	// submitted this step while the bus sat idle. A submission against a
+	// busy bus leaves the registered wake (freeAt) valid, so both the
+	// arbitration and the wake update are skipped.
+	if s.bus.TakeSubmitted() && !busDue {
+		busDue = s.bus.Idle()
+	}
+	if busDue {
+		s.bus.Arbitrate(c)
+		s.eq.Update(s.busID, s.bus.NextEvent(c+1))
+	}
+	// The controller's wake only moves when it ticked or received a push
+	// this step (a grant-time push from Arbitrate's serve callback is
+	// folded into the wake here — the legacy loop's mc.Tick likewise first
+	// sees it at c+1).
+	if memTicked || s.memPushed {
+		s.memPushed = false
+		s.eq.Update(s.memID, s.mc.NextEvent(c+1))
+	}
+	s.cycle = c + 1
+	s.lastExec = c
+	s.steps++
+}
+
+// primeEvents (re)registers every component's wake from its current state
+// at RunUntil entry; in between runs the harness may have executed legacy
+// Steps or reset statistics, so the registry is rebuilt rather than
+// trusted.
+func (s *System) primeEvents() {
+	c := s.cycle
+	for i, core := range s.cores {
+		s.dueCore[i] = false
+		s.eq.Update(i, core.NextEvent(c))
+	}
+	s.memPushed = false
+	s.eq.Update(s.memID, s.mc.NextEvent(c))
+	s.eq.Update(s.busID, s.bus.NextEvent(c))
+}
+
+// syncCores charges open stall spans and advances every core's counter
+// read point to the last executed cycle, exactly as the legacy loop's
+// per-cycle ticks would have; called whenever the event-driven RunUntil
+// stops. Deferred bus submissions already past their ready cycle are
+// activated too: the legacy loop would have entered them into the pending
+// set (and fired any OnSubmit hook) by now, and harnesses install hooks
+// and read bus state between runs, so the run must not leave them latent.
+func (s *System) syncCores() {
+	for _, core := range s.cores {
+		core.SyncNow(s.lastExec)
+	}
+	s.bus.ActivatePast(s.cycle)
 }
 
 // RunUntil steps the system until pred returns true or maxCycles elapse; it
 // reports whether pred was satisfied.
 //
-// Between steps it applies the idle-cycle fast path: when every component
-// is provably inert until some future cycle — the bus holds a multi-cycle
-// transaction, all cores wait on it or on multi-cycle latencies, the
-// memory controller's next retire/issue is known — the clock jumps
-// straight to the earliest such event instead of executing no-op Steps.
-// Skipped cycles are exactly the cycles in which Step would not have
-// changed any simulated state (including per-cycle stall counters, which
-// forbid skipping in their states), so execution is bit-identical to the
-// unskipped run. On saturated rsk workloads this cuts the Step count by
-// roughly the bus occupancy lbus.
+// By default it executes on the event-driven scheduler: each component
+// registers the next cycle at which it can change state (a core's issue
+// latency expiring, the bus transaction completing, a memory transaction
+// retiring, a TDMA slot opening) in an indexed min-heap, the clock jumps
+// event to event, and each macro-step ticks only the components that are
+// due — a completion additionally wakes the core it dispatched to. Cycles
+// skipped are exactly the cycles in which the legacy loop would not have
+// changed any simulated state; per-cycle stall counters are charged in
+// closed form over the skipped span, so grant traces, gamma histograms and
+// all counters are bit-identical to SetFastForward(false). On saturated
+// rsk workloads this cuts the executed step count by roughly the bus
+// occupancy lbus.
 //
 // pred must be a function of simulated state (core progress, counters,
 // bus/memory observations), not of Cycle() itself: the clock may jump
@@ -286,30 +500,67 @@ func (s *System) Step() {
 // Bound runs in time with maxCycles — the jump never passes it — or
 // disable the fast path with SetFastForward(false).
 func (s *System) RunUntil(pred func() bool, maxCycles uint64) bool {
+	startSteps, startCycle := s.steps, s.cycle
+	defer func() {
+		execSteps.Add(s.steps - startSteps)
+		execCycles.Add(s.cycle - startCycle)
+	}()
 	if pred() {
 		return true
 	}
+	if s.noFastForward {
+		for s.cycle < maxCycles {
+			s.Step()
+			if pred() {
+				return true
+			}
+		}
+		return false
+	}
+	if CheckPredicates {
+		s.checkPredicate(pred)
+	}
+	s.primeEvents()
 	for s.cycle < maxCycles {
-		s.Step()
+		s.eventStep()
 		// Check before jumping: harnesses read Cycle() the moment pred
 		// holds, so the clock must not skip ahead past the satisfying
 		// step (the jump would inflate the measured window).
 		if pred() {
+			s.syncCores()
 			return true
 		}
-		if s.noFastForward {
-			continue
-		}
-		if next := s.nextEvent(); next > s.cycle {
+		if next := s.eq.Min(); next > s.cycle {
 			if next > maxCycles {
 				next = maxCycles
 			}
 			s.cycle = next
 		}
 	}
-	// pred was false after the last Step and jumps change no simulated
-	// state, so it is still false here.
+	// pred was false after the last executed step and jumps change no
+	// simulated state, so it is still false here.
+	s.syncCores()
 	return false
+}
+
+// checkPredicate is the CheckPredicates assertion: it evaluates pred once
+// with the clock as-is and once with the clock temporarily pushed far into
+// the future, and panics when the results differ — that predicate is a
+// function of Cycle(), which RunUntil's event-driven clock jumps make
+// unsafe (see the RunUntil contract). pred must be side-effect free for
+// the probe to be sound, which the RunUntil contract requires anyway.
+func (s *System) checkPredicate(pred func() bool) {
+	base := pred()
+	saved := s.cycle
+	s.cycle = saved + 1<<40
+	probed := pred()
+	s.cycle = saved
+	if probed != base {
+		panic("sim: RunUntil predicate reads Cycle(); cycle-threshold predicates " +
+			"can fire late under the event-driven clock — express the condition " +
+			"in simulated state, pass the threshold as maxCycles, or run with " +
+			"SetFastForward(false)")
+	}
 }
 
 // SetFastForward toggles the idle-cycle fast path in RunUntil and the
@@ -322,32 +573,6 @@ func (s *System) SetFastForward(enabled bool) {
 	for _, c := range s.cores {
 		c.SetNopBatching(enabled)
 	}
-}
-
-// nextEvent returns the earliest cycle >= s.cycle at which any component
-// might change state. Conservative (an early wake costs one no-op Step);
-// never late.
-func (s *System) nextEvent() uint64 {
-	c := s.cycle
-	next := s.bus.NextEvent(c)
-	if next <= c {
-		return c
-	}
-	if ev := s.mc.NextEvent(c); ev < next {
-		next = ev
-		if next <= c {
-			return c
-		}
-	}
-	for _, core := range s.cores {
-		if ev := core.NextEvent(c); ev < next {
-			next = ev
-			if next <= c {
-				return c
-			}
-		}
-	}
-	return next
 }
 
 // Release returns the system's pooled resources — every cache's line

@@ -165,6 +165,12 @@ func ParseShard(spec string) (Shard, error) { return exp.ParseShard(spec) }
 // value.
 func SetWorkers(n int) { exp.SetWorkers(n) }
 
+// SetFastForward toggles the event-driven scheduler for every subsequent
+// run in the process (enabled by default). Results are bit-identical
+// either way — the switch exists so CLI smoke tests can diff the two
+// execution modes end to end (`rrbus-sim -no-fast-forward`).
+func SetFastForward(enabled bool) { sim.ForceCycleByCycle = !enabled }
+
 // DocumentFor rebuilds the plan's figure/table/bound Document from
 // recorded results: the plan generator's renderer when one exists, the
 // generic results table otherwise. Results are validated against the
