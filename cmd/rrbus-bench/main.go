@@ -19,7 +19,10 @@
 // speed. Simulating benchmarks additionally report exec_steps /
 // exec_cycles — the macro-steps the engine actually executed against the
 // platform cycles covered — whose quotient cycles_per_step is the
-// dead-time elimination factor of the event-driven scheduler.
+// dead-time elimination factor of the event-driven scheduler, plus
+// extrapolated_cycles / periods_leapt / extrapolated_ratio: the share of
+// the covered cycles the steady-state engine leapt in closed form
+// instead of simulating.
 //
 // -compare guards the performance trajectory: the current run is checked
 // against a baseline file and any benchmark whose simcycles/s drops more
@@ -67,6 +70,14 @@ type result struct {
 	ExecSteps     uint64  `json:"exec_steps,omitempty"`
 	ExecCycles    uint64  `json:"exec_cycles,omitempty"`
 	CyclesPerStep float64 `json:"cycles_per_step,omitempty"`
+	// ExtrapolatedCycles and PeriodsLeapt are the share of ExecCycles the
+	// steady-state engine covered in closed form during the best run, and
+	// over how many detected periods; ExtrapolatedRatio is
+	// ExtrapolatedCycles / ExecCycles. Zero (omitted) when no workload in
+	// the benchmark settled into a detectable period.
+	ExtrapolatedCycles uint64  `json:"extrapolated_cycles,omitempty"`
+	PeriodsLeapt       uint64  `json:"periods_leapt,omitempty"`
+	ExtrapolatedRatio  float64 `json:"extrapolated_ratio,omitempty"`
 }
 
 // trendEntry is one historical run in the baseline file's trend: enough
@@ -209,6 +220,8 @@ func main() {
 				best.SimCycles = cycles
 				best.ExecSteps = after.Steps - before.Steps
 				best.ExecCycles = after.Cycles - before.Cycles
+				best.ExtrapolatedCycles = after.Extrapolated - before.Extrapolated
+				best.PeriodsLeapt = after.PeriodsLeapt - before.PeriodsLeapt
 			}
 		}
 		if best.SimCycles > 0 {
@@ -217,6 +230,9 @@ func main() {
 		if best.ExecSteps > 0 {
 			best.CyclesPerStep = float64(best.ExecCycles) / float64(best.ExecSteps)
 		}
+		if best.ExecCycles > 0 && best.ExtrapolatedCycles > 0 {
+			best.ExtrapolatedRatio = float64(best.ExtrapolatedCycles) / float64(best.ExecCycles)
+		}
 		rep.Results = append(rep.Results, best)
 		fmt.Fprintf(os.Stderr, "%-22s %12.3fms", best.Name, float64(best.WallNanos)/1e6)
 		if best.CyclesPerSec > 0 {
@@ -224,6 +240,9 @@ func main() {
 		}
 		if best.CyclesPerStep > 0 {
 			fmt.Fprintf(os.Stderr, "  %.2f cycles/step", best.CyclesPerStep)
+		}
+		if best.ExtrapolatedRatio > 0 {
+			fmt.Fprintf(os.Stderr, "  %.1f%% extrapolated (%d periods)", 100*best.ExtrapolatedRatio, best.PeriodsLeapt)
 		}
 		fmt.Fprintln(os.Stderr)
 	}

@@ -20,6 +20,7 @@
 //	rrbus-sim -scenario examples/scenarios/tdma.json
 //	rrbus-sim -scenario examples/scenarios/tdma.json -format json
 //	rrbus-sim -no-fast-forward -scenario examples/scenarios/tdma.json -out legacy.jsonl
+//	rrbus-sim -no-steady-state -scenario examples/scenarios/tdma.json -out event.jsonl
 package main
 
 import (
@@ -46,10 +47,12 @@ func main() {
 	out := flag.String("out", "", "record the run as a self-describing JSONL Result row to this file (\"-\" = stdout)")
 	storeDir := flag.String("store", "", "content-addressed results store directory: serve recorded runs, record fresh ones")
 	format := flag.String("format", "text", "render backend for the -scenario results table: text, html or json")
-	noFF := flag.Bool("no-fast-forward", false, "execute cycle-by-cycle instead of event-driven (results are identical; CI diffs the two modes)")
+	noFF := flag.Bool("no-fast-forward", false, "execute cycle-by-cycle instead of event-driven (engine modes: default = event-driven + steady-state memoization; -no-steady-state = event-driven only; -no-fast-forward = cycle-by-cycle oracle; results are bit-identical across all three, CI diffs them)")
+	noSS := flag.Bool("no-steady-state", false, "execute every event instead of extrapolating detected steady-state periods (results are identical; CI diffs the modes)")
 	flag.Parse()
 	rrbus.SetWorkers(*workers)
 	rrbus.SetFastForward(!*noFF)
+	rrbus.SetSteadyState(!*noSS)
 	backend, err := rrbus.BackendByName(*format)
 	fail(err)
 

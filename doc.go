@@ -144,6 +144,43 @@
 // as one batched step so the jumps compound; the equivalence tests
 // cover the batching too.
 //
+// # Engine modes
+//
+// The simulator has three engine modes, each a strict optimization of the
+// previous with bit-identical results:
+//
+//   - cycle-by-cycle: the legacy oracle loop; every component ticks every
+//     cycle (RunOpts.DisableFastForward / SetFastForward(false) /
+//     rrbus-sim -no-fast-forward);
+//   - event-driven: the scheduler jumps from event to event (the default
+//     substrate; RunOpts.DisableSteadyState / SetSteadyState(false) /
+//     rrbus-sim -no-steady-state selects it alone);
+//   - steady-state memoization: on top of event-driven execution, the
+//     engine fingerprints the complete architectural state at the
+//     measured core's iteration boundaries; when a fingerprint recurs
+//     and repeats once more at the same distance with identical
+//     observable deltas, the system is in a periodic fixed point and
+//     whole periods are extrapolated in closed form — counters advance
+//     by multiples of the verified per-period delta, every absolute
+//     cycle shifts by the leap — instead of being simulated (the
+//     default).
+//
+// The determinism guarantee is unconditional: a leap happens only after
+// a full-state recurrence (cores, store buffers, cache sets and
+// replacement order, bus arbiter and queues, memory-controller edges,
+// scheduler wakes) is verified over two consecutive periods, and a
+// deterministic simulator that revisits a state must replay it, so the
+// extrapolated span is exactly what execution would have produced. The
+// three-way equivalence suite diffs full Measurements (γ and contender
+// histograms and PMCs included) across all modes, and CI records a
+// scenario in all three and compares the JSONL bytes. Workloads that
+// never settle into a period (aperiodic mixes) simply never leap — a
+// bounded observation budget then switches the detector off. Runs that
+// need exact per-event observation disable memoization automatically:
+// any TraceLimit or OnGrant/OnSubmit hook forces every event to
+// execute. rrbus-bench reports the effect as extrapolated_cycles /
+// periods_leapt / extrapolated_ratio next to cycles_per_step.
+//
 // # Scenarios, streaming and sharding
 //
 // internal/scenario adds a declarative layer on top: a Scenario is a

@@ -167,6 +167,18 @@ type Bus struct {
 	pstats    []portStat
 	totalBusy uint64
 
+	// Native watch collection (see Watch): when watch >= 0, grants on that
+	// port feed gammaHist (γ = Grant - Ready, response kinds excluded) and
+	// submissions on it feed contHist (ready contenders, clamped into the
+	// last bucket). Collecting these inside the bus instead of via the
+	// OnSubmit/OnGrant hooks keeps the hooks free for genuinely external
+	// observers — the steady-state detector treats any non-nil hook as "the
+	// caller needs every event" and disables itself, while the native
+	// histograms are plain counters it can snapshot and extrapolate.
+	watch     int
+	gammaHist []uint64
+	contHist  []uint64
+
 	// OnSubmit, if non-nil, is called when a request is submitted;
 	// readyContenders is the number of other ports that currently have a
 	// request pending or in service (the Fig. 6(a) statistic).
@@ -195,6 +207,7 @@ func New(nports int, arb Arbiter, serve Serve) (*Bus, error) {
 		defReady: make([]uint64, nports),
 		defMin:   noDeferred,
 		pstats:   make([]portStat, nports),
+		watch:    -1,
 	}
 	for i := range b.defReady {
 		b.defReady[i] = noDeferred
@@ -232,6 +245,33 @@ func (b *Bus) ResetStats() {
 	b.totalBusy = 0
 }
 
+// Watch enables native histogram collection for one port: gammaHist[g]
+// counts the port's granted requests (responses excluded) that suffered
+// exactly g cycles of contention, growing on demand; contHist[i] counts its
+// submissions that found i other ports with a request pending or in service,
+// clamped into the last bucket. gammaCap and contCap size the initial
+// slices (contCap must be >= 1). The measurement harness installs a watch
+// on the scua's port when γ collection is requested; unlike an OnGrant
+// hook, a watch does not force per-event execution, so the steady-state
+// fast path stays available.
+func (b *Bus) Watch(port, gammaCap, contCap int) {
+	if contCap < 1 {
+		panic(fmt.Sprintf("bus: watch needs contCap >= 1, got %d", contCap))
+	}
+	b.watch = port
+	b.gammaHist = make([]uint64, gammaCap)
+	b.contHist = make([]uint64, contCap)
+}
+
+// GammaHist returns the watched port's contention histogram (nil when no
+// watch is installed). The slice is live; callers taking ownership should
+// do so only after the run finishes.
+func (b *Bus) GammaHist() []uint64 { return b.gammaHist }
+
+// ContendersHist returns the watched port's ready-contender histogram (nil
+// when no watch is installed).
+func (b *Bus) ContendersHist() []uint64 { return b.contHist }
+
 // HasPending reports whether port already has an outstanding request
 // (pending, deferred or in service).
 func (b *Bus) HasPending(port int) bool {
@@ -260,7 +300,7 @@ func (b *Bus) submitReady(r *Request, ready uint64) {
 	b.pending[r.Port] = true
 	b.npend++
 	b.submitted = true
-	if b.OnSubmit != nil {
+	if b.OnSubmit != nil || r.Port == b.watch {
 		// Other ports with a request pending: npend counts them plus the
 		// one just registered; the in-service transaction (no longer in
 		// pending) adds one when it belongs to another port.
@@ -268,7 +308,16 @@ func (b *Bus) submitReady(r *Request, ready uint64) {
 		if b.current != nil && b.current.Port != r.Port {
 			n++
 		}
-		b.OnSubmit(r, n)
+		if r.Port == b.watch {
+			i := n
+			if i >= len(b.contHist) {
+				i = len(b.contHist) - 1
+			}
+			b.contHist[i]++
+		}
+		if b.OnSubmit != nil {
+			b.OnSubmit(r, n)
+		}
 	}
 }
 
@@ -413,6 +462,15 @@ func (b *Bus) Arbitrate(cycle uint64) *Request {
 		ps.maxGamma = g
 	}
 	b.totalBusy += occ
+	if port == b.watch && r.Kind != KindResp {
+		gi := int(g)
+		if gi >= len(b.gammaHist) {
+			grown := make([]uint64, 2*gi+1)
+			copy(grown, b.gammaHist)
+			b.gammaHist = grown
+		}
+		b.gammaHist[gi]++
+	}
 	if b.OnGrant != nil {
 		b.OnGrant(r)
 	}

@@ -190,6 +190,14 @@ type Cache struct {
 	tick     uint64
 	rng      uint64
 	stats    Stats
+	// occIn/occSets track which sets hold at least one valid line, in
+	// first-fill order. Only fill makes a line valid and only InvalidateAll
+	// empties a set, so the list is append-only between invalidations. The
+	// steady-state digest iterates it instead of the full geometry: a
+	// workload touching a few sets of the 8K-line L2 digests in
+	// proportion to its working set, not the cache size.
+	occIn   []bool
+	occSets []int32
 }
 
 // New builds a cache from cfg. It panics only via returned error; callers
@@ -217,6 +225,8 @@ func New(cfg Config) (*Cache, error) {
 		idxBits:     idxBits,
 		tagShift:    offBits + idxBits,
 		rng:         0x9E3779B97F4A7C15,
+		occIn:       arrays.occIn,
+		occSets:     arrays.occSets,
 	}
 	return c, nil
 }
@@ -406,6 +416,10 @@ func (c *Cache) fill(addr, setIdx uint64, isWrite bool, requester int) Result {
 	}
 	set[w].stamp = c.tick<<1 | dirty
 	c.owners[base+w] = int32(requester)
+	if !c.occIn[setIdx] {
+		c.occIn[setIdx] = true
+		c.occSets = append(c.occSets, int32(setIdx))
+	}
 	return res
 }
 
@@ -430,6 +444,8 @@ func (c *Cache) Contains(addr uint64) bool {
 func (c *Cache) InvalidateAll() {
 	clear(c.lines)
 	clear(c.owners)
+	clear(c.occIn)
+	c.occSets = c.occSets[:0]
 }
 
 // ValidLines returns the number of valid lines currently cached.

@@ -14,18 +14,21 @@ import "sync"
 // reuse a handful of arrays per worker instead of pressuring the garbage
 // collector with ~350KB per run.
 //
-// Pooling is strictly opt-out-by-default: New always zeroes the acquired
-// arrays, so a pooled cache is indistinguishable from a freshly
-// allocated one, and nothing is pooled until a caller hands arrays back
-// with Release (sim.Run does, via System.Release, once its measurement
-// is extracted).
+// Pooling is strictly opt-out-by-default: Release scrubs exactly the
+// sets the run occupied before handing the arrays back, so a pooled
+// cache is indistinguishable from a freshly allocated one, and nothing
+// is pooled until a caller hands arrays back with Release (sim.Run does,
+// via System.Release, once its measurement is extracted).
 
 // lineArrays is one cache's worth of backing storage: the flat tag/stamp
-// pair array plus the cold owners array (see Cache).
+// pair array, the cold owners array, and the occupied-set tracking the
+// steady-state digest iterates instead of the full geometry (see Cache).
 type lineArrays struct {
-	n      int
-	lines  []line
-	owners []int32
+	n       int
+	lines   []line
+	owners  []int32
+	occIn   []bool
+	occSets []int32
 }
 
 var (
@@ -50,18 +53,20 @@ func linePool(sets, ways int) *sync.Pool {
 func acquireLines(sets, ways int) *lineArrays {
 	pool := linePool(sets, ways)
 	if v := pool.Get(); v != nil {
-		la := v.(*lineArrays)
-		// Only the line pairs need zeroing: a line is valid iff its tag
-		// word is non-zero, stamps are never read before fill writes them
-		// for a valid line, and owners is only consulted for valid lines.
-		clear(la.lines)
-		return la
+		// Nothing to zero: Release scrubbed exactly the occupied sets (the
+		// only lines, occIn flags and — transitively — owners entries a
+		// run can have written), so the arrays are already in their
+		// all-invalid initial state. A sweep's thousands of same-shaped
+		// systems thus pay for their working set, not for wiping the full
+		// 512KB L2 geometry every run.
+		return v.(*lineArrays)
 	}
 	n := sets * ways
 	return &lineArrays{
 		n:      n,
 		lines:  make([]line, n),
 		owners: make([]int32, n),
+		occIn:  make([]bool, sets),
 	}
 }
 
@@ -73,7 +78,23 @@ func (c *Cache) Release() {
 	if c == nil || c.arrays == nil {
 		return
 	}
+	// Scrub only the sets this run occupied, returning the arrays to
+	// their all-invalid state without touching the (typically much larger)
+	// untouched remainder; acquireLines relies on this. Stamps outside
+	// occupied sets were never written (fill marks occupancy, and a hit
+	// refresh implies a valid line), so occupied sets are exhaustive.
+	for _, si := range c.occSets {
+		base := int(si) * c.ways
+		clear(c.lines[base : base+c.ways])
+	}
+	for _, si := range c.occSets {
+		c.occIn[si] = false
+	}
+	// occSets may have been regrown by append; hand the current backing
+	// array back so its capacity is reused too.
+	c.arrays.occSets = c.occSets[:0]
 	linePool(c.arrays.n/c.cfg.Ways, c.cfg.Ways).Put(c.arrays)
 	c.arrays = nil
 	c.lines, c.owners = nil, nil
+	c.occIn, c.occSets = nil, nil
 }

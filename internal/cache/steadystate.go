@@ -1,0 +1,59 @@
+package cache
+
+import "rrbus/internal/statehash"
+
+// This file is the cache side of the simulator's steady-state period
+// memoization (internal/sim/steadystate.go).
+
+// DigestState mixes the cache's complete behavioral state into h: per line
+// the tag word, the dirty bit, and the *rank* of its replacement stamp
+// within its set. Raw stamps are absolute access ticks and never recur, but
+// every replacement decision (LRU/FIFO victim = minimum stamp; hit refresh
+// = new maximum) depends only on the relative order within the set, which
+// the rank captures exactly — valid stamps are unique, and invalid lines
+// (stamp 0) are mutually interchangeable because fill prefers them by way
+// index, which the digest's positional order already fixes. The Random
+// policy's RNG state is mixed in too. Excluded as non-behavioral: the
+// global tick (absolute), the owners array (read only by OwnerLines
+// statistics), and Stats (an observable handled by AddStats).
+//
+// Only occupied sets are walked (prefixed by their index and count), so
+// the cost is proportional to the working set rather than the geometry —
+// an all-invalid set is indistinguishable from its zero initial state and
+// contributes nothing. Two states with the same occupied sets digest them
+// in the same order: the list is append-only and sets never empty short
+// of InvalidateAll, which resets it.
+func (c *Cache) DigestState(h *statehash.Hash) {
+	ways := c.ways
+	h.Add(uint64(len(c.occSets)))
+	for _, si := range c.occSets {
+		base := int(si) * ways
+		set := c.lines[base : base+ways]
+		h.Add(uint64(si))
+		for i := range set {
+			rank := uint64(0)
+			st := set[i].stamp
+			for j := range set {
+				if set[j].stamp < st {
+					rank++
+				}
+			}
+			h.Add(set[i].tag)
+			h.Add(st & 1)
+			h.Add(rank)
+		}
+	}
+	h.Add(c.rng)
+}
+
+// AddStats adds k times the per-period delta d into the accumulated
+// statistics — the cache part of extrapolating k whole steady-state
+// periods. All fields are plain sums.
+func (c *Cache) AddStats(d Stats, k uint64) {
+	c.stats.ReadHits += d.ReadHits * k
+	c.stats.ReadMisses += d.ReadMisses * k
+	c.stats.WriteHits += d.WriteHits * k
+	c.stats.WriteMisses += d.WriteMisses * k
+	c.stats.Evictions += d.Evictions * k
+	c.stats.Writebacks += d.Writebacks * k
+}

@@ -80,6 +80,19 @@ func (q *eventQueue) Update(id int, wake uint64) {
 	q.updateHeap(id, wake)
 }
 
+// ShiftWakes moves every finite registered wake forward by d, as part of a
+// steady-state leap of d cycles. A uniform shift preserves the (wake, id)
+// order of every pair, so the heap layout stays valid without re-sifting;
+// infinity stays infinity (those components remain purely completion-
+// driven across the leap).
+func (q *eventQueue) ShiftWakes(d uint64) {
+	for i, w := range q.wake {
+		if w != infinity {
+			q.wake[i] = w + d
+		}
+	}
+}
+
 func (q *eventQueue) updateHeap(id int, wake uint64) {
 	if q.wake[id] == wake {
 		return

@@ -58,6 +58,12 @@ type RunOpts struct {
 	// equivalence tests prove it); the switch exists for debugging and
 	// for those tests.
 	DisableFastForward bool
+	// DisableSteadyState keeps the event-driven scheduler but disables
+	// steady-state period extrapolation, so every period executes live.
+	// Results are identical either way (the three-way equivalence tests
+	// prove it); trace-bearing runs (TraceLimit, OnGrant) disable it
+	// automatically because every grant must be observed individually.
+	DisableSteadyState bool
 }
 
 func (o *RunOpts) fill() {
@@ -137,6 +143,9 @@ func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 	if ForceCycleByCycle {
 		opt.DisableFastForward = true
 	}
+	if ForceNoSteadyState {
+		opt.DisableSteadyState = true
+	}
 	if w.Scua == nil {
 		return nil, fmt.Errorf("sim: workload has no scua")
 	}
@@ -179,6 +188,8 @@ func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 	// is a copy, so its pooled allocations can be recycled on exit.
 	defer sys.Release()
 	sys.SetFastForward(!opt.DisableFastForward)
+	sys.SetSteadyState(!opt.DisableSteadyState)
+	sys.SetWatchCore(w.ScuaCore)
 	scua := sys.Core(w.ScuaCore)
 
 	// Warmup phase.
@@ -192,41 +203,27 @@ func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 
 	m := &Measurement{}
 	if opt.CollectGammas {
-		// Sized for the common case (γ ≤ ubd); grows on demand for
-		// workloads whose responses queue behind DRAM traffic.
-		m.GammaHist = make([]uint64, cfg.UBD()+2)
-		m.ContendersHist = make([]uint64, cfg.Cores+1)
+		// Native in-bus histograms rather than OnGrant/OnSubmit closures:
+		// the bus counts γ and ready contenders for the scua's port itself
+		// (identical semantics, including grow-on-demand sizing for
+		// workloads whose responses queue behind DRAM traffic), leaving
+		// the hooks free — and therefore the steady-state fast path
+		// available, which extrapolates the histograms as plain counters.
+		sys.Bus().Watch(w.ScuaCore, cfg.UBD()+2, cfg.Cores+1)
 	}
 	var rec *trace.Recorder
 	if opt.TraceLimit > 0 {
 		rec = trace.NewRecorder(opt.TraceLimit)
 	}
-	if opt.CollectGammas || opt.OnGrant != nil || rec != nil {
+	if opt.OnGrant != nil || rec != nil {
+		// An external per-grant observer needs every grant executed; its
+		// presence is also what disarms the steady-state detector.
 		sys.Bus().OnGrant = func(r *bus.Request) {
 			if rec != nil {
 				rec.Record(r)
 			}
-			if opt.CollectGammas && r.Port == w.ScuaCore && r.Kind != bus.KindResp {
-				g := int(r.Gamma())
-				if g >= len(m.GammaHist) {
-					grown := make([]uint64, 2*g+1)
-					copy(grown, m.GammaHist)
-					m.GammaHist = grown
-				}
-				m.GammaHist[g]++
-			}
 			if opt.OnGrant != nil {
 				opt.OnGrant(r)
-			}
-		}
-		if opt.CollectGammas {
-			sys.Bus().OnSubmit = func(r *bus.Request, ready int) {
-				if r.Port == w.ScuaCore {
-					if ready >= len(m.ContendersHist) {
-						ready = len(m.ContendersHist) - 1
-					}
-					m.ContendersHist[ready]++
-				}
 			}
 		}
 	}
@@ -240,6 +237,12 @@ func Run(cfg Config, w Workload, opt RunOpts) (*Measurement, error) {
 
 	if rec != nil {
 		m.Trace = rec.Events()
+	}
+	if opt.CollectGammas {
+		// Take ownership of the bus's live histograms; the run is over and
+		// the system is released on return.
+		m.GammaHist = sys.Bus().GammaHist()
+		m.ContendersHist = sys.Bus().ContendersHist()
 	}
 	window := sys.Cycle() - startCycle
 	bs := sys.Bus().Stats()

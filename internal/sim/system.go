@@ -41,6 +41,15 @@ type System struct {
 	// use it as the oracle the event core is diffed against.
 	noFastForward bool
 
+	// noSteadyState disables steady-state period extrapolation on top of
+	// the event-driven scheduler (see SetSteadyState); ss is the per-system
+	// detector, re-armed at every event-driven RunUntil entry, and ssWatch
+	// the core whose iteration boundaries it observes (the scua under the
+	// measurement harness).
+	noSteadyState bool
+	ssWatch       int
+	ss            ssDetector
+
 	// Event scheduler state (event-driven RunUntil only). eq registers
 	// each component's next self-scheduled cycle (cores by index, then
 	// busID, then memID); dueCore marks cores woken by a completion
@@ -91,13 +100,24 @@ type ExecStats struct {
 	Steps uint64
 	// Cycles is the number of simulated platform cycles covered.
 	Cycles uint64
+	// Extrapolated is the share of Cycles covered by steady-state period
+	// extrapolation instead of executed steps (see internal steadystate).
+	Extrapolated uint64
+	// PeriodsLeapt counts whole steady-state periods extrapolated.
+	PeriodsLeapt uint64
 }
 
 // ReadExecStats returns the cumulative process-wide execution tally.
 // Cycles/Steps is the dead-time elimination factor of the event-driven
-// scheduler (1.0 under SetFastForward(false)).
+// scheduler (1.0 under SetFastForward(false)); Extrapolated/Cycles is the
+// share of simulated time the steady-state engine covered in closed form.
 func ReadExecStats() ExecStats {
-	return ExecStats{Steps: execSteps.Load(), Cycles: execCycles.Load()}
+	return ExecStats{
+		Steps:        execSteps.Load(),
+		Cycles:       execCycles.Load(),
+		Extrapolated: ssExtrapolated.Load(),
+		PeriodsLeapt: ssPeriods.Load(),
+	}
 }
 
 // port adapts the shared bus to the cpu.Port interface for one core.
@@ -521,6 +541,7 @@ func (s *System) RunUntil(pred func() bool, maxCycles uint64) bool {
 		s.checkPredicate(pred)
 	}
 	s.primeEvents()
+	s.ssArm()
 	for s.cycle < maxCycles {
 		s.eventStep()
 		// Check before jumping: harnesses read Cycle() the moment pred
@@ -529,6 +550,16 @@ func (s *System) RunUntil(pred func() bool, maxCycles uint64) bool {
 		if pred() {
 			s.syncCores()
 			return true
+		}
+		// Steady-state detection observes at the watched core's iteration
+		// boundaries, after pred declined to stop here; a successful leap
+		// advances cycle and all counters in closed form and the loop
+		// continues live from the shifted state.
+		if s.ss.state != ssOff {
+			if it := s.cores[s.ssWatch].Iters(); it != s.ss.lastIters {
+				s.ss.lastIters = it
+				s.ssObserve(pred, maxCycles)
+			}
 		}
 		if next := s.eq.Min(); next > s.cycle {
 			if next > maxCycles {
@@ -573,6 +604,25 @@ func (s *System) SetFastForward(enabled bool) {
 	for _, c := range s.cores {
 		c.SetNopBatching(enabled)
 	}
+}
+
+// SetSteadyState toggles steady-state period extrapolation in the
+// event-driven RunUntil (enabled by default; irrelevant under
+// SetFastForward(false)). Disabling it forces every period to execute on
+// the event core; results are identical either way — the three-way
+// equivalence tests prove it. The detector also disarms itself whenever a
+// bus OnGrant/OnSubmit hook is installed or the arbiter cannot digest its
+// state.
+func (s *System) SetSteadyState(enabled bool) { s.noSteadyState = !enabled }
+
+// SetWatchCore selects the core whose iteration boundaries the steady-state
+// detector observes — the core whose progress the RunUntil predicate
+// tracks (the measurement harness passes the scua's core). Default 0.
+func (s *System) SetWatchCore(core int) {
+	if core < 0 || core >= len(s.cores) {
+		panic(fmt.Sprintf("sim: watch core %d out of range (%d cores)", core, len(s.cores)))
+	}
+	s.ssWatch = core
 }
 
 // Release returns the system's pooled resources — every cache's line

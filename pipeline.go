@@ -171,6 +171,18 @@ func SetWorkers(n int) { exp.SetWorkers(n) }
 // execution modes end to end (`rrbus-sim -no-fast-forward`).
 func SetFastForward(enabled bool) { sim.ForceCycleByCycle = !enabled }
 
+// SetSteadyState toggles steady-state period memoization — the engine's
+// third mode, layered on event-driven execution — for every subsequent
+// run in the process (enabled by default). When a run's architectural
+// state is detected repeating with a fixed period, whole periods are
+// extrapolated in closed form instead of simulated; results are
+// bit-identical either way. Runs that need per-event observation
+// (traces, OnGrant/OnSubmit hooks) disable memoization automatically,
+// and disabling fast-forward implies disabling this too. The switch
+// exists so CLI smoke tests can diff all three engine modes end to end
+// (`rrbus-sim -no-steady-state`).
+func SetSteadyState(enabled bool) { sim.ForceNoSteadyState = !enabled }
+
 // DocumentFor rebuilds the plan's figure/table/bound Document from
 // recorded results: the plan generator's renderer when one exists, the
 // generic results table otherwise. Results are validated against the
