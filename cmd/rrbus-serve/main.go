@@ -1,0 +1,99 @@
+// Command rrbus-serve is the bound-as-a-service daemon: a long-running
+// HTTP server over a content-addressed results store. Clients POST plan
+// JSON (the same syntax a scenario file holds — a generator invocation,
+// an explicit job list or a single scenario); the server compiles it to
+// content hashes, simulates only the rows the store is missing through a
+// bounded store-aware Session, and serves the rendered bound documents
+// through the report backends. A fully recorded ("warm") plan renders
+// with zero simulation, byte-identical to the equivalent CLI render.
+//
+// Endpoints:
+//
+//	POST /v1/plans             submit a plan; returns 202 + status JSON
+//	GET  /v1/plans             list submitted plans
+//	GET  /v1/plans/<hash>      status: queued/simulating/complete plus the
+//	                           session's Simulated/StoreHits/Quarantined/
+//	                           Repaired counters and queue gauges
+//	GET  /v1/plans/<hash>/doc  rendered document; ?format=text|html|json,
+//	                           plan content hash as ETag
+//	GET  /v1/store/plans       the store audit `rrbus-store ls` prints
+//	GET  /metrics              Prometheus text exposition
+//	GET  /healthz              liveness
+//
+// Concurrent duplicate submissions are deduplicated at two levels: a
+// plan already queued or running is never started twice, and overlapping
+// plans share a claim table so a missing job hash simulates at most once
+// across all in-flight sessions.
+//
+// The first SIGINT/SIGTERM drains gracefully: the listener stops,
+// in-flight jobs finish and their rows are recorded (interrupted plans
+// resubmit warm), and the session totals are printed. A second signal
+// kills the process.
+//
+// Usage:
+//
+//	rrbus-serve -store results/
+//	rrbus-serve -store results/ -addr :8077 -workers 4 -plans 2
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"rrbus"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
+	storeDir := flag.String("store", "", "content-addressed results store directory (required)")
+	workers := flag.Int("workers", 0, "simulation worker goroutines per plan session (0 = GOMAXPROCS)")
+	plans := flag.Int("plans", 0, "plan sessions simulating concurrently (0 = 2)")
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "rrbus-serve: -store is required (the store is the server's ground truth)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	st, err := rrbus.OpenDirStore(*storeDir)
+	fail(err)
+	server := rrbus.NewServer(st, rrbus.ServeOptions{
+		Workers:        *workers,
+		MaxActivePlans: *plans,
+		Retry:          rrbus.DefaultRetry,
+	})
+
+	// First signal: stop the listener, drain in-flight sessions (their
+	// completed rows stay recorded), report, exit clean. Second signal:
+	// kill.
+	ctx, stop := rrbus.SignalContext()
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: server}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rrbus-serve: listening on %s, store %s\n", *addr, *storeDir)
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	httpSrv.Shutdown(context.Background())
+	sum := server.Drain()
+	fmt.Fprintf(os.Stderr, "rrbus-serve: drained: %d plans (%d interrupted), %d simulated, %d hits, %d quarantined, %d repaired, %d retried\n",
+		sum.Plans, sum.Interrupted, sum.Simulated, sum.StoreHits, sum.Quarantined, sum.Repaired, sum.Retried)
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrbus-serve:", err)
+		os.Exit(1)
+	}
+}

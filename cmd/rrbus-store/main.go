@@ -93,50 +93,15 @@ func main() {
 }
 
 // ls lists the store's recorded plan manifests with their current row
-// coverage.
+// coverage. The document comes from the same builder that backs the
+// server's GET /v1/store/plans, so the CLI audit and the HTTP surface
+// agree byte for byte in every format.
 func ls(st *rrbus.DirStore, dir string, backend rrbus.Backend) {
 	infos, err := st.PlanInfos()
 	fail(err)
 	rows, err := st.Len()
 	fail(err)
-
-	doc := &rrbus.Document{Title: "store " + dir}
-	doc.Add(rrbus.HeadingBlock{Level: 1, Text: fmt.Sprintf("store %s: %d plans, %d rows", dir, len(infos), rows)})
-	t := rrbus.TableBlock{
-		Name:   "plans",
-		Header: "plan          name                  generator    jobs  present  coverage",
-		Columns: []rrbus.Column{
-			{Key: "hash", Label: "plan", Format: "%-12.12s"},
-			{Key: "name", Label: "name", Format: "  %-20s"},
-			{Key: "generator", Label: "generator", Format: "  %-11s"},
-			{Key: "jobs", Label: "jobs", Format: "  %4d"},
-			{Key: "present", Label: "present", Format: "  %7d"},
-			{Key: "coverage_pct", Label: "coverage", Format: "  %7.1f%%"},
-		},
-	}
-	for _, p := range infos {
-		coverage := 0.0
-		if p.Jobs > 0 {
-			coverage = 100 * float64(p.Present) / float64(p.Jobs)
-		}
-		name, gen := p.Name, p.Generator
-		if name == "" {
-			name = "-"
-		}
-		if gen == "" {
-			gen = "-"
-		}
-		row := rrbus.RowBlock{Cells: []rrbus.Value{
-			rrbus.StringV(p.Hash), rrbus.StringV(name), rrbus.StringV(gen),
-			rrbus.IntV(p.Jobs), rrbus.IntV(p.Present), rrbus.FloatV(coverage),
-		}}
-		if p.Err != "" {
-			row.Note = "  ERR: " + p.Err
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	doc.Add(t)
-	fail(rrbus.RenderTo(os.Stdout, doc, backend))
+	fail(rrbus.RenderTo(os.Stdout, rrbus.StorePlansDocument(dir, infos, rows), backend))
 }
 
 // verify re-checks every entry and manifest, prints the audit and exits

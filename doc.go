@@ -81,6 +81,8 @@
 //     text/HTML/JSON render backends
 //   - internal/figures: generation — expands generators, runs them,
 //     hands the records to internal/report
+//   - internal/serve: the bound-as-a-service HTTP layer over the store
+//     (plan submission, status, documents, Prometheus metrics)
 //
 // Everything is deterministic and uses only the standard library.
 //
@@ -325,4 +327,42 @@
 // schedule is reproducible); the chaos tests prove sweeps complete
 // byte-identical under faults, and rrbus-bench -faults runs the same
 // harness as a benchmark.
+//
+// # Serving: the store over HTTP
+//
+// NewServer turns a store into a long-running bound service —
+// cmd/rrbus-serve is the thin daemon over it. Clients POST the same
+// plan JSON a scenario file holds; the server compiles it, diffs the
+// job hashes against the store, and simulates only the missing rows
+// through a bounded Session (ServeOptions caps workers per session and
+// concurrently simulating plans):
+//
+//	POST /v1/plans             submit a plan; 202 + status JSON
+//	GET  /v1/plans             list submitted plans
+//	GET  /v1/plans/{hash}      status + live Session counters/gauges
+//	GET  /v1/plans/{hash}/doc  rendered document (?format=text|html|json)
+//	GET  /v1/store/plans       the `rrbus-store ls` audit over HTTP
+//	GET  /metrics              Prometheus text exposition
+//	GET  /healthz              liveness
+//
+// Warm versus cold is the whole point. A plan whose rows are all
+// recorded — by a previous submission, a CLI sweep against the same
+// directory, or a shard merged in from another machine — serves its
+// document with zero simulation, byte-identical to the CLI render of
+// the same plan, with the plan content hash as the ETag. A cold or
+// partial plan simulates exactly the missing hashes; poll the status
+// endpoint (queued → simulating → complete, with the Session's
+// Simulated/StoreHits/Quarantined/Repaired counts) until the document
+// is ready. Submissions are doubly deduplicated: a plan already queued
+// or running absorbs resubmissions, and overlapping plans share a
+// JobDedup claim table so two clients submitting at once never
+// simulate the same job hash twice. /metrics exposes the same Session
+// counters plus simulator-core throughput (cycles, extrapolated
+// cycles, cycles/s) in the Prometheus text format with no dependency.
+//
+// Shutdown is the store section's graceful drain, served: on the first
+// SIGINT/SIGTERM rrbus-serve stops listening, queued plans are marked
+// interrupted, running sessions finish their in-flight jobs (completed
+// rows stay recorded — resubmitting resumes warm), and Drain returns
+// the summed counters for the exit report. A second signal kills.
 package rrbus

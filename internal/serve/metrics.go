@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"rrbus/internal/sim"
+	"rrbus/internal/store"
+)
+
+// The /metrics endpoint hand-rolls the Prometheus text exposition format
+// (version 0.0.4) — counters and gauges only, no labels, no client
+// library. Everything job-shaped is read from the Session counters and
+// gauges (the same numbers the status endpoints and the drain summary
+// report — one source of truth); everything cycle-shaped comes from the
+// simulator's process-wide sim.ExecStats tally.
+
+// sessionTotals accumulates one session's counters into server-wide
+// monotonic totals. Re-running a plan replaces its session, so the
+// totals of replaced sessions are folded into Server.folded first;
+// live metrics are folded + current sessions.
+type sessionTotals struct {
+	simulated, hits, quarantined, repaired, retried int64
+}
+
+func (t *sessionTotals) add(sess *store.Session) {
+	t.simulated += sess.Simulated()
+	t.hits += sess.StoreHits()
+	t.quarantined += sess.Quarantined()
+	t.repaired += sess.Repaired()
+	t.retried += sess.Retried()
+}
+
+// handleMetrics renders the scrape. Counters must never decrease across
+// a server's lifetime; gauges are instantaneous.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	tot := s.folded
+	var queue, jobsInFlight int64
+	var active int64
+	for _, ps := range s.plans {
+		ps.mu.Lock()
+		if ps.sess != nil {
+			tot.add(ps.sess)
+			queue += ps.sess.QueueDepth()
+			jobsInFlight += ps.sess.InFlight()
+		}
+		if ps.status == StatusQueued || ps.status == StatusSimulating {
+			active++
+		}
+		ps.mu.Unlock()
+	}
+	submitted, completed, failed := s.submitted, s.completed, s.failed
+	s.mu.Unlock()
+
+	es := sim.ReadExecStats()
+	now := time.Now()
+	s.scrapeMu.Lock()
+	last, lastCycles := s.lastScrape, s.lastCycles
+	if last.IsZero() {
+		last = s.start
+	}
+	rate := 0.0
+	if dt := now.Sub(last).Seconds(); dt > 0 {
+		rate = float64(es.Cycles-lastCycles) / dt
+	}
+	s.lastScrape, s.lastCycles = now, es.Cycles
+	s.scrapeMu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter(w, "rrbus_plans_submitted_total", "Plan submissions accepted by POST /v1/plans.", float64(submitted))
+	counter(w, "rrbus_plans_completed_total", "Plan runs that finished with every row recorded.", float64(completed))
+	counter(w, "rrbus_plans_failed_total", "Plan runs that failed or were interrupted by a drain.", float64(failed))
+	counter(w, "rrbus_jobs_simulated_total", "Jobs actually simulated (store misses).", float64(tot.simulated))
+	counter(w, "rrbus_jobs_store_hits_total", "Jobs served from recorded store rows without simulating.", float64(tot.hits))
+	counter(w, "rrbus_jobs_quarantined_total", "Corrupt store entries quarantined by self-healing sessions.", float64(tot.quarantined))
+	counter(w, "rrbus_jobs_repaired_total", "Quarantined entries re-recorded with freshly simulated rows.", float64(tot.repaired))
+	counter(w, "rrbus_store_retries_total", "Store operations retried after transient failures.", float64(tot.retried))
+	counter(w, "rrbus_sim_steps_total", "Simulator macro-steps executed process-wide.", float64(es.Steps))
+	counter(w, "rrbus_sim_cycles_total", "Simulated platform cycles covered process-wide.", float64(es.Cycles))
+	counter(w, "rrbus_sim_extrapolated_cycles_total", "Cycles covered by steady-state period extrapolation.", float64(es.Extrapolated))
+	counter(w, "rrbus_sim_periods_leapt_total", "Whole steady-state periods extrapolated in closed form.", float64(es.PeriodsLeapt))
+	gauge(w, "rrbus_queue_depth", "Jobs accepted by active sessions still waiting for a worker.", float64(queue))
+	gauge(w, "rrbus_jobs_inflight", "Jobs executing right now (store lookup through simulation).", float64(jobsInFlight))
+	gauge(w, "rrbus_sessions_inflight", "Plan sessions queued or simulating.", float64(active))
+	gauge(w, "rrbus_sim_cycles_per_second", "Simulated cycles per wall second since the previous scrape.", rate)
+	gauge(w, "rrbus_uptime_seconds", "Seconds since the server started.", now.Sub(s.start).Seconds())
+}
+
+func counter(w io.Writer, name, help string, v float64) { metric(w, name, help, "counter", v) }
+func gauge(w io.Writer, name, help string, v float64)   { metric(w, name, help, "gauge", v) }
+
+func metric(w io.Writer, name, help, typ string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+}

@@ -43,24 +43,45 @@ func (d *Dir) PlanInfos() ([]PlanInfo, error) {
 	}
 	infos := make([]PlanInfo, 0, len(hashes))
 	for _, h := range hashes {
-		info := PlanInfo{Hash: h}
-		m, err := d.readManifest(h)
-		if err != nil {
-			info.Err = err.Error()
-			infos = append(infos, info)
-			continue
-		}
-		info.Name = m.Name
-		info.Generator = m.Generator
-		info.Jobs = len(m.Jobs)
-		for _, jh := range m.Jobs {
-			if _, err := os.Stat(d.jobPath(jh)); err == nil {
-				info.Present++
-			}
-		}
-		infos = append(infos, info)
+		infos = append(infos, d.PlanInfo(h))
 	}
 	return infos, nil
+}
+
+// PlanInfo summarizes one recorded plan manifest. An unreadable or
+// missing manifest is reported in the Err field, not as an error return,
+// matching how PlanInfos keeps listing a store around damage.
+func (d *Dir) PlanInfo(planHash string) PlanInfo {
+	info := PlanInfo{Hash: planHash}
+	m, err := d.readManifest(planHash)
+	if err != nil {
+		info.Err = err.Error()
+		return info
+	}
+	info.Name = m.Name
+	info.Generator = m.Generator
+	info.Jobs = len(m.Jobs)
+	for _, jh := range m.Jobs {
+		if _, err := os.Stat(d.jobPath(jh)); err == nil {
+			info.Present++
+		}
+	}
+	return info
+}
+
+// PlanSpec returns the declarative spec a recorded plan manifest carries
+// — what lets a reader recompile the plan and serve its rows without the
+// original scenario file. Manifests recorded before specs existed return
+// an error naming the gap.
+func (d *Dir) PlanSpec(planHash string) (*scenario.Plan, error) {
+	m, err := d.readManifest(planHash)
+	if err != nil {
+		return nil, err
+	}
+	if m.Spec == nil {
+		return nil, fmt.Errorf("store: plan %s: manifest records no spec (written before specs were recorded)", planHash)
+	}
+	return m.Spec, nil
 }
 
 // readManifest reads and validates one plan manifest.
