@@ -33,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +47,7 @@ import (
 
 	"rrbus"
 
+	"rrbus/internal/dist"
 	"rrbus/internal/exp"
 	"rrbus/internal/figures"
 	"rrbus/internal/sim"
@@ -78,7 +80,17 @@ type result struct {
 	ExtrapolatedCycles uint64  `json:"extrapolated_cycles,omitempty"`
 	PeriodsLeapt       uint64  `json:"periods_leapt,omitempty"`
 	ExtrapolatedRatio  float64 `json:"extrapolated_ratio,omitempty"`
+	// Rows and RowsPerSec report row-shaped throughput for benchmarks that
+	// move measurement rows rather than simulate cycles (the distributed
+	// ingest path). Wall-time-shaped, so excluded from the -compare gate.
+	Rows       uint64  `json:"rows,omitempty"`
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
 }
+
+// benchRows records, per benchmark name, how many rows one timed run
+// moves — set at construction by row-shaped benchmarks so the timing
+// loop can derive rows/s from the best wall time.
+var benchRows = map[string]uint64{}
 
 // trendEntry is one historical run in the baseline file's trend: enough
 // to plot the simulator's speed across PRs.
@@ -162,6 +174,13 @@ func main() {
 		// for a run that simulates nothing, and wall-only benchmarks are
 		// excluded from the -compare regression gate.
 		{"fig7-store-warm", warmStoreBench()},
+		// ingest-throughput measures the coordinator's idempotent row
+		// ingest: a fig7 sweep's rows, pre-simulated and pre-wired outside
+		// the timed region, are leased out of and delivered back into a
+		// fresh work queue each round — integrity checksum, decode, store
+		// record and plan bookkeeping included. Reported as rows/s
+		// (wall-shaped, outside the simcycles/s regression gate).
+		{"ingest-throughput", ingestBench()},
 	}
 	// The render-path microbenchmarks: Document build plus one backend
 	// encode over a fig7-sized recorded result set, 100 rounds per timed
@@ -233,10 +252,17 @@ func main() {
 		if best.ExecCycles > 0 && best.ExtrapolatedCycles > 0 {
 			best.ExtrapolatedRatio = float64(best.ExtrapolatedCycles) / float64(best.ExecCycles)
 		}
+		if rows := benchRows[b.name]; rows > 0 {
+			best.Rows = rows
+			best.RowsPerSec = float64(rows) / (float64(best.WallNanos) / 1e9)
+		}
 		rep.Results = append(rep.Results, best)
 		fmt.Fprintf(os.Stderr, "%-22s %12.3fms", best.Name, float64(best.WallNanos)/1e6)
 		if best.CyclesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, "  %.2fM simcycles/s", best.CyclesPerSec/1e6)
+		}
+		if best.RowsPerSec > 0 {
+			fmt.Fprintf(os.Stderr, "  %.0f rows/s", best.RowsPerSec)
 		}
 		if best.CyclesPerStep > 0 {
 			fmt.Fprintf(os.Stderr, "  %.2f cycles/step", best.CyclesPerStep)
@@ -329,6 +355,69 @@ func warmStoreBench() func() (uint64, error) {
 		}
 		if _, err := rrbus.Render(plan, results); err != nil {
 			return 0, err
+		}
+		return 0, nil
+	}
+}
+
+// ingestBench builds the ingest-throughput benchmark. Everything
+// expensive — simulating the fig7 sweep and packaging its rows in wire
+// form with integrity checksums — happens here, at construction. Each
+// timed run stands up a fresh in-memory store and work queue, enqueues
+// the sweep as missing, then drives the full lease→deliver→ingest cycle
+// in coordinator-sized batches for several rounds, so rows/s measures
+// the idempotent ingest path end to end (decode, checksum verify,
+// store record, lease and plan bookkeeping).
+func ingestBench() func() (uint64, error) {
+	failWith := func(err error) func() (uint64, error) {
+		return func() (uint64, error) { return 0, err }
+	}
+	plan, err := rrbus.GeneratorPlan("fig7", rrbus.Params{"arch": "ref", "type": "load", "kmax": 40, "iters": 10})
+	if err != nil {
+		return failWith(err)
+	}
+	sess := &rrbus.Session{}
+	results, err := sess.RunAll(plan)
+	if err != nil {
+		return failWith(err)
+	}
+	hashes := plan.JobHashes()
+	if len(results) != len(hashes) {
+		return failWith(fmt.Errorf("ingest-throughput: %d results for %d jobs", len(results), len(hashes)))
+	}
+	specs := make([]dist.JobSpec, len(hashes))
+	wire := make(map[string]dist.ResultRow, len(hashes))
+	for i, h := range hashes {
+		specs[i] = dist.JobSpec{Hash: h, Job: plan.Jobs[i]}
+		row, err := dist.WireRow(h, results[i])
+		if err != nil {
+			return failWith(err)
+		}
+		wire[h] = row
+	}
+	const rounds = 20
+	benchRows["ingest-throughput"] = uint64(rounds * len(hashes))
+	return func() (uint64, error) {
+		for round := 0; round < rounds; round++ {
+			q := dist.NewQueue(rrbus.NewMemStore(), dist.QueueOptions{})
+			q.Enqueue("bench", specs)
+			for {
+				l := q.Lease("bench-worker", 0)
+				if l.ID == "" {
+					break
+				}
+				rows := make([]dist.ResultRow, len(l.Jobs))
+				for i, sp := range l.Jobs {
+					rows[i] = wire[sp.Hash]
+				}
+				resp := q.Ingest(dist.IngestRequest{Worker: "bench-worker", Lease: l.ID, Rows: rows})
+				if resp.Rejected > 0 {
+					return 0, fmt.Errorf("ingest-throughput: %d rows rejected: %v", resp.Rejected, resp.Errors)
+				}
+			}
+			if err := q.Wait(context.Background(), "bench"); err != nil {
+				return 0, err
+			}
 		}
 		return 0, nil
 	}

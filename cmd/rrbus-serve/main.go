@@ -17,8 +17,17 @@
 //	GET  /v1/plans/<hash>/doc  rendered document; ?format=text|html|json,
 //	                           plan content hash as ETag
 //	GET  /v1/store/plans       the store audit `rrbus-store ls` prints
+//	GET  /v1/store/jobs        stored row hashes (push/pull delta diff)
+//	POST /v1/store/jobs        ingest pushed rows (rrbus-store push)
+//	POST /v1/store/fetch       fetch rows by hash (rrbus-store pull)
 //	GET  /metrics              Prometheus text exposition
-//	GET  /healthz              liveness
+//	GET  /healthz              liveness; 503 once a drain begins, so load
+//	                           balancers and workers stop routing here
+//
+// With -distribute the server is a coordinator: missing jobs are leased
+// to rrbus-worker daemons over POST /v1/work/{register,lease,results}
+// instead of simulated locally — expired or abandoned leases requeue
+// automatically, so a killed worker never strands a sweep.
 //
 // Concurrent duplicate submissions are deduplicated at two levels: a
 // plan already queued or running is never started twice, and overlapping
@@ -52,6 +61,9 @@ func main() {
 	storeDir := flag.String("store", "", "content-addressed results store directory (required)")
 	workers := flag.Int("workers", 0, "simulation worker goroutines per plan session (0 = GOMAXPROCS)")
 	plans := flag.Int("plans", 0, "plan sessions simulating concurrently (0 = 2)")
+	distribute := flag.Bool("distribute", false, "coordinator mode: lease missing jobs to rrbus-worker daemons instead of simulating locally")
+	leaseTTL := flag.Duration("lease-ttl", 0, "distribute: lease deadline without renewal before jobs requeue (0 = 30s)")
+	leaseBatch := flag.Int("lease-batch", 0, "distribute: max jobs per lease (0 = 16)")
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "rrbus-serve: -store is required (the store is the server's ground truth)")
@@ -64,6 +76,9 @@ func main() {
 		Workers:        *workers,
 		MaxActivePlans: *plans,
 		Retry:          rrbus.DefaultRetry,
+		Distribute:     *distribute,
+		LeaseTTL:       *leaseTTL,
+		LeaseBatch:     *leaseBatch,
 	})
 
 	// First signal: stop the listener, drain in-flight sessions (their
@@ -75,7 +90,11 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: server}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "rrbus-serve: listening on %s, store %s\n", *addr, *storeDir)
+	mode := ""
+	if *distribute {
+		mode = " (coordinator mode)"
+	}
+	fmt.Fprintf(os.Stderr, "rrbus-serve: listening on %s, store %s%s\n", *addr, *storeDir, mode)
 
 	select {
 	case err := <-errc:
@@ -86,6 +105,10 @@ func main() {
 	sum := server.Drain()
 	fmt.Fprintf(os.Stderr, "rrbus-serve: drained: %d plans (%d interrupted), %d simulated, %d hits, %d quarantined, %d repaired, %d retried\n",
 		sum.Plans, sum.Interrupted, sum.Simulated, sum.StoreHits, sum.Quarantined, sum.Repaired, sum.Retried)
+	if *distribute {
+		fmt.Fprintf(os.Stderr, "rrbus-serve: distributed: %d leased, %d ingested, %d requeued\n",
+			sum.Leased, sum.Ingested, sum.Requeued)
+	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}

@@ -16,9 +16,21 @@
 //	                           re-simulate the missing rows from the
 //	                           plan manifests that recorded their spec;
 //	                           exit 1 if anything stays unrepairable
-//	rrbus-store gc <dir>       list the quarantined debris; -rm drops
-//	                           entries whose hash has a healthy row
-//	                           again
+//	rrbus-store gc <dir>       list the quarantined debris and the rows
+//	                           no plan manifest references; -rm drops
+//	                           healed quarantine entries and the
+//	                           unreferenced rows, -dry-run never removes
+//	rrbus-store compact <dir>  strip the bounded trace windows out of
+//	                           trace-bearing rows, preserving every
+//	                           non-trace field (bounds and tables render
+//	                           identically; timelines lose event detail)
+//	rrbus-store push <dir> <url>  send the rows a server is missing
+//	rrbus-store pull <dir> <url>  fetch the rows this store is missing
+//
+// push/pull transfer only the hash delta, integrity-checksummed both
+// ways — the ops primitive for fanning a warm store out to workers or
+// collecting a coordinator's harvest. The url is any rrbus-serve
+// instance (distribute mode not required).
 //
 // All subcommands render through the report backends: -format text
 // (default), html or json.
@@ -31,6 +43,10 @@
 //	rrbus-store repair results/
 //	rrbus-store repair -workers 8 results/
 //	rrbus-store gc -rm results/
+//	rrbus-store gc -dry-run results/
+//	rrbus-store compact results/
+//	rrbus-store push results/ http://host:8077
+//	rrbus-store pull results/ http://host:8077
 package main
 
 import (
@@ -44,7 +60,8 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rrbus-store <ls|verify|repair|gc> [-format text|html|json] [-workers n] [-rm] <store-dir>")
+	fmt.Fprintln(os.Stderr, "usage: rrbus-store <ls|verify|repair|gc|compact> [-format text|html|json] [-workers n] [-rm] [-dry-run] <store-dir>")
+	fmt.Fprintln(os.Stderr, "       rrbus-store <push|pull> [-format text|html|json] <store-dir> <server-url>")
 	os.Exit(2)
 }
 
@@ -56,9 +73,10 @@ func main() {
 	fs := flag.NewFlagSet("rrbus-store "+cmd, flag.ExitOnError)
 	format := fs.String("format", "text", "render backend: text, html or json")
 	workers := fs.Int("workers", 0, "repair: simulation worker goroutines for re-simulated rows (0 = GOMAXPROCS)")
-	rm := fs.Bool("rm", false, "gc: remove quarantined entries whose hash has a healthy row again")
+	rm := fs.Bool("rm", false, "gc: remove healed quarantine entries and unreferenced rows")
+	dryRun := fs.Bool("dry-run", false, "gc/compact: report what would change without touching the store")
 	switch cmd {
-	case "ls", "verify", "repair", "gc":
+	case "ls", "verify", "repair", "gc", "compact", "push", "pull":
 	default:
 		fmt.Fprintf(os.Stderr, "rrbus-store: unknown command %q\n", cmd)
 		usage()
@@ -66,15 +84,21 @@ func main() {
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	if fs.NArg() != 1 {
+	wantArgs := 1
+	if cmd == "push" || cmd == "pull" {
+		wantArgs = 2
+	}
+	if fs.NArg() != wantArgs {
 		usage()
 	}
 	backend, err := rrbus.BackendByName(*format)
 	fail(err)
 	dir := fs.Arg(0)
-	if _, err := os.Stat(dir); err != nil {
+	if _, err := os.Stat(dir); err != nil && cmd != "pull" {
 		// OpenDirStore would create an empty store; auditing a
 		// non-existent directory is a mistake, not an empty result.
+		// (pull is the exception: pulling into a fresh directory is how a
+		// worker cache is seeded.)
 		fail(fmt.Errorf("store %s: %w", dir, err))
 	}
 	st, err := rrbus.OpenDirStore(dir)
@@ -88,7 +112,13 @@ func main() {
 	case "repair":
 		repair(st, dir, *workers, backend)
 	case "gc":
-		gc(st, dir, *rm, backend)
+		gc(st, dir, *rm, *dryRun, backend)
+	case "compact":
+		compact(st, dir, *dryRun, backend)
+	case "push":
+		sync(st, dir, fs.Arg(1), true, backend)
+	case "pull":
+		sync(st, dir, fs.Arg(1), false, backend)
 	}
 }
 
@@ -184,24 +214,36 @@ func repair(st *rrbus.DirStore, dir string, workers int, backend rrbus.Backend) 
 }
 
 // gc lists the quarantine directory — hash, healed status, reason — and
-// with -rm drops the entries whose hash holds a healthy row again.
-func gc(st *rrbus.DirStore, dir string, rm bool, backend rrbus.Backend) {
+// the job rows no plan manifest references. With -rm it drops the
+// quarantine entries whose hash holds a healthy row again and the
+// unreferenced rows; -dry-run reports without removing anything and
+// wins over -rm.
+func gc(st *rrbus.DirStore, dir string, rm, dryRun bool, backend rrbus.Backend) {
 	infos, err := st.Quarantined()
 	fail(err)
-	removed := 0
-	if rm {
+	orphans, err := st.Unreferenced()
+	fail(err)
+	removed, dropped := 0, 0
+	if rm && !dryRun {
 		for _, q := range infos {
 			if q.Healed {
 				fail(st.RemoveQuarantined(q.Hash))
 				removed++
 			}
 		}
+		for _, h := range orphans {
+			fail(st.RemoveJob(h))
+			dropped++
+		}
 	}
 
 	doc := &rrbus.Document{Title: "gc " + dir}
-	head := fmt.Sprintf("store %s: %d quarantined entries", dir, len(infos))
-	if rm {
-		head += fmt.Sprintf(", removed %d healed", removed)
+	head := fmt.Sprintf("store %s: %d quarantined entries, %d unreferenced rows", dir, len(infos), len(orphans))
+	if rm && !dryRun {
+		head += fmt.Sprintf(", removed %d healed, dropped %d unreferenced", removed, dropped)
+	}
+	if dryRun {
+		head += " (dry run)"
 	}
 	doc.Add(rrbus.HeadingBlock{Level: 1, Text: head})
 	if len(infos) > 0 {
@@ -229,6 +271,70 @@ func gc(st *rrbus.DirStore, dir string, rm bool, backend rrbus.Backend) {
 		}
 		doc.Add(t)
 	}
+	if len(orphans) > 0 {
+		t := rrbus.TableBlock{
+			Name:   "unreferenced",
+			Header: "hash          action",
+			Columns: []rrbus.Column{
+				{Key: "hash", Label: "hash", Format: "%-12.12s"},
+				{Key: "action", Label: "action", Format: "  %s"},
+			},
+		}
+		action := "keep"
+		if rm && !dryRun {
+			action = "rm"
+		} else if dryRun {
+			action = "would rm"
+		}
+		for _, h := range orphans {
+			t.Rows = append(t.Rows, rrbus.RowBlock{Cells: []rrbus.Value{
+				rrbus.StringV(h), rrbus.StringV(action),
+			}})
+		}
+		doc.Add(t)
+	}
+	fail(rrbus.RenderTo(os.Stdout, doc, backend))
+}
+
+// compact strips the bounded trace windows out of every trace-bearing
+// row, rewriting the entries in place with fresh integrity checksums.
+// Every non-trace field survives, so bounds and tables re-render
+// byte-identically; -dry-run only sizes the savings.
+func compact(st *rrbus.DirStore, dir string, dryRun bool, backend rrbus.Backend) {
+	rep, err := st.Compact(dryRun)
+	fail(err)
+
+	doc := &rrbus.Document{Title: "compact " + dir}
+	head := fmt.Sprintf("store %s: scanned %d rows, compacted %d trace-bearing, stripped %d trace events, saved %d bytes",
+		dir, rep.Scanned, rep.Compacted, rep.TraceEvents, rep.BytesSaved)
+	if dryRun {
+		head += " (dry run)"
+	}
+	doc.Add(rrbus.HeadingBlock{Level: 1, Text: head})
+	fail(rrbus.RenderTo(os.Stdout, doc, backend))
+}
+
+// sync pushes the server's missing rows up (push) or fetches this
+// store's missing rows down (pull) — delta only, diffed by content hash
+// against the rrbus-serve instance at url.
+func sync(st *rrbus.DirStore, dir, url string, push bool, backend rrbus.Backend) {
+	ctx, stop := rrbus.SignalContext()
+	defer stop()
+	var rep *rrbus.StoreSyncReport
+	var err error
+	verb, prep := "pull", "from"
+	if push {
+		verb, prep = "push", "to"
+		rep, err = rrbus.PushStore(ctx, st, url, nil)
+	} else {
+		rep, err = rrbus.PullStore(ctx, st, url, nil)
+	}
+	fail(err)
+
+	doc := &rrbus.Document{Title: verb + " " + dir}
+	doc.Add(rrbus.HeadingBlock{Level: 1,
+		Text: fmt.Sprintf("store %s: %s %s: %d local rows, %d remote rows, %d transferred, %d duplicate",
+			dir, verb, prep+" "+url, rep.LocalRows, rep.RemoteRows, rep.Transferred, rep.Duplicate)})
 	fail(rrbus.RenderTo(os.Stdout, doc, backend))
 }
 

@@ -364,5 +364,52 @@
 // SIGINT/SIGTERM rrbus-serve stops listening, queued plans are marked
 // interrupted, running sessions finish their in-flight jobs (completed
 // rows stay recorded — resubmitting resumes warm), and Drain returns
-// the summed counters for the exit report. A second signal kills.
+// the summed counters for the exit report. A second signal kills. The
+// /healthz probe flips to 503 the moment the drain begins, before the
+// listener closes, so load balancers and workers stop routing to a
+// dying server while its in-flight work lands.
+//
+// # Distribution: scattering a sweep across machines
+//
+// A Server started with ServeOptions.Distribute is a coordinator: a
+// submitted plan's missing job hashes go to a lease queue instead of a
+// local session, and any number of Workers (cmd/rrbus-worker) pull
+// them over three endpoints:
+//
+//	POST /v1/work/register     announce a worker; returns lease terms
+//	POST /v1/work/lease        lease a batch of compiled jobs + hashes
+//	POST /v1/work/results      deliver rows; renew or release the lease
+//	GET  /v1/store/jobs        list stored row hashes (the sync diff)
+//	POST /v1/store/jobs        push rows directly into the store
+//	POST /v1/store/fetch       fetch rows by hash (the pull side)
+//
+// A worker runs its leased jobs through an ordinary local store-aware
+// Session — retry, quarantine and healing semantics unchanged, and a
+// Dir-backed worker store doubles as a warm cache — and streams the
+// rows back, each delivery renewing its lease. The protocol leans
+// entirely on content addressing. Idempotence: rows are keyed by job
+// content hash and every honest writer produces the same bytes, so a
+// double delivery is a duplicate, not a conflict. Integrity: a wire
+// row carries the store's own checksum over the canonical row bytes,
+// re-verified before ingest; a corrupted transfer is rejected and its
+// job requeued, never recorded. At-least-once completion: leases have
+// deadlines, a killed worker's lease expires and its un-ingested jobs
+// requeue automatically (a draining worker releases its lease
+// explicitly, requeueing at once), so a crash never strands a sweep.
+// Version skew is refused at the edge — a worker whose build hashes a
+// leased job differently declines it rather than record rows under
+// addresses the coordinator never asked for.
+//
+// Byte-identity survives distribution: a plan simulated by a
+// coordinator plus any number of workers — including workers killed
+// mid-sweep — renders exactly the bytes a single-process run produces,
+// because both read the same rows back out of the same store.
+//
+// PushStore and PullStore (rrbus-store push/pull) sync two stores by
+// hash delta: list the remote's hashes, diff against the local store,
+// transfer only the missing rows, checksum-verified in both
+// directions. A pushed row that satisfies a queued job completes it
+// directly — seeding a coordinator from a warm cache means the fleet
+// only ever simulates genuinely new work. See examples/dist for the
+// whole fabric driven in-process.
 package rrbus

@@ -1,0 +1,502 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rrbus/internal/store"
+)
+
+// Queue defaults.
+const (
+	// DefaultLeaseTTL is how long a worker may hold a lease without
+	// renewing before its jobs requeue.
+	DefaultLeaseTTL = 30 * time.Second
+	// DefaultMaxBatch caps the jobs per lease.
+	DefaultMaxBatch = 16
+)
+
+// QueueOptions configure a Queue. The zero value selects the defaults.
+type QueueOptions struct {
+	// LeaseTTL bounds how long a granted lease survives without renewal
+	// (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// MaxBatch caps the jobs handed out per lease (0 = DefaultMaxBatch).
+	MaxBatch int
+	// Now overrides the clock (tests); nil = time.Now.
+	Now func() time.Time
+}
+
+// Counters are the queue's monotonic totals, exported as Prometheus
+// counters by the serving layer.
+type Counters struct {
+	// Leased counts job grants (a requeued job leased again counts
+	// again); Ingested counts rows accepted and recorded; Requeued counts
+	// jobs returned to the queue by expired or released leases; Rejected
+	// counts rows refused by the ingest integrity gate; Duplicate counts
+	// rows delivered for hashes already recorded.
+	Leased    int64
+	Ingested  int64
+	Requeued  int64
+	Rejected  int64
+	Duplicate int64
+}
+
+// PlanCounters are one plan's distribution counters, reported in the
+// serving layer's plan status.
+type PlanCounters struct {
+	Leased   int64 `json:"leased,omitempty"`
+	Ingested int64 `json:"ingested,omitempty"`
+	Requeued int64 `json:"requeued,omitempty"`
+}
+
+// Gauges are the queue's instantaneous state.
+type Gauges struct {
+	// Pending is jobs waiting for a lease, Leased jobs currently out
+	// under leases, Leases active leases, Workers the workers seen
+	// recently (within five lease TTLs).
+	Pending int
+	Leased  int
+	Leases  int
+	Workers int
+}
+
+// Queue is the coordinator's work-distribution core: plans enqueue their
+// missing job specs, workers lease batches and ingest rows, and expired
+// or released leases requeue automatically. One Queue guards one store;
+// all methods are safe for concurrent use.
+type Queue struct {
+	st       store.Store
+	ttl      time.Duration
+	maxBatch int
+	now      func() time.Time
+
+	mu      sync.Mutex
+	pending []string            // FIFO of job hashes awaiting a lease
+	jobs    map[string]*distJob // every un-ingested job, pending or leased
+	leases  map[string]*lease
+	workers map[string]time.Time // worker name -> last seen
+	plans   map[string]*planTrack
+	seq     int
+	c       Counters
+}
+
+// distJob is one un-ingested job: its spec, which lease (if any) holds
+// it, and the plans waiting on its row.
+type distJob struct {
+	spec    JobSpec
+	leaseID string // "" = pending
+	plans   map[string]*planTrack
+}
+
+type lease struct {
+	id       string
+	worker   string
+	deadline time.Time
+	jobs     map[string]struct{}
+}
+
+// planTrack is one enqueued plan's completion state: how many of its
+// jobs still lack rows, and a channel closed when that reaches zero.
+type planTrack struct {
+	remaining int
+	done      chan struct{}
+	c         PlanCounters
+}
+
+// NewQueue returns an empty work queue recording ingested rows into st.
+func NewQueue(st store.Store, opts QueueOptions) *Queue {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Queue{
+		st:       st,
+		ttl:      opts.LeaseTTL,
+		maxBatch: opts.MaxBatch,
+		now:      opts.Now,
+		jobs:     map[string]*distJob{},
+		leases:   map[string]*lease{},
+		workers:  map[string]time.Time{},
+		plans:    map[string]*planTrack{},
+	}
+}
+
+// LeaseTTL reports the configured lease deadline extension.
+func (q *Queue) LeaseTTL() time.Duration { return q.ttl }
+
+// MaxBatch reports the configured per-lease job cap.
+func (q *Queue) MaxBatch() int { return q.maxBatch }
+
+// Register records a worker sighting. Lease and Ingest register
+// implicitly too, so a coordinator restart does not orphan workers that
+// registered with its previous life.
+func (q *Queue) Register(worker string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.workers[worker] = q.now()
+}
+
+// Enqueue adds a plan's missing jobs to the queue. Jobs whose hash is
+// already queued (an overlapping plan) are not duplicated — the plan
+// simply waits on the same row. A plan with nothing missing completes
+// immediately. Re-enqueueing a plan hash replaces its tracking (the
+// previous submission's Wait still completes: its rows are a subset).
+func (q *Queue) Enqueue(planHash string, specs []JobSpec) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := &planTrack{done: make(chan struct{})}
+	q.plans[planHash] = t
+	seen := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		if seen[sp.Hash] {
+			continue // a plan listing the same job twice waits on one row
+		}
+		seen[sp.Hash] = true
+		j := q.jobs[sp.Hash]
+		if j == nil {
+			j = &distJob{spec: sp, plans: map[string]*planTrack{}}
+			q.jobs[sp.Hash] = j
+			q.pending = append(q.pending, sp.Hash)
+		}
+		j.plans[planHash] = t
+		t.remaining++
+	}
+	if t.remaining == 0 {
+		close(t.done)
+	}
+}
+
+// Wait blocks until every job the plan enqueued has an ingested row, or
+// ctx is cancelled.
+func (q *Queue) Wait(ctx context.Context, planHash string) error {
+	q.mu.Lock()
+	t := q.plans[planHash]
+	q.mu.Unlock()
+	if t == nil {
+		return fmt.Errorf("dist: plan %s was never enqueued", planHash)
+	}
+	select {
+	case <-t.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Lease grants a worker up to max pending jobs (0 or above the
+// configured cap = the cap) under a fresh deadline. An empty queue
+// returns an ID-less lease: poll again. Expired leases are collected
+// first, so a lease call after a worker crash sees its jobs requeued.
+func (q *Queue) Lease(worker string, max int) *Lease {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	q.workers[worker] = q.now()
+	if max <= 0 || max > q.maxBatch {
+		max = q.maxBatch
+	}
+	var out *Lease
+	for len(q.pending) > 0 && (out == nil || len(out.Jobs) < max) {
+		h := q.pending[0]
+		q.pending = q.pending[1:]
+		j := q.jobs[h]
+		if j == nil || j.leaseID != "" {
+			continue // stale entry: absorbed or re-leased meanwhile
+		}
+		if out == nil {
+			q.seq++
+			l := &lease{
+				id:       fmt.Sprintf("lease-%06d", q.seq),
+				worker:   worker,
+				deadline: q.now().Add(q.ttl),
+				jobs:     map[string]struct{}{},
+			}
+			q.leases[l.id] = l
+			out = &Lease{ID: l.id, Worker: worker, Deadline: l.deadline, TTL: q.ttl}
+		}
+		j.leaseID = out.ID
+		q.leases[out.ID].jobs[h] = struct{}{}
+		out.Jobs = append(out.Jobs, j.spec)
+		q.c.Leased++
+		for _, t := range j.plans {
+			t.c.Leased++
+		}
+	}
+	if out == nil {
+		return &Lease{Worker: worker, TTL: q.ttl}
+	}
+	return out
+}
+
+// Renew extends a lease's deadline, reporting the new deadline and
+// whether the lease still exists (false after expiry: the worker should
+// abandon the batch — its jobs are already requeued, and any rows it
+// ships anyway are absorbed as duplicates or late ingests).
+func (q *Queue) Renew(leaseID string) (time.Time, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l := q.leases[leaseID]
+	if l == nil {
+		return time.Time{}, false
+	}
+	l.deadline = q.now().Add(q.ttl)
+	return l.deadline, true
+}
+
+// Release abandons a lease: its un-ingested jobs requeue immediately.
+// This is what a draining worker calls so its unfinished share does not
+// wait out the deadline. Releasing an unknown lease is a no-op.
+func (q *Queue) Release(leaseID string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l := q.leases[leaseID]
+	if l == nil {
+		return
+	}
+	delete(q.leases, leaseID)
+	q.requeueLocked(l)
+}
+
+// Ingest processes one delivery: verify and record rows, then apply the
+// renew/release lease maintenance the request asks for.
+func (q *Queue) Ingest(req IngestRequest) IngestResponse {
+	var resp IngestResponse
+	if req.Worker != "" {
+		q.Register(req.Worker)
+	}
+	for _, row := range req.Rows {
+		switch status, err := q.ingestRow(row); status {
+		case rowIngested:
+			resp.Ingested++
+		case rowDuplicate:
+			resp.Duplicate++
+		default:
+			resp.Rejected++
+			if err != nil && len(resp.Errors) < 8 {
+				resp.Errors = append(resp.Errors, err.Error())
+			}
+		}
+	}
+	if req.Release {
+		q.Release(req.Lease)
+		resp.Done = true
+		return resp
+	}
+	if req.Renew && req.Lease != "" {
+		if dl, ok := q.Renew(req.Lease); ok {
+			resp.Deadline = dl
+		}
+	}
+	q.mu.Lock()
+	l := q.leases[req.Lease]
+	resp.Done = l == nil || len(l.jobs) == 0
+	if l != nil && len(l.jobs) == 0 {
+		// Every job the lease carried has been ingested (or rejected and
+		// requeued elsewhere); keeping the empty record would only let
+		// the Leases gauge count dead leases until the TTL sweep.
+		delete(q.leases, req.Lease)
+	}
+	q.mu.Unlock()
+	return resp
+}
+
+type rowStatus int
+
+const (
+	rowIngested rowStatus = iota
+	rowDuplicate
+	rowRejected
+)
+
+// ingestRow is the integrity gate and the recording step for one row.
+// A row that fails verification is rejected and — when the queue still
+// tracks its job — the job requeues for another worker; a row for a job
+// nobody is waiting on is a duplicate if the store already holds it and
+// an unsolicited reject otherwise.
+func (q *Queue) ingestRow(row ResultRow) (rowStatus, error) {
+	r, err := DecodeRow(row)
+	if err != nil {
+		q.mu.Lock()
+		if j := q.jobs[row.Hash]; j != nil && j.leaseID != "" {
+			q.unleaseLocked(j)
+		}
+		q.c.Rejected++
+		q.mu.Unlock()
+		return rowRejected, err
+	}
+	q.mu.Lock()
+	tracked := q.jobs[row.Hash] != nil
+	q.mu.Unlock()
+	if !tracked {
+		if _, ok, gerr := q.st.Get(row.Hash); gerr == nil && ok {
+			q.mu.Lock()
+			q.c.Duplicate++
+			q.mu.Unlock()
+			return rowDuplicate, nil
+		}
+		// Nobody asked for this hash and the store has no row for it:
+		// refuse rather than let an arbitrary writer grow the store
+		// through the work endpoint (the push endpoint is for that).
+		q.mu.Lock()
+		q.c.Rejected++
+		q.mu.Unlock()
+		return rowRejected, fmt.Errorf("dist: %s: row was never leased", row.Hash)
+	}
+	if err := q.st.Put(row.Hash, r); err != nil {
+		q.mu.Lock()
+		q.c.Rejected++
+		q.mu.Unlock()
+		return rowRejected, err
+	}
+	q.mu.Lock()
+	q.absorbLocked(row.Hash)
+	q.mu.Unlock()
+	return rowIngested, nil
+}
+
+// Absorb marks a job hash satisfied by a row that arrived outside the
+// work protocol (a store push, a CLI writing into the shared store): the
+// job leaves the queue and every waiting plan advances. Absorbing an
+// untracked hash is a no-op.
+func (q *Queue) Absorb(jobHash string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.absorbLocked(jobHash)
+}
+
+// absorbLocked removes a satisfied job from the queue and its lease, and
+// advances every plan waiting on it. Callers hold q.mu.
+func (q *Queue) absorbLocked(jobHash string) {
+	j := q.jobs[jobHash]
+	if j == nil {
+		return
+	}
+	delete(q.jobs, jobHash)
+	if j.leaseID != "" {
+		if l := q.leases[j.leaseID]; l != nil {
+			delete(l.jobs, jobHash)
+		}
+	}
+	// A pending job leaves a stale entry in the FIFO; Lease skips it.
+	q.c.Ingested++
+	for _, t := range j.plans {
+		t.c.Ingested++
+		t.remaining--
+		if t.remaining == 0 {
+			close(t.done)
+		}
+	}
+}
+
+// unleaseLocked returns one leased job to the pending queue (a rejected
+// row: the lease keeps its other jobs). Callers hold q.mu.
+func (q *Queue) unleaseLocked(j *distJob) {
+	if l := q.leases[j.leaseID]; l != nil {
+		delete(l.jobs, j.spec.Hash)
+	}
+	j.leaseID = ""
+	q.pending = append(q.pending, j.spec.Hash)
+	q.c.Requeued++
+	for _, t := range j.plans {
+		t.c.Requeued++
+	}
+}
+
+// requeueLocked returns every job a dead lease still held to the pending
+// queue. Callers hold q.mu and have removed the lease from q.leases.
+func (q *Queue) requeueLocked(l *lease) {
+	for h := range l.jobs {
+		j := q.jobs[h]
+		if j == nil || j.leaseID != l.id {
+			continue
+		}
+		j.leaseID = ""
+		q.pending = append(q.pending, h)
+		q.c.Requeued++
+		for _, t := range j.plans {
+			t.c.Requeued++
+		}
+	}
+}
+
+// expireLocked collects every lease whose deadline has passed. Callers
+// hold q.mu.
+func (q *Queue) expireLocked() {
+	now := q.now()
+	for id, l := range q.leases {
+		if l.deadline.After(now) {
+			continue
+		}
+		delete(q.leases, id)
+		q.requeueLocked(l)
+	}
+}
+
+// Janitor expires stale leases in the background until ctx is cancelled,
+// so requeue does not wait for the next Lease call (a single surviving
+// worker mid-batch never calls Lease). Run it as a goroutine.
+func (q *Queue) Janitor(ctx context.Context) {
+	period := q.ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			q.mu.Lock()
+			q.expireLocked()
+			q.mu.Unlock()
+		}
+	}
+}
+
+// Counters snapshots the monotonic totals.
+func (q *Queue) Counters() Counters {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.c
+}
+
+// PlanCounters snapshots one plan's distribution counters (zero for a
+// plan the queue never saw).
+func (q *Queue) PlanCounters(planHash string) PlanCounters {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t := q.plans[planHash]; t != nil {
+		return t.c
+	}
+	return PlanCounters{}
+}
+
+// Gauges snapshots the instantaneous queue state.
+func (q *Queue) Gauges() Gauges {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	g := Gauges{Leases: len(q.leases)}
+	for _, j := range q.jobs {
+		if j.leaseID == "" {
+			g.Pending++
+		} else {
+			g.Leased++
+		}
+	}
+	cutoff := q.now().Add(-5 * q.ttl)
+	for _, seen := range q.workers {
+		if seen.After(cutoff) {
+			g.Workers++
+		}
+	}
+	return g
+}

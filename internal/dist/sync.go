@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"rrbus/internal/store"
+)
+
+// Store sync, the ops primitive behind `rrbus-store push/pull`: transfer
+// only the rows the other side is missing, diffed by content hash. Both
+// directions verify row checksums before recording — a sync can never
+// inject a row the receiving store's own Get would reject.
+
+// Syncable is a store that can enumerate its row hashes — what the
+// delta diff needs on the local side. Both Mem and Dir implement it.
+type Syncable interface {
+	store.Store
+	JobHashes() ([]string, error)
+}
+
+// SyncReport is the outcome of one push or pull.
+type SyncReport struct {
+	// LocalRows and RemoteRows count each side before the transfer.
+	LocalRows  int `json:"local_rows"`
+	RemoteRows int `json:"remote_rows"`
+	// Transferred is the delta actually shipped; Duplicate rows turned
+	// out to exist on the receiving side anyway (a concurrent writer);
+	// Rejected rows failed the receiving side's integrity gate.
+	Transferred int `json:"transferred"`
+	Duplicate   int `json:"duplicate"`
+	Rejected    int `json:"rejected"`
+}
+
+// syncBatch bounds rows per HTTP round trip.
+const syncBatch = 64
+
+// hashList is the GET /v1/store/jobs body.
+type hashList struct {
+	Hashes []string `json:"hashes"`
+}
+
+// fetchRequest is the POST /v1/store/fetch body.
+type fetchRequest struct {
+	Hashes []string `json:"hashes"`
+}
+
+// fetchResponse returns the requested rows (absent hashes are skipped).
+type fetchResponse struct {
+	Rows   []ResultRow `json:"rows"`
+	Errors []string    `json:"errors,omitempty"`
+}
+
+// Push transfers the rows local holds and the server at base does not.
+func Push(ctx context.Context, local Syncable, base string, client *http.Client) (*SyncReport, error) {
+	base, client = syncDefaults(base, client)
+	localHashes, err := local.JobHashes()
+	if err != nil {
+		return nil, err
+	}
+	remoteHashes, err := remoteJobHashes(ctx, base, client)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SyncReport{LocalRows: len(localHashes), RemoteRows: len(remoteHashes)}
+	remote := make(map[string]bool, len(remoteHashes))
+	for _, h := range remoteHashes {
+		remote[h] = true
+	}
+	var batch []ResultRow
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		var resp IngestResponse
+		if err := postJSON(ctx, client, base+"/v1/store/jobs", IngestRequest{Rows: batch}, &resp); err != nil {
+			return err
+		}
+		rep.Transferred += resp.Ingested
+		rep.Duplicate += resp.Duplicate
+		rep.Rejected += resp.Rejected
+		if resp.Rejected > 0 {
+			return fmt.Errorf("dist: push: remote rejected %d rows: %s", resp.Rejected, strings.Join(resp.Errors, "; "))
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for _, h := range localHashes {
+		if remote[h] {
+			continue
+		}
+		r, ok, err := local.Get(h)
+		if err != nil {
+			return rep, fmt.Errorf("dist: push %s: %w (run repair first)", h, err)
+		}
+		if !ok {
+			continue // vanished since the listing
+		}
+		row, err := WireRow(h, r)
+		if err != nil {
+			return rep, err
+		}
+		batch = append(batch, row)
+		if len(batch) >= syncBatch {
+			if err := flush(); err != nil {
+				return rep, err
+			}
+		}
+	}
+	return rep, flush()
+}
+
+// Pull transfers the rows the server at base holds and local does not.
+// Every pulled row is checksum-verified before it is recorded.
+func Pull(ctx context.Context, local Syncable, base string, client *http.Client) (*SyncReport, error) {
+	base, client = syncDefaults(base, client)
+	localHashes, err := local.JobHashes()
+	if err != nil {
+		return nil, err
+	}
+	remoteHashes, err := remoteJobHashes(ctx, base, client)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SyncReport{LocalRows: len(localHashes), RemoteRows: len(remoteHashes)}
+	have := make(map[string]bool, len(localHashes))
+	for _, h := range localHashes {
+		have[h] = true
+	}
+	var missing []string
+	for _, h := range remoteHashes {
+		if !have[h] {
+			missing = append(missing, h)
+		}
+	}
+	for start := 0; start < len(missing); start += syncBatch {
+		end := min(start+syncBatch, len(missing))
+		var resp fetchResponse
+		if err := postJSON(ctx, client, base+"/v1/store/fetch", fetchRequest{Hashes: missing[start:end]}, &resp); err != nil {
+			return rep, err
+		}
+		for _, row := range resp.Rows {
+			r, err := DecodeRow(row)
+			if err != nil {
+				rep.Rejected++
+				return rep, fmt.Errorf("dist: pull: %w", err)
+			}
+			if err := local.Put(row.Hash, r); err != nil {
+				return rep, err
+			}
+			rep.Transferred++
+		}
+	}
+	return rep, nil
+}
+
+func syncDefaults(base string, client *http.Client) (string, *http.Client) {
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	return strings.TrimRight(base, "/"), client
+}
+
+// remoteJobHashes lists the server's stored row hashes.
+func remoteJobHashes(ctx context.Context, base string, client *http.Client) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/store/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dist: %s/v1/store/jobs: %s: %s", base, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var list hashList
+	if err := json.Unmarshal(body, &list); err != nil {
+		return nil, fmt.Errorf("dist: hash listing does not parse: %v", err)
+	}
+	return list.Hashes, nil
+}
+
+// postJSON issues one JSON round trip, failing on any non-200 status.
+func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: %s: %s: %s", url, resp.Status, strings.TrimSpace(string(rb)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(rb, out)
+}

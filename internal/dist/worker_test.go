@@ -1,0 +1,335 @@
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rrbus/internal/dist"
+	"rrbus/internal/report"
+	"rrbus/internal/scenario"
+	"rrbus/internal/serve"
+	"rrbus/internal/store"
+)
+
+const fig7Body = `{"generator": "fig7", "params": {"arch": "toy", "kmax": 5, "iters": 5}}`
+
+// compileBody compiles a plan the way the submit handler does (through
+// the JSON decoder) so test-side hashes match server-side ones.
+func compileBody(t *testing.T, body string) *scenario.Compiled {
+	t.Helper()
+	var spec scenario.Plan
+	if err := json.Unmarshal([]byte(body), &spec); err != nil {
+		t.Fatal(err)
+	}
+	c, err := scenario.Compile(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// referenceRender runs the plan single-process over a throwaway store
+// and renders it the way the doc endpoint does — the bytes a distributed
+// run must reproduce exactly.
+func referenceRender(t *testing.T, c *scenario.Compiled) []byte {
+	t.Helper()
+	sess := &store.Session{Store: store.NewMem()}
+	results, err := sess.RunAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := report.DocumentFor(c.Generator(), c.Jobs, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Title == "" {
+		doc.Title = c.Name()
+	}
+	if _, ok := report.For(c.Generator()); !ok {
+		doc.Prepend(report.Heading{Level: 1, Text: fmt.Sprintf("scenario %s: %d jobs", c.Name(), len(c.Jobs))})
+	}
+	backend, err := report.BackendFor("text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.RenderTo(&buf, doc, backend); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postPlan(t *testing.T, base, body string) serve.PlanStatus {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/plans", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.PlanStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitComplete(t *testing.T, base, hash string) serve.PlanStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/plans/" + hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st serve.PlanStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.Status {
+		case serve.StatusComplete:
+			return st
+		case serve.StatusFailed, serve.StatusInterrupted:
+			t.Fatalf("plan %s ended %q (err %q)", hash, st.Status, st.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("plan %s stuck in %q", hash, st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func fetchDoc(t *testing.T, base, hash string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/plans/" + hash + "/doc?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("doc: HTTP %d: %s", resp.StatusCode, body)
+	}
+	return body
+}
+
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		var v float64
+		if n, _ := fmt.Sscanf(line, name+" %g", &v); n == 1 && strings.HasPrefix(line, name+" ") {
+			return v
+		}
+	}
+	return -1
+}
+
+// TestDistributedEndToEnd is the tentpole contract: a coordinator plus
+// two workers complete a submitted plan, the rendered document is
+// byte-identical to a single-process run, and a warm resubmission
+// reports zero rows simulated by the fleet.
+func TestDistributedEndToEnd(t *testing.T) {
+	dir, err := store.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(dir, serve.Options{Distribute: true, LeaseBatch: 3})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	workers := []*dist.Worker{
+		dist.NewWorker(ts.URL, dist.WorkerOptions{Name: "w1", Poll: 5 * time.Millisecond, Workers: 2}),
+		dist.NewWorker(ts.URL, dist.WorkerOptions{Name: "w2", Poll: 5 * time.Millisecond, Workers: 2}),
+	}
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *dist.Worker) { defer wg.Done(); w.Run(ctx) }(w)
+	}
+
+	c := compileBody(t, fig7Body)
+	jobs := len(c.Jobs)
+	want := referenceRender(t, c)
+
+	postPlan(t, ts.URL, fig7Body)
+	cold := waitComplete(t, ts.URL, c.Hash())
+	if cold.Simulated != int64(jobs) || cold.Ingested != int64(jobs) || cold.StoreHits != 0 {
+		t.Fatalf("cold distributed run simulated=%d ingested=%d hits=%d, want %d/%d/0",
+			cold.Simulated, cold.Ingested, cold.StoreHits, jobs, jobs)
+	}
+	if cold.Leased < int64(jobs) {
+		t.Fatalf("cold run leased %d grants for %d jobs", cold.Leased, jobs)
+	}
+	if got := fetchDoc(t, ts.URL, c.Hash()); !bytes.Equal(got, want) {
+		t.Fatalf("distributed doc differs from single-process render:\n%s\nvs\n%s", got, want)
+	}
+
+	// Warm resubmission: the store already holds every row, so the fleet
+	// does nothing and the status says so.
+	postPlan(t, ts.URL, fig7Body)
+	warm := waitComplete(t, ts.URL, c.Hash())
+	if warm.Simulated != 0 || warm.StoreHits != int64(jobs) || warm.Leased != 0 {
+		t.Fatalf("warm distributed run simulated=%d hits=%d leased=%d, want 0/%d/0",
+			warm.Simulated, warm.StoreHits, warm.Leased, jobs)
+	}
+	if got := fetchDoc(t, ts.URL, c.Hash()); !bytes.Equal(got, want) {
+		t.Fatal("warm distributed doc differs")
+	}
+	if v := metricValue(t, ts.URL, "rrbus_dist_rows_ingested_total"); v != float64(jobs) {
+		t.Fatalf("rrbus_dist_rows_ingested_total = %v, want %d", v, jobs)
+	}
+
+	cancel()
+	wg.Wait()
+	var shipped, simulated int64
+	for _, w := range workers {
+		sum := w.Summary()
+		shipped += sum.Shipped
+		simulated += sum.Simulated
+	}
+	if shipped != int64(jobs) || simulated != int64(jobs) {
+		t.Fatalf("workers shipped %d / simulated %d rows, want %d each", shipped, simulated, jobs)
+	}
+	sum := srv.Drain()
+	if sum.Leased < int64(jobs) || sum.Ingested != int64(jobs) || sum.Simulated != int64(jobs) {
+		t.Fatalf("drain summary %+v, want %d ingested", sum, jobs)
+	}
+}
+
+// blockingGetStore blocks every Get until the gate closes — it freezes a
+// worker's session mid-lease so the test can cancel it with work still
+// outstanding.
+type blockingGetStore struct {
+	store.Store
+	gate chan struct{}
+}
+
+func (b *blockingGetStore) Get(h string) (scenario.Result, bool, error) {
+	<-b.gate
+	return b.Store.Get(h)
+}
+
+// TestDistributedWorkerDrainRequeues kills (gracefully drains) the only
+// worker holding a lease mid-batch: its release requeues the unfinished
+// jobs, a second worker completes the plan, and the document still
+// matches the single-process render byte for byte.
+func TestDistributedWorkerDrainRequeues(t *testing.T) {
+	dir, err := store.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(dir, serve.Options{Distribute: true, LeaseBatch: 16})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain()
+
+	c := compileBody(t, fig7Body)
+	want := referenceRender(t, c)
+
+	// Worker 1: one simulation goroutine, frozen in its first store Get.
+	gate := make(chan struct{})
+	w1 := dist.NewWorker(ts.URL, dist.WorkerOptions{
+		Name: "w1", Poll: 5 * time.Millisecond, Workers: 1,
+		Store: &blockingGetStore{Store: store.NewMem(), gate: gate},
+	})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	var wg1 sync.WaitGroup
+	wg1.Add(1)
+	go func() { defer wg1.Done(); w1.Run(ctx1) }()
+
+	postPlan(t, ts.URL, fig7Body)
+
+	// Wait until w1 genuinely holds the lease.
+	deadline := time.Now().Add(30 * time.Second)
+	for metricValue(t, ts.URL, "rrbus_dist_leased_jobs") <= 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never leased the batch")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Drain w1 mid-batch: its in-flight job finishes and ships, the
+	// remainder is released for immediate requeue.
+	cancel1()
+	close(gate)
+	wg1.Wait()
+	if sum := w1.Summary(); sum.Released == 0 {
+		t.Fatalf("drained worker summary %+v, want a released lease", sum)
+	}
+
+	// A second worker picks up the requeued remainder.
+	w2 := dist.NewWorker(ts.URL, dist.WorkerOptions{Name: "w2", Poll: 5 * time.Millisecond, Workers: 2})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() { defer wg2.Done(); w2.Run(ctx2) }()
+	defer func() { cancel2(); wg2.Wait() }()
+
+	st := waitComplete(t, ts.URL, c.Hash())
+	if st.Requeued == 0 {
+		t.Fatalf("status %+v, want requeued jobs after the worker drain", st)
+	}
+	if got := fetchDoc(t, ts.URL, c.Hash()); !bytes.Equal(got, want) {
+		t.Fatalf("post-disruption doc differs from single-process render:\n%s", got)
+	}
+}
+
+// TestDistributedPushCompletesPlan: pushing a warm store into a
+// coordinator satisfies queued jobs without any worker simulating —
+// heal-by-sync.
+func TestDistributedPushCompletesPlan(t *testing.T) {
+	dir, err := store.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(dir, serve.Options{Distribute: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain()
+
+	c := compileBody(t, fig7Body)
+
+	// A warm local store holds every row the plan needs.
+	local := store.NewMem()
+	sess := &store.Session{Store: local}
+	if _, err := sess.RunAll(c); err != nil {
+		t.Fatal(err)
+	}
+
+	postPlan(t, ts.URL, fig7Body) // no workers: the plan waits on the queue
+	time.Sleep(20 * time.Millisecond)
+	rep, err := dist.Push(context.Background(), local, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transferred != len(c.Jobs) {
+		t.Fatalf("push transferred %d rows, want %d", rep.Transferred, len(c.Jobs))
+	}
+	st := waitComplete(t, ts.URL, c.Hash())
+	if st.Status != serve.StatusComplete {
+		t.Fatalf("plan after push: %q", st.Status)
+	}
+}

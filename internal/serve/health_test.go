@@ -1,0 +1,67 @@
+package serve_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rrbus/internal/serve"
+	"rrbus/internal/store"
+)
+
+// TestHealthzFlipsOnDrain: the liveness probe answers 200 "ok" while the
+// server runs and 503 "draining" the moment Drain begins — before the
+// listener closes — so balancers and workers stop routing new work while
+// in-flight rows land. A draining coordinator refuses new leases but
+// still accepts results.
+func TestHealthzFlipsOnDrain(t *testing.T) {
+	srv := serve.New(store.NewMem(), serve.Options{Distribute: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("live healthz = %d %q, want 200 ok", code, body)
+	}
+	if code := post("/v1/work/lease", `{"worker": "w1"}`); code != http.StatusOK {
+		t.Fatalf("live lease = HTTP %d, want 200", code)
+	}
+
+	srv.Drain()
+
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("draining healthz = %d %q, want 503 draining", code, body)
+	}
+	// No new work goes out...
+	if code := post("/v1/work/lease", `{"worker": "w1"}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining lease = HTTP %d, want 503", code)
+	}
+	// ...but rows a worker already simulated are still accepted.
+	if code := post("/v1/work/results", `{"worker": "w1"}`); code != http.StatusOK {
+		t.Fatalf("draining results = HTTP %d, want 200", code)
+	}
+}

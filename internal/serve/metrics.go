@@ -87,6 +87,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge(w, "rrbus_sessions_inflight", "Plan sessions queued or simulating.", float64(active))
 	gauge(w, "rrbus_sim_cycles_per_second", "Simulated cycles per wall second since the previous scrape.", rate)
 	gauge(w, "rrbus_uptime_seconds", "Seconds since the server started.", now.Sub(s.start).Seconds())
+	if s.queue != nil {
+		qc := s.queue.Counters()
+		qg := s.queue.Gauges()
+		counter(w, "rrbus_dist_jobs_leased_total", "Job grants handed to workers (requeued jobs count again).", float64(qc.Leased))
+		counter(w, "rrbus_dist_rows_ingested_total", "Rows accepted from workers and recorded in the store.", float64(qc.Ingested))
+		counter(w, "rrbus_dist_jobs_requeued_total", "Jobs returned to the queue by expired or released leases.", float64(qc.Requeued))
+		counter(w, "rrbus_dist_rows_rejected_total", "Delivered rows refused by the ingest integrity gate.", float64(qc.Rejected))
+		counter(w, "rrbus_dist_rows_duplicate_total", "Delivered rows whose hash was already recorded.", float64(qc.Duplicate))
+		gauge(w, "rrbus_dist_pending_jobs", "Jobs waiting for a lease.", float64(qg.Pending))
+		gauge(w, "rrbus_dist_leased_jobs", "Jobs currently out under active leases.", float64(qg.Leased))
+		gauge(w, "rrbus_dist_leases_active", "Active leases.", float64(qg.Leases))
+		gauge(w, "rrbus_dist_workers", "Workers seen within the last five lease TTLs.", float64(qg.Workers))
+	}
 }
 
 func counter(w io.Writer, name, help string, v float64) { metric(w, name, help, "counter", v) }

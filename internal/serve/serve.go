@@ -18,12 +18,24 @@
 //	                               plan content hash as ETag
 //	GET  /v1/store/plans           the store's manifest audit (rrbus-store ls
 //	                               over HTTP; ?format= as above)
+//	GET  /v1/store/jobs            stored row hashes (push/pull delta diff)
+//	POST /v1/store/jobs            ingest pushed rows (rrbus-store push)
+//	POST /v1/store/fetch           fetch rows by hash (rrbus-store pull)
 //	GET  /metrics                  Prometheus text exposition
-//	GET  /healthz                  liveness
+//	GET  /healthz                  liveness; 503 once a drain begins
+//
+// In distribute mode (Options.Distribute) the server is a coordinator:
+// plans' missing jobs are leased to rrbus-worker daemons instead of
+// simulated locally, over three more endpoints:
+//
+//	POST /v1/work/register         announce a worker, learn lease terms
+//	POST /v1/work/lease            lease a batch of missing job specs
+//	POST /v1/work/results          deliver rows; renew/release the lease
 //
 // Concurrent submissions are doubly deduplicated: resubmitting a plan
 // that is queued or running returns its current status without a second
-// run, and overlapping plans share a store.Dedup so a missing job hash
+// run, and overlapping plans share a store.Dedup (or, in distribute
+// mode, the work queue's per-hash tracking) so a missing job hash
 // simulates at most once across all in-flight sessions.
 package serve
 
@@ -38,6 +50,7 @@ import (
 	"sync"
 	"time"
 
+	"rrbus/internal/dist"
 	"rrbus/internal/report"
 	"rrbus/internal/scenario"
 	"rrbus/internal/store"
@@ -55,6 +68,17 @@ type Options struct {
 	// Retry is the per-session retry policy for transient store errors
 	// (the CLIs use rrbus.DefaultRetry; the zero value disables retries).
 	Retry store.RetryPolicy
+	// Distribute turns the server into a coordinator: submitted plans'
+	// missing jobs are leased to rrbus-worker daemons over the /v1/work
+	// endpoints instead of simulated in a local session.
+	Distribute bool
+	// LeaseTTL bounds how long a worker may hold a leased batch without
+	// renewing before it requeues (0 = dist.DefaultLeaseTTL). Distribute
+	// mode only.
+	LeaseTTL time.Duration
+	// LeaseBatch caps the jobs handed out per lease
+	// (0 = dist.DefaultMaxBatch). Distribute mode only.
+	LeaseBatch int
 }
 
 // Status values reported by the plan endpoints.
@@ -83,6 +107,12 @@ type PlanStatus struct {
 	Retried     int64  `json:"retried"`
 	QueueDepth  int64  `json:"queue_depth"`
 	InFlight    int64  `json:"in_flight"`
+	// Distribution counters (coordinator mode only): job grants to
+	// workers, rows ingested from them, and jobs requeued by expired or
+	// released leases — all for this plan's jobs.
+	Leased   int64 `json:"leased,omitempty"`
+	Ingested int64 `json:"ingested,omitempty"`
+	Requeued int64 `json:"requeued,omitempty"`
 }
 
 // planState is one registered plan's lifecycle. The latest run's session
@@ -97,6 +127,13 @@ type planState struct {
 	view    *store.DedupStore
 	results []scenario.Result
 	err     string
+	// Coordinator-mode runs have no session; the diff pass records how
+	// many rows the store already held (and how many corrupt entries it
+	// quarantined for the fleet to re-derive), and the queue tracks the
+	// rest per plan hash.
+	distributed     bool
+	distHits        int64
+	distQuarantined int64
 }
 
 // Server is the HTTP handler. Create with New, serve with http.Server,
@@ -109,6 +146,11 @@ type Server struct {
 	// dedup coordinates all plan sessions sharing st so overlapping
 	// submissions never simulate a job hash twice.
 	dedup *store.Dedup
+
+	// queue is the coordinator work queue (Distribute mode only; nil
+	// otherwise). Its dedup role is structural: overlapping plans
+	// enqueue a missing hash once and both wait on its row.
+	queue *dist.Queue
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -165,12 +207,40 @@ func New(st store.Store, opts Options) *Server {
 	mux.HandleFunc("GET /v1/plans/{hash}", s.handleStatus)
 	mux.HandleFunc("GET /v1/plans/{hash}/doc", s.handleDoc)
 	mux.HandleFunc("GET /v1/store/plans", s.handleStorePlans)
+	mux.HandleFunc("GET /v1/store/jobs", s.handleStoreJobs)
+	mux.HandleFunc("POST /v1/store/jobs", s.handleStorePush)
+	mux.HandleFunc("POST /v1/store/fetch", s.handleStoreFetch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if opts.Distribute {
+		s.queue = dist.NewQueue(st, dist.QueueOptions{LeaseTTL: opts.LeaseTTL, MaxBatch: opts.LeaseBatch})
+		mux.HandleFunc("POST /v1/work/register", s.handleWorkRegister)
+		mux.HandleFunc("POST /v1/work/lease", s.handleWorkLease)
+		mux.HandleFunc("POST /v1/work/results", s.handleWorkResults)
+		// The janitor requeues expired leases even when no worker is
+		// calling in; it exits with the drain.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.queue.Janitor(s.ctx)
+		}()
+	}
 	s.mux = mux
 	return s
+}
+
+// handleHealthz is the load-balancer liveness probe. It flips to 503 the
+// moment a drain begins — before the listener closes — so balancers and
+// workers stop routing to a dying coordinator while in-flight work
+// finishes.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.ctx.Err() != nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
 }
 
 // ServeHTTP implements http.Handler.
@@ -233,12 +303,22 @@ func (s *Server) register(c *scenario.Compiled) *planState {
 		// endpoint reports the latest run alone.
 		s.folded.add(ps.sess)
 	}
-	view := s.dedup.Wrap(s.st)
 	ps.status = StatusQueued
-	ps.sess = &store.Session{Store: view, Workers: s.opts.Workers, Retry: s.opts.Retry}
-	ps.view = view
 	ps.results = nil
 	ps.err = ""
+	if s.queue != nil {
+		// Coordinator mode: no local session — the store diff and the
+		// worker fleet do the running. The queue deduplicates overlapping
+		// plans by job hash, playing the role the session dedup table
+		// plays in local mode.
+		ps.distributed = true
+		ps.sess, ps.view = nil, nil
+		ps.distHits, ps.distQuarantined = 0, 0
+	} else {
+		view := s.dedup.Wrap(s.st)
+		ps.sess = &store.Session{Store: view, Workers: s.opts.Workers, Retry: s.opts.Retry}
+		ps.view = view
+	}
 	s.schedule(ps)
 	return ps
 }
@@ -261,6 +341,12 @@ func (s *Server) schedule(ps *planState) {
 		ps.status = StatusSimulating
 		sess, view := ps.sess, ps.view
 		ps.mu.Unlock()
+		if sess == nil {
+			// Coordinator mode: diff, enqueue, wait for the fleet.
+			results, err := s.runDistributed(ps)
+			s.finish(ps, results, err)
+			return
+		}
 		results, err := sess.RunAllContext(s.ctx, ps.plan)
 		// Release any dedup claims a failed or drained run still holds,
 		// so sessions waiting on those hashes wake and simulate them
@@ -318,6 +404,15 @@ func (s *Server) statusOf(ps *planState) PlanStatus {
 		st.Retried = sess.Retried()
 		st.QueueDepth = sess.QueueDepth()
 		st.InFlight = sess.InFlight()
+	} else if ps.distributed && s.queue != nil {
+		// Coordinator mode: the fleet simulates, the queue counts. Rows
+		// ingested from workers are the runs this plan caused, so they
+		// fill the Simulated slot a warm resubmission reports as 0.
+		pc := s.queue.PlanCounters(c.Hash())
+		st.Leased, st.Ingested, st.Requeued = pc.Leased, pc.Ingested, pc.Requeued
+		st.Simulated = pc.Ingested
+		st.StoreHits = ps.distHits
+		st.Quarantined = ps.distQuarantined
 	}
 	st.Present = int(st.Simulated + st.StoreHits)
 	if st.Present > st.Jobs {
@@ -531,6 +626,10 @@ type DrainSummary struct {
 	Quarantined int64 // corrupt entries healed
 	Repaired    int64
 	Retried     int64
+	// Distribution totals (coordinator mode; zero otherwise).
+	Leased   int64 // job grants to workers
+	Ingested int64 // rows ingested from workers
+	Requeued int64 // jobs requeued by expired or released leases
 }
 
 // Drain stops the server's work: no new submissions are accepted, queued
@@ -562,6 +661,17 @@ func (s *Server) Drain() DrainSummary {
 	sum.Quarantined = tot.quarantined
 	sum.Repaired = tot.repaired
 	sum.Retried = tot.retried
+	if s.queue != nil {
+		qc := s.queue.Counters()
+		sum.Leased, sum.Ingested, sum.Requeued = qc.Leased, qc.Ingested, qc.Requeued
+		sum.Simulated += qc.Ingested
+		for _, ps := range s.plans {
+			ps.mu.Lock()
+			sum.StoreHits += ps.distHits
+			sum.Quarantined += ps.distQuarantined
+			ps.mu.Unlock()
+		}
+	}
 	return sum
 }
 

@@ -182,3 +182,98 @@ func TestDedupAbandonedClaimWakesWaiter(t *testing.T) {
 		t.Fatalf("post-Put Get = (%v, %v), want a hit", ok, err)
 	}
 }
+
+// blockPutStore stalls every Put until the gate closes and signals (once)
+// when the first Put is entered — it holds a session "mid-simulation",
+// after the work but before the row lands.
+type blockPutStore struct {
+	store.Store
+	gate    chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (b *blockPutStore) Put(h string, r scenario.Result) error {
+	b.once.Do(func() { close(b.entered) })
+	<-b.gate
+	return b.Store.Put(h, r)
+}
+
+// TestDedupOwnerCloseMidSimulationReleasesWaiters is the drain story:
+// the view that owns a claim is Close()d while its session is still
+// mid-simulation (row not yet recorded) with several sessions blocked on
+// the same hash. All waiters must wake, exactly one must re-claim and
+// simulate, and the rest must be served from the store.
+func TestDedupOwnerCloseMidSimulationReleasesWaiters(t *testing.T) {
+	c, err := scenario.CompileGenerator("fig2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Jobs) != 1 {
+		t.Fatalf("fig2 compiles to %d jobs, the test needs exactly 1", len(c.Jobs))
+	}
+
+	under := store.NewMem()
+	d := store.NewDedup()
+	gate := make(chan struct{})
+	blocked := &blockPutStore{Store: under, gate: gate, entered: make(chan struct{})}
+	ownerView := d.Wrap(blocked)
+	owner := &store.Session{Store: ownerView}
+
+	var ownerWg sync.WaitGroup
+	ownerWg.Add(1)
+	go func() {
+		defer ownerWg.Done()
+		owner.RunAll(c) // parks inside Put until the gate opens
+	}()
+	t.Cleanup(func() { close(gate); ownerWg.Wait() })
+
+	select {
+	case <-blocked.entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("owner session never reached Put")
+	}
+
+	// Three sessions pile up on the claimed hash.
+	const waiters = 3
+	sessions := make([]*store.Session, waiters)
+	views := make([]*store.DedupStore, waiters)
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	for i := range sessions {
+		views[i] = d.Wrap(under)
+		sessions[i] = &store.Session{Store: views[i]}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = sessions[i].RunAll(c)
+			views[i].Close()
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let them reach Get and block
+
+	// The owner's run is drained mid-simulation: its claim is abandoned
+	// with the row still unrecorded.
+	ownerView.Close()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("waiters still blocked after the owner view closed")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	var simulated, hits int64
+	for _, s := range sessions {
+		simulated += s.Simulated()
+		hits += s.StoreHits()
+	}
+	if simulated != 1 || hits != waiters-1 {
+		t.Fatalf("waiters simulated %d / hit %d, want exactly one re-simulation and %d hits", simulated, hits, waiters-1)
+	}
+}

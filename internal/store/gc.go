@@ -1,0 +1,124 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The space-reclamation half of store ops, exposed by `rrbus-store gc`
+// and `rrbus-store compact`. Both operate on what the manifests say:
+// gc drops rows no recorded plan references (debris of deleted plans,
+// aborted sweeps, or rows pushed from elsewhere and never adopted), and
+// compact strips the bounded trace windows out of trace-bearing rows —
+// the one unbounded-size field a row carries — while preserving every
+// derived quantity, so bounds and tables still render identically and
+// only the fig2/fig5-style timelines lose their event detail.
+
+// Unreferenced lists the stored row hashes that no plan manifest
+// references, in lexical order. An unreadable manifest keeps its rows
+// referenced (conservative: damage to the index must not mark the data
+// collectible).
+func (d *Dir) Unreferenced() ([]string, error) {
+	hashes, err := d.JobHashes()
+	if err != nil {
+		return nil, err
+	}
+	plans, err := d.Plans()
+	if err != nil {
+		return nil, err
+	}
+	referenced := make(map[string]bool)
+	for _, ph := range plans {
+		m, err := d.readManifest(ph)
+		if err != nil {
+			// Cannot tell what this plan references; treat everything as
+			// referenced rather than collect rows an audit would miss.
+			return nil, fmt.Errorf("store: plan %s: unreadable manifest blocks gc (run repair first): %w", ph, err)
+		}
+		for _, jh := range m.Jobs {
+			referenced[jh] = true
+		}
+	}
+	var out []string
+	for _, h := range hashes {
+		if !referenced[h] {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// CompactReport is the outcome of a Compact pass.
+type CompactReport struct {
+	// Scanned counts every row examined; Compacted those that carried a
+	// trace window and were rewritten without it (or would be, on a dry
+	// run).
+	Scanned   int `json:"scanned"`
+	Compacted int `json:"compacted"`
+	// TraceEvents is the total number of trace events stripped.
+	TraceEvents int `json:"trace_events"`
+	// BytesSaved is the on-disk entry size reduction (estimated from file
+	// sizes before and after the rewrite; exact for a non-dry run).
+	BytesSaved int64 `json:"bytes_saved"`
+}
+
+// Compact strips the bounded trace windows from trace-bearing rows,
+// rewriting each entry with every non-trace field intact — cycles,
+// slowdowns, histograms, PMCs and derived bounds all survive, so every
+// renderer except the event timelines produces identical bytes from a
+// compacted store. With dryRun the store is not touched and the report
+// says what a real pass would do. Corrupt entries fail the pass (run
+// repair first); compaction must never launder damage into a
+// fresh-looking rewrite.
+func (d *Dir) Compact(dryRun bool) (*CompactReport, error) {
+	hashes, err := d.JobHashes()
+	if err != nil {
+		return nil, err
+	}
+	rep := &CompactReport{}
+	for _, h := range hashes {
+		r, ok, err := d.Get(h)
+		if err != nil {
+			return rep, fmt.Errorf("store: compact %s: %w (run repair first)", h, err)
+		}
+		if !ok {
+			continue // vanished mid-walk (concurrent gc)
+		}
+		rep.Scanned++
+		if len(r.Trace) == 0 {
+			continue
+		}
+		before := entrySize(d.jobPath(h))
+		rep.TraceEvents += len(r.Trace)
+		if !dryRun {
+			r.Trace = nil
+			if err := d.Put(h, r); err != nil {
+				return rep, err
+			}
+			rep.BytesSaved += before - entrySize(d.jobPath(h))
+		} else {
+			// Estimate: the rewritten entry is the old one minus the trace
+			// array; marshal the stripped row to size it.
+			r.Trace = nil
+			row, err := marshalEntry(h, r)
+			if err != nil {
+				return rep, err
+			}
+			rep.BytesSaved += before - int64(len(row))
+		}
+		rep.Compacted++
+	}
+	return rep, nil
+}
+
+// entrySize returns a file's size, 0 if unreadable (sizes feed a
+// best-effort savings report, not correctness).
+func entrySize(path string) int64 {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return info.Size()
+}

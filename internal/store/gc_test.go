@@ -1,0 +1,185 @@
+package store_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rrbus/internal/scenario"
+	"rrbus/internal/store"
+)
+
+// fakeHash fabricates a distinct 64-char pseudo-hash so a Dir store
+// shards it like a real digest.
+func fakeHash(seed string) string {
+	return (seed + strings.Repeat("0", 64))[:64]
+}
+
+// compileFig5 compiles a small trace-bearing fig5 sweep (one traced job
+// per k).
+func compileFig5(t *testing.T, ks []int, trace int) *scenario.Compiled {
+	t.Helper()
+	c, err := scenario.CompileGenerator("fig5", scenario.Params{"ks": ks, "trace": trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestUnreferencedAndRemoveJob: rows a recorded plan references are
+// never collectible; rows no manifest mentions are listed in lexical
+// order and individually removable.
+func TestUnreferencedAndRemoveJob(t *testing.T) {
+	st, err := store.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compileFig7(t, 3)
+	runAll(t, st, c) // records the plan manifest alongside the rows
+
+	orphans, err := st.Unreferenced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 0 {
+		t.Fatalf("fresh sweep has %d unreferenced rows: %v", len(orphans), orphans)
+	}
+
+	// Two rows nobody's manifest mentions — debris from a deleted plan.
+	hB, hA := fakeHash("bb"), fakeHash("aa")
+	for _, h := range []string{hB, hA} {
+		if err := st.Put(h, scenario.Result{Cycles: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orphans, err = st.Unreferenced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 2 || orphans[0] != hA || orphans[1] != hB {
+		t.Fatalf("unreferenced = %v, want [%s %s] in lexical order", orphans, hA, hB)
+	}
+
+	for _, h := range orphans {
+		if err := st.RemoveJob(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, err := st.Get(hA); err != nil || ok {
+		t.Fatalf("removed row still readable (ok=%v err=%v)", ok, err)
+	}
+	orphans, err = st.Unreferenced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 0 {
+		t.Fatalf("unreferenced after removal = %v, want none", orphans)
+	}
+	n, err := st.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(c.Jobs) {
+		t.Fatalf("store holds %d rows after gc, want the %d referenced ones", n, len(c.Jobs))
+	}
+}
+
+// TestCompactStripsTraces: compact removes exactly the trace windows —
+// every other field of every row survives byte-for-byte, the store stays
+// audit-clean, and a traceless figure re-renders identically from the
+// compacted rows without re-simulating.
+func TestCompactStripsTraces(t *testing.T) {
+	st, err := store.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5 := compileFig5(t, []int{1, 2}, 64)
+	fig7 := compileFig7(t, 3)
+	runAll(t, st, fig5)
+	_, fig7Text, _ := runAll(t, st, fig7)
+
+	// Snapshot every row before compaction.
+	hashes, err := st.JobHashes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[string]scenario.Result, len(hashes))
+	traced := 0
+	for _, h := range hashes {
+		r, ok, err := st.Get(h)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) = (%v, %v)", h, ok, err)
+		}
+		before[h] = r
+		if len(r.Trace) > 0 {
+			traced++
+		}
+	}
+	if traced != len(fig5.Jobs) {
+		t.Fatalf("%d trace-bearing rows, want the %d fig5 jobs", traced, len(fig5.Jobs))
+	}
+
+	// Dry run: the report is real, the rows are untouched.
+	rep, err := st.Compact(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != len(hashes) || rep.Compacted != traced || rep.TraceEvents == 0 || rep.BytesSaved <= 0 {
+		t.Fatalf("dry-run report %+v, want %d scanned / %d compacted", rep, len(hashes), traced)
+	}
+	for h, r := range before {
+		got, _, err := st.Get(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Trace) != len(r.Trace) {
+			t.Fatalf("dry run altered row %s", h)
+		}
+	}
+
+	// Real pass: traces gone, everything else identical.
+	rep2, err := st.Compact(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Compacted != traced || rep2.TraceEvents != rep.TraceEvents || rep2.BytesSaved <= 0 {
+		t.Fatalf("compact report %+v, want %d compacted / %d events (dry run promised %+v)", rep2, traced, rep.TraceEvents, rep)
+	}
+	for h, r := range before {
+		got, ok, err := st.Get(h)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) after compact = (%v, %v)", h, ok, err)
+		}
+		want := r
+		want.Trace = nil
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("compact changed more than the trace of %s:\n got %+v\nwant %+v", h, got, want)
+		}
+	}
+	audit, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.OK() {
+		t.Fatalf("store not clean after compact: %+v", audit.Issues)
+	}
+
+	// The traceless figure renders identically from the compacted store,
+	// all rows served warm.
+	_, warmText, sess := runAll(t, st, fig7)
+	if warmText != fig7Text {
+		t.Fatalf("fig7 render changed after compact:\n%s\nvs\n%s", warmText, fig7Text)
+	}
+	if sess.Simulated() != 0 || sess.StoreHits() != int64(len(fig7.Jobs)) {
+		t.Fatalf("warm render simulated %d / hit %d, want 0 / %d", sess.Simulated(), sess.StoreHits(), len(fig7.Jobs))
+	}
+
+	// Idempotent: a second pass finds nothing to strip.
+	rep3, err := st.Compact(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Compacted != 0 || rep3.TraceEvents != 0 {
+		t.Fatalf("second compact report %+v, want a no-op", rep3)
+	}
+}

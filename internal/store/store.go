@@ -26,6 +26,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -66,6 +67,18 @@ func normalize(r scenario.Result) scenario.Result {
 	return r
 }
 
+// NormalizeRow returns the content-addressed form of a row: ID cleared,
+// schema pinned — exactly what Put records. The distribution layer
+// marshals this form on the wire so the checksum a worker computes is the
+// checksum the coordinator's store verifies.
+func NormalizeRow(r scenario.Result) scenario.Result { return normalize(r) }
+
+// SumRow is the integrity checksum the store records alongside a row:
+// sha256 over the job hash and the row's canonical JSON bytes. Exported
+// for the distribution layer, which sends rows over the wire with the
+// same checksum so ingest can verify them before recording.
+func SumRow(jobHash string, row []byte) string { return sumOf(jobHash, row) }
+
 // Mem is an in-process Store: a map guarded by a mutex. The zero value
 // is not usable; call NewMem.
 type Mem struct {
@@ -99,6 +112,19 @@ func (m *Mem) Len() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return len(m.rows)
+}
+
+// JobHashes lists the stored row hashes in lexical order — the store's
+// side of a push/pull delta diff.
+func (m *Mem) JobHashes() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.rows))
+	for h := range m.rows {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // entry is the on-disk envelope of one stored row: the row bytes plus
@@ -251,9 +277,19 @@ func (d *Dir) Get(jobHash string) (scenario.Result, bool, error) {
 
 // Put implements Store.
 func (d *Dir) Put(jobHash string, r scenario.Result) error {
+	data, err := marshalEntry(jobHash, r)
+	if err != nil {
+		return err
+	}
+	return d.writeAtomic(d.jobPath(jobHash), data)
+}
+
+// marshalEntry builds the exact on-disk entry bytes Put writes for a row
+// (envelope, checksum, trailing newline).
+func marshalEntry(jobHash string, r scenario.Result) ([]byte, error) {
 	row, err := json.Marshal(normalize(r))
 	if err != nil {
-		return fmt.Errorf("store: marshal row %s: %w", jobHash, err)
+		return nil, fmt.Errorf("store: marshal row %s: %w", jobHash, err)
 	}
 	e := entry{
 		Schema: scenario.ResultSchema,
@@ -263,9 +299,9 @@ func (d *Dir) Put(jobHash string, r scenario.Result) error {
 	}
 	data, err := json.Marshal(e)
 	if err != nil {
-		return fmt.Errorf("store: marshal entry %s: %w", jobHash, err)
+		return nil, fmt.Errorf("store: marshal entry %s: %w", jobHash, err)
 	}
-	return d.writeAtomic(d.jobPath(jobHash), append(data, '\n'))
+	return append(data, '\n'), nil
 }
 
 // PutPlan implements PlanRecorder. The manifest records the plan's
@@ -320,6 +356,40 @@ func (d *Dir) Len() (int, error) {
 		return 0, fmt.Errorf("store: %w", err)
 	}
 	return n, nil
+}
+
+// JobHashes lists every stored row hash in lexical order (a directory
+// walk) — the store's side of a push/pull delta diff and the scan gc and
+// compact iterate.
+func (d *Dir) JobHashes() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(filepath.Join(d.root, "jobs"), func(_ string, de fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if de.IsDir() {
+			return nil
+		}
+		if h, ok := strings.CutSuffix(de.Name(), ".json"); ok && h != "" {
+			out = append(out, h)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// RemoveJob drops one stored row entry. Removing an absent entry is not
+// an error (gc races with concurrent writers by design — at worst two
+// collectors race to remove the same file).
+func (d *Dir) RemoveJob(jobHash string) error {
+	if err := os.Remove(d.jobPath(jobHash)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
 }
 
 // writeAtomic writes data to path via a temp file in the same directory
